@@ -1,0 +1,70 @@
+"""Shared helpers for the campaign-style benches (Figure 5, Table 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.costs import CostLedger, CostModel
+from repro.core.mlpct import (
+    CampaignResult,
+    ExplorationConfig,
+    MLPCTExplorer,
+    PCTExplorer,
+    run_campaign,
+)
+from repro.core.strategies import make_strategy
+from repro.fuzz.corpus import CorpusEntry
+from repro.graphs.dataset import GraphDatasetBuilder
+from repro.ml.baselines import CoveragePredictor
+
+CAMPAIGN_CONFIG = ExplorationConfig(
+    execution_budget=40, inference_cap=400, proposal_pool=400
+)
+
+
+def campaign(
+    graphs: GraphDatasetBuilder,
+    ctis: Sequence[Tuple[CorpusEntry, CorpusEntry]],
+    predictor: Optional[CoveragePredictor] = None,
+    strategy: str = "S1",
+    label: Optional[str] = None,
+    seed: int = 7,
+    startup_hours: float = 0.0,
+    config: ExplorationConfig = CAMPAIGN_CONFIG,
+) -> CampaignResult:
+    """One campaign curve: PCT when ``predictor`` is None, MLPCT otherwise."""
+    ledger = CostLedger(model=CostModel(), startup_hours=startup_hours)
+    if predictor is None:
+        explorer = PCTExplorer(
+            graphs, config=config, seed=seed, ledger=ledger, label=label or "PCT"
+        )
+    else:
+        explorer = MLPCTExplorer(
+            graphs,
+            predictor=predictor,
+            strategy=make_strategy(strategy),
+            config=config,
+            seed=seed,
+            ledger=ledger,
+            label=label or f"MLPCT-{strategy}",
+        )
+    return run_campaign(explorer, ctis)
+
+
+def races_at_equal_hours(
+    reference: CampaignResult, other: CampaignResult
+) -> Tuple[int, int]:
+    """Race counts of both campaigns at the earlier campaign's end time."""
+    horizon = min(
+        reference.history[-1][0] if reference.history else 0.0,
+        other.history[-1][0] if other.history else 0.0,
+    )
+
+    def races_at(campaign: CampaignResult) -> int:
+        best = 0
+        for hours, races, _ in campaign.history:
+            if hours <= horizon:
+                best = races
+        return best
+
+    return races_at(reference), races_at(other)

@@ -1,0 +1,124 @@
+"""Ablations of the CT-graph design choices DESIGN.md calls out.
+
+Two decisions the paper motivates explicitly:
+
+- **1-hop URBs** (§3.1/§6): "we set the limit to only identify 1-hop URBs
+  to avoid path explosion and maintain a reasonable number of nodes per CT
+  graph" — multi-hop URBs blow up graph size (and therefore inference
+  cost) without being necessary, because any control-flow divergence
+  triggers a 1-hop URB first.
+- **Shortcut edges** (§5.1.1): densification edges "improve model
+  performance on code GNNs".
+
+Shapes asserted: k-hop URB sets and graph sizes grow with k; the shortcut
+ablation trains two otherwise-identical models and reports the validation
+AP of each (shortcuts must not hurt, and the denser graphs carry more
+edges).
+"""
+
+import numpy as np
+import pytest
+
+from repro import rng as rngmod
+from repro.graphs.dataset import GraphDatasetBuilder
+from repro.ml.pic import PICConfig, PICModel
+from repro.ml.training import TrainingConfig, train_pic
+from repro.reporting import format_table
+
+
+def test_ablation_urb_hops(benchmark, kernel512, snowcat512, report):
+    """Graph size vs URB hop limit (the path-explosion tradeoff)."""
+    corpus = snowcat512.graphs.corpus
+    ctis = corpus.sample_pairs(rngmod.split(3, "ablation-hops"), 6)
+
+    def measure():
+        rows = []
+        for hops in (1, 2, 3):
+            builder = GraphDatasetBuilder(
+                kernel512,
+                seed=3,
+                vocabulary=snowcat512.graphs.vocabulary,
+                urb_hops=hops,
+            )
+            builder.corpus = corpus  # share the fuzzed corpus
+            nodes, urbs, edges = [], [], []
+            for entry_a, entry_b in ctis:
+                graph = builder.graph_for(entry_a, entry_b, [])
+                nodes.append(graph.num_nodes)
+                urbs.append(int(graph.urb_mask().sum()))
+                edges.append(graph.num_edges)
+            rows.append(
+                {
+                    "urb hops": hops,
+                    "mean nodes": float(np.mean(nodes)),
+                    "mean URBs": float(np.mean(urbs)),
+                    "mean edges": float(np.mean(edges)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "ablation_urb_hops",
+        format_table(rows, title="Ablation: URB hop limit vs graph size", float_digits=1),
+    )
+    assert rows[0]["mean URBs"] < rows[1]["mean URBs"] < rows[2]["mean URBs"]
+    assert rows[0]["mean nodes"] < rows[2]["mean nodes"]
+
+
+def test_ablation_shortcut_edges(benchmark, kernel512, snowcat512, report):
+    """Shortcut densification: edge counts and model quality."""
+    vocabulary = snowcat512.graphs.vocabulary
+
+    def run():
+        rows = []
+        for span, label in ((0, "no shortcuts"), (4, "shortcut span 4")):
+            builder = GraphDatasetBuilder(
+                kernel512, seed=5, vocabulary=vocabulary, shortcut_span=span
+            )
+            builder.corpus = snowcat512.graphs.corpus
+            splits = builder.build_splits(
+                num_ctis=12,
+                train_fraction=0.55,
+                validation_fraction=0.25,
+                train_interleavings=4,
+                evaluation_interleavings=4,
+            )
+            model = PICModel(
+                PICConfig(
+                    vocab_size=len(vocabulary),
+                    pad_id=vocabulary.pad_id,
+                    token_dim=16,
+                    hidden_dim=24,
+                    num_layers=3,
+                    name=f"PIC-{label}",
+                ),
+                seed=5,
+            )
+            result = train_pic(
+                model,
+                splits.train,
+                splits.validation,
+                TrainingConfig(epochs=3, learning_rate=3e-3, seed=5),
+            )
+            mean_edges = float(
+                np.mean([example.graph.num_edges for example in splits.train])
+            )
+            rows.append(
+                {
+                    "variant": label,
+                    "mean edges": mean_edges,
+                    "val URB AP": result.best_validation_ap,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_shortcut_edges",
+        format_table(rows, title="Ablation: shortcut densification", float_digits=3),
+    )
+    no_shortcut, shortcut = rows
+    assert shortcut["mean edges"] > no_shortcut["mean edges"]
+    # Densification must not hurt the predictor (paper: it helps).
+    assert shortcut["val URB AP"] >= no_shortcut["val URB AP"] * 0.75

@@ -1,0 +1,72 @@
+"""Ablation: S3's per-block trial limit.
+
+§3.3 motivates S3's limit both ways: "a trial limit higher than 1 can
+encourage a code block to be attempted several times (e.g., in different
+calling stacks)"; "the trial limit will prevent Snowcat from trying too
+many CTs on blocks that might be false positives". The dial therefore
+trades executions for redundancy.
+
+Shape asserted: raising the limit never *decreases* the number of
+executions S3 performs on a fixed candidate stream, and the strategy's
+race haul per execution stays at or above PCT's.
+"""
+
+import pytest
+
+from repro.core.mlpct import ExplorationConfig, MLPCTExplorer, PCTExplorer, run_campaign
+from repro.core.strategies import PositiveBlocksLimitedTrials
+from repro.reporting import format_table
+
+CONFIG = ExplorationConfig(execution_budget=30, inference_cap=300, proposal_pool=300)
+NUM_CTIS = 6
+LIMITS = (1, 3, 6)
+
+
+def test_ablation_s3_trial_limit(benchmark, snowcat512, report):
+    ctis = snowcat512.cti_stream(NUM_CTIS, "s3-ablation")
+
+    def run():
+        rows = []
+        pct = PCTExplorer(snowcat512.graphs, config=CONFIG, seed=7)
+        pct_campaign = run_campaign(pct, ctis)
+        rows.append(
+            {
+                "explorer": "PCT",
+                "executions": pct_campaign.ledger.executions,
+                "races": pct_campaign.total_races,
+                "races/exec": pct_campaign.total_races
+                / max(pct_campaign.ledger.executions, 1),
+            }
+        )
+        for limit in LIMITS:
+            explorer = MLPCTExplorer(
+                snowcat512.graphs,
+                predictor=snowcat512.model,
+                strategy=PositiveBlocksLimitedTrials(limit=limit),
+                config=CONFIG,
+                seed=7,
+                label=f"MLPCT-S3(limit={limit})",
+            )
+            campaign = run_campaign(explorer, ctis)
+            rows.append(
+                {
+                    "explorer": explorer.label,
+                    "executions": campaign.ledger.executions,
+                    "races": campaign.total_races,
+                    "races/exec": campaign.total_races
+                    / max(campaign.ledger.executions, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_s3_limit",
+        format_table(rows, title="Ablation: S3 per-block trial limit", float_digits=2),
+    )
+    s3_rows = rows[1:]
+    executions = [row["executions"] for row in s3_rows]
+    assert executions == sorted(executions), "higher limit must not execute less"
+    pct_rate = rows[0]["races/exec"]
+    for row in s3_rows:
+        assert row["races/exec"] >= pct_rate

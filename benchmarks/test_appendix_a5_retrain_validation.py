@@ -1,0 +1,83 @@
+"""§A.5: validation behaviour of the retrained models.
+
+The appendix analyses the validation performance of the 6.1 model
+variants before they are let loose on campaigns (Figure 10 shows the
+from-scratch variants' weakness already at validation time). This bench
+reports every variant's training trajectory — per-epoch train loss and
+validation URB AP — plus the threshold each tuned.
+
+Shape asserted: training loss decreases for every variant that trained;
+the selected checkpoint's AP equals the trajectory's maximum (the §5.1.2
+selection rule, re-verified on every variant).
+"""
+
+import pytest
+
+from repro.reporting import format_table
+
+
+def _trajectory_rows(name, snowcat):
+    result = snowcat.training_result
+    rows = []
+    if result is None:
+        return rows
+    for entry in result.history:
+        rows.append(
+            {
+                "model": name,
+                "epoch": int(entry["epoch"]),
+                "train loss": entry["train_loss"],
+                "val URB AP": entry["validation_urb_ap"],
+            }
+        )
+    return rows
+
+
+def test_a5_retrain_validation_trajectories(
+    benchmark,
+    snowcat512,
+    pic6_ft_sml,
+    pic6_ft_med,
+    pic6_scratch_sml,
+    pic6_scratch_med,
+    report,
+):
+    variants = {
+        "PIC-5": snowcat512,
+        "PIC-6.ft.sml": pic6_ft_sml,
+        "PIC-6.ft.med": pic6_ft_med,
+        "PIC-6.scratch.sml": pic6_scratch_sml,
+        "PIC-6.scratch.med": pic6_scratch_med,
+    }
+
+    def run():
+        rows = []
+        for name, snowcat in variants.items():
+            rows.extend(_trajectory_rows(name, snowcat))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    thresholds = [
+        {
+            "model": name,
+            "tuned threshold": snowcat.training_result.threshold,
+            "validation F2": snowcat.training_result.threshold_fbeta,
+        }
+        for name, snowcat in variants.items()
+    ]
+    report(
+        "appendix_a5_retrain_validation",
+        format_table(rows, title="§A.5: training trajectories")
+        + "\n\n"
+        + format_table(thresholds, title="tuned thresholds", float_digits=2),
+    )
+
+    for name, snowcat in variants.items():
+        result = snowcat.training_result
+        losses = [entry["train_loss"] for entry in result.history]
+        if len(losses) >= 2:
+            assert losses[-1] < losses[0], f"{name} loss did not decrease"
+        # Best-checkpoint selection rule: reported AP is the trajectory max.
+        aps = [entry["validation_urb_ap"] for entry in result.history]
+        assert result.best_validation_ap == pytest.approx(max(aps))
+        assert 0.0 < result.threshold < 1.0

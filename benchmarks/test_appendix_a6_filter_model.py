@@ -1,0 +1,72 @@
+"""§2 (Figure 3) / §A.6: the analytic rejection-filter model.
+
+The paper motivates the whole system with a thought experiment: a tester
+with no filter executes every candidate; an omniscient filter executes
+only fruitful ones; a realistic filter sits between, paying inference on
+everything and execution on predicted positives. §A.6 explores this
+analytically. Shape to reproduce: with the paper's cost constants and a
+PIC-like operating point, the realistic filter lands between no-filter
+and omniscient, and the closed forms agree with Monte-Carlo simulation.
+"""
+
+import pytest
+
+from repro.core.filtermodel import FilterModel, simulate_filter
+from repro.reporting import format_table
+
+#: A PIC-5-like operating point: ~1% fruitful candidates, recall ~0.7,
+#: false-positive rate consistent with ~49% precision on a skewed base.
+OPERATING_POINT = dict(
+    fruitful_probability=0.011,
+    true_positive_rate=0.69,
+    false_positive_rate=0.008,
+)
+
+
+def test_a6_filter_economics(benchmark, report):
+    model = FilterModel(**OPERATING_POINT)
+    sim = benchmark.pedantic(
+        lambda: simulate_filter(model, target_fruitful=25, trials=120, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    per_fruitful = {k: v / 25 for k, v in sim.items()}
+    rows = [
+        {
+            "tester": "no filter",
+            "analytic s/fruitful": model.unfiltered_cost_per_fruitful,
+            "simulated s/fruitful": per_fruitful["no_filter"],
+        },
+        {
+            "tester": "PIC-like filter",
+            "analytic s/fruitful": model.filtered_cost_per_fruitful,
+            "simulated s/fruitful": per_fruitful["filter"],
+        },
+        {
+            "tester": "omniscient",
+            "analytic s/fruitful": 2.8,
+            "simulated s/fruitful": per_fruitful["omniscient"],
+        },
+    ]
+    report(
+        "appendix_a6_filter_model",
+        format_table(rows, title="§A.6: rejection-filter economics", float_digits=1)
+        + f"\nspeedup of the PIC-like filter: {model.speedup:.1f}x"
+        + f"\nbreak-even false-positive rate: "
+        f"{model.breakeven_false_positive_rate():.3f}",
+    )
+    # Ordering of the three testers (Figure 3's story).
+    assert (
+        per_fruitful["omniscient"]
+        < per_fruitful["filter"]
+        < per_fruitful["no_filter"]
+    )
+    # Closed form matches simulation within Monte-Carlo noise.
+    assert per_fruitful["filter"] == pytest.approx(
+        model.filtered_cost_per_fruitful, rel=0.25
+    )
+    assert per_fruitful["no_filter"] == pytest.approx(
+        model.unfiltered_cost_per_fruitful, rel=0.25
+    )
+    # At the PIC operating point the filter pays off by a large factor.
+    assert model.speedup > 2.0

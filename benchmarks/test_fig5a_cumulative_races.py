@@ -1,0 +1,91 @@
+"""Figure 5a: cumulative data-race coverage, PCT vs MLPCT S1/S2/S3.
+
+The paper runs SKI (PCT) and the MLPCT variants on the same stream of
+CTIs, 50 dynamic executions per CTI, inference cap 1,600, and plots unique
+potential data races against wall-clock hours; most MLPCT strategies reach
+a given race count far sooner (e.g. 3,500 races: 304 h for PCT vs 155 h
+for S1). S2 is overly conservative and burns its inference cap.
+
+Shape to reproduce: for race-count targets reachable by both, MLPCT's
+best strategy needs fewer simulated hours than PCT; S2 executes the
+fewest dynamic tests.
+"""
+
+import pytest
+
+from repro.core.mlpct import run_campaign
+from repro.reporting import format_series, format_table
+
+NUM_CTIS = 10
+
+
+@pytest.fixture(scope="module")
+def campaigns(snowcat512):
+    ctis = snowcat512.cti_stream(NUM_CTIS, "fig5a")
+    results = {}
+    for explorer in (
+        snowcat512.pct_explorer(),
+        snowcat512.mlpct_explorer("S1", label="MLPCT-S1"),
+        snowcat512.mlpct_explorer("S2", label="MLPCT-S2"),
+        snowcat512.mlpct_explorer("S3", label="MLPCT-S3"),
+    ):
+        results[explorer.label] = run_campaign(explorer, ctis)
+    return results
+
+
+def test_fig5a_race_coverage_over_time(benchmark, campaigns, report):
+    campaigns = benchmark.pedantic(lambda: campaigns, rounds=1, iterations=1)
+    curves = {label: c.history for label, c in campaigns.items()}
+    summary_rows = [
+        {
+            "explorer": label,
+            "races": c.total_races,
+            "executions": c.ledger.executions,
+            "inferences": c.ledger.inferences,
+            "hours": c.ledger.total_hours,
+        }
+        for label, c in campaigns.items()
+    ]
+    text = (
+        format_table(summary_rows, title="Figure 5a summary", float_digits=2)
+        + "\n\n"
+        + format_series(curves, metric_index=1, metric_name="races", points=10)
+    )
+    report("fig5a_cumulative_races", text)
+
+    pct = campaigns["PCT"]
+    best_ml = max(
+        (c for label, c in campaigns.items() if label != "PCT"),
+        key=lambda c: c.total_races,
+    )
+    # Compare hours-to-target at a race level both reached.
+    target = int(0.8 * min(pct.total_races, best_ml.total_races))
+    assert target > 0
+    pct_hours = pct.hours_to_reach_races(target)
+    ml_hours = best_ml.hours_to_reach_races(target)
+    assert pct_hours is not None and ml_hours is not None
+    assert ml_hours < pct_hours, (
+        f"MLPCT needed {ml_hours:.2f} h to reach {target} races, "
+        f"PCT only {pct_hours:.2f} h"
+    )
+    # S2 is the most conservative executor (paper: it runs out of
+    # inferences before filling its execution budget).
+    s2 = campaigns["MLPCT-S2"]
+    assert s2.ledger.executions <= min(
+        c.ledger.executions for c in campaigns.values()
+    )
+
+
+def test_fig5a_blocks_coverage(benchmark, campaigns, report):
+    """Companion metric: schedule-dependent block coverage over time."""
+    campaigns = benchmark.pedantic(lambda: campaigns, rounds=1, iterations=1)
+    curves = {label: c.history for label, c in campaigns.items()}
+    report(
+        "fig5a_blocks",
+        format_series(curves, metric_index=2, metric_name="blocks", points=10),
+    )
+    pct = campaigns["PCT"]
+    best_blocks = max(c.total_blocks for label, c in campaigns.items() if label != "PCT")
+    # MLPCT explores at least a comparable amount of schedule-dependent
+    # blocks while executing a fraction of the dynamic tests.
+    assert best_blocks >= 0.5 * pct.total_blocks

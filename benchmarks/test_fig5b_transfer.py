@@ -1,0 +1,62 @@
+"""Figure 5b: PIC-5 guiding MLPCT on the *new* kernel without retraining.
+
+The paper finds that PIC-5 — trained only on 5.12 data — still guides
+MLPCT to outperform PCT on kernel 6.1 (and even beats the small
+from-scratch 6.1 models, Figure 5e). Shape to reproduce: on the v6.1
+kernel, MLPCT-with-transferred-PIC-5 extracts unique races at a better
+per-hour rate than PCT on the same CTI stream.
+"""
+
+import pytest
+
+from bench_helpers import campaign
+from repro import rng as rngmod
+from repro.reporting import format_series, format_table
+
+NUM_CTIS = 8
+
+
+def test_fig5b_transferred_model(benchmark, snowcat512, pic6_ft_med, report):
+    # pic6_ft_med's graphs hold a v6.1 corpus with the shared vocabulary;
+    # the *predictor* is the untouched v5.12 model.
+    graphs = pic6_ft_med.graphs
+    ctis = graphs.corpus.sample_pairs(rngmod.split(7, "fig5b"), NUM_CTIS)
+
+    def run():
+        return {
+            "PCT": campaign(graphs, ctis, predictor=None, label="PCT"),
+            "MLPCT-S1 (PIC-5 transferred)": campaign(
+                graphs,
+                ctis,
+                predictor=snowcat512.model,
+                strategy="S1",
+                label="MLPCT-S1 (PIC-5 transferred)",
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "explorer": label,
+            "races": c.total_races,
+            "executions": c.ledger.executions,
+            "hours": c.ledger.total_hours,
+            "races/hour": c.total_races / max(c.ledger.total_hours, 1e-9),
+        }
+        for label, c in results.items()
+    ]
+    text = (
+        format_table(rows, title="Figure 5b: PIC-5 on kernel v6.1 (no retraining)", float_digits=2)
+        + "\n\n"
+        + format_series({k: v.history for k, v in results.items()}, points=8)
+    )
+    report("fig5b_transfer", text)
+
+    pct = results["PCT"]
+    transferred = results["MLPCT-S1 (PIC-5 transferred)"]
+    pct_rate = pct.total_races / max(pct.ledger.total_hours, 1e-9)
+    ml_rate = transferred.total_races / max(transferred.ledger.total_hours, 1e-9)
+    assert ml_rate > pct_rate, (
+        f"transferred PIC-5 should still beat PCT per hour "
+        f"({ml_rate:.0f} vs {pct_rate:.0f} races/hour)"
+    )

@@ -1,0 +1,68 @@
+"""Figure 5f: the v5.13 check — PIC-5 vs PIC-5.13.ft.sml vs PCT.
+
+Two months after 5.12, on kernel 5.13: both the original PIC-5 and a
+lightly fine-tuned PIC-5.13.ft.sml let MLPCT (strategy S1) outperform
+PCT on the same CTI stream; PIC-5 remains effective, fine-tuning mostly
+raises early discovery speed. Shape to reproduce: both model-guided
+campaigns beat PCT per hour; the two models land close to each other.
+"""
+
+import pytest
+
+from bench_helpers import campaign
+from repro import rng as rngmod
+from repro.reporting import format_series, format_table
+
+NUM_CTIS = 8
+
+
+def test_fig5f_v513(benchmark, snowcat512, pic513_ft_sml, report):
+    graphs = pic513_ft_sml.graphs  # v5.13 corpus, shared vocabulary
+    ctis = graphs.corpus.sample_pairs(rngmod.split(7, "fig5f"), NUM_CTIS)
+
+    def run():
+        return {
+            "PCT": campaign(graphs, ctis, predictor=None),
+            "MLPCT-S1 (PIC-5)": campaign(
+                graphs, ctis, predictor=snowcat512.model, label="MLPCT-S1 (PIC-5)"
+            ),
+            "MLPCT-S1 (PIC-5.13.ft.sml)": campaign(
+                graphs,
+                ctis,
+                predictor=pic513_ft_sml.model,
+                label="MLPCT-S1 (PIC-5.13.ft.sml)",
+                startup_hours=pic513_ft_sml.startup_hours,
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "explorer": label,
+            "races": c.total_races,
+            "hours": c.ledger.total_hours,
+            "races/hour": c.total_races / max(c.ledger.total_hours, 1e-9),
+        }
+        for label, c in results.items()
+    ]
+    report(
+        "fig5f_next_version",
+        format_table(rows, title="Figure 5f: kernel v5.13", float_digits=2)
+        + "\n\n"
+        + format_series({k: v.history for k, v in results.items()}, points=8),
+    )
+
+    def rate(c):
+        return c.total_races / max(c.ledger.total_hours, 1e-9)
+
+    pct_rate = rate(results["PCT"])
+    pic5_rate = rate(results["MLPCT-S1 (PIC-5)"])
+    ft_rate = rate(results["MLPCT-S1 (PIC-5.13.ft.sml)"])
+    # Both model-guided campaigns outperform PCT…
+    assert pic5_rate > pct_rate
+    assert ft_rate > pct_rate
+    # …and PIC-5 remains highly effective on the next version: it reaches
+    # a similar level of coverage as the fine-tuned model.
+    pic5 = results["MLPCT-S1 (PIC-5)"].total_races
+    ft = results["MLPCT-S1 (PIC-5.13.ft.sml)"].total_races
+    assert pic5 >= 0.7 * ft

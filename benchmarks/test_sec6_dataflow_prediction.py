@@ -1,0 +1,88 @@
+"""§6 extension: predicting inter-thread dataflows.
+
+The paper's discussion proposes "training PIC to predict the inter-thread
+data flows between code blocks", motivated by the Razzer case study where
+many selected CTIs covered the racing blocks without the communication
+actually happening. This repository implements the task: every CT graph's
+inter-thread dataflow edges carry a realised/not-realised label, and the
+PIC model grows a bilinear edge-scoring head trained jointly with the
+coverage objective.
+
+Shape asserted: the trained edge head ranks realised dataflows well above
+chance (AP substantially above the positive base rate), and the auxiliary
+task does not destroy node-coverage quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import average_precision
+from repro.ml.pic import PICConfig, PICModel
+from repro.ml.training import TrainingConfig, train_pic, validation_urb_ap
+from repro.reporting import format_table
+
+
+def _dataflow_ap(model, examples):
+    values = []
+    for example in examples:
+        if example.num_dataflow_edges == 0:
+            continue
+        if example.dataflow_labels.sum() == 0:
+            continue
+        scores = model.predict_dataflow_proba(
+            example.graph, example.dataflow_edge_rows
+        )
+        values.append(average_precision(example.dataflow_labels, scores))
+    return float(np.mean(values)) if values else 0.0
+
+
+def test_sec6_dataflow_head(benchmark, snowcat512, report):
+    splits = snowcat512.splits
+    vocabulary = snowcat512.graphs.vocabulary
+    config = PICConfig(
+        vocab_size=len(vocabulary),
+        pad_id=vocabulary.pad_id,
+        token_dim=16,
+        hidden_dim=24,
+        num_layers=3,
+        dataflow_weight=1.0,
+        name="PIC-dataflow",
+    )
+
+    def run():
+        model = PICModel(config, seed=11)
+        result = train_pic(
+            model,
+            splits.train,
+            splits.validation,
+            TrainingConfig(epochs=3, learning_rate=3e-3, seed=11),
+        )
+        return model, result
+
+    model, result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    edge_ap = _dataflow_ap(model, splits.evaluation)
+    base_rate = _positive_rate(splits.evaluation)
+    node_ap = validation_urb_ap(model, splits.validation)
+    rows = [
+        {"metric": "dataflow-edge AP (evaluation)", "value": edge_ap},
+        {"metric": "dataflow positive base rate", "value": base_rate},
+        {"metric": "node URB AP (validation)", "value": node_ap},
+        {"metric": "best joint-training URB AP", "value": result.best_validation_ap},
+    ]
+    report(
+        "sec6_dataflow_prediction",
+        format_table(rows, title="§6 extension: inter-thread dataflow prediction"),
+    )
+    # The head must rank realised dataflows far above the base rate…
+    assert edge_ap > 2 * base_rate
+    # …while the joint objective keeps a usable coverage predictor.
+    assert result.best_validation_ap > 0.1
+
+
+def _positive_rate(examples):
+    total, positive = 0, 0.0
+    for example in examples:
+        total += example.num_dataflow_edges
+        positive += float(example.dataflow_labels.sum())
+    return positive / total if total else 0.0

@@ -1,0 +1,118 @@
+"""Table 2: model variants and their data / training budgets.
+
+The paper's Table 2 lists PIC-5 (full training on 5.12) and four 6.1
+variants — fine-tuned small/medium and from-scratch small/medium — with
+their dataset sizes and training budgets; §5.4 then shows the fine-tuned
+variants deliver testing effectiveness at a fraction of PIC-5's 240-hour
+startup cost while from-scratch variants with equal (small) data do not.
+
+Shape to reproduce here: the variant table itself (dataset sizes, epochs,
+simulated startup hours) with fine-tuning costing a small fraction of the
+full training, plus the §5.1.2 observation that deeper GNNs achieve higher
+validation AP (the hyperparameter sweep's headline finding).
+"""
+
+import pytest
+
+from repro.ml.pic import PICConfig
+from repro.ml.training import hyperparameter_search, validation_urb_ap
+from repro.reporting import format_table
+
+
+def _variant_row(name, snowcat, common_eval):
+    result = snowcat.training_result
+    splits = snowcat.splits
+    return {
+        "model": name,
+        "train graphs": len(splits.train) if splits else 0,
+        "epochs": len(result.history) if result else 0,
+        # All variants are scored on ONE common v6.1 evaluation split —
+        # per-deployment validation sets are tiny and not comparable.
+        "URB AP (common v6.1 eval)": validation_urb_ap(snowcat.model, common_eval),
+        "startup hours": snowcat.startup_hours,
+    }
+
+
+def test_table2_variant_inventory(
+    benchmark,
+    snowcat512,
+    pic6_ft_sml,
+    pic6_ft_med,
+    pic6_scratch_sml,
+    pic6_scratch_med,
+    report,
+):
+    common_eval = pic6_scratch_med.splits.evaluation
+
+    def build_rows():
+        return [
+            _variant_row("PIC-5 (transferred)", snowcat512, common_eval),
+            _variant_row("PIC-6.ft.sml", pic6_ft_sml, common_eval),
+            _variant_row("PIC-6.ft.med", pic6_ft_med, common_eval),
+            _variant_row("PIC-6.scratch.sml", pic6_scratch_sml, common_eval),
+            _variant_row("PIC-6.scratch.med", pic6_scratch_med, common_eval),
+        ]
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report("table2_model_variants", format_table(rows, title="Table 2: model variants"))
+
+    by_name = {row["model"]: row for row in rows}
+    ap = lambda name: by_name[name]["URB AP (common v6.1 eval)"]
+    # Fine-tuning budgets are a small fraction of full training (§5.4's
+    # amortisation argument).
+    assert by_name["PIC-6.ft.sml"]["startup hours"] < 0.5 * by_name[
+        "PIC-5 (transferred)"
+    ]["startup hours"]
+    assert (
+        by_name["PIC-6.ft.sml"]["train graphs"]
+        < by_name["PIC-5 (transferred)"]["train graphs"]
+    )
+    # The best knowledge-carrying variant (transferred / fine-tuned) is
+    # competitive with the best from-scratch small-data variant (§5.4:
+    # "dataset size trumps all other scaling factors").
+    carrying = max(ap("PIC-5 (transferred)"), ap("PIC-6.ft.sml"), ap("PIC-6.ft.med"))
+    scratch = max(ap("PIC-6.scratch.sml"), ap("PIC-6.scratch.med"))
+    assert carrying >= 0.7 * scratch
+
+
+def test_sec512_deeper_gnn_is_better(benchmark, snowcat512, report):
+    """§5.1.2: PIC models with deeper GNN modules achieve higher AP."""
+    splits = snowcat512.splits
+    base = PICConfig(
+        vocab_size=len(snowcat512.graphs.vocabulary),
+        pad_id=snowcat512.graphs.vocabulary.pad_id,
+        token_dim=16,
+        hidden_dim=24,
+    )
+    records = benchmark.pedantic(
+        lambda: hyperparameter_search(
+            base,
+            splits.train[:60],
+            splits.validation,
+            num_layers_grid=(1, 4),
+            hidden_dim_grid=(24,),
+            learning_rate_grid=(3e-3,),
+            epochs=2,
+            seed=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "layers": int(r["num_layers"]),
+            "hidden": int(r["hidden_dim"]),
+            "lr": r["learning_rate"],
+            "val URB AP": r["best_validation_ap"],
+        }
+        for r in records
+    ]
+    report(
+        "sec512_depth_sweep",
+        format_table(rows, title="§5.1.2: GNN depth vs validation AP"),
+    )
+    by_depth = {row["layers"]: row["val URB AP"] for row in rows}
+    assert by_depth[4] > by_depth[1], (
+        "deeper GNN should predict concurrent coverage better "
+        f"(4-layer AP {by_depth[4]:.3f} vs 1-layer {by_depth[1]:.3f})"
+    )

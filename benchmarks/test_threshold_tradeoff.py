@@ -1,0 +1,68 @@
+"""§5.2.1's threshold footnote, measured: the precision/recall dial.
+
+"A classifier typically predicts a probability of positive result. A
+tunable threshold determines when a prediction is reported as positive.
+The threshold can be tuned to output fewer but higher-confidence positive
+predictions, trading off precision and recall."
+
+This bench sweeps the classification threshold of the trained PIC model
+over the evaluation URBs and prints the tradeoff curve; asserted shape:
+recall is monotonically non-increasing in the threshold, precision at the
+highest threshold is at least precision at the lowest, and the F2-tuned
+threshold chosen during training sits in the swept range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import classification_metrics
+from repro.reporting import format_table
+
+THRESHOLDS = (0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
+
+
+def _pooled_urb_scores(model, examples):
+    labels, scores = [], []
+    for example in examples:
+        mask = example.graph.urb_mask()
+        if not mask.any():
+            continue
+        labels.append(example.labels[mask])
+        scores.append(model.predict_proba(example.graph)[mask])
+    return np.concatenate(labels), np.concatenate(scores)
+
+
+def test_threshold_tradeoff(benchmark, snowcat512, report):
+    model = snowcat512.model
+    splits = snowcat512.splits
+
+    def run():
+        labels, scores = _pooled_urb_scores(model, splits.evaluation)
+        rows = []
+        for threshold in THRESHOLDS:
+            metrics = classification_metrics(labels, scores >= threshold)
+            rows.append(
+                {
+                    "threshold": threshold,
+                    "precision": metrics.precision,
+                    "recall": metrics.recall,
+                    "F1": metrics.f1,
+                    "F2": metrics.fbeta(2.0),
+                    "positives": metrics.tp + metrics.fp,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "threshold_tradeoff",
+        format_table(rows, title="§5.2.1: threshold precision/recall tradeoff")
+        + f"\ntrained model's F2-tuned threshold: {model.threshold:.2f}",
+    )
+    recalls = [row["recall"] for row in rows]
+    positives = [row["positives"] for row in rows]
+    assert recalls == sorted(recalls, reverse=True)
+    assert positives == sorted(positives, reverse=True)
+    # Raising the threshold buys precision overall.
+    assert rows[-1]["precision"] >= rows[0]["precision"] or rows[-1]["positives"] == 0
+    assert THRESHOLDS[0] <= model.threshold <= THRESHOLDS[-1]

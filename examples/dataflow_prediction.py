@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""§6 extension: predicting inter-thread dataflows.
+
+The paper's discussion proposes training PIC to predict which *potential*
+inter-thread dataflows (write in one thread, read of the same memory in
+the other) actually happen under a given schedule — the observation from
+the Razzer case study being that covering the racing blocks is not enough,
+the communication must also be realised.
+
+This example trains the PIC model jointly on coverage and dataflow
+realisation, and shows the edge head ranking realised communications far
+above the skewed base rate.
+
+Runtime: ~2 minutes.
+"""
+
+import numpy as np
+
+from repro.core import Snowcat, SnowcatConfig
+from repro.kernel import build_kernel
+from repro.ml.metrics import average_precision
+from repro.ml.pic import PICConfig, PICModel
+from repro.ml.training import TrainingConfig, train_pic
+
+
+def main() -> None:
+    kernel = build_kernel(seed=42)
+    snowcat = Snowcat(
+        kernel, SnowcatConfig(seed=7, corpus_rounds=200, dataset_ctis=30, epochs=1)
+    )
+    snowcat.prepare_corpus()
+    splits = snowcat.collect_dataset()
+
+    vocabulary = snowcat.graphs.vocabulary
+    model = PICModel(
+        PICConfig(
+            vocab_size=len(vocabulary),
+            pad_id=vocabulary.pad_id,
+            num_layers=3,
+            dataflow_weight=1.0,
+            name="PIC+dataflow",
+        ),
+        seed=11,
+    )
+    result = train_pic(
+        model,
+        splits.train,
+        splits.validation,
+        TrainingConfig(epochs=3, learning_rate=3e-3, seed=11),
+    )
+    print(
+        f"joint training done: best coverage URB AP "
+        f"{result.best_validation_ap:.3f}"
+    )
+
+    edge_aps, base_positive, base_total = [], 0.0, 0
+    for example in splits.evaluation:
+        base_positive += float(example.dataflow_labels.sum())
+        base_total += example.num_dataflow_edges
+        if example.num_dataflow_edges == 0 or example.dataflow_labels.sum() == 0:
+            continue
+        scores = model.predict_dataflow_proba(
+            example.graph, example.dataflow_edge_rows
+        )
+        edge_aps.append(average_precision(example.dataflow_labels, scores))
+
+    base_rate = base_positive / max(base_total, 1)
+    print(
+        f"dataflow edges in evaluation: {base_total} "
+        f"({base_rate:.1%} realised — the skew PIC must overcome)"
+    )
+    print(f"mean per-graph dataflow AP: {float(np.mean(edge_aps)):.3f} "
+          f"(chance would be ~{base_rate:.3f})")
+
+    example = max(splits.evaluation, key=lambda e: e.num_dataflow_edges)
+    scores = model.predict_dataflow_proba(example.graph, example.dataflow_edge_rows)
+    order = np.argsort(-scores)[:5]
+    print("\ntop-ranked potential dataflows of one evaluation CT:")
+    for rank, position in enumerate(order, start=1):
+        row = example.dataflow_edge_rows[position]
+        src, dst, _ = example.graph.edges[row]
+        realised = "realised" if example.dataflow_labels[position] else "not realised"
+        print(
+            f"  {rank}. block {int(example.graph.node_blocks[src])} "
+            f"(thread {int(example.graph.node_threads[src])}) -> "
+            f"block {int(example.graph.node_blocks[dst])} "
+            f"(thread {int(example.graph.node_threads[dst])}): "
+            f"score {scores[position]:.2f} [{realised}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

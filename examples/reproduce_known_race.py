@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Directed race reproduction: Razzer vs Razzer-Relax vs Razzer-PIC.
+
+Takes known harmful races (the synthetic kernel's injected bug specs, the
+stand-ins for Table 4's six known Linux 5.12 races) and measures, per
+variant, how many candidate CTIs each proposes, how many are true
+positives, and the simulated hours to reproduce — the §5.6.1 experiment.
+
+Runtime: a few minutes.
+"""
+
+from repro.core import Snowcat, SnowcatConfig
+from repro.integrations.razzer import RazzerConfig, RazzerHarness, RazzerVariant
+from repro.reporting import format_table
+
+
+def main() -> None:
+    from repro.kernel import build_kernel
+
+    kernel = build_kernel(seed=42)
+    snowcat = Snowcat(
+        kernel, SnowcatConfig(seed=7, corpus_rounds=250, dataset_ctis=30, epochs=3)
+    )
+    snowcat.train()
+
+    harness = RazzerHarness(
+        snowcat.graphs,
+        predictor=snowcat.model,
+        config=RazzerConfig(schedules_per_cti=25, max_candidates=60, shuffles=100),
+        seed=7,
+    )
+
+    rows = []
+    known_races = [spec for spec in kernel.bugs if spec.harmful][:3]
+    for spec in known_races:
+        for variant in RazzerVariant:
+            outcome = harness.run_variant(spec, variant)
+            rows.append(
+                {
+                    "race": f"#{spec.bug_id} ({spec.kind.value})",
+                    "variant": outcome.variant.value,
+                    "CTIs": outcome.num_ctis,
+                    "TP CTIs": outcome.num_true_positive,
+                    "avg h": outcome.avg_hours,
+                    "worst h": outcome.worst_hours,
+                }
+            )
+
+    print(format_table(rows, title="Race reproduction (Table 4 style)", float_digits=2))
+    print(
+        "\nExpected shape: Razzer misses races hidden in URBs; Razzer-Relax\n"
+        "reproduces them but pays for many candidates; Razzer-PIC reproduces\n"
+        "the same races from a pruned candidate set, hours lower."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Static analysis: the Angr stand-in.
+
+Builds the whole-kernel control-flow graph and identifies uncovered
+reachable blocks (URBs) — blocks statically reachable within k control-flow
+hops from the sequentially covered blocks but not covered by the
+single-threaded runs (§3, step 3).
+"""
+
+from repro.analysis.cfg import KernelCFG, build_kernel_cfg
+from repro.analysis.urb import find_urbs, urb_frontier
+
+__all__ = ["KernelCFG", "build_kernel_cfg", "find_urbs", "urb_frontier"]

@@ -1,0 +1,93 @@
+"""Whole-kernel control-flow graph.
+
+The CFG contains one node per basic block and three kinds of static edges:
+
+- intra-procedural edges (branch targets and fallthroughs),
+- call edges (from the calling block to the callee's entry block),
+- return edges (from a function's exit blocks back to the block after the
+  call site — here approximated by the calling block itself, which is where
+  execution resumes in our ISA).
+
+The paper builds this with Angr over the compiled kernel; our ISA carries
+the structure directly, but the resulting object serves the same purpose:
+k-hop reachability queries for URB identification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+import networkx as nx
+
+from repro.kernel.code import Kernel
+from repro.kernel.isa import Opcode
+
+__all__ = ["KernelCFG", "build_kernel_cfg"]
+
+
+class KernelCFG:
+    """Static CFG with k-hop neighbourhood queries."""
+
+    def __init__(self, graph: nx.DiGraph, kernel_version: str) -> None:
+        self.graph = graph
+        self.kernel_version = kernel_version
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def successors(self, block_id: int) -> List[int]:
+        return list(self.graph.successors(block_id))
+
+    def reachable_within(self, sources: Iterable[int], hops: int) -> Set[int]:
+        """Blocks reachable from ``sources`` in at most ``hops`` edges.
+
+        Sources themselves are *not* included unless re-reached.
+        """
+        frontier = set(sources)
+        reached: Set[int] = set()
+        for _ in range(hops):
+            next_frontier: Set[int] = set()
+            for block_id in frontier:
+                for successor in self.graph.successors(block_id):
+                    if successor not in reached:
+                        next_frontier.add(successor)
+            reached |= next_frontier
+            frontier = next_frontier
+            if not frontier:
+                break
+        return reached
+
+    def edge_kind(self, src: int, dst: int) -> str:
+        return self.graph.edges[src, dst].get("kind", "flow")
+
+
+def build_kernel_cfg(kernel: Kernel) -> KernelCFG:
+    """Construct the whole-kernel CFG for ``kernel``."""
+    graph = nx.DiGraph()
+    for block_id in kernel.blocks:
+        graph.add_node(block_id)
+    for block_id, block in kernel.blocks.items():
+        for successor in block.successors:
+            graph.add_edge(block_id, successor, kind="flow")
+        for instruction in block.instructions:
+            if instruction.opcode is Opcode.CALL:
+                callee = kernel.functions[instruction.operand(0).name]
+                graph.add_edge(block_id, callee.entry_block, kind="call")
+                # Return edge: execution resumes in the calling block.
+                for exit_block in _exit_blocks(kernel, callee.name):
+                    graph.add_edge(exit_block, block_id, kind="return")
+    return KernelCFG(graph, kernel.version)
+
+
+def _exit_blocks(kernel: Kernel, function_name: str) -> List[int]:
+    exits = []
+    for block in kernel.blocks_of_function(function_name):
+        terminator = block.terminator
+        if terminator is not None and terminator.opcode is Opcode.RET:
+            exits.append(block.block_id)
+    return exits

@@ -1,0 +1,44 @@
+"""Uncovered-reachable-block (URB) identification.
+
+Given the sequential coverage of a test's threads and the whole-kernel CFG,
+URBs are the blocks statically reachable within ``hops`` control-flow edges
+from the covered set but not in it. The paper fixes ``hops = 1`` "to avoid
+path explosion and maintain a reasonable number of nodes per CT graph"
+(§3.1); the parameter is exposed for the multi-hop ablation discussed in §6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.cfg import KernelCFG
+
+__all__ = ["find_urbs", "urb_frontier"]
+
+
+def find_urbs(
+    cfg: KernelCFG, covered: Iterable[int], hops: int = 1
+) -> Set[int]:
+    """URBs of a covered set: reachable within ``hops``, not covered."""
+    covered_set = set(covered)
+    reachable = cfg.reachable_within(covered_set, hops)
+    return reachable - covered_set
+
+
+def urb_frontier(
+    cfg: KernelCFG, covered: Iterable[int], hops: int = 1
+) -> List[Tuple[int, int]]:
+    """Static control-flow edges from covered blocks into URBs.
+
+    Returns ``(covered block, urb)`` pairs — the "URB control-flow edges"
+    of the CT graph (§3.1). With ``hops > 1`` the frontier also contains
+    URB→URB edges along reachable chains.
+    """
+    covered_set = set(covered)
+    urbs = find_urbs(cfg, covered_set, hops)
+    edges: List[Tuple[int, int]] = []
+    for block_id in sorted(covered_set | urbs):
+        for successor in cfg.successors(block_id):
+            if successor in urbs:
+                edges.append((block_id, successor))
+    return edges

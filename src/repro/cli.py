@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs the pipeline stages a downstream user needs without writing code:
+
+- ``info``      — build a kernel and print its inventory
+- ``fuzz``      — grow an STI corpus and report coverage
+- ``train``     — full pipeline to a trained PIC model (checkpoint saved)
+- ``campaign``  — PCT vs MLPCT race-coverage campaign
+- ``razzer``    — Razzer / Razzer-Relax / Razzer-PIC on injected races
+- ``filter-model`` — the §A.6 analytic rejection-filter calculator
+
+Every command accepts ``--seed`` and prints deterministic results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import Snowcat, SnowcatConfig, run_campaign
+from repro.core.filtermodel import FilterModel
+from repro.kernel import KernelConfig, build_kernel
+from repro.reporting import format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Snowcat reproduction: learned coverage prediction for "
+        "kernel concurrency testing",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="build a kernel and print its inventory")
+
+    fuzz = commands.add_parser("fuzz", help="grow an STI corpus")
+    fuzz.add_argument("--rounds", type=int, default=200)
+
+    train = commands.add_parser("train", help="train a PIC model")
+    train.add_argument("--ctis", type=int, default=30)
+    train.add_argument("--epochs", type=int, default=3)
+    train.add_argument("--out", type=str, default=None, help="checkpoint path (.npz)")
+
+    campaign = commands.add_parser("campaign", help="PCT vs MLPCT campaign")
+    campaign.add_argument("--ctis", type=int, default=8)
+    campaign.add_argument("--strategy", choices=("S1", "S2", "S3"), default="S1")
+
+    razzer = commands.add_parser("razzer", help="directed race reproduction")
+    razzer.add_argument("--schedules", type=int, default=400)
+    razzer.add_argument("--races", type=int, default=2, help="races to attempt")
+
+    snowboard = commands.add_parser(
+        "snowboard", help="INS-PAIR clustering + sampler comparison"
+    )
+    snowboard.add_argument("--trials", type=int, default=20)
+    snowboard.add_argument("--schedules", type=int, default=40)
+
+    filter_model = commands.add_parser(
+        "filter-model", help="analytic rejection-filter economics (§A.6)"
+    )
+    filter_model.add_argument("--fruitful", type=float, default=0.011)
+    filter_model.add_argument("--tpr", type=float, default=0.69)
+    filter_model.add_argument("--fpr", type=float, default=0.008)
+
+    return parser
+
+
+def _trained_snowcat(seed: int, ctis: int = 30, epochs: int = 3) -> Snowcat:
+    kernel = build_kernel(KernelConfig(), seed=seed)
+    snowcat = Snowcat(
+        kernel,
+        SnowcatConfig(seed=seed, corpus_rounds=200, dataset_ctis=ctis, epochs=epochs),
+    )
+    snowcat.train()
+    return snowcat
+
+
+def _cmd_info(args) -> int:
+    kernel = build_kernel(KernelConfig(), seed=args.seed)
+    print(kernel.describe())
+    rows = [
+        {
+            "bug": spec.bug_id,
+            "kind": spec.kind.value,
+            "subsystem": spec.subsystem,
+            "harmful": spec.harmful,
+            "trigger": " + ".join(spec.trigger_syscalls),
+        }
+        for spec in kernel.bugs
+    ]
+    print(format_table(rows, title="injected concurrency bugs"))
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    kernel = build_kernel(KernelConfig(), seed=args.seed)
+    snowcat = Snowcat(kernel, SnowcatConfig(seed=args.seed, corpus_rounds=args.rounds))
+    size = snowcat.prepare_corpus()
+    coverage = snowcat.graphs.corpus.coverage_fraction()
+    print(f"corpus: {size} STIs after {args.rounds} rounds "
+          f"({coverage:.1%} sequential block coverage)")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    snowcat = _trained_snowcat(args.seed, args.ctis, args.epochs)
+    result = snowcat.training_result
+    assert result is not None and snowcat.model is not None
+    print(
+        f"trained {snowcat.model.config.name}: "
+        f"validation URB AP {result.best_validation_ap:.3f}, "
+        f"threshold {result.threshold:.2f}, "
+        f"simulated startup {snowcat.startup_hours:.1f} h"
+    )
+    if args.out:
+        snowcat.model.save(args.out)
+        print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    snowcat = _trained_snowcat(args.seed)
+    ctis = snowcat.cti_stream(args.ctis)
+    curves = {}
+    for explorer in (snowcat.pct_explorer(), snowcat.mlpct_explorer(args.strategy)):
+        result = run_campaign(explorer, ctis)
+        curves[explorer.label] = result.history
+        print(
+            f"{explorer.label}: {result.total_races} races, "
+            f"{result.ledger.executions} executions, "
+            f"{result.ledger.total_hours:.2f} simulated hours"
+        )
+    print(format_series(curves, metric_name="races", points=8))
+    return 0
+
+
+def _cmd_razzer(args) -> int:
+    from repro.integrations.razzer import RazzerConfig, RazzerHarness, RazzerVariant
+
+    snowcat = _trained_snowcat(args.seed)
+    harness = RazzerHarness(
+        snowcat.graphs,
+        predictor=snowcat.model,
+        config=RazzerConfig(schedules_per_cti=args.schedules, max_candidates=40),
+        seed=args.seed,
+    )
+    races = [spec for spec in snowcat.kernel.bugs if spec.harmful][: args.races]
+    rows = []
+    for spec in races:
+        for variant in RazzerVariant:
+            outcome = harness.run_variant(spec, variant)
+            rows.append(
+                {
+                    "race": f"#{spec.bug_id} ({spec.kind.value})",
+                    "variant": outcome.variant.value,
+                    "CTIs": outcome.num_ctis,
+                    "TP": outcome.num_true_positive,
+                    "avg h": outcome.avg_hours,
+                    "worst h": outcome.worst_hours,
+                }
+            )
+    print(format_table(rows, title="race reproduction", float_digits=2))
+    return 0
+
+
+def _cmd_snowboard(args) -> int:
+    from repro.integrations.snowboard import SnowboardConfig, SnowboardHarness
+
+    snowcat = _trained_snowcat(args.seed)
+    harness = SnowboardHarness(
+        snowcat.graphs,
+        predictor=snowcat.model,
+        config=SnowboardConfig(
+            schedules_per_cti=args.schedules, trials=args.trials
+        ),
+        seed=args.seed,
+    )
+    clusters = harness.build_clusters()
+    buggy = harness.buggy_clusters(clusters)
+    print(f"{len(clusters)} INS-PAIR clusters, {len(buggy)} buggy")
+    rows = []
+    for cluster in buggy:
+        for sampler, fraction in (
+            ("SB-RND", 0.5),
+            ("SB-PIC(S1)", 0.0),
+            ("SB-PIC(S2)", 0.0),
+        ):
+            outcome = harness.evaluate_sampler(cluster, sampler, fraction)
+            rows.append(
+                {
+                    "cluster": str(cluster.key),
+                    "sampler": outcome.sampler,
+                    "P(bug)": outcome.bug_finding_probability,
+                    "rate": outcome.sampling_rate,
+                }
+            )
+    print(format_table(rows, title="sampler comparison on buggy clusters"))
+    return 0
+
+
+def _cmd_filter_model(args) -> int:
+    model = FilterModel(
+        fruitful_probability=args.fruitful,
+        true_positive_rate=args.tpr,
+        false_positive_rate=args.fpr,
+    )
+    rows = [
+        {"quantity": "cost/fruitful without filter (s)",
+         "value": model.unfiltered_cost_per_fruitful},
+        {"quantity": "cost/fruitful with filter (s)",
+         "value": model.filtered_cost_per_fruitful},
+        {"quantity": "speedup", "value": model.speedup},
+        {"quantity": "execution rate", "value": model.execution_rate},
+        {"quantity": "break-even FPR",
+         "value": model.breakeven_false_positive_rate()},
+    ]
+    print(format_table(rows, title="rejection-filter economics (§A.6)"))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "fuzz": _cmd_fuzz,
+    "train": _cmd_train,
+    "campaign": _cmd_campaign,
+    "razzer": _cmd_razzer,
+    "snowboard": _cmd_snowboard,
+    "filter-model": _cmd_filter_model,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

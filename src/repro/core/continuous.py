@@ -1,0 +1,181 @@
+"""Continuous testing across kernel versions (§2's Generalization
+challenge, §5.4's amortisation analysis).
+
+"We are considering the steady state of keeping Linux kernels properly
+tested as the code evolves from version to version … An ML-based test
+evaluator should be able to generalize from version to version, with
+limited additional data-gathering and training cost."
+
+This module simulates that steady state: a sequence of kernel versions
+arrives; at each version a *policy* decides what to do with the model
+(nothing / fine-tune on a small dataset / retrain from scratch) and then a
+testing campaign runs. Cost accounting is cumulative across versions —
+startup charges for (re)training stack up against the testing-time savings
+MLPCT delivers, which is precisely the trade §5.4 quantifies.
+
+Policies:
+
+- ``"pct"``        — no model at all; PCT everywhere (the baseline).
+- ``"freeze"``     — train once on the first version, reuse forever.
+- ``"fine-tune"``  — train once, then fine-tune on each new version with a
+  small incremental dataset (the paper's recommended recipe).
+- ``"scratch"``    — retrain a full model on every version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mlpct import CampaignResult, run_campaign
+from repro.core.snowcat import Snowcat, SnowcatConfig
+from repro.kernel.code import Kernel
+
+__all__ = ["ContinuousConfig", "VersionOutcome", "ContinuousRun", "run_continuous"]
+
+POLICIES = ("pct", "freeze", "fine-tune", "scratch")
+
+
+@dataclass(frozen=True)
+class ContinuousConfig:
+    """Knobs of one continuous-testing simulation."""
+
+    policy: str = "fine-tune"
+    #: CTIs explored per version's campaign.
+    campaign_ctis: int = 8
+    #: Size of the incremental dataset used by the fine-tune policy.
+    fine_tune_ctis: int = 6
+    fine_tune_epochs: int = 2
+    strategy: str = "S1"
+    base: SnowcatConfig = field(default_factory=SnowcatConfig)
+
+    def validated(self) -> "ContinuousConfig":
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        return self
+
+
+@dataclass
+class VersionOutcome:
+    """What happened at one kernel version."""
+
+    version: str
+    model_name: str
+    startup_hours: float
+    campaign: CampaignResult
+
+    @property
+    def testing_hours(self) -> float:
+        return self.campaign.ledger.testing_hours
+
+    @property
+    def races(self) -> int:
+        return self.campaign.total_races
+
+
+@dataclass
+class ContinuousRun:
+    """The whole multi-version trajectory of one policy."""
+
+    policy: str
+    outcomes: List[VersionOutcome] = field(default_factory=list)
+
+    @property
+    def cumulative_hours(self) -> float:
+        return sum(o.startup_hours + o.testing_hours for o in self.outcomes)
+
+    @property
+    def cumulative_races(self) -> int:
+        return sum(o.races for o in self.outcomes)
+
+    @property
+    def cumulative_startup_hours(self) -> float:
+        return sum(o.startup_hours for o in self.outcomes)
+
+    def races_per_hour(self) -> float:
+        hours = self.cumulative_hours
+        return self.cumulative_races / hours if hours > 0 else 0.0
+
+    def marginal_races_per_hour(self, skip_versions: int = 1) -> float:
+        """Steady-state efficiency: races/hour from version ``skip_versions``
+        onward. The initial training is the sunk cost §5.4 amortises; what
+        matters as versions keep arriving is the marginal rate."""
+        tail = self.outcomes[skip_versions:]
+        hours = sum(o.startup_hours + o.testing_hours for o in tail)
+        races = sum(o.races for o in tail)
+        return races / hours if hours > 0 else 0.0
+
+
+def run_continuous(
+    versions: Sequence[Kernel],
+    config: Optional[ContinuousConfig] = None,
+) -> ContinuousRun:
+    """Simulate continuous testing of ``versions`` under one policy."""
+    config = (config or ContinuousConfig()).validated()
+    run = ContinuousRun(policy=config.policy)
+    current: Optional[Snowcat] = None
+
+    for position, kernel in enumerate(versions):
+        startup_hours = 0.0
+        if config.policy == "pct":
+            deployment = Snowcat(kernel, config.base)
+            deployment.prepare_corpus()
+            explorer = deployment.pct_explorer(label=f"PCT@{kernel.version}")
+            model_name = "-"
+        elif config.policy == "scratch" or (
+            current is None and config.policy in ("freeze", "fine-tune")
+        ):
+            seed = replace(
+                config.base,
+                seed=config.base.seed + position,
+            )
+            deployment = Snowcat(kernel, seed)
+            deployment.train(f"PIC@{kernel.version}")
+            startup_hours = deployment.startup_hours
+            current = deployment
+            explorer = deployment.mlpct_explorer(config.strategy)
+            model_name = deployment.model.config.name
+        elif config.policy == "freeze":
+            assert current is not None
+            deployment = Snowcat(kernel, config.base)
+            # Reuse the frozen model (and its vocabulary, so token ids
+            # stay aligned); only a fresh corpus for the new version.
+            from repro.graphs.dataset import GraphDatasetBuilder
+
+            deployment.graphs = GraphDatasetBuilder(
+                kernel,
+                seed=config.base.seed,
+                vocabulary=current.graphs.vocabulary,
+            )
+            deployment.prepare_corpus()
+            deployment.model = current.model
+            explorer = deployment.mlpct_explorer(
+                config.strategy, label=f"MLPCT-frozen@{kernel.version}"
+            )
+            model_name = current.model.config.name
+        else:  # fine-tune onto the new version
+            assert current is not None
+            deployment = current.adapt_to(
+                kernel,
+                dataset_ctis=config.fine_tune_ctis,
+                epochs=config.fine_tune_epochs,
+            )
+            startup_hours = deployment.startup_hours
+            current = deployment
+            explorer = deployment.mlpct_explorer(config.strategy)
+            model_name = deployment.model.config.name
+
+        campaign = run_campaign(
+            explorer, deployment.cti_stream(config.campaign_ctis, "continuous")
+        )
+        run.outcomes.append(
+            VersionOutcome(
+                version=kernel.version,
+                model_name=model_name,
+                startup_hours=startup_hours,
+                campaign=campaign,
+            )
+        )
+    return run

@@ -1,0 +1,147 @@
+"""Analytic model of the rejection filter (§2, Figure 3; §A.6).
+
+Models a testing loop where a fraction ``p`` of candidate tests is
+fruitful, dynamic execution costs ``c_exec`` and a prediction costs
+``c_inf``. A filter with true-positive rate TPR and false-positive rate FPR
+executes only predicted-positive candidates.
+
+Closed forms (per fruitful test found):
+
+- no filter: candidates needed ``1/p``, cost ``c_exec / p``;
+- with filter: fruitful-execution yield per candidate is ``p·TPR``, so
+  ``1/(p·TPR)`` candidates are inspected, each paying ``c_inf``, of which
+  fraction ``p·TPR + (1-p)·FPR`` is executed.
+
+The Monte-Carlo simulator cross-checks the closed forms and also yields
+the omniscient/realistic/no-filter scenario of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import rng as rngmod
+from repro.core.costs import CostModel
+
+__all__ = ["FilterModel", "simulate_filter"]
+
+
+@dataclass(frozen=True)
+class FilterModel:
+    """Closed-form expected costs of filtered vs unfiltered testing."""
+
+    fruitful_probability: float
+    true_positive_rate: float
+    false_positive_rate: float
+    costs: CostModel = CostModel()
+
+    def __post_init__(self) -> None:
+        for name in ("fruitful_probability", "true_positive_rate", "false_positive_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    # -- per-fruitful-test expectations --------------------------------------
+
+    @property
+    def unfiltered_cost_per_fruitful(self) -> float:
+        """Expected seconds per fruitful test without any filter."""
+        if self.fruitful_probability == 0.0:
+            return float("inf")
+        return self.costs.execution_seconds / self.fruitful_probability
+
+    @property
+    def execution_rate(self) -> float:
+        """Fraction of candidates the filter sends to dynamic execution."""
+        p = self.fruitful_probability
+        return p * self.true_positive_rate + (1.0 - p) * self.false_positive_rate
+
+    @property
+    def filtered_cost_per_fruitful(self) -> float:
+        """Expected seconds per fruitful test with the filter."""
+        fruitful_yield = self.fruitful_probability * self.true_positive_rate
+        if fruitful_yield == 0.0:
+            return float("inf")
+        per_candidate = (
+            self.costs.inference_seconds
+            + self.execution_rate * self.costs.execution_seconds
+        )
+        return per_candidate / fruitful_yield
+
+    @property
+    def speedup(self) -> float:
+        """Unfiltered / filtered cost ratio (>1 means the filter pays)."""
+        filtered = self.filtered_cost_per_fruitful
+        if filtered == float("inf"):
+            return 0.0
+        return self.unfiltered_cost_per_fruitful / filtered
+
+    def breakeven_false_positive_rate(self) -> float:
+        """FPR at which the filter stops paying off (speedup == 1).
+
+        Solves ``speedup(fpr) = 1`` for fixed p, TPR and costs; values
+        above 1 mean the filter pays at any FPR.
+        """
+        p = self.fruitful_probability
+        tpr = self.true_positive_rate
+        r = self.costs.inference_seconds / self.costs.execution_seconds
+        if p in (0.0, 1.0):
+            return 1.0
+        # tpr/p·c_exec·... algebra: cost parity when
+        #   (r + p·tpr + (1-p)·fpr) / (p·tpr) = 1 / p
+        numerator = tpr - r - p * tpr
+        return max(0.0, min(1.0, numerator / (1.0 - p)))
+
+
+def simulate_filter(
+    model: FilterModel,
+    target_fruitful: int = 10,
+    trials: int = 200,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Monte-Carlo of the Figure 3 scenarios.
+
+    Simulates candidate streams until ``target_fruitful`` fruitful tests
+    are *executed*, for three testers: no filter, the modelled (realistic)
+    filter, and an omniscient filter; returns mean simulated seconds each.
+    """
+    rng = rngmod.split(seed, "filter-sim")
+    p = model.fruitful_probability
+    tpr = model.true_positive_rate
+    fpr = model.false_positive_rate
+    c_exec = model.costs.execution_seconds
+    c_inf = model.costs.inference_seconds
+
+    def run_once() -> Dict[str, float]:
+        times = {"no_filter": 0.0, "filter": 0.0, "omniscient": 0.0}
+        found = {"no_filter": 0, "filter": 0, "omniscient": 0}
+        guard = 0
+        while min(found.values()) < target_fruitful and guard < 10_000_000:
+            guard += 1
+            fruitful = rng.random() < p
+            predicted = rng.random() < (tpr if fruitful else fpr)
+            if found["no_filter"] < target_fruitful:
+                times["no_filter"] += c_exec
+                if fruitful:
+                    found["no_filter"] += 1
+            if found["filter"] < target_fruitful:
+                times["filter"] += c_inf
+                if predicted:
+                    times["filter"] += c_exec
+                    if fruitful:
+                        found["filter"] += 1
+            if found["omniscient"] < target_fruitful:
+                if fruitful:
+                    times["omniscient"] += c_exec
+                    found["omniscient"] += 1
+        return times
+
+    totals = {"no_filter": 0.0, "filter": 0.0, "omniscient": 0.0}
+    for _ in range(trials):
+        result = run_once()
+        for key in totals:
+            totals[key] += result[key]
+    return {key: value / trials for key, value in totals.items()}

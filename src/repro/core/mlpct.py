@@ -1,0 +1,284 @@
+"""PCT and MLPCT interleaving exploration (§5.3).
+
+Both explorers consume the same per-CTI stream of candidate schedules
+(scheduling-hint pairs drawn from the threads' sequential instruction
+streams, seeded per CTI so PCT and MLPCT are compared on identical
+candidates, as the paper runs both "on the same CTI stream"):
+
+- :class:`PCTExplorer` (the SKI baseline) dynamically executes the first
+  ``execution_budget`` candidates.
+- :class:`MLPCTExplorer` predicts each candidate's coverage with a PIC
+  model, asks a selection strategy whether it is interesting, and only
+  executes the selected ones — up to the same execution budget, but with an
+  ``inference_cap`` on predictions (the paper caps at 1,600).
+
+Both update a campaign-wide race detector, the schedule-dependent block
+coverage set, the manifested-bug ledger, and the simulated cost ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro import rng as rngmod
+from repro.core.costs import CostLedger
+from repro.core.strategies import SelectionStrategy
+from repro.execution.concurrent import ScheduleHint, run_concurrent
+from repro.execution.pct import propose_hint_pairs
+from repro.execution.races import RaceDetector
+from repro.execution.trace import ConcurrentResult
+from repro.fuzz.corpus import CorpusEntry
+from repro.graphs.dataset import GraphDatasetBuilder
+from repro.kernel.bugs import BugKind, BugSpec
+from repro.kernel.code import Kernel
+from repro.ml.baselines import CoveragePredictor
+
+__all__ = [
+    "ExplorationConfig",
+    "ExplorationStats",
+    "CampaignResult",
+    "PCTExplorer",
+    "MLPCTExplorer",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class ExplorationConfig:
+    """Per-CTI exploration budget (§5.3.1 uses 50 executions, cap 1,600)."""
+
+    execution_budget: int = 50
+    inference_cap: int = 1600
+    #: Candidate schedules proposed per CTI (candidates beyond the caps are
+    #: never considered).
+    proposal_pool: int = 1600
+
+
+@dataclass
+class ExplorationStats:
+    """What one CTI's exploration achieved."""
+
+    executions: int = 0
+    inferences: int = 0
+    new_races: int = 0
+    new_blocks: int = 0
+    manifested_bugs: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class CampaignResult:
+    """Cumulative outcome of a testing campaign (one curve of Figure 5)."""
+
+    label: str
+    #: Checkpoints after every dynamic execution:
+    #: (simulated hours, unique races, schedule-dependent blocks).
+    history: List[Tuple[float, int, int]] = field(default_factory=list)
+    ledger: CostLedger = field(default_factory=CostLedger)
+    manifested_bugs: Set[int] = field(default_factory=set)
+    #: (simulated hours, bug id) at first manifestation, in order.
+    bug_history: List[Tuple[float, int]] = field(default_factory=list)
+    per_cti: List[ExplorationStats] = field(default_factory=list)
+
+    @property
+    def total_races(self) -> int:
+        return self.history[-1][1] if self.history else 0
+
+    @property
+    def total_blocks(self) -> int:
+        return self.history[-1][2] if self.history else 0
+
+    def hours_to_reach_races(self, target: int) -> Optional[float]:
+        """First simulated hour at which the race count reached ``target``."""
+        for hours, races, _ in self.history:
+            if races >= target:
+                return hours
+        return None
+
+    def bugs_by_hours(self, horizon: float) -> Set[int]:
+        """Bugs manifested within the first ``horizon`` simulated hours."""
+        return {bug for hours, bug in self.bug_history if hours <= horizon}
+
+
+class _ExplorerBase:
+    """State shared by PCT and MLPCT exploration."""
+
+    def __init__(
+        self,
+        graphs: GraphDatasetBuilder,
+        config: Optional[ExplorationConfig] = None,
+        seed: int = 0,
+        ledger: Optional[CostLedger] = None,
+        label: str = "explorer",
+    ) -> None:
+        self.graphs = graphs
+        self.kernel: Kernel = graphs.kernel
+        self.config = config or ExplorationConfig()
+        self.seed = seed
+        self.ledger = ledger or CostLedger()
+        self.race_detector = RaceDetector()
+        self.covered_schedule_blocks: Set[int] = set()
+        self.manifested_bugs: Set[int] = set()
+        self.history: List[Tuple[float, int, int]] = []
+        self.bug_history: List[Tuple[float, int]] = []
+        self.label = label
+        self._visit_counts: Dict[Tuple[int, int], int] = {}
+        self._manifest_index: Dict[int, BugSpec] = {
+            spec.manifest_block: spec for spec in self.kernel.bugs
+        }
+        self._race_variable_index: Dict[int, BugSpec] = {
+            spec.variable: spec
+            for spec in self.kernel.bugs
+            if spec.kind is BugKind.DATA_RACE
+        }
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def proposals_for(
+        self, entry_a: CorpusEntry, entry_b: CorpusEntry
+    ) -> List[Tuple[ScheduleHint, ScheduleHint]]:
+        """Deterministic per-CTI candidate stream (shared across explorers).
+
+        Revisiting the same CTI yields a *fresh* candidate pool (visit
+        count is folded into the seed), matching how SKI keeps sampling
+        new PCT schedules over a long campaign.
+        """
+        key = (entry_a.sti.sti_id, entry_b.sti.sti_id)
+        visit = self._visit_counts.get(key, 0)
+        self._visit_counts[key] = visit + 1
+        rng = rngmod.split(self.seed, f"proposals:{key[0]}:{key[1]}:{visit}")
+        return propose_hint_pairs(
+            rng, entry_a.trace, entry_b.trace, self.config.proposal_pool
+        )
+
+    def _record_bug(self, bug_id: int, stats: ExplorationStats) -> None:
+        if bug_id not in self.manifested_bugs:
+            self.manifested_bugs.add(bug_id)
+            self.bug_history.append((self.ledger.total_hours, bug_id))
+        stats.manifested_bugs.add(bug_id)
+
+    def _attribute_bugs(self, result: ConcurrentResult, stats: ExplorationStats) -> None:
+        for event in result.bug_events:
+            spec = self._manifest_index.get(event.block_id)
+            if spec is not None:
+                self._record_bug(spec.bug_id, stats)
+        for address, spec in self._race_variable_index.items():
+            if (
+                spec.bug_id not in self.manifested_bugs
+                and self.race_detector.has_address(address)
+            ):
+                self._record_bug(spec.bug_id, stats)
+
+    def _execute(
+        self,
+        entry_a: CorpusEntry,
+        entry_b: CorpusEntry,
+        hints: Sequence[ScheduleHint],
+        stats: ExplorationStats,
+    ) -> ConcurrentResult:
+        result = run_concurrent(
+            self.kernel,
+            (entry_a.sti.as_pairs(), entry_b.sti.as_pairs()),
+            hints=hints,
+        )
+        self.ledger.charge_execution()
+        stats.executions += 1
+        new_races = self.race_detector.observe(result)
+        stats.new_races += len(new_races)
+        scbs = entry_a.trace.covered_blocks | entry_b.trace.covered_blocks
+        fresh_blocks = (
+            result.schedule_dependent_blocks(scbs) - self.covered_schedule_blocks
+        )
+        self.covered_schedule_blocks |= fresh_blocks
+        stats.new_blocks += len(fresh_blocks)
+        self._attribute_bugs(result, stats)
+        self.history.append(
+            (
+                self.ledger.total_hours,
+                self.race_detector.total,
+                len(self.covered_schedule_blocks),
+            )
+        )
+        return result
+
+    def explore_cti(
+        self, entry_a: CorpusEntry, entry_b: CorpusEntry
+    ) -> ExplorationStats:
+        raise NotImplementedError
+
+    def result(self) -> CampaignResult:
+        return CampaignResult(
+            label=self.label,
+            history=list(self.history),
+            ledger=self.ledger,
+            manifested_bugs=set(self.manifested_bugs),
+            bug_history=list(self.bug_history),
+        )
+
+
+class PCTExplorer(_ExplorerBase):
+    """The SKI/PCT baseline: execute candidates in proposal order."""
+
+    def __init__(self, graphs: GraphDatasetBuilder, **kwargs) -> None:
+        kwargs.setdefault("label", "PCT")
+        super().__init__(graphs, **kwargs)
+
+    def explore_cti(
+        self, entry_a: CorpusEntry, entry_b: CorpusEntry
+    ) -> ExplorationStats:
+        stats = ExplorationStats()
+        for pair in self.proposals_for(entry_a, entry_b):
+            if stats.executions >= self.config.execution_budget:
+                break
+            self._execute(entry_a, entry_b, list(pair), stats)
+        return stats
+
+
+class MLPCTExplorer(_ExplorerBase):
+    """PCT proposals filtered by the PIC model + a selection strategy."""
+
+    def __init__(
+        self,
+        graphs: GraphDatasetBuilder,
+        predictor: CoveragePredictor,
+        strategy: SelectionStrategy,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("label", f"MLPCT-{strategy.name}")
+        super().__init__(graphs, **kwargs)
+        self.predictor = predictor
+        self.strategy = strategy
+
+    def explore_cti(
+        self, entry_a: CorpusEntry, entry_b: CorpusEntry
+    ) -> ExplorationStats:
+        stats = ExplorationStats()
+        for pair in self.proposals_for(entry_a, entry_b):
+            if stats.executions >= self.config.execution_budget:
+                break
+            if stats.inferences >= self.config.inference_cap:
+                break
+            graph = self.graphs.graph_for(entry_a, entry_b, list(pair))
+            predicted = self.predictor.predict(graph)
+            self.ledger.charge_inference()
+            stats.inferences += 1
+            if not self.strategy.is_interesting(graph, predicted):
+                continue
+            self.strategy.commit(graph, predicted)
+            self._execute(entry_a, entry_b, list(pair), stats)
+        return stats
+
+
+def run_campaign(
+    explorer: _ExplorerBase,
+    ctis: Sequence[Tuple[CorpusEntry, CorpusEntry]],
+) -> CampaignResult:
+    """Explore a stream of CTIs; returns the cumulative campaign curve."""
+    result_stats = []
+    for entry_a, entry_b in ctis:
+        result_stats.append(explorer.explore_cti(entry_a, entry_b))
+    campaign = explorer.result()
+    campaign.per_cti = result_stats
+    return campaign

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Snowcat reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KernelBuildError(ReproError):
+    """Raised when a synthetic kernel cannot be constructed as requested."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the interpreter encounters an invalid machine state."""
+
+
+class ExecutionLimitExceeded(ExecutionError):
+    """Raised when an execution exceeds its instruction budget.
+
+    Used to bound runaway loops in the synthetic kernel; executors treat it
+    as a failed (but recorded) test rather than a crash of the framework.
+    """
+
+
+class InvalidInstruction(ExecutionError):
+    """Raised when the interpreter decodes an unknown or malformed opcode."""
+
+
+class ScheduleError(ReproError):
+    """Raised when scheduling hints are inconsistent (e.g. unknown thread)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a graph dataset is malformed or empty."""
+
+
+class ModelError(ReproError):
+    """Raised on invalid model configuration or shape mismatches."""
+
+
+class CheckpointError(ModelError):
+    """Raised when a model checkpoint cannot be saved or restored."""

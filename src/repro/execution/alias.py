@@ -1,0 +1,76 @@
+"""Alias coverage (Krace's metric, §7 related work).
+
+Krace proposes *alias coverage* for concurrency fuzzing: the set of
+instruction pairs from different threads that touched the same shared
+memory during an execution. It is a communication-oriented coverage
+signal, coarser than per-interleaving block coverage but cheaper to
+collect; this module provides it as an alternative campaign metric so the
+two philosophies can be compared on the same substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.execution.trace import ConcurrentResult, MemoryAccess
+
+__all__ = ["AliasPair", "alias_coverage", "AliasCoverageTracker"]
+
+
+@dataclass(frozen=True)
+class AliasPair:
+    """An unordered pair of instructions aliasing on an address."""
+
+    iid_pair: Tuple[int, int]
+    address: int
+
+    @staticmethod
+    def of(first_iid: int, second_iid: int, address: int) -> "AliasPair":
+        lo, hi = sorted((first_iid, second_iid))
+        return AliasPair(iid_pair=(lo, hi), address=address)
+
+
+def alias_coverage(accesses: Sequence[MemoryAccess]) -> Set[AliasPair]:
+    """All cross-thread aliasing instruction pairs of one execution.
+
+    Unlike potential races, reads pair with reads too, and no lockset or
+    proximity condition applies — Krace counts the communication topology,
+    not its safety.
+    """
+    by_address: Dict[int, List[MemoryAccess]] = {}
+    for access in accesses:
+        by_address.setdefault(access.address, []).append(access)
+    pairs: Set[AliasPair] = set()
+    for address, stream in by_address.items():
+        per_thread_iids: Dict[int, Set[int]] = {}
+        for access in stream:
+            per_thread_iids.setdefault(access.thread, set()).add(access.iid)
+        threads = sorted(per_thread_iids)
+        for i, first_thread in enumerate(threads):
+            for second_thread in threads[i + 1 :]:
+                for iid_a in per_thread_iids[first_thread]:
+                    for iid_b in per_thread_iids[second_thread]:
+                        pairs.add(AliasPair.of(iid_a, iid_b, address))
+    return pairs
+
+
+class AliasCoverageTracker:
+    """Cumulative alias coverage across a campaign."""
+
+    def __init__(self) -> None:
+        self._seen: Set[AliasPair] = set()
+
+    def observe(self, result: ConcurrentResult) -> Set[AliasPair]:
+        found = alias_coverage(result.accesses)
+        fresh = found - self._seen
+        self._seen |= fresh
+        return fresh
+
+    @property
+    def total(self) -> int:
+        return len(self._seen)
+
+    @property
+    def pairs(self) -> FrozenSet[AliasPair]:
+        return frozenset(self._seen)

@@ -1,0 +1,203 @@
+"""Concurrent test execution under scheduling hints.
+
+Implements the SKI-style serializing scheduler of §3.1: given two threads
+A and B and hints ``A.x`` / ``B.y``, run A up to (and including) instruction
+``x``, yield to B, run B up to ``y``, yield back, then let threads run to
+completion. Faithfully reproduces SKI's deviations:
+
+- a hint whose instruction is never reached is *skipped* (the thread runs
+  to completion and the scheduler moves on);
+- a thread blocking on a lock forces an extra switch;
+- both threads blocked would be a deadlock; the run is marked as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionLimitExceeded, ScheduleError
+from repro.execution.machine import DEFAULT_MAX_STEPS, Machine, ThreadContext, TraceSink
+from repro.execution.trace import BugEvent, ConcurrentResult, MemoryAccess
+from repro.kernel.code import Kernel
+from repro.kernel.isa import Instruction
+
+__all__ = ["ScheduleHint", "run_concurrent"]
+
+
+@dataclass(frozen=True)
+class ScheduleHint:
+    """Yield after ``thread`` executes the instruction with id ``iid``."""
+
+    thread: int
+    iid: int
+
+
+class ConcurrentSink(TraceSink):
+    def __init__(self) -> None:
+        self.covered: Tuple[set, set] = (set(), set())
+        self.accesses: List[MemoryAccess] = []
+        self.bug_events: List[BugEvent] = []
+        self.step = 0
+        self.epoch = 0
+        self.last_iid: Optional[int] = None
+        self.last_thread: Optional[int] = None
+
+    def on_block_entry(self, thread: ThreadContext, block_id: int) -> None:
+        self.covered[thread.tid].add(block_id)
+
+    def on_instruction(self, thread: ThreadContext, instruction: Instruction) -> None:
+        self.step += 1
+        self.last_iid = instruction.iid
+        self.last_thread = thread.tid
+
+    def on_memory_access(
+        self,
+        thread: ThreadContext,
+        instruction: Instruction,
+        address: int,
+        is_write: bool,
+    ) -> None:
+        self.accesses.append(
+            MemoryAccess(
+                step=self.step,
+                thread=thread.tid,
+                iid=instruction.iid,
+                block_id=thread.block_id if thread.block_id is not None else -1,
+                address=address,
+                is_write=is_write,
+                locks_held=frozenset(thread.locks_held),
+                epoch=self.epoch,
+            )
+        )
+
+    def on_bug_event(
+        self, thread: ThreadContext, instruction: Instruction, kind: str
+    ) -> None:
+        self.bug_events.append(
+            BugEvent(
+                step=self.step,
+                thread=thread.tid,
+                iid=instruction.iid,
+                block_id=thread.block_id if thread.block_id is not None else -1,
+                kind=kind,
+            )
+        )
+
+
+def run_concurrent(
+    kernel: Kernel,
+    stis: Tuple[Sequence[Tuple[str, Sequence[int]]], Sequence[Tuple[str, Sequence[int]]]],
+    hints: Sequence[ScheduleHint] = (),
+    max_steps: int = DEFAULT_MAX_STEPS,
+    memory_model: str = "sc",
+    irq_plan: Sequence[Tuple[int, str]] = (),
+) -> ConcurrentResult:
+    """Execute two STIs concurrently under ``hints``.
+
+    ``hints`` is an ordered sequence of switch points; two hints per CT is
+    the paper's configuration, but any number (including zero) is accepted.
+    ``memory_model="tso"`` runs with per-thread store buffers (§6).
+    ``irq_plan`` is a step-ordered sequence of ``(global step, handler
+    name)`` interrupt injections; each fires atomically on whichever
+    thread is running when the step count passes the mark (§6's
+    interrupt-handler coverage).
+    """
+    for hint in hints:
+        if hint.thread not in (0, 1):
+            raise ScheduleError(f"hint references unknown thread {hint.thread}")
+
+    sink = ConcurrentSink()
+    machine = Machine(kernel, sink, max_steps=max_steps, memory_model=memory_model)
+    threads = [machine.create_thread(stis[0]), machine.create_thread(stis[1])]
+
+    pending_hints = list(hints)
+    pending_irqs = sorted(irq_plan, key=lambda entry: entry[0])
+    current = pending_hints[0].thread if pending_hints else 0
+    num_switches = 0
+    hints_enforced = 0
+    irqs_fired = 0
+    deadlocked = False
+    limit_hit = False
+    forced_away_from: Optional[int] = None
+
+    def switch_away() -> None:
+        nonlocal current, num_switches
+        other = 1 - current
+        current = other
+        num_switches += 1
+        sink.epoch += 1
+
+    try:
+        while not machine.all_done():
+            if forced_away_from == current:
+                forced_away_from = None
+            if (
+                forced_away_from is not None
+                and forced_away_from != current
+                and machine.runnable(threads[forced_away_from])
+            ):
+                # The thread we force-preempted (lock contention) can run
+                # again: hand control back so its hints stay meaningful.
+                switch_away()
+                forced_away_from = None
+                continue
+            thread = threads[current]
+            if not machine.runnable(thread):
+                other = threads[1 - current]
+                if machine.runnable(other):
+                    # Forced switch (SKI's deadlock-avoidance switch).
+                    # A pending hint for the blocked thread stays pending.
+                    forced_away_from = current
+                    switch_away()
+                    continue
+                deadlocked = True
+                break
+            # Hints targeting the current thread are only actionable ones.
+            active_hint = pending_hints[0] if pending_hints else None
+            if active_hint is not None and active_hint.thread != current:
+                # The scheduler is already past this hint's thread turn
+                # only when that thread finished; otherwise we simply run
+                # the current thread until its own hint or completion.
+                if threads[active_hint.thread].status.value == "done":
+                    pending_hints.pop(0)
+                    continue
+            while (
+                pending_irqs
+                and machine.total_steps >= pending_irqs[0][0]
+                and thread.status.value != "done"
+            ):
+                _, handler_name = pending_irqs.pop(0)
+                machine.fire_irq(thread, handler_name)
+                irqs_fired += 1
+            machine.step(thread)
+            if thread.status.value == "done":
+                if pending_hints and pending_hints[0].thread == current:
+                    # The hint's switch point was never reached: skip it.
+                    pending_hints.pop(0)
+                if not machine.all_done():
+                    switch_away()
+                continue
+            if (
+                pending_hints
+                and pending_hints[0].thread == current
+                and sink.last_thread == current
+                and sink.last_iid == pending_hints[0].iid
+            ):
+                pending_hints.pop(0)
+                hints_enforced += 1
+                switch_away()
+    except ExecutionLimitExceeded:
+        limit_hit = True
+
+    return ConcurrentResult(
+        covered_blocks=sink.covered,
+        accesses=sink.accesses,
+        bug_events=sink.bug_events,
+        num_switches=num_switches,
+        hints_enforced=hints_enforced,
+        steps=sink.step,
+        completed=not limit_hit and not deadlocked,
+        deadlocked=deadlocked,
+        irqs_fired=irqs_fired,
+    )

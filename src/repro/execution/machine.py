@@ -1,0 +1,413 @@
+"""The instruction-level interpreter.
+
+One :class:`Machine` hosts one dynamic test: a fresh memory state, a lock
+table, and one :class:`ThreadContext` per test thread. Schedulers (the
+sequential executor, the hint-driven concurrent executor, PCT) decide which
+thread steps next; the machine itself is policy-free.
+
+Events (block entries, memory accesses, bug assertions) are delivered to a
+:class:`TraceSink`, which executors implement to build their trace records.
+
+Memory models (§6's "predict concurrent executions on weak memory
+models"): the default is sequential consistency, matching the paper's
+training traces. ``memory_model="tso"`` adds per-thread store buffers —
+stores become globally visible only when the buffer drains (on lock/unlock
+fences, at syscall exit, or when the buffer overflows), while the issuing
+thread forwards from its own buffer. Classic store-buffering outcomes that
+no SC interleaving produces become reachable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, ExecutionLimitExceeded, InvalidInstruction
+from repro.kernel.code import Kernel
+from repro.kernel.isa import NUM_REGISTERS, Instruction, Opcode
+
+__all__ = ["ThreadStatus", "ThreadContext", "TraceSink", "Machine"]
+
+#: Default per-execution instruction budget. Generated CFGs are acyclic so
+#: executions are finite, but the budget guards against builder regressions.
+DEFAULT_MAX_STEPS = 200_000
+
+#: Store-buffer capacity under TSO; the oldest entry drains on overflow.
+DEFAULT_STORE_BUFFER_CAPACITY = 8
+
+
+class ThreadStatus(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"  # waiting on a lock
+    DONE = "done"
+
+
+@dataclass
+class ThreadContext:
+    """Architectural state of one test thread."""
+
+    tid: int
+    #: Remaining syscall invocations: (syscall name, args).
+    pending_syscalls: List[Tuple[str, List[int]]]
+    registers: List[int] = field(default_factory=lambda: [0] * NUM_REGISTERS)
+    #: (block_id, index) return frames.
+    call_stack: List[Tuple[int, int]] = field(default_factory=list)
+    block_id: Optional[int] = None
+    index: int = 0
+    status: ThreadStatus = ThreadStatus.READY
+    waiting_lock: Optional[str] = None
+    locks_held: List[str] = field(default_factory=list)
+    steps: int = 0
+
+    @property
+    def between_syscalls(self) -> bool:
+        return self.block_id is None
+
+
+class TraceSink:
+    """Receiver of execution events; executors subclass it."""
+
+    def on_block_entry(self, thread: ThreadContext, block_id: int) -> None:
+        """Control transferred to the start of ``block_id``."""
+
+    def on_instruction(self, thread: ThreadContext, instruction: Instruction) -> None:
+        """An instruction is about to execute."""
+
+    def on_memory_access(
+        self,
+        thread: ThreadContext,
+        instruction: Instruction,
+        address: int,
+        is_write: bool,
+    ) -> None:
+        """A shared-memory load or store executed."""
+
+    def on_bug_event(
+        self, thread: ThreadContext, instruction: Instruction, kind: str
+    ) -> None:
+        """A CHECK/DEREF assertion fired."""
+
+    def on_syscall_entry(self, thread: ThreadContext, name: str) -> None:
+        """A syscall handler is being entered."""
+
+
+class Machine:
+    """Interpreter for one dynamic test."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        sink: Optional[TraceSink] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        memory_model: str = "sc",
+        store_buffer_capacity: int = DEFAULT_STORE_BUFFER_CAPACITY,
+    ) -> None:
+        if memory_model not in ("sc", "tso"):
+            raise ExecutionError(f"unknown memory model {memory_model!r}")
+        self.kernel = kernel
+        self.sink = sink or TraceSink()
+        self.max_steps = max_steps
+        self.memory = kernel.memory.fresh_state()
+        self.lock_owners: Dict[str, int] = {}
+        self.threads: List[ThreadContext] = []
+        self.total_steps = 0
+        self.memory_model = memory_model
+        self.store_buffer_capacity = store_buffer_capacity
+        #: Per-thread FIFO store buffers (TSO only): list of (addr, value).
+        self.store_buffers: Dict[int, List[Tuple[int, int]]] = {}
+
+    # -- weak-memory plumbing ------------------------------------------------
+
+    def _buffer_of(self, thread: ThreadContext) -> List[Tuple[int, int]]:
+        return self.store_buffers.setdefault(thread.tid, [])
+
+    def drain_store_buffer(self, thread: ThreadContext) -> int:
+        """Flush the thread's buffered stores to memory, in order.
+
+        Returns the number of entries drained. A fence under TSO; a no-op
+        under SC.
+        """
+        buffer = self.store_buffers.get(thread.tid)
+        if not buffer:
+            return 0
+        count = len(buffer)
+        for address, value in buffer:
+            self.memory.store(address, value)
+        buffer.clear()
+        return count
+
+    def _store(self, thread: ThreadContext, address: int, value: int) -> None:
+        if self.memory_model == "sc":
+            self.memory.store(address, value)
+            return
+        buffer = self._buffer_of(thread)
+        buffer.append((address, value))
+        if len(buffer) > self.store_buffer_capacity:
+            oldest_address, oldest_value = buffer.pop(0)
+            self.memory.store(oldest_address, oldest_value)
+
+    def _load(self, thread: ThreadContext, address: int) -> int:
+        if self.memory_model == "tso":
+            # Store forwarding: the issuing thread sees its own buffer.
+            for buffered_address, value in reversed(self._buffer_of(thread)):
+                if buffered_address == address:
+                    return value
+        return self.memory.load(address)
+
+    # -- interrupt injection (§6: interrupt-handler coverage) -----------------
+
+    def fire_irq(
+        self, thread: ThreadContext, handler_name: str, max_steps: int = 5_000
+    ) -> None:
+        """Run an interrupt handler to completion on ``thread``'s CPU.
+
+        The handler executes atomically (interrupts-disabled semantics):
+        the interrupted thread's registers and control state are saved, a
+        fresh register file runs the handler, and everything is restored
+        afterwards. Coverage, memory accesses and bug events are emitted
+        under the interrupted thread's id — IRQ code genuinely races with
+        whatever the other thread is doing.
+        """
+        if handler_name not in self.kernel.functions:
+            raise ExecutionError(f"unknown IRQ handler {handler_name!r}")
+        saved = (
+            list(thread.registers),
+            list(thread.call_stack),
+            thread.block_id,
+            thread.index,
+        )
+        thread.registers = [0] * NUM_REGISTERS
+        thread.call_stack = []
+        entry = self.kernel.functions[handler_name].entry_block
+        self._enter_block(thread, entry)
+        steps = 0
+        while thread.block_id is not None and steps < max_steps:
+            block = self.kernel.blocks[thread.block_id]
+            if thread.index >= len(block.instructions):
+                raise ExecutionError(
+                    f"IRQ handler fell off block {thread.block_id}"
+                )
+            instruction = block.instructions[thread.index]
+            self.sink.on_instruction(thread, instruction)
+            self.total_steps += 1
+            steps += 1
+            self._execute(thread, block, instruction)
+            if thread.status is ThreadStatus.BLOCKED:
+                raise ExecutionError(
+                    f"IRQ handler {handler_name!r} blocked on a lock"
+                )
+        if steps >= max_steps:
+            raise ExecutionLimitExceeded(
+                f"IRQ handler {handler_name!r} exceeded {max_steps} steps"
+            )
+        # The handler's final RET set block_id to None and may have marked
+        # the thread DONE; undo both and restore the interrupted state.
+        thread.status = ThreadStatus.READY
+        thread.registers, thread.call_stack, thread.block_id, thread.index = saved
+
+    # -- setup -----------------------------------------------------------
+
+    def create_thread(self, syscalls: Sequence[Tuple[str, Sequence[int]]]) -> ThreadContext:
+        """Register a thread that will run the given syscall sequence."""
+        pending = []
+        for name, args in syscalls:
+            if name not in self.kernel.syscalls:
+                raise ExecutionError(f"unknown syscall {name!r}")
+            spec = self.kernel.syscalls[name]
+            pending.append((name, spec.clamp_args(list(args))))
+        thread = ThreadContext(tid=len(self.threads), pending_syscalls=pending)
+        self.threads.append(thread)
+        return thread
+
+    # -- scheduling queries ------------------------------------------------
+
+    def runnable(self, thread: ThreadContext) -> bool:
+        if thread.status is ThreadStatus.DONE:
+            return False
+        if thread.status is ThreadStatus.BLOCKED:
+            # Re-check: the lock may have been released since.
+            assert thread.waiting_lock is not None
+            owner = self.lock_owners.get(thread.waiting_lock)
+            if owner is None or owner == thread.tid:
+                thread.status = ThreadStatus.READY
+                return True
+            return False
+        return True
+
+    def all_done(self) -> bool:
+        return all(t.status is ThreadStatus.DONE for t in self.threads)
+
+    # -- execution ---------------------------------------------------------
+
+    def _enter_block(self, thread: ThreadContext, block_id: int) -> None:
+        thread.block_id = block_id
+        thread.index = 0
+        self.sink.on_block_entry(thread, block_id)
+
+    def _dispatch_next_syscall(self, thread: ThreadContext) -> bool:
+        """Start the thread's next syscall; False when the thread is done."""
+        if not thread.pending_syscalls:
+            thread.status = ThreadStatus.DONE
+            return False
+        name, args = thread.pending_syscalls.pop(0)
+        spec = self.kernel.syscalls[name]
+        thread.registers = [0] * NUM_REGISTERS
+        for i, value in enumerate(args[: NUM_REGISTERS]):
+            thread.registers[i] = value
+        thread.call_stack = []
+        self.sink.on_syscall_entry(thread, name)
+        entry = self.kernel.functions[spec.handler].entry_block
+        self._enter_block(thread, entry)
+        return True
+
+    def step(self, thread: ThreadContext) -> None:
+        """Execute one instruction (or one dispatch/blocked transition).
+
+        Raises :class:`ExecutionLimitExceeded` past the step budget. A step
+        on a BLOCKED thread whose lock is still held is a no-op; schedulers
+        should consult :meth:`runnable` first.
+        """
+        if thread.status is ThreadStatus.DONE:
+            raise ExecutionError(f"thread {thread.tid} is done")
+        if self.total_steps >= self.max_steps:
+            raise ExecutionLimitExceeded(
+                f"execution exceeded {self.max_steps} steps"
+            )
+        if thread.status is ThreadStatus.BLOCKED and not self.runnable(thread):
+            return
+        if thread.between_syscalls:
+            if not self._dispatch_next_syscall(thread):
+                return
+            # Dispatch consumes the step; first instruction runs next step.
+            self.total_steps += 1
+            return
+
+        assert thread.block_id is not None
+        block = self.kernel.blocks[thread.block_id]
+        if thread.index >= len(block.instructions):
+            raise ExecutionError(
+                f"fell off the end of block {thread.block_id} "
+                f"(malformed block without terminator)"
+            )
+        instruction = block.instructions[thread.index]
+        self.sink.on_instruction(thread, instruction)
+        self.total_steps += 1
+        thread.steps += 1
+        self._execute(thread, block, instruction)
+
+    def _execute(self, thread: ThreadContext, block, instruction: Instruction) -> None:
+        op = instruction.opcode
+        regs = thread.registers
+        ops = instruction.operands
+
+        if op is Opcode.NOP:
+            thread.index += 1
+        elif op is Opcode.MOVI:
+            regs[ops[0].reg] = ops[1].imm
+            thread.index += 1
+        elif op is Opcode.MOV:
+            regs[ops[0].reg] = regs[ops[1].reg]
+            thread.index += 1
+        elif op is Opcode.ADDI:
+            regs[ops[0].reg] += ops[1].imm
+            thread.index += 1
+        elif op is Opcode.ADD:
+            regs[ops[0].reg] += regs[ops[1].reg]
+            thread.index += 1
+        elif op is Opcode.SUB:
+            regs[ops[0].reg] -= regs[ops[1].reg]
+            thread.index += 1
+        elif op is Opcode.AND:
+            regs[ops[0].reg] &= regs[ops[1].reg]
+            thread.index += 1
+        elif op is Opcode.XOR:
+            regs[ops[0].reg] ^= regs[ops[1].reg]
+            thread.index += 1
+        elif op is Opcode.LOAD:
+            address = ops[1].addr
+            self.sink.on_memory_access(thread, instruction, address, False)
+            regs[ops[0].reg] = self._load(thread, address)
+            thread.index += 1
+        elif op is Opcode.STORE:
+            address = ops[0].addr
+            self.sink.on_memory_access(thread, instruction, address, True)
+            self._store(thread, address, regs[ops[1].reg])
+            thread.index += 1
+        elif op is Opcode.STOREI:
+            address = ops[0].addr
+            self.sink.on_memory_access(thread, instruction, address, True)
+            self._store(thread, address, ops[1].imm)
+            thread.index += 1
+        elif op in (Opcode.JZ, Opcode.JNZ):
+            value = regs[ops[0].reg]
+            taken = (value == 0) if op is Opcode.JZ else (value != 0)
+            if taken:
+                self._enter_block(thread, ops[1].label)
+            else:
+                successors = block.successors
+                if len(successors) < 2:
+                    raise ExecutionError(
+                        f"conditional in block {block.block_id} lacks a "
+                        f"fallthrough successor"
+                    )
+                self._enter_block(thread, successors[1])
+        elif op is Opcode.JMP:
+            self._enter_block(thread, ops[0].label)
+        elif op is Opcode.CALL:
+            thread.call_stack.append((block.block_id, thread.index + 1))
+            callee = self.kernel.functions[ops[0].name]
+            self._enter_block(thread, callee.entry_block)
+        elif op is Opcode.RET:
+            if thread.call_stack:
+                return_block, return_index = thread.call_stack.pop()
+                thread.block_id = return_block
+                thread.index = return_index
+            else:
+                # Syscall handler finished; syscall exit is a full fence.
+                self.drain_store_buffer(thread)
+                thread.block_id = None
+                thread.index = 0
+                if not thread.pending_syscalls:
+                    thread.status = ThreadStatus.DONE
+        elif op is Opcode.LOCK:
+            name = ops[0].name
+            owner = self.lock_owners.get(name)
+            if owner is None:
+                # Acquire is a fence: buffered stores become visible.
+                self.drain_store_buffer(thread)
+                self.lock_owners[name] = thread.tid
+                thread.locks_held.append(name)
+                thread.index += 1
+            elif owner == thread.tid:
+                raise ExecutionError(
+                    f"thread {thread.tid} re-acquired lock {name!r}"
+                )
+            else:
+                thread.status = ThreadStatus.BLOCKED
+                thread.waiting_lock = name
+                # Do not advance: the LOCK retries once runnable again.
+        elif op is Opcode.UNLOCK:
+            name = ops[0].name
+            if self.lock_owners.get(name) != thread.tid:
+                raise ExecutionError(
+                    f"thread {thread.tid} released lock {name!r} it does not hold"
+                )
+            # Release is a fence: critical-section stores become visible.
+            self.drain_store_buffer(thread)
+            del self.lock_owners[name]
+            thread.locks_held.remove(name)
+            thread.index += 1
+        elif op is Opcode.CHECK:
+            if regs[ops[0].reg] == ops[1].imm:
+                self.sink.on_bug_event(thread, instruction, "check")
+            thread.index += 1
+        elif op is Opcode.DEREF:
+            if regs[ops[0].reg] == 0:
+                self.sink.on_bug_event(thread, instruction, "deref")
+            thread.index += 1
+        else:  # pragma: no cover - enum is exhaustive
+            raise InvalidInstruction(f"unknown opcode {op!r}")
+
+        if thread.status is ThreadStatus.READY and thread.waiting_lock:
+            thread.waiting_lock = None

@@ -1,0 +1,157 @@
+"""PCT interleaving exploration and scheduling-hint proposal.
+
+Two related facilities live here:
+
+- :class:`PctScheduler` / :func:`run_concurrent_pct`: a faithful
+  implementation of the PCT algorithm (Burckhardt et al. [6]) driving the
+  machine directly — random distinct thread priorities plus ``depth - 1``
+  priority-change points sampled over the expected step count. This is the
+  exploration algorithm SKI uses, i.e. the paper's baseline.
+
+- :func:`propose_hint_pairs`: the candidate-schedule generator used by both
+  PCT-as-a-proposer and MLPCT. It samples pairs of scheduling hints
+  ``(A.x, B.y)`` from the threads' *sequential* instruction streams, which
+  is exactly the population of candidates the paper's CT graphs encode
+  (§3.1, "two scheduling hints per CT").
+
+Keeping the proposal distribution shared between the baseline and MLPCT
+means coverage comparisons isolate the contribution of the learned filter,
+the quantity the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionLimitExceeded
+from repro.execution.concurrent import ConcurrentSink, ScheduleHint
+from repro.execution.machine import DEFAULT_MAX_STEPS, Machine
+from repro.execution.trace import ConcurrentResult, SequentialTrace
+from repro.kernel.code import Kernel
+
+__all__ = ["PctScheduler", "run_concurrent_pct", "propose_hint_pairs"]
+
+
+@dataclass
+class PctScheduler:
+    """State of one PCT run: thread priorities and change points.
+
+    ``priorities[t]`` is thread ``t``'s current priority (higher runs
+    first); ``change_points`` are global step indices at which the running
+    thread's priority is dropped below every initial priority.
+    """
+
+    priorities: List[float]
+    change_points: List[int]
+    depth: int
+
+    @staticmethod
+    def sample(
+        rng: np.random.Generator,
+        num_threads: int,
+        expected_steps: int,
+        depth: int = 3,
+    ) -> "PctScheduler":
+        """Sample a PCT schedule: random priorities + d-1 change points."""
+        if depth < 1:
+            raise ValueError("PCT depth must be >= 1")
+        priorities = list(rng.permutation(num_threads).astype(float) + float(depth))
+        count = max(depth - 1, 0)
+        horizon = max(expected_steps, 1)
+        change_points = sorted(int(p) for p in rng.integers(1, horizon + 1, size=count))
+        return PctScheduler(
+            priorities=priorities, change_points=change_points, depth=depth
+        )
+
+    def next_thread(self, runnable: Sequence[bool]) -> Optional[int]:
+        best: Optional[int] = None
+        for tid, ok in enumerate(runnable):
+            if ok and (best is None or self.priorities[tid] > self.priorities[best]):
+                best = tid
+        return best
+
+    def on_step(self, step: int, running: int) -> None:
+        """Apply a priority change if ``step`` is a change point."""
+        while self.change_points and self.change_points[0] <= step:
+            index = len(self.change_points)
+            self.change_points.pop(0)
+            # The i-th change point (from the end) drops priority to i-1,
+            # keeping later drops below earlier ones, as in the paper.
+            self.priorities[running] = float(index - 1) - self.depth
+
+
+def run_concurrent_pct(
+    kernel: Kernel,
+    stis: Tuple[Sequence, Sequence],
+    scheduler: PctScheduler,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ConcurrentResult:
+    """Execute two STIs under a sampled PCT schedule."""
+    sink = ConcurrentSink()
+    machine = Machine(kernel, sink, max_steps=max_steps)
+    threads = [machine.create_thread(stis[0]), machine.create_thread(stis[1])]
+    num_switches = 0
+    previous: Optional[int] = None
+    deadlocked = False
+    limit_hit = False
+    try:
+        while not machine.all_done():
+            runnable = [machine.runnable(t) for t in threads]
+            tid = scheduler.next_thread(runnable)
+            if tid is None:
+                deadlocked = True
+                break
+            if previous is not None and previous != tid:
+                num_switches += 1
+                sink.epoch += 1
+            previous = tid
+            machine.step(threads[tid])
+            scheduler.on_step(machine.total_steps, tid)
+    except ExecutionLimitExceeded:
+        limit_hit = True
+    return ConcurrentResult(
+        covered_blocks=sink.covered,
+        accesses=sink.accesses,
+        bug_events=sink.bug_events,
+        num_switches=num_switches,
+        hints_enforced=0,
+        steps=sink.step,
+        completed=not limit_hit and not deadlocked,
+        deadlocked=deadlocked,
+    )
+
+
+def propose_hint_pairs(
+    rng: np.random.Generator,
+    trace_a: SequentialTrace,
+    trace_b: SequentialTrace,
+    count: int,
+    max_attempts_factor: int = 5,
+) -> List[Tuple[ScheduleHint, ScheduleHint]]:
+    """Propose up to ``count`` distinct scheduling-hint pairs.
+
+    Each pair is ``(switch after A executes x, switch after B executes y)``
+    with ``x``/``y`` drawn uniformly from the sequential instruction streams
+    — the same two-hints-per-CT setup the paper configures Snowcat with.
+    Duplicates are dropped; fewer than ``count`` pairs may be returned when
+    the trace product is small.
+    """
+    if not trace_a.iid_trace or not trace_b.iid_trace:
+        return []
+    proposals: List[Tuple[ScheduleHint, ScheduleHint]] = []
+    seen: Set[Tuple[int, int]] = set()
+    attempts = 0
+    limit = count * max_attempts_factor
+    while len(proposals) < count and attempts < limit:
+        attempts += 1
+        x = int(trace_a.iid_trace[int(rng.integers(len(trace_a.iid_trace)))])
+        y = int(trace_b.iid_trace[int(rng.integers(len(trace_b.iid_trace)))])
+        key = (x, y)
+        if key in seen:
+            continue
+        seen.add(key)
+        proposals.append((ScheduleHint(thread=0, iid=x), ScheduleHint(thread=1, iid=y)))
+    return proposals

@@ -1,0 +1,19 @@
+"""Sequential-test-input fuzzing: the Syzkaller stand-in.
+
+Generates and mutates STIs (sequences of syscalls with arguments), keeps a
+coverage-guided corpus, and records the single-thread traces that prime
+the concurrent-test generator — step 1 and 2 of the paper's workflow (§3).
+"""
+
+from repro.fuzz.sti import STI, SyscallCall
+from repro.fuzz.generator import FuzzerConfig, StiGenerator
+from repro.fuzz.corpus import Corpus, CorpusEntry
+
+__all__ = [
+    "STI",
+    "SyscallCall",
+    "FuzzerConfig",
+    "StiGenerator",
+    "Corpus",
+    "CorpusEntry",
+]

@@ -1,0 +1,109 @@
+"""Coverage-guided fuzzing corpus.
+
+Stores STIs together with their sequential traces, keeps only inputs that
+increased cumulative block coverage (Syzkaller's feedback rule), and serves
+as the STI source for concurrent-test generation: every entry carries the
+trace the CT graph builder needs (SCBs, flow edges, memory footprint,
+instruction stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.execution.sequential import run_sequential
+from repro.execution.trace import SequentialTrace
+from repro.fuzz.generator import StiGenerator
+from repro.fuzz.sti import STI
+from repro.kernel.code import Kernel
+
+__all__ = ["CorpusEntry", "Corpus"]
+
+
+@dataclass
+class CorpusEntry:
+    """An STI plus everything recorded from its single-thread run."""
+
+    sti: STI
+    trace: SequentialTrace
+
+    @property
+    def covered_blocks(self) -> Set[int]:
+        return self.trace.covered_blocks
+
+
+class Corpus:
+    """A coverage-guided collection of executed STIs."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.entries: List[CorpusEntry] = []
+        self.cumulative_coverage: Set[int] = set()
+        self.executions = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self.entries)
+
+    def execute_and_consider(self, sti: STI, keep_all: bool = False) -> Optional[CorpusEntry]:
+        """Run ``sti`` sequentially; keep it if it adds coverage.
+
+        Returns the new entry, or ``None`` when the input was discarded.
+        ``keep_all=True`` bypasses the feedback rule (used when a fixed
+        population of STIs is wanted, e.g. for dataset construction).
+        """
+        trace = run_sequential(self.kernel, sti.as_pairs(), sti_id=sti.sti_id)
+        self.executions += 1
+        new_blocks = trace.covered_blocks - self.cumulative_coverage
+        if not new_blocks and not keep_all:
+            return None
+        self.cumulative_coverage |= trace.covered_blocks
+        entry = CorpusEntry(sti=sti, trace=trace)
+        self.entries.append(entry)
+        return entry
+
+    def grow(
+        self,
+        generator: StiGenerator,
+        rounds: int,
+        mutation_bias: float = 0.5,
+        keep_all: bool = False,
+    ) -> int:
+        """Run ``rounds`` fuzzing iterations; returns entries added.
+
+        Each round either mutates a random corpus entry or generates a
+        fresh STI, then applies the coverage feedback rule.
+        """
+        added = 0
+        for _ in range(rounds):
+            if self.entries and generator.rng.random() < mutation_bias:
+                parent = self.entries[int(generator.rng.integers(len(self.entries)))]
+                candidate = generator.mutate(parent.sti)
+            else:
+                candidate = generator.generate()
+            if self.execute_and_consider(candidate, keep_all=keep_all) is not None:
+                added += 1
+        return added
+
+    def sample_pairs(
+        self, rng: np.random.Generator, count: int
+    ) -> List[Tuple[CorpusEntry, CorpusEntry]]:
+        """Random CTI candidates: pairs of distinct corpus entries."""
+        if len(self.entries) < 2:
+            return []
+        pairs = []
+        for _ in range(count):
+            i, j = rng.choice(len(self.entries), size=2, replace=False)
+            pairs.append((self.entries[int(i)], self.entries[int(j)]))
+        return pairs
+
+    def coverage_fraction(self) -> float:
+        """Cumulative sequential block coverage over the whole kernel."""
+        if self.kernel.num_blocks == 0:
+            return 0.0
+        return len(self.cumulative_coverage) / self.kernel.num_blocks

@@ -1,0 +1,136 @@
+"""STI generation and mutation.
+
+A deliberately faithful miniature of Syzkaller's loop: random generation
+from the syscall table, mutation of corpus entries (argument tweaks, call
+insertion/deletion/reordering), and a bias toward in-range argument values
+with occasional out-of-range probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import rng as rngmod
+from repro.fuzz.sti import STI, SyscallCall
+from repro.kernel.code import Kernel
+from repro.kernel.syscalls import SyscallSpec
+
+__all__ = ["FuzzerConfig", "StiGenerator"]
+
+
+@dataclass(frozen=True)
+class FuzzerConfig:
+    """Knobs of the STI generator."""
+
+    min_calls: int = 1
+    max_calls: int = 4
+    #: Probability an argument is sampled outside its declared range.
+    out_of_range_prob: float = 0.1
+    #: Probability each mutation step tweaks an argument (vs structure).
+    arg_mutation_prob: float = 0.6
+    #: Number of mutation operations applied per mutate() call.
+    mutations_per_call: int = 2
+
+
+class StiGenerator:
+    """Generates and mutates STIs for one kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        seed: int = 0,
+        config: Optional[FuzzerConfig] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config or FuzzerConfig()
+        self.rng = rngmod.split(seed, f"fuzz:{kernel.version}")
+        self._names = kernel.syscall_names()
+        self._next_id = 0
+
+    # -- generation --------------------------------------------------------
+
+    def _fresh_id(self) -> int:
+        sti_id = self._next_id
+        self._next_id += 1
+        return sti_id
+
+    def _sample_args(self, spec: SyscallSpec) -> List[int]:
+        args = []
+        for low, high in spec.arg_ranges:
+            if self.rng.random() < self.config.out_of_range_prob:
+                args.append(int(self.rng.integers(high + 1, high + 16)))
+            else:
+                args.append(int(self.rng.integers(low, high + 1)))
+        return args
+
+    def _sample_call(self) -> SyscallCall:
+        name = str(self.rng.choice(self._names))
+        spec = self.kernel.syscalls[name]
+        return SyscallCall(name=name, args=tuple(self._sample_args(spec)))
+
+    def generate(self) -> STI:
+        """Generate a fresh random STI."""
+        cfg = self.config
+        count = int(self.rng.integers(cfg.min_calls, cfg.max_calls + 1))
+        calls = tuple(self._sample_call() for _ in range(count))
+        return STI(sti_id=self._fresh_id(), calls=calls)
+
+    def generate_many(self, count: int) -> List[STI]:
+        return [self.generate() for _ in range(count)]
+
+    # -- mutation ------------------------------------------------------------
+
+    def mutate(self, parent: STI) -> STI:
+        """Produce a mutated child of ``parent`` (parent is unchanged)."""
+        calls = list(parent.calls)
+        for _ in range(self.config.mutations_per_call):
+            if not calls:
+                calls.append(self._sample_call())
+                continue
+            if self.rng.random() < self.config.arg_mutation_prob:
+                self._mutate_args(calls)
+            else:
+                self._mutate_structure(calls)
+        if not calls:
+            calls.append(self._sample_call())
+        return STI(sti_id=self._fresh_id(), calls=tuple(calls))
+
+    def _mutate_args(self, calls: List[SyscallCall]) -> None:
+        index = int(self.rng.integers(len(calls)))
+        call = calls[index]
+        spec = self.kernel.syscalls[call.name]
+        if not call.args:
+            return
+        args = list(call.args)
+        arg_index = int(self.rng.integers(len(args)))
+        low, high = (
+            spec.arg_ranges[arg_index] if arg_index < len(spec.arg_ranges) else (0, 7)
+        )
+        if self.rng.random() < 0.5:
+            args[arg_index] = int(self.rng.integers(low, high + 1))
+        else:
+            args[arg_index] += int(self.rng.integers(-2, 3))
+        calls[index] = SyscallCall(name=call.name, args=tuple(args))
+
+    def _mutate_structure(self, calls: List[SyscallCall]) -> None:
+        roll = self.rng.random()
+        if roll < 0.4 and len(calls) < self.config.max_calls:
+            position = int(self.rng.integers(len(calls) + 1))
+            calls.insert(position, self._sample_call())
+        elif roll < 0.7 and len(calls) > self.config.min_calls:
+            calls.pop(int(self.rng.integers(len(calls))))
+        elif len(calls) >= 2:
+            i, j = self.rng.choice(len(calls), size=2, replace=False)
+            calls[int(i)], calls[int(j)] = calls[int(j)], calls[int(i)]
+
+    def targeted(self, syscall_name: str, args: Sequence[int]) -> STI:
+        """Build a single-call STI with explicit arguments (for tests and
+        directed experiments like Razzer's race reproduction)."""
+        spec = self.kernel.syscalls[syscall_name]
+        return STI(
+            sti_id=self._fresh_id(),
+            calls=(SyscallCall(name=syscall_name, args=tuple(spec.clamp_args(list(args)))),),
+        )

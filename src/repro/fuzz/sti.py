@@ -1,0 +1,50 @@
+"""Sequential test inputs (STIs).
+
+An STI is what one test thread executes: an ordered list of syscall
+invocations with concrete integer arguments (§1: "a pair or more sequential
+test inputs that concurrently invoke sequences of system calls").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["SyscallCall", "STI"]
+
+
+@dataclass(frozen=True)
+class SyscallCall:
+    """One syscall invocation."""
+
+    name: str
+    args: Tuple[int, ...] = ()
+
+    def as_pair(self) -> Tuple[str, List[int]]:
+        return (self.name, list(self.args))
+
+    def render(self) -> str:
+        rendered_args = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({rendered_args})"
+
+
+@dataclass(frozen=True)
+class STI:
+    """A sequential test input: an immutable syscall sequence."""
+
+    sti_id: int
+    calls: Tuple[SyscallCall, ...]
+
+    def as_pairs(self) -> List[Tuple[str, List[int]]]:
+        """The executor-facing representation."""
+        return [call.as_pair() for call in self.calls]
+
+    def render(self) -> str:
+        return "; ".join(call.render() for call in self.calls)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    @property
+    def syscall_names(self) -> Tuple[str, ...]:
+        return tuple(call.name for call in self.calls)

@@ -1,0 +1,101 @@
+"""Assembly tokenization and vocabulary for the encoder.
+
+Blocks render to token streams via
+:func:`repro.kernel.isa.tokenize_instruction` (numeric payloads elided,
+§3.2). The vocabulary is built once per kernel family; because the ISA's
+mnemonic/register token set is tiny and version-stable, a vocabulary built
+on one kernel version transfers to the next — the property that makes the
+paper's pre-train-once-then-fine-tune approach work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.kernel.code import BasicBlock, Kernel
+from repro.kernel.isa import tokenize_instruction
+
+__all__ = ["Vocabulary", "build_vocabulary", "block_token_ids"]
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+MASK_TOKEN = "[MASK]"
+CLS_TOKEN = "[CLS]"
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, MASK_TOKEN, CLS_TOKEN)
+
+#: Default cap on tokens per block fed to the encoder.
+DEFAULT_MAX_TOKENS = 48
+
+
+@dataclass
+class Vocabulary:
+    """Token-to-id mapping with the reserved special tokens first."""
+
+    token_to_id: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for token in SPECIAL_TOKENS:
+            if token not in self.token_to_id:
+                self.token_to_id[token] = len(self.token_to_id)
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[UNK_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self.token_to_id[MASK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self.token_to_id[CLS_TOKEN]
+
+    def __len__(self) -> int:
+        return len(self.token_to_id)
+
+    def add(self, token: str) -> int:
+        if token not in self.token_to_id:
+            self.token_to_id[token] = len(self.token_to_id)
+        return self.token_to_id[token]
+
+    def lookup(self, token: str) -> int:
+        return self.token_to_id.get(token, self.unk_id)
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        return [self.lookup(token) for token in tokens]
+
+
+def build_vocabulary(kernel: Kernel) -> Vocabulary:
+    """Collect every token appearing in the kernel's assembly."""
+    vocabulary = Vocabulary()
+    for instruction in kernel.iter_instructions():
+        for token in tokenize_instruction(instruction):
+            vocabulary.add(token)
+    return vocabulary
+
+
+def block_tokens(block: BasicBlock) -> List[str]:
+    """The raw token stream of one block, CLS-prefixed."""
+    tokens = [CLS_TOKEN]
+    for instruction in block.instructions:
+        tokens.extend(tokenize_instruction(instruction))
+    return tokens
+
+
+def block_token_ids(
+    vocabulary: Vocabulary,
+    block: BasicBlock,
+    max_tokens: int = DEFAULT_MAX_TOKENS,
+) -> np.ndarray:
+    """Fixed-length padded token-id vector for one block."""
+    ids = vocabulary.encode(block_tokens(block))[:max_tokens]
+    padded = np.full(max_tokens, vocabulary.pad_id, dtype=np.int64)
+    padded[: len(ids)] = ids
+    return padded

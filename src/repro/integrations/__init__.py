@@ -1,0 +1,25 @@
+"""PIC integration case studies (§5.6): Razzer and Snowboard stand-ins."""
+
+from repro.integrations.razzer import (
+    RazzerConfig,
+    RazzerHarness,
+    RazzerOutcome,
+    RazzerVariant,
+)
+from repro.integrations.snowboard import (
+    InsPairCluster,
+    SnowboardConfig,
+    SnowboardHarness,
+    SamplerOutcome,
+)
+
+__all__ = [
+    "RazzerConfig",
+    "RazzerHarness",
+    "RazzerOutcome",
+    "RazzerVariant",
+    "InsPairCluster",
+    "SnowboardConfig",
+    "SnowboardHarness",
+    "SamplerOutcome",
+]

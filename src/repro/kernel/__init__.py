@@ -1,0 +1,51 @@
+"""Synthetic kernel substrate.
+
+The paper tests the Linux kernel; this package provides the stand-in: a
+deterministic generator of kernels written in a small assembly-like ISA,
+with shared memory, locks, syscalls, branches conditioned on shared state
+(the source of concurrency-sensitive coverage) and injected concurrency
+bugs. See DESIGN.md for the substitution rationale.
+"""
+
+from repro.kernel.isa import (
+    Instruction,
+    Opcode,
+    Operand,
+    render_instruction,
+    tokenize_instruction,
+)
+from repro.kernel.code import BasicBlock, Function, Kernel
+from repro.kernel.memory import MemoryImage
+from repro.kernel.syscalls import SyscallSpec
+from repro.kernel.bugs import BugKind, BugSpec
+from repro.kernel.builder import KernelConfig, build_kernel
+from repro.kernel.evolution import EvolutionConfig, evolve_kernel
+from repro.kernel.serialize import (
+    kernel_from_dict,
+    kernel_to_dict,
+    load_kernel,
+    save_kernel,
+)
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "Operand",
+    "render_instruction",
+    "tokenize_instruction",
+    "BasicBlock",
+    "Function",
+    "Kernel",
+    "MemoryImage",
+    "SyscallSpec",
+    "BugKind",
+    "BugSpec",
+    "KernelConfig",
+    "build_kernel",
+    "EvolutionConfig",
+    "evolve_kernel",
+    "kernel_to_dict",
+    "kernel_from_dict",
+    "save_kernel",
+    "load_kernel",
+]

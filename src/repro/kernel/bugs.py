@@ -1,0 +1,59 @@
+"""Injected concurrency-bug specifications.
+
+The builder plants bug *gadgets* — small instruction patterns whose
+misbehaviour only manifests under particular interleavings — and records a
+:class:`BugSpec` for each. Specs carry ground truth the evaluation needs:
+
+- the racing ``(write_iid, read_iid)`` instruction pair (what Razzer's
+  static analysis reports, §5.6.1),
+- the block that executes when the bug manifests (``manifest_block``), so a
+  ``CHECK``/``DEREF`` bug event can be attributed to a spec,
+- the bug taxonomy of the paper's Table 3: data race (DR), atomicity
+  violation (AV), order violation (OV), and whether it is harmful or benign.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["BugKind", "BugSpec"]
+
+
+class BugKind(enum.Enum):
+    """Taxonomy used in the paper's Table 3."""
+
+    DATA_RACE = "DR"
+    ATOMICITY_VIOLATION = "AV"
+    ORDER_VIOLATION = "OV"
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """Ground truth for one injected concurrency bug."""
+
+    bug_id: int
+    kind: BugKind
+    subsystem: str
+    harmful: bool
+    #: Syscalls whose concurrent invocation can expose the bug.
+    trigger_syscalls: Tuple[str, str]
+    #: The statically racing instruction pair (a write and a read).
+    racing_pair: Tuple[int, int]
+    #: Block containing the CHECK/DEREF that fires when the bug manifests.
+    manifest_block: int
+    #: Shared variable the race is about (address).
+    variable: int
+    description: str = ""
+    #: First-argument values that open the gadget gates in the two
+    #: trigger syscalls (writer magic, reader magic).
+    trigger_args: Tuple[int, int] = (0, 0)
+
+    @property
+    def write_iid(self) -> int:
+        return self.racing_pair[0]
+
+    @property
+    def read_iid(self) -> int:
+        return self.racing_pair[1]

@@ -1,0 +1,713 @@
+"""Synthetic kernel generator.
+
+This module is the stand-in for the Linux kernel in the paper. It builds a
+:class:`~repro.kernel.code.Kernel` with the properties the Snowcat pipeline
+needs from its testing target:
+
+- **Subsystems** with private shared variables and locks, so inter-thread
+  data flow is common within a subsystem and rare across subsystems.
+- **Syscall handlers** whose control flow depends both on user arguments
+  (so the fuzzer's input space matters) and on *shared state* loaded from
+  memory (so the interleaving matters): a branch like ``load r5,[v]; jnz``
+  takes one arm in a single-threaded run but can be flipped by a concurrent
+  writer, producing exactly the 1-hop uncovered-reachable blocks (URBs) the
+  paper's predictor targets.
+- **Injected concurrency bugs** (atomicity violations, order violations,
+  plain data races) as small gadgets hidden behind argument checks inside
+  ordinary handlers, with ground-truth :class:`~repro.kernel.bugs.BugSpec`
+  records for the evaluation harness.
+
+Generation is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import rng as rngmod
+from repro.errors import KernelBuildError
+from repro.kernel.bugs import BugKind, BugSpec
+from repro.kernel.code import BasicBlock, Function, Kernel
+from repro.kernel.isa import Instruction, Opcode, Operand
+from repro.kernel.memory import MemoryImage
+from repro.kernel.syscalls import SyscallSpec
+
+__all__ = ["KernelConfig", "build_kernel", "KernelBuilder"]
+
+# Scratch registers available to generated body code; r0..r2 carry syscall
+# arguments and are left intact by the prologue.
+ARG_REGISTERS = (0, 1, 2)
+SCRATCH_REGISTERS = (3, 4, 5, 6, 7)
+#: Counter register of generated bounded loops; loop bodies never write it.
+LOOP_REGISTER = 7
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Shape parameters of a generated kernel.
+
+    The defaults yield a kernel of a few hundred blocks — big enough that
+    CT graphs have the skewed URB label distribution the paper reports
+    (~1% positive), small enough that dynamic executions are cheap.
+    """
+
+    num_subsystems: int = 4
+    functions_per_subsystem: int = 6
+    syscalls_per_subsystem: int = 4
+    vars_per_subsystem: int = 10
+    locks_per_subsystem: int = 2
+    #: Min/max number of straight-line segments per function body.
+    segments_per_function: Tuple[int, int] = (3, 6)
+    #: Min/max non-terminator instructions per block.
+    instructions_per_block: Tuple[int, int] = (2, 5)
+    #: Probability that a segment ends in a conditional diamond.
+    branch_prob: float = 0.65
+    #: Of those branches, probability the condition loads shared state.
+    shared_branch_prob: float = 0.55
+    #: Probability a body block stores to a shared variable.
+    store_prob: float = 0.35
+    #: Probability a handler segment calls a helper function.
+    call_prob: float = 0.30
+    #: Probability a segment is a bounded loop (0 keeps CFGs acyclic,
+    #: preserving historic kernels byte-for-byte).
+    loop_prob: float = 0.0
+    #: Inclusive range of loop trip counts.
+    loop_trips: Tuple[int, int] = (2, 4)
+    #: Probability a store/load sequence is wrapped in a subsystem lock.
+    lock_prob: float = 0.25
+    #: Injected bugs per kind.
+    num_atomicity_bugs: int = 3
+    num_order_bugs: int = 2
+    num_data_races: int = 3
+    #: Interrupt handlers per subsystem (§6: interrupt-handler coverage).
+    irq_handlers_per_subsystem: int = 1
+    #: Fraction of shared variables initialised to 1 instead of 0.
+    var_init_one_frac: float = 0.25
+    version: str = "v5.12"
+
+    def validate(self) -> None:
+        handlers = self.num_subsystems * self.syscalls_per_subsystem
+        gadget_halves = 2 * (
+            self.num_atomicity_bugs + self.num_order_bugs + self.num_data_races
+        )
+        if handlers < gadget_halves:
+            raise KernelBuildError(
+                f"need at least {gadget_halves} syscall handlers to host bug "
+                f"gadget halves, have {handlers}"
+            )
+        if self.segments_per_function[0] < 1:
+            raise KernelBuildError("functions need at least one segment")
+
+
+class KernelBuilder:
+    """Stateful builder; use :func:`build_kernel` for the one-shot API.
+
+    The builder is also the extension point used by kernel *evolution*
+    (:mod:`repro.kernel.evolution`), which reuses the body-generation
+    machinery to rebuild a subset of functions for a new version.
+    """
+
+    def __init__(self, config: KernelConfig, rng: np.random.Generator) -> None:
+        config.validate()
+        self.config = config
+        self.rng = rng
+        self.memory = MemoryImage()
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.functions: Dict[str, Function] = {}
+        self.syscalls: Dict[str, SyscallSpec] = {}
+        self.locks: List[str] = []
+        self.bugs: List[BugSpec] = []
+        self._next_block_id = 0
+        #: subsystem name -> list of variable addresses
+        self.subsystem_vars: Dict[str, List[int]] = {}
+        #: subsystem name -> list of lock names
+        self.subsystem_locks: Dict[str, List[str]] = {}
+        #: subsystem name -> helper function names (callable from handlers)
+        self.helpers: Dict[str, List[str]] = {}
+        #: interrupt handler function names (machine-injected, §6)
+        self.irq_handlers: List[str] = []
+
+    # -- low-level emission ------------------------------------------------
+
+    def new_block(self, function: str) -> BasicBlock:
+        block = BasicBlock(block_id=self._next_block_id, function=function)
+        self._next_block_id += 1
+        self.blocks[block.block_id] = block
+        return block
+
+    @staticmethod
+    def emit(block: BasicBlock, opcode: Opcode, *operands: Operand) -> Instruction:
+        instruction = Instruction(opcode=opcode, operands=tuple(operands))
+        block.instructions.append(instruction)
+        return instruction
+
+    def link(self, block: BasicBlock, successor: BasicBlock) -> None:
+        if successor.block_id not in block.successors:
+            block.successors.append(successor.block_id)
+
+    def emit_jmp(self, block: BasicBlock, target: BasicBlock) -> None:
+        self.emit(block, Opcode.JMP, Operand.make_label(target.block_id))
+        self.link(block, target)
+
+    def emit_branch(
+        self,
+        block: BasicBlock,
+        opcode: Opcode,
+        reg: int,
+        taken: BasicBlock,
+        fallthrough: BasicBlock,
+    ) -> None:
+        self.emit(
+            block,
+            opcode,
+            Operand.make_reg(reg),
+            Operand.make_label(taken.block_id),
+        )
+        self.link(block, taken)
+        self.link(block, fallthrough)
+
+    # -- memory layout -------------------------------------------------------
+
+    def _allocate_state(self) -> None:
+        cfg = self.config
+        for s in range(cfg.num_subsystems):
+            name = f"sub{s}"
+            addresses = []
+            for v in range(cfg.vars_per_subsystem):
+                init = 1 if self.rng.random() < cfg.var_init_one_frac else 0
+                addresses.append(self.memory.allocate(f"{name}.v{v}", init))
+            self.subsystem_vars[name] = addresses
+            lock_names = [f"{name}.lock{i}" for i in range(cfg.locks_per_subsystem)]
+            self.subsystem_locks[name] = lock_names
+            self.locks.extend(lock_names)
+
+    # -- body generation -------------------------------------------------
+
+    def _emit_filler(
+        self,
+        block: BasicBlock,
+        subsystem: str,
+        forbid_regs: Tuple[int, ...] = (),
+    ) -> None:
+        """Emit a small amount of register arithmetic / shared-memory traffic.
+
+        ``forbid_regs`` excludes registers from the *write* targets (loop
+        bodies protect their counter). With the default empty tuple the
+        generation — including the RNG consumption — is byte-identical to
+        the historic behaviour.
+        """
+        cfg = self.config
+        writable = (
+            SCRATCH_REGISTERS
+            if not forbid_regs
+            else tuple(r for r in SCRATCH_REGISTERS if r not in forbid_regs)
+        )
+        lo, hi = cfg.instructions_per_block
+        count = int(self.rng.integers(lo, hi + 1))
+        variables = self.subsystem_vars[subsystem]
+        for _ in range(count):
+            roll = self.rng.random()
+            rd = int(self.rng.choice(writable))
+            if roll < 0.25:
+                self.emit(
+                    block,
+                    Opcode.MOVI,
+                    Operand.make_reg(rd),
+                    Operand.make_imm(int(self.rng.integers(0, 8))),
+                )
+            elif roll < 0.45:
+                rs = int(self.rng.choice(SCRATCH_REGISTERS + ARG_REGISTERS))
+                op = Opcode.ADD if self.rng.random() < 0.6 else Opcode.XOR
+                self.emit(block, op, Operand.make_reg(rd), Operand.make_reg(rs))
+            elif roll < 0.45 + cfg.store_prob:
+                address = int(self.rng.choice(variables))
+                if self.rng.random() < 0.5:
+                    self.emit(
+                        block,
+                        Opcode.STOREI,
+                        Operand.make_addr(address),
+                        Operand.make_imm(int(self.rng.integers(0, 2))),
+                    )
+                else:
+                    rs = int(self.rng.choice(SCRATCH_REGISTERS + ARG_REGISTERS))
+                    self.emit(
+                        block,
+                        Opcode.STORE,
+                        Operand.make_addr(address),
+                        Operand.make_reg(rs),
+                    )
+            else:
+                address = int(self.rng.choice(variables))
+                self.emit(
+                    block,
+                    Opcode.LOAD,
+                    Operand.make_reg(rd),
+                    Operand.make_addr(address),
+                )
+
+    def _maybe_lock_wrap(self, block: BasicBlock, subsystem: str) -> Optional[str]:
+        """Possibly open a critical section; returns the lock name if so."""
+        if self.rng.random() < self.config.lock_prob:
+            lock = str(self.rng.choice(self.subsystem_locks[subsystem]))
+            self.emit(block, Opcode.LOCK, Operand.make_lock(lock))
+            return lock
+        return None
+
+    def _build_body(
+        self,
+        function_name: str,
+        subsystem: str,
+        entry: BasicBlock,
+        callable_helpers: Sequence[str],
+    ) -> BasicBlock:
+        """Generate segments after ``entry``; returns the exit block.
+
+        The body is a chain of segments; each segment may fork into a
+        conditional diamond (arg-conditioned or shared-state-conditioned)
+        and may call a helper function. The CFG is a DAG, so every run
+        terminates.
+        """
+        cfg = self.config
+        lo, hi = cfg.segments_per_function
+        num_segments = int(self.rng.integers(lo, hi + 1))
+        current = entry
+        for _ in range(num_segments):
+            # Short-circuit keeps RNG consumption (and therefore historic
+            # kernels) untouched when loops are disabled.
+            if cfg.loop_prob > 0 and self.rng.random() < cfg.loop_prob:
+                current = self._emit_loop(current, function_name, subsystem)
+                continue
+            lock = self._maybe_lock_wrap(current, subsystem)
+            self._emit_filler(current, subsystem)
+            if lock is not None:
+                self.emit(current, Opcode.UNLOCK, Operand.make_lock(lock))
+            if callable_helpers and self.rng.random() < cfg.call_prob:
+                helper = str(self.rng.choice(list(callable_helpers)))
+                self.emit(current, Opcode.CALL, Operand.make_fn(helper))
+            if self.rng.random() < cfg.branch_prob:
+                current = self._emit_diamond(current, function_name, subsystem)
+            else:
+                nxt = self.new_block(function_name)
+                self.emit_jmp(current, nxt)
+                current = nxt
+        return current
+
+    def _emit_loop(
+        self, block: BasicBlock, function_name: str, subsystem: str
+    ) -> BasicBlock:
+        """Emit a counted loop segment; returns the loop's exit block.
+
+        The counter lives in :data:`LOOP_REGISTER`, which the loop body's
+        filler is forbidden from writing, so the counter strictly
+        decreases and termination is guaranteed.
+        """
+        lo, hi = self.config.loop_trips
+        trips = int(self.rng.integers(lo, hi + 1))
+        self.emit(
+            block,
+            Opcode.MOVI,
+            Operand.make_reg(LOOP_REGISTER),
+            Operand.make_imm(trips),
+        )
+        head = self.new_block(function_name)
+        exit_block = self.new_block(function_name)
+        self.emit_jmp(block, head)
+        self._emit_filler(head, subsystem, forbid_regs=(LOOP_REGISTER,))
+        self.emit(
+            head,
+            Opcode.ADDI,
+            Operand.make_reg(LOOP_REGISTER),
+            Operand.make_imm(-1),
+        )
+        self.emit_branch(head, Opcode.JNZ, LOOP_REGISTER, head, exit_block)
+        return exit_block
+
+    def _emit_diamond(
+        self, block: BasicBlock, function_name: str, subsystem: str
+    ) -> BasicBlock:
+        """End ``block`` with a conditional; emit then/else arms and a join."""
+        cfg = self.config
+        cond_reg = int(self.rng.choice(SCRATCH_REGISTERS))
+        if self.rng.random() < cfg.shared_branch_prob:
+            # Shared-state condition: the concurrency-sensitive case.
+            address = int(self.rng.choice(self.subsystem_vars[subsystem]))
+            self.emit(
+                block,
+                Opcode.LOAD,
+                Operand.make_reg(cond_reg),
+                Operand.make_addr(address),
+            )
+        else:
+            # Argument-derived condition: stable across interleavings.
+            arg = int(self.rng.choice(ARG_REGISTERS))
+            self.emit(block, Opcode.MOV, Operand.make_reg(cond_reg), Operand.make_reg(arg))
+            self.emit(
+                block,
+                Opcode.ADDI,
+                Operand.make_reg(cond_reg),
+                Operand.make_imm(-int(self.rng.integers(0, 4))),
+            )
+        taken = self.new_block(function_name)
+        fallthrough = self.new_block(function_name)
+        join = self.new_block(function_name)
+        opcode = Opcode.JNZ if self.rng.random() < 0.5 else Opcode.JZ
+        self.emit_branch(block, opcode, cond_reg, taken, fallthrough)
+        for arm in (taken, fallthrough):
+            self._emit_filler(arm, subsystem)
+            self.emit_jmp(arm, join)
+        return join
+
+    def _register_function(
+        self, name: str, subsystem: str, entry: BasicBlock
+    ) -> Function:
+        function = Function(name=name, subsystem=subsystem, entry_block=entry.block_id)
+        self.functions[name] = function
+        return function
+
+    def _collect_function_blocks(self, name: str) -> None:
+        """Fill ``block_ids`` for a function from the global block table."""
+        self.functions[name].block_ids = sorted(
+            block_id
+            for block_id, block in self.blocks.items()
+            if block.function == name
+        )
+
+    def build_function(
+        self, name: str, subsystem: str, callable_helpers: Sequence[str]
+    ) -> Function:
+        """Build one complete helper function (entry → body → ret)."""
+        entry = self.new_block(name)
+        function = self._register_function(name, subsystem, entry)
+        exit_block = self._build_body(name, subsystem, entry, callable_helpers)
+        self.emit(exit_block, Opcode.RET)
+        self._collect_function_blocks(name)
+        return function
+
+    # -- bug gadgets -------------------------------------------------------
+
+    def _gadget_gate(
+        self, handler: str, entry: BasicBlock, magic: int
+    ) -> Tuple[BasicBlock, BasicBlock]:
+        """Emit the arg gate ``if r0 == magic`` at the top of a handler.
+
+        Returns ``(gadget_entry, continue_block)``: gadget code goes into
+        ``gadget_entry`` (and must eventually jump to ``continue_block``),
+        ordinary handler code continues at ``continue_block``.
+        """
+        gate_reg = 6
+        self.emit(entry, Opcode.MOV, Operand.make_reg(gate_reg), Operand.make_reg(0))
+        self.emit(
+            entry, Opcode.ADDI, Operand.make_reg(gate_reg), Operand.make_imm(-magic)
+        )
+        gadget_entry = self.new_block(handler)
+        continue_block = self.new_block(handler)
+        self.emit_branch(entry, Opcode.JZ, gate_reg, gadget_entry, continue_block)
+        return gadget_entry, continue_block
+
+    def _inject_atomicity_bug(
+        self,
+        bug_id: int,
+        subsystem: str,
+        writer: Tuple[str, BasicBlock, BasicBlock],
+        reader: Tuple[str, BasicBlock, BasicBlock],
+        writer_syscall: str,
+        reader_syscall: str,
+        harmful: bool,
+    ) -> Tuple[BugSpec, Instruction, Instruction]:
+        """Check-then-use atomicity violation.
+
+        Writer half opens a transient window where ``x == 1``; reader half
+        enters a region only if it observes ``x == 1`` (the region is a URB
+        in any single-threaded run, where ``x`` stays 0) and then re-reads
+        ``x``: seeing 0 inside the region is the violation.
+
+        The recorded racing pair is (writer's opening store, reader's
+        *in-region* re-read): the racing read lives in a URB, so a strict
+        Razzer-style search over sequential coverage can never propose a
+        triggering input — exactly the limitation §5.6.1 highlights.
+        """
+        x = self.memory.allocate(f"{subsystem}.bug{bug_id}.x", 0)
+        w_name, w_entry, w_cont = writer
+        r_name, r_entry, r_cont = reader
+        # Writer half: x <- 1 ; small window ; x <- 0.
+        open_store = self.emit(
+            w_entry, Opcode.STOREI, Operand.make_addr(x), Operand.make_imm(1)
+        )
+        for _ in range(3):
+            self.emit(w_entry, Opcode.NOP)
+        self.emit(w_entry, Opcode.STOREI, Operand.make_addr(x), Operand.make_imm(0))
+        self.emit_jmp(w_entry, w_cont)
+        # Reader half: observe x; if set, enter region and re-check.
+        self.emit(r_entry, Opcode.LOAD, Operand.make_reg(5), Operand.make_addr(x))
+        region = self.new_block(r_name)
+        self.emit_branch(r_entry, Opcode.JNZ, 5, region, r_cont)
+        self.emit(region, Opcode.NOP)
+        region_load = self.emit(
+            region, Opcode.LOAD, Operand.make_reg(4), Operand.make_addr(x)
+        )
+        # x observed 1 then 0: the atomicity assumption broke.
+        self.emit(region, Opcode.CHECK, Operand.make_reg(4), Operand.make_imm(0))
+        self.emit_jmp(region, r_cont)
+        spec = BugSpec(
+            bug_id=bug_id,
+            kind=BugKind.ATOMICITY_VIOLATION,
+            subsystem=subsystem,
+            harmful=harmful,
+            trigger_syscalls=(writer_syscall, reader_syscall),
+            racing_pair=(-1, -1),
+            manifest_block=region.block_id,
+            variable=x,
+            description=(
+                f"AV: {w_name}() opens a transient x==1 window; {r_name}() "
+                f"checks x then re-reads it inside the guarded region"
+            ),
+        )
+        return spec, open_store, region_load
+
+    def _inject_order_bug(
+        self,
+        bug_id: int,
+        subsystem: str,
+        writer: Tuple[str, BasicBlock, BasicBlock],
+        reader: Tuple[str, BasicBlock, BasicBlock],
+        writer_syscall: str,
+        reader_syscall: str,
+        harmful: bool,
+    ) -> Tuple[BugSpec, Instruction, Instruction]:
+        """Order violation: reader dereferences a pointer the writer
+        transiently nulls during a teardown/re-init window."""
+        ptr = self.memory.allocate(f"{subsystem}.bug{bug_id}.ptr", 1)
+        w_name, w_entry, w_cont = writer
+        r_name, r_entry, r_cont = reader
+        null_store = self.emit(
+            w_entry, Opcode.STOREI, Operand.make_addr(ptr), Operand.make_imm(0)
+        )
+        for _ in range(3):
+            self.emit(w_entry, Opcode.NOP)
+        self.emit(w_entry, Opcode.STOREI, Operand.make_addr(ptr), Operand.make_imm(1))
+        self.emit_jmp(w_entry, w_cont)
+        load = self.emit(
+            r_entry, Opcode.LOAD, Operand.make_reg(5), Operand.make_addr(ptr)
+        )
+        self.emit(r_entry, Opcode.DEREF, Operand.make_reg(5))
+        self.emit_jmp(r_entry, r_cont)
+        spec = BugSpec(
+            bug_id=bug_id,
+            kind=BugKind.ORDER_VIOLATION,
+            subsystem=subsystem,
+            harmful=harmful,
+            trigger_syscalls=(writer_syscall, reader_syscall),
+            racing_pair=(-1, -1),
+            manifest_block=r_entry.block_id,
+            variable=ptr,
+            description=(
+                f"OV: {r_name}() dereferences ptr while {w_name}() has "
+                f"transiently nulled it"
+            ),
+        )
+        return spec, null_store, load
+
+    def _inject_data_race(
+        self,
+        bug_id: int,
+        subsystem: str,
+        writer: Tuple[str, BasicBlock, BasicBlock],
+        reader: Tuple[str, BasicBlock, BasicBlock],
+        writer_syscall: str,
+        reader_syscall: str,
+        harmful: bool,
+    ) -> Tuple[BugSpec, Instruction, Instruction]:
+        """Plain unsynchronised write/read pair; found by the race detector."""
+        v = self.memory.allocate(f"{subsystem}.bug{bug_id}.v", 0)
+        w_name, w_entry, w_cont = writer
+        r_name, r_entry, r_cont = reader
+        self.emit(w_entry, Opcode.LOAD, Operand.make_reg(5), Operand.make_addr(v))
+        self.emit(w_entry, Opcode.ADDI, Operand.make_reg(5), Operand.make_imm(1))
+        store = self.emit(
+            w_entry, Opcode.STORE, Operand.make_addr(v), Operand.make_reg(5)
+        )
+        self.emit_jmp(w_entry, w_cont)
+        load = self.emit(
+            r_entry, Opcode.LOAD, Operand.make_reg(4), Operand.make_addr(v)
+        )
+        self.emit(r_entry, Opcode.NOP)
+        self.emit_jmp(r_entry, r_cont)
+        spec = BugSpec(
+            bug_id=bug_id,
+            kind=BugKind.DATA_RACE,
+            subsystem=subsystem,
+            harmful=harmful,
+            trigger_syscalls=(writer_syscall, reader_syscall),
+            racing_pair=(-1, -1),
+            manifest_block=r_entry.block_id,
+            variable=v,
+            description=f"DR: unsynchronised RMW in {w_name}() races {r_name}()",
+        )
+        return spec, store, load
+
+    # -- top-level assembly ------------------------------------------------
+
+    def build(self) -> Kernel:
+        cfg = self.config
+        self._allocate_state()
+
+        # Helper functions, per subsystem, callable from handlers and from
+        # later helpers (index ordering prevents recursion).
+        for s in range(cfg.num_subsystems):
+            subsystem = f"sub{s}"
+            names: List[str] = []
+            for f in range(cfg.functions_per_subsystem):
+                name = f"{subsystem}_helper{f}"
+                self.build_function(name, subsystem, callable_helpers=names[:])
+                names.append(name)
+            self.helpers[subsystem] = names
+
+        # Interrupt handlers: short, lock-free functions touching subsystem
+        # state, never called directly — fired by the machine's IRQ
+        # injection (sleeping locks are forbidden in interrupt context).
+        irq_config = replace(
+            cfg, lock_prob=0.0, call_prob=0.0, segments_per_function=(1, 2)
+        )
+        ordinary_config = self.config
+        self.config = irq_config
+        try:
+            for s in range(cfg.num_subsystems):
+                subsystem = f"sub{s}"
+                for i in range(cfg.irq_handlers_per_subsystem):
+                    name = f"{subsystem}_irq{i}"
+                    self.build_function(name, subsystem, callable_helpers=[])
+                    self.irq_handlers.append(name)
+        finally:
+            self.config = ordinary_config
+
+        # Plan bug injection: assign each gadget half to a distinct handler.
+        bug_plan: List[Tuple[BugKind, bool]] = []
+        bug_plan.extend(
+            (BugKind.ATOMICITY_VIOLATION, i % 3 != 2)
+            for i in range(cfg.num_atomicity_bugs)
+        )
+        bug_plan.extend(
+            (BugKind.ORDER_VIOLATION, True) for _ in range(cfg.num_order_bugs)
+        )
+        bug_plan.extend(
+            (BugKind.DATA_RACE, i % 2 == 0) for i in range(cfg.num_data_races)
+        )
+
+        handler_names: List[Tuple[str, str]] = []  # (syscall, subsystem)
+        for s in range(cfg.num_subsystems):
+            subsystem = f"sub{s}"
+            for k in range(cfg.syscalls_per_subsystem):
+                handler_names.append((f"sys_{subsystem}_op{k}", subsystem))
+
+        # Which handlers host a gadget half, and with what magic arg value.
+        order = rngmod.shuffled(self.rng, handler_names)
+        assignments: Dict[str, Tuple[int, str, int]] = {}
+        half_index = 0
+        for bug_index, (kind, harmful) in enumerate(bug_plan):
+            for role in ("writer", "reader"):
+                syscall_name, _sub = order[half_index]
+                magic = int(self.rng.integers(1, 4))
+                assignments[syscall_name] = (bug_index, role, magic)
+                half_index += 1
+
+        # Build handlers; gadget halves are spliced at handler entry behind
+        # an argument gate so only the right input reaches them.
+        pending: Dict[int, Dict[str, Tuple[str, BasicBlock, BasicBlock, str]]] = {}
+        for syscall_name, subsystem in handler_names:
+            handler_fn = f"{syscall_name}_impl"
+            entry = self.new_block(handler_fn)
+            self._register_function(handler_fn, subsystem, entry)
+            if syscall_name in assignments:
+                bug_index, role, magic = assignments[syscall_name]
+                gadget_entry, cont = self._gadget_gate(handler_fn, entry, magic)
+                pending.setdefault(bug_index, {})[role] = (
+                    handler_fn,
+                    gadget_entry,
+                    cont,
+                    syscall_name,
+                )
+                body_start = cont
+                arg_ranges: Tuple[Tuple[int, int], ...] = ((0, 4), (0, 4), (0, 4))
+            else:
+                body_start = entry
+                arg_ranges = tuple(
+                    (0, int(self.rng.integers(3, 8)))
+                    for _ in range(int(self.rng.integers(1, 4)))
+                )
+            exit_block = self._build_body(
+                handler_fn, subsystem, body_start, self.helpers[subsystem]
+            )
+            self.emit(exit_block, Opcode.RET)
+            self._collect_function_blocks(handler_fn)
+            self.syscalls[syscall_name] = SyscallSpec(
+                name=syscall_name,
+                handler=handler_fn,
+                subsystem=subsystem,
+                arg_ranges=arg_ranges,
+            )
+
+        # Instruction ids are assigned only when the Kernel is constructed,
+        # so injectors return the racing Instruction *objects*; the specs'
+        # racing pairs are patched with final iids after construction.
+        injectors = {
+            BugKind.ATOMICITY_VIOLATION: self._inject_atomicity_bug,
+            BugKind.ORDER_VIOLATION: self._inject_order_bug,
+            BugKind.DATA_RACE: self._inject_data_race,
+        }
+        deferred: List[Tuple[BugSpec, Instruction, Instruction]] = []
+        for bug_index, (kind, harmful) in enumerate(bug_plan):
+            halves = pending[bug_index]
+            w_fn, w_entry, w_cont, w_sys = halves["writer"]
+            r_fn, r_entry, r_cont, r_sys = halves["reader"]
+            subsystem = self.functions[w_fn].subsystem
+            spec, write_instr, read_instr = injectors[kind](
+                bug_index,
+                subsystem,
+                (w_fn, w_entry, w_cont),
+                (r_fn, r_entry, r_cont),
+                w_sys,
+                r_sys,
+                harmful,
+            )
+            spec = replace(
+                spec,
+                trigger_args=(assignments[w_sys][2], assignments[r_sys][2]),
+            )
+            # Gadget code extended the handler functions: refresh block lists.
+            self._collect_function_blocks(w_fn)
+            self._collect_function_blocks(r_fn)
+            deferred.append((spec, write_instr, read_instr))
+
+        kernel = Kernel(
+            version=cfg.version,
+            blocks=self.blocks,
+            functions=self.functions,
+            syscalls=self.syscalls,
+            memory=self.memory,
+            locks=self.locks,
+            bugs=[],
+            irq_handlers=self.irq_handlers,
+        )
+        # Patch racing pairs with the now-final iids.
+        kernel.bugs = [
+            replace(spec, racing_pair=(w.iid, r.iid)) for spec, w, r in deferred
+        ]
+        return kernel
+
+
+def build_kernel(config: Optional[KernelConfig] = None, seed: int = 0) -> Kernel:
+    """Build a deterministic synthetic kernel.
+
+    Parameters
+    ----------
+    config:
+        Shape parameters; defaults are suitable for tests and benches.
+    seed:
+        Seed for all generation randomness.
+    """
+    cfg = config or KernelConfig()
+    rng = rngmod.split(seed, f"kernel:{cfg.version}")
+    return KernelBuilder(cfg, rng).build()

@@ -1,0 +1,296 @@
+"""Kernel version evolution.
+
+RQ3 of the paper asks whether the predictor's training cost amortises as
+the kernel evolves (Linux 5.12 → 5.13 → 6.1). This module provides the
+evolution operator for the synthetic substrate: given a kernel, produce a
+new version that
+
+- keeps most code byte-identical (so a model trained on the old version
+  transfers, as §5.4 finds),
+- rebuilds a configurable fraction of functions with fresh bodies,
+- adds new helper functions and new syscalls, and
+- optionally injects *new* concurrency bugs behind the new syscalls (the
+  "new bugs in 6.1" that Table 3 reports).
+
+Existing bug specs are carried over with their racing-pair instruction ids
+re-resolved against the new kernel (ids shift when code is added).
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro import rng as rngmod
+from repro.errors import KernelBuildError
+from repro.kernel.bugs import BugKind, BugSpec
+from repro.kernel.builder import KernelBuilder, KernelConfig
+from repro.kernel.code import BasicBlock, Function, Kernel
+from repro.kernel.isa import Instruction, Opcode, Operand
+from repro.kernel.memory import MemoryImage
+from repro.kernel.syscalls import SyscallSpec
+
+__all__ = ["EvolutionConfig", "evolve_kernel"]
+
+_VAR_PATTERN = re.compile(r"^(sub\d+)\.v\d+$")
+_LOCK_PATTERN = re.compile(r"^(sub\d+)\.lock\d+$")
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Parameters of one version step."""
+
+    version: str
+    #: Fraction of helper functions whose bodies are regenerated.
+    rebuild_fraction: float = 0.25
+    #: Newly added helper functions per subsystem.
+    new_helpers_per_subsystem: int = 1
+    #: Newly added (gadget-free) syscalls per subsystem.
+    new_syscalls_per_subsystem: int = 1
+    #: Newly injected bugs, hosted behind newly added syscall pairs.
+    new_atomicity_bugs: int = 0
+    new_order_bugs: int = 0
+    new_data_races: int = 0
+    #: Drop this many of the oldest existing bugs (models upstream fixes).
+    fixed_bugs: int = 0
+
+
+class _EvolvingBuilder(KernelBuilder):
+    """A builder primed with the deep-copied state of an existing kernel."""
+
+    def __init__(
+        self, old: Kernel, config: KernelConfig, rng_generator
+    ) -> None:
+        super().__init__(config, rng_generator)
+        self.blocks = {
+            block_id: _copy_block(block) for block_id, block in old.blocks.items()
+        }
+        self.functions = {
+            name: Function(
+                name=fn.name,
+                subsystem=fn.subsystem,
+                entry_block=fn.entry_block,
+                block_ids=list(fn.block_ids),
+            )
+            for name, fn in old.functions.items()
+        }
+        self.syscalls = dict(old.syscalls)
+        self.memory = MemoryImage(
+            names=dict(old.memory.names), initial=dict(old.memory.initial)
+        )
+        self.locks = list(old.locks)
+        self._next_block_id = max(old.blocks) + 1 if old.blocks else 0
+        self._recover_layout()
+
+    def _recover_layout(self) -> None:
+        """Re-derive per-subsystem variable/lock/helper tables from names."""
+        for name, address in self.memory.names.items():
+            match = _VAR_PATTERN.match(name)
+            if match:
+                self.subsystem_vars.setdefault(match.group(1), []).append(address)
+        for lock in self.locks:
+            match = _LOCK_PATTERN.match(lock)
+            if match:
+                self.subsystem_locks.setdefault(match.group(1), []).append(lock)
+        for fn in self.functions.values():
+            if "_helper" in fn.name:
+                self.helpers.setdefault(fn.subsystem, []).append(fn.name)
+        for names in self.helpers.values():
+            names.sort()
+
+    def remove_function_body(self, name: str) -> None:
+        """Delete a function and its blocks (prior to regeneration)."""
+        function = self.functions.pop(name)
+        for block_id in function.block_ids:
+            del self.blocks[block_id]
+
+
+def _copy_block(block: BasicBlock) -> BasicBlock:
+    """Deep-copy a block so finalisation never mutates the old kernel."""
+    return BasicBlock(
+        block_id=block.block_id,
+        function=block.function,
+        instructions=[
+            Instruction(opcode=i.opcode, operands=i.operands)
+            for i in block.instructions
+        ],
+        successors=list(block.successors),
+    )
+
+
+def _carry_over_bugs(
+    old: Kernel, builder: _EvolvingBuilder, dropped: int
+) -> List[Tuple[BugSpec, Instruction, Instruction]]:
+    """Map surviving old bug specs onto the copied instruction objects."""
+    carried = []
+    for spec in old.bugs[dropped:]:
+        write_block, write_index = old.locate(spec.write_iid)
+        read_block, read_index = old.locate(spec.read_iid)
+        write_instr = builder.blocks[write_block].instructions[write_index]
+        read_instr = builder.blocks[read_block].instructions[read_index]
+        carried.append((spec, write_instr, read_instr))
+    return carried
+
+
+def evolve_kernel(
+    old: Kernel,
+    evolution: EvolutionConfig,
+    seed: int = 0,
+    base_config: Optional[KernelConfig] = None,
+) -> Kernel:
+    """Produce the next kernel version from ``old``.
+
+    ``base_config`` controls the shape of regenerated/new code; it defaults
+    to :class:`KernelConfig` defaults with the new version string.
+    """
+    cfg = replace(base_config or KernelConfig(), version=evolution.version)
+    rng = rngmod.split(seed, f"evolve:{old.version}->{evolution.version}")
+    builder = _EvolvingBuilder(old, cfg, rng)
+
+    protected = _gadget_functions(old)
+
+    # 1. Rebuild a fraction of helper functions (never gadget hosts).
+    helper_names = sorted(
+        name
+        for name, fn in builder.functions.items()
+        if "_helper" in name and name not in protected
+    )
+    num_rebuild = int(round(evolution.rebuild_fraction * len(helper_names)))
+    rebuilt = list(rng.choice(helper_names, size=num_rebuild, replace=False))
+    for name in rebuilt:
+        subsystem = builder.functions[name].subsystem
+        callable_helpers = [h for h in builder.helpers[subsystem] if h < name]
+        builder.remove_function_body(name)
+        builder.build_function(name, subsystem, callable_helpers)
+
+    # 2. Add new helper functions.
+    for subsystem, existing in sorted(builder.helpers.items()):
+        for i in range(evolution.new_helpers_per_subsystem):
+            name = f"{subsystem}_helper{len(existing) + i}_{evolution.version}"
+            builder.build_function(name, subsystem, existing[:])
+            existing.append(name)
+
+    # 3. Add new (gadget-free) syscalls.
+    for subsystem in sorted(builder.subsystem_vars):
+        for i in range(evolution.new_syscalls_per_subsystem):
+            _add_plain_syscall(builder, subsystem, i, evolution.version)
+
+    # 4. Inject new bugs behind brand-new syscall pairs.
+    next_bug_id = (max((b.bug_id for b in old.bugs), default=-1)) + 1
+    new_bug_records = _inject_new_bugs(builder, evolution, next_bug_id)
+
+    carried = _carry_over_bugs(old, builder, evolution.fixed_bugs)
+
+    kernel = Kernel(
+        version=evolution.version,
+        blocks=builder.blocks,
+        functions=builder.functions,
+        syscalls=builder.syscalls,
+        memory=builder.memory,
+        locks=builder.locks,
+        bugs=[],
+        irq_handlers=list(old.irq_handlers),
+    )
+    kernel.bugs = [
+        replace(spec, racing_pair=(w.iid, r.iid))
+        for spec, w, r in carried + new_bug_records
+    ]
+    return kernel
+
+
+def _gadget_functions(old: Kernel) -> set:
+    """Functions hosting bug gadget code (never rebuilt)."""
+    names = set()
+    for spec in old.bugs:
+        for iid in spec.racing_pair:
+            block_id = old.block_of_instruction(iid)
+            names.add(old.blocks[block_id].function)
+        names.add(old.blocks[spec.manifest_block].function)
+    return names
+
+
+def _add_plain_syscall(
+    builder: _EvolvingBuilder, subsystem: str, index: int, version: str
+) -> None:
+    syscall_name = f"sys_{subsystem}_new{index}_{version}"
+    handler_fn = f"{syscall_name}_impl"
+    entry = builder.new_block(handler_fn)
+    builder._register_function(handler_fn, subsystem, entry)
+    exit_block = builder._build_body(
+        handler_fn, subsystem, entry, builder.helpers.get(subsystem, [])
+    )
+    builder.emit(exit_block, Opcode.RET)
+    builder._collect_function_blocks(handler_fn)
+    arg_ranges = tuple(
+        (0, int(builder.rng.integers(3, 8)))
+        for _ in range(int(builder.rng.integers(1, 4)))
+    )
+    builder.syscalls[syscall_name] = SyscallSpec(
+        name=syscall_name,
+        handler=handler_fn,
+        subsystem=subsystem,
+        arg_ranges=arg_ranges,
+    )
+
+
+def _inject_new_bugs(
+    builder: _EvolvingBuilder, evolution: EvolutionConfig, next_bug_id: int
+) -> List[Tuple[BugSpec, Instruction, Instruction]]:
+    plan: List[Tuple[BugKind, bool]] = []
+    plan.extend(
+        (BugKind.ATOMICITY_VIOLATION, True)
+        for _ in range(evolution.new_atomicity_bugs)
+    )
+    plan.extend((BugKind.ORDER_VIOLATION, True) for _ in range(evolution.new_order_bugs))
+    plan.extend(
+        (BugKind.DATA_RACE, i % 2 == 0) for i in range(evolution.new_data_races)
+    )
+    injectors = {
+        BugKind.ATOMICITY_VIOLATION: builder._inject_atomicity_bug,
+        BugKind.ORDER_VIOLATION: builder._inject_order_bug,
+        BugKind.DATA_RACE: builder._inject_data_race,
+    }
+    subsystems = sorted(builder.subsystem_vars)
+    records: List[Tuple[BugSpec, Instruction, Instruction]] = []
+    for offset, (kind, harmful) in enumerate(plan):
+        bug_id = next_bug_id + offset
+        subsystem = subsystems[offset % len(subsystems)]
+        halves = {}
+        magics = {}
+        for role in ("writer", "reader"):
+            syscall_name = f"sys_{subsystem}_bug{bug_id}_{role}"
+            handler_fn = f"{syscall_name}_impl"
+            entry = builder.new_block(handler_fn)
+            builder._register_function(handler_fn, subsystem, entry)
+            magic = int(builder.rng.integers(1, 4))
+            magics[role] = magic
+            gadget_entry, cont = builder._gadget_gate(handler_fn, entry, magic)
+            halves[role] = (handler_fn, gadget_entry, cont, syscall_name)
+            exit_block = builder._build_body(
+                handler_fn, subsystem, cont, builder.helpers.get(subsystem, [])
+            )
+            builder.emit(exit_block, Opcode.RET)
+            builder.syscalls[syscall_name] = SyscallSpec(
+                name=syscall_name,
+                handler=handler_fn,
+                subsystem=subsystem,
+                arg_ranges=((0, 4), (0, 4), (0, 4)),
+            )
+        w_fn, w_entry, w_cont, w_sys = halves["writer"]
+        r_fn, r_entry, r_cont, r_sys = halves["reader"]
+        spec, write_instr, read_instr = injectors[kind](
+            bug_id,
+            subsystem,
+            (w_fn, w_entry, w_cont),
+            (r_fn, r_entry, r_cont),
+            w_sys,
+            r_sys,
+            harmful,
+        )
+        spec = replace(spec, trigger_args=(magics["writer"], magics["reader"]))
+        builder._collect_function_blocks(w_fn)
+        builder._collect_function_blocks(r_fn)
+        records.append((spec, write_instr, read_instr))
+    return records

@@ -1,0 +1,208 @@
+"""The synthetic instruction-set architecture.
+
+The ISA is deliberately small but expressive enough to produce the
+behaviours the paper's predictor must learn: loads and stores to shared
+memory, branches whose outcome depends on loaded values (so a concurrent
+writer flips control flow), locks, calls, and explicit bug-check
+instructions that model kernel assertions / sanitizer reports.
+
+Each instruction renders to assembly text; :func:`tokenize_instruction`
+produces the token stream used by the BERT-like encoder, eliding numeric
+tokens exactly as §3.2 describes ("we elide any numerical tokens, such as
+register offsets, since they do not provide much useful signal").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Opcode",
+    "Operand",
+    "Instruction",
+    "NUM_REGISTERS",
+    "render_instruction",
+    "tokenize_instruction",
+]
+
+#: Number of general-purpose registers per thread context.
+NUM_REGISTERS = 8
+
+
+class Opcode(enum.Enum):
+    """Opcodes of the synthetic ISA."""
+
+    NOP = "nop"
+    MOVI = "movi"  # movi rd, imm          : rd <- imm
+    MOV = "mov"  # mov rd, rs              : rd <- rs
+    ADDI = "addi"  # addi rd, imm          : rd <- rd + imm
+    ADD = "add"  # add rd, rs              : rd <- rd + rs
+    SUB = "sub"  # sub rd, rs              : rd <- rd - rs
+    AND = "and"  # and rd, rs              : rd <- rd & rs
+    XOR = "xor"  # xor rd, rs              : rd <- rd ^ rs
+    LOAD = "load"  # load rd, [addr]       : rd <- mem[addr]
+    STORE = "store"  # store [addr], rs    : mem[addr] <- rs
+    STOREI = "storei"  # storei [addr], imm: mem[addr] <- imm
+    JZ = "jz"  # jz rs, label              : branch if rs == 0
+    JNZ = "jnz"  # jnz rs, label           : branch if rs != 0
+    JMP = "jmp"  # jmp label               : unconditional branch
+    CALL = "call"  # call fn               : push return, jump to fn entry
+    RET = "ret"  # ret                     : pop return
+    LOCK = "lock"  # lock m                : acquire mutex m (may block)
+    UNLOCK = "unlock"  # unlock m          : release mutex m
+    CHECK = "check"  # check rs, imm       : bug event if rs == imm
+    DEREF = "deref"  # deref rs            : bug event if rs == 0 (NULL deref)
+
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = frozenset({Opcode.JZ, Opcode.JNZ, Opcode.JMP, Opcode.RET})
+
+#: Opcodes that access shared memory.
+MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.STOREI})
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A single instruction operand.
+
+    Exactly one of the fields is populated, selected by ``kind``:
+
+    - ``reg``: a register index (``kind == "reg"``)
+    - ``imm``: an immediate integer (``kind == "imm"``)
+    - ``addr``: a global memory address (``kind == "addr"``)
+    - ``label``: a branch-target block id (``kind == "label"``)
+    - ``name``: a function or lock name (``kind == "fn"`` / ``"lock"``)
+    """
+
+    kind: str
+    reg: int = 0
+    imm: int = 0
+    addr: int = 0
+    label: int = 0
+    name: str = ""
+
+    @staticmethod
+    def make_reg(index: int) -> "Operand":
+        return Operand(kind="reg", reg=index)
+
+    @staticmethod
+    def make_imm(value: int) -> "Operand":
+        return Operand(kind="imm", imm=value)
+
+    @staticmethod
+    def make_addr(address: int) -> "Operand":
+        return Operand(kind="addr", addr=address)
+
+    @staticmethod
+    def make_label(block_id: int) -> "Operand":
+        return Operand(kind="label", label=block_id)
+
+    @staticmethod
+    def make_fn(name: str) -> "Operand":
+        return Operand(kind="fn", name=name)
+
+    @staticmethod
+    def make_lock(name: str) -> "Operand":
+        return Operand(kind="lock", name=name)
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction.
+
+    ``iid`` is the globally unique instruction id, assigned when the kernel
+    is finalised; it is the "instruction address" used by scheduling hints
+    and the race detector.
+    """
+
+    opcode: Opcode
+    operands: Tuple[Operand, ...] = ()
+    iid: int = -1
+
+    def operand(self, index: int) -> Operand:
+        return self.operands[index]
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def memory_address(self) -> Optional[int]:
+        """The static memory address accessed, or ``None``."""
+        if self.opcode is Opcode.LOAD:
+            return self.operands[1].addr
+        if self.opcode in (Opcode.STORE, Opcode.STOREI):
+            return self.operands[0].addr
+        return None
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode in (Opcode.STORE, Opcode.STOREI)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Instruction({render_instruction(self)!r}, iid={self.iid})"
+
+
+def _render_operand(op: Operand) -> str:
+    if op.kind == "reg":
+        return f"r{op.reg}"
+    if op.kind == "imm":
+        return f"${op.imm}"
+    if op.kind == "addr":
+        return f"[v{op.addr}]"
+    if op.kind == "label":
+        return f".B{op.label}"
+    if op.kind in ("fn", "lock"):
+        return op.name
+    raise ValueError(f"unknown operand kind: {op.kind!r}")
+
+
+def render_instruction(instruction: Instruction) -> str:
+    """Render an instruction as assembly text, e.g. ``load r3, [v42]``."""
+    mnemonic = instruction.opcode.value
+    if not instruction.operands:
+        return mnemonic
+    rendered = ", ".join(_render_operand(op) for op in instruction.operands)
+    return f"{mnemonic} {rendered}"
+
+
+def _tokenize_operand(op: Operand) -> List[str]:
+    """Tokenize one operand, eliding numeric payloads (§3.2)."""
+    if op.kind == "reg":
+        return [f"r{op.reg}"]
+    if op.kind == "imm":
+        return ["$imm"]
+    if op.kind == "addr":
+        return ["[", "var", "]"]
+    if op.kind == "label":
+        return [".label"]
+    if op.kind == "fn":
+        return ["@fn"]
+    if op.kind == "lock":
+        return ["@lock"]
+    raise ValueError(f"unknown operand kind: {op.kind!r}")
+
+
+def tokenize_instruction(instruction: Instruction) -> List[str]:
+    """Token stream for the assembly encoder.
+
+    Registers are kept (there are only :data:`NUM_REGISTERS` of them and
+    they carry dataflow signal), while immediates, addresses, labels and
+    symbol names are replaced by kind tokens, mirroring the paper's elision
+    of numeric tokens whose semantics are carried by graph edges instead.
+    """
+    tokens = [instruction.opcode.value]
+    for op in instruction.operands:
+        tokens.extend(_tokenize_operand(op))
+    return tokens
+
+
+def asm_text(instructions: List[Instruction]) -> str:
+    """Render a block's instructions as newline-separated assembly text."""
+    return "\n".join(render_instruction(instr) for instr in instructions)

@@ -1,0 +1,193 @@
+"""Kernel (de)serialization.
+
+A generated kernel — its code, memory image, syscall table and injected
+bug ground truth — can be written to a JSON document and reloaded
+bit-identically. This makes testbeds shareable and pins evaluation
+artefacts: a campaign result can always name the exact kernel it ran on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import KernelBuildError
+from repro.kernel.bugs import BugKind, BugSpec
+from repro.kernel.code import BasicBlock, Function, Kernel
+from repro.kernel.isa import Instruction, Opcode, Operand
+from repro.kernel.memory import MemoryImage
+from repro.kernel.syscalls import SyscallSpec
+
+__all__ = ["kernel_to_dict", "kernel_from_dict", "save_kernel", "load_kernel"]
+
+FORMAT_VERSION = 1
+
+
+def _operand_to_dict(operand: Operand) -> Dict[str, Any]:
+    return {
+        "kind": operand.kind,
+        "reg": operand.reg,
+        "imm": operand.imm,
+        "addr": operand.addr,
+        "label": operand.label,
+        "name": operand.name,
+    }
+
+
+def _operand_from_dict(data: Dict[str, Any]) -> Operand:
+    return Operand(
+        kind=data["kind"],
+        reg=data["reg"],
+        imm=data["imm"],
+        addr=data["addr"],
+        label=data["label"],
+        name=data["name"],
+    )
+
+
+def kernel_to_dict(kernel: Kernel) -> Dict[str, Any]:
+    """Serialise a kernel to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "version": kernel.version,
+        "blocks": [
+            {
+                "block_id": block.block_id,
+                "function": block.function,
+                "successors": block.successors,
+                "instructions": [
+                    {
+                        "opcode": instruction.opcode.value,
+                        "operands": [
+                            _operand_to_dict(op) for op in instruction.operands
+                        ],
+                    }
+                    for instruction in block.instructions
+                ],
+            }
+            for block in (kernel.blocks[b] for b in sorted(kernel.blocks))
+        ],
+        "functions": [
+            {
+                "name": fn.name,
+                "subsystem": fn.subsystem,
+                "entry_block": fn.entry_block,
+                "block_ids": fn.block_ids,
+            }
+            for fn in (kernel.functions[n] for n in sorted(kernel.functions))
+        ],
+        "syscalls": [
+            {
+                "name": spec.name,
+                "handler": spec.handler,
+                "subsystem": spec.subsystem,
+                "arg_ranges": [list(r) for r in spec.arg_ranges],
+            }
+            for spec in (kernel.syscalls[n] for n in sorted(kernel.syscalls))
+        ],
+        "memory": {
+            "names": dict(kernel.memory.names),
+            "initial": {str(k): v for k, v in kernel.memory.initial.items()},
+        },
+        "locks": list(kernel.locks),
+        "irq_handlers": list(kernel.irq_handlers),
+        "bugs": [
+            {
+                "bug_id": spec.bug_id,
+                "kind": spec.kind.value,
+                "subsystem": spec.subsystem,
+                "harmful": spec.harmful,
+                "trigger_syscalls": list(spec.trigger_syscalls),
+                "trigger_args": list(spec.trigger_args),
+                "racing_pair": list(spec.racing_pair),
+                "manifest_block": spec.manifest_block,
+                "variable": spec.variable,
+                "description": spec.description,
+            }
+            for spec in kernel.bugs
+        ],
+    }
+
+
+def kernel_from_dict(data: Dict[str, Any]) -> Kernel:
+    """Reconstruct a kernel from :func:`kernel_to_dict` output."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise KernelBuildError(
+            f"unsupported kernel format version {data.get('format_version')!r}"
+        )
+    blocks: Dict[int, BasicBlock] = {}
+    for raw in data["blocks"]:
+        blocks[raw["block_id"]] = BasicBlock(
+            block_id=raw["block_id"],
+            function=raw["function"],
+            successors=list(raw["successors"]),
+            instructions=[
+                Instruction(
+                    opcode=Opcode(instr["opcode"]),
+                    operands=tuple(
+                        _operand_from_dict(op) for op in instr["operands"]
+                    ),
+                )
+                for instr in raw["instructions"]
+            ],
+        )
+    functions = {
+        raw["name"]: Function(
+            name=raw["name"],
+            subsystem=raw["subsystem"],
+            entry_block=raw["entry_block"],
+            block_ids=list(raw["block_ids"]),
+        )
+        for raw in data["functions"]
+    }
+    syscalls = {
+        raw["name"]: SyscallSpec(
+            name=raw["name"],
+            handler=raw["handler"],
+            subsystem=raw["subsystem"],
+            arg_ranges=tuple(tuple(r) for r in raw["arg_ranges"]),
+        )
+        for raw in data["syscalls"]
+    }
+    memory = MemoryImage(
+        names=dict(data["memory"]["names"]),
+        initial={int(k): v for k, v in data["memory"]["initial"].items()},
+    )
+    kernel = Kernel(
+        version=data["version"],
+        blocks=blocks,
+        functions=functions,
+        syscalls=syscalls,
+        memory=memory,
+        locks=list(data["locks"]),
+        bugs=[],
+        irq_handlers=list(data.get("irq_handlers", [])),
+    )
+    kernel.bugs = [
+        BugSpec(
+            bug_id=raw["bug_id"],
+            kind=BugKind(raw["kind"]),
+            subsystem=raw["subsystem"],
+            harmful=raw["harmful"],
+            trigger_syscalls=tuple(raw["trigger_syscalls"]),
+            trigger_args=tuple(raw["trigger_args"]),
+            racing_pair=tuple(raw["racing_pair"]),
+            manifest_block=raw["manifest_block"],
+            variable=raw["variable"],
+            description=raw["description"],
+        )
+        for raw in data["bugs"]
+    ]
+    return kernel
+
+
+def save_kernel(kernel: Kernel, path: str) -> None:
+    """Write a kernel to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(kernel_to_dict(kernel), handle)
+
+
+def load_kernel(path: str) -> Kernel:
+    """Load a kernel previously written by :func:`save_kernel`."""
+    with open(path) as handle:
+        return kernel_from_dict(json.load(handle))

@@ -1,0 +1,40 @@
+"""Syscall table of the synthetic kernel.
+
+A syscall has a name, a handler function, and a small argument
+specification. Arguments are integers passed in registers ``r0..``; they
+parameterise handler behaviour (branch decisions, values stored to shared
+state), which is what gives the fuzzer a meaningful input space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["SyscallSpec"]
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """Specification of one syscall.
+
+    ``arg_ranges`` gives, per argument, the inclusive ``(low, high)`` range
+    of meaningful values; the fuzzer samples inside (and occasionally
+    outside) these ranges.
+    """
+
+    name: str
+    handler: str
+    subsystem: str
+    arg_ranges: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def num_args(self) -> int:
+        return len(self.arg_ranges)
+
+    def clamp_args(self, args: List[int]) -> List[int]:
+        """Pad/truncate ``args`` to the declared arity (values unrestricted)."""
+        fixed = list(args[: self.num_args])
+        while len(fixed) < self.num_args:
+            fixed.append(0)
+        return fixed

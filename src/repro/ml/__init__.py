@@ -1,0 +1,63 @@
+"""Learned coverage prediction: the PyTorch(-Geometric) stand-in.
+
+A compact reverse-mode autograd over NumPy (`autograd`), the BERT-like
+assembly encoder with masked-token pre-training (`encoder`), a relational
+GCN (`gnn`), the PIC model that combines them (`pic`), training/fine-tuning
+loops with model selection and threshold tuning (`training`), the paper's
+baseline predictors (`baselines`), and classification metrics (`metrics`).
+"""
+
+from repro.ml.autograd import Tensor, Parameter
+from repro.ml.optim import Adam
+from repro.ml.metrics import (
+    BinaryMetrics,
+    average_precision,
+    classification_metrics,
+    tune_threshold,
+)
+from repro.ml.encoder import AsmEncoder, EncoderConfig, pretrain_encoder
+from repro.ml.gnn import RelationalGCN, GNNConfig
+from repro.ml.pic import PICConfig, PICModel
+from repro.ml.baselines import AllPositive, BiasedCoin, FairCoin, CoveragePredictor
+from repro.ml.training import TrainingConfig, TrainingResult, train_pic, fine_tune_pic
+from repro.ml.batching import iter_batches, merge_examples
+from repro.ml.calibration import (
+    OperatingPoint,
+    expected_calibration_error,
+    measure_operating_point,
+    reliability_curve,
+)
+from repro.ml.evaluation import evaluate_predictor, predictor_table
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "Adam",
+    "BinaryMetrics",
+    "average_precision",
+    "classification_metrics",
+    "tune_threshold",
+    "AsmEncoder",
+    "EncoderConfig",
+    "pretrain_encoder",
+    "RelationalGCN",
+    "GNNConfig",
+    "PICConfig",
+    "PICModel",
+    "CoveragePredictor",
+    "AllPositive",
+    "FairCoin",
+    "BiasedCoin",
+    "TrainingConfig",
+    "TrainingResult",
+    "train_pic",
+    "fine_tune_pic",
+    "merge_examples",
+    "iter_batches",
+    "OperatingPoint",
+    "measure_operating_point",
+    "reliability_curve",
+    "expected_calibration_error",
+    "evaluate_predictor",
+    "predictor_table",
+]

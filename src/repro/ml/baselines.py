@@ -1,0 +1,91 @@
+"""Baseline coverage predictors of Table 1 (§5.2.1).
+
+- **All pos**: every node predicted covered ("a simple static analysis").
+- **Fair coin**: positive with probability 50%.
+- **Biased coin**: positive with the base rate of positive URBs observed in
+  training graphs (the paper uses 1.1%).
+
+All predictors — including :class:`~repro.ml.pic.PICModel` — satisfy the
+:class:`CoveragePredictor` protocol, so the evaluation and the selection
+strategies are agnostic to which one is plugged in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro import rng as rngmod
+from repro.graphs.ctgraph import CTGraph
+from repro.graphs.dataset import CTExample
+
+__all__ = [
+    "CoveragePredictor",
+    "AllPositive",
+    "FairCoin",
+    "BiasedCoin",
+    "observed_urb_positive_rate",
+]
+
+
+class CoveragePredictor(Protocol):
+    """Anything that predicts per-node coverage of a CT graph."""
+
+    def predict_proba(self, graph: CTGraph) -> np.ndarray:
+        """Coverage probability per node, shape (num_nodes,)."""
+        ...
+
+    def predict(self, graph: CTGraph) -> np.ndarray:
+        """Boolean coverage prediction per node."""
+        ...
+
+
+class AllPositive:
+    """Predicts every node covered."""
+
+    def predict_proba(self, graph: CTGraph) -> np.ndarray:
+        return np.ones(graph.num_nodes)
+
+    def predict(self, graph: CTGraph) -> np.ndarray:
+        return np.ones(graph.num_nodes, dtype=bool)
+
+
+class _CoinPredictor:
+    """Shared machinery of the random baselines."""
+
+    def __init__(self, positive_probability: float, seed: int = 0) -> None:
+        if not 0.0 <= positive_probability <= 1.0:
+            raise ValueError("positive probability must be in [0, 1]")
+        self.positive_probability = positive_probability
+        self._rng = rngmod.split(seed, f"coin:{positive_probability}")
+
+    def predict_proba(self, graph: CTGraph) -> np.ndarray:
+        return np.full(graph.num_nodes, self.positive_probability)
+
+    def predict(self, graph: CTGraph) -> np.ndarray:
+        return self._rng.random(graph.num_nodes) < self.positive_probability
+
+
+class FairCoin(_CoinPredictor):
+    """Positive with probability 50%."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(0.5, seed=seed)
+
+
+class BiasedCoin(_CoinPredictor):
+    """Positive with the training base rate of positive URBs."""
+
+    def __init__(self, positive_probability: float, seed: int = 0) -> None:
+        super().__init__(positive_probability, seed=seed)
+
+
+def observed_urb_positive_rate(examples: Iterable[CTExample]) -> float:
+    """Average frequency of positive URBs in a dataset (Biased coin's p)."""
+    total, positive = 0, 0.0
+    for example in examples:
+        urb_labels = example.urb_labels()
+        total += urb_labels.size
+        positive += float(urb_labels.sum())
+    return positive / total if total else 0.0

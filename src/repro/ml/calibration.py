@@ -1,0 +1,134 @@
+"""Predictor calibration and measured operating points.
+
+Two jobs:
+
+1. **Operating point**: measure a trained predictor's TPR, FPR and the
+   positive base rate on a labeled dataset — the three numbers the §A.6
+   rejection-filter model needs. This closes the loop between the ML
+   microbenchmark (Table 1) and the end-to-end economics: instead of a
+   hypothetical filter, the filter model can be fed *this* model's
+   measured behaviour.
+
+2. **Probability calibration**: reliability curve and Expected Calibration
+   Error (ECE) of the predicted coverage probabilities. A filter threshold
+   is only meaningful if the probabilities roughly mean what they say.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.filtermodel import FilterModel
+from repro.graphs.dataset import CTExample
+from repro.ml.baselines import CoveragePredictor
+from repro.ml.metrics import classification_metrics
+
+__all__ = [
+    "OperatingPoint",
+    "measure_operating_point",
+    "reliability_curve",
+    "expected_calibration_error",
+]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A predictor's measured confusion behaviour on URB nodes."""
+
+    base_rate: float
+    true_positive_rate: float
+    false_positive_rate: float
+    num_nodes: int
+
+    def filter_model(self, **cost_overrides) -> FilterModel:
+        """The §A.6 economics of a filter with *this* behaviour."""
+        from repro.core.costs import CostModel
+
+        return FilterModel(
+            fruitful_probability=self.base_rate,
+            true_positive_rate=self.true_positive_rate,
+            false_positive_rate=self.false_positive_rate,
+            costs=CostModel(**cost_overrides),
+        )
+
+
+def _pooled_urbs(
+    predictor: CoveragePredictor, examples: Sequence[CTExample]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    labels, predictions, scores = [], [], []
+    for example in examples:
+        mask = example.graph.urb_mask()
+        if not mask.any():
+            continue
+        labels.append(example.labels[mask])
+        predictions.append(predictor.predict(example.graph)[mask])
+        scores.append(predictor.predict_proba(example.graph)[mask])
+    if not labels:
+        return np.zeros(0), np.zeros(0, dtype=bool), np.zeros(0)
+    return (
+        np.concatenate(labels),
+        np.concatenate(predictions).astype(bool),
+        np.concatenate(scores),
+    )
+
+
+def measure_operating_point(
+    predictor: CoveragePredictor, examples: Sequence[CTExample]
+) -> OperatingPoint:
+    """Measure (base rate, TPR, FPR) over pooled evaluation URBs."""
+    labels, predictions, _ = _pooled_urbs(predictor, examples)
+    if labels.size == 0:
+        return OperatingPoint(0.0, 0.0, 0.0, 0)
+    metrics = classification_metrics(labels, predictions)
+    return OperatingPoint(
+        base_rate=float(labels.mean()),
+        true_positive_rate=metrics.recall,
+        false_positive_rate=1.0 - metrics.specificity,
+        num_nodes=int(labels.size),
+    )
+
+
+def reliability_curve(
+    predictor: CoveragePredictor,
+    examples: Sequence[CTExample],
+    bins: int = 10,
+) -> List[Tuple[float, float, int]]:
+    """(mean predicted probability, observed frequency, count) per bin.
+
+    Bins with no samples are omitted.
+    """
+    labels, _, scores = _pooled_urbs(predictor, examples)
+    if labels.size == 0:
+        return []
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    curve: List[Tuple[float, float, int]] = []
+    for low, high in zip(edges[:-1], edges[1:]):
+        in_bin = (scores >= low) & (
+            (scores < high) if high < 1.0 else (scores <= high)
+        )
+        count = int(in_bin.sum())
+        if count == 0:
+            continue
+        curve.append(
+            (float(scores[in_bin].mean()), float(labels[in_bin].mean()), count)
+        )
+    return curve
+
+
+def expected_calibration_error(
+    predictor: CoveragePredictor,
+    examples: Sequence[CTExample],
+    bins: int = 10,
+) -> float:
+    """Weighted mean |confidence - accuracy| over probability bins."""
+    curve = reliability_curve(predictor, examples, bins)
+    total = sum(count for _, _, count in curve)
+    if total == 0:
+        return 0.0
+    return float(
+        sum(abs(confidence - observed) * count for confidence, observed, count in curve)
+        / total
+    )

@@ -1,0 +1,163 @@
+"""Relational graph convolution over CT graphs.
+
+The paper's GNN module is a GCN (PyTorch Geometric) whose edge-type
+embeddings let message passing distinguish the five CT edge types. Here
+each edge type gets its own weight matrix per layer (an R-GCN), which
+subsumes edge-type embeddings, and messages flow in both edge directions
+with separate weights — coverage of a block depends both on what reaches it
+and on what it reaches.
+
+Propagation uses normalised sparse adjacency matrices (1/in-degree per
+type). For graphs stamped from one :class:`CTIGraphTemplate`, the base
+(schedule-independent) adjacency is built once and shared via the graph's
+``base_cache``; only the two scheduling-hint edges are prepared per
+schedule. This is what lets one CTI's hundreds of candidate schedules be
+scored at a small fraction of an execution's cost (§5.2.2).
+
+Deeper stacks see farther in the graph; the paper observes deeper GNNs
+predict concurrent coverage better (§5.1.2), which ``num_layers`` exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import rng as rngmod
+from repro.graphs.ctgraph import CTGraph, EDGE_SCHEDULE, NUM_EDGE_TYPES
+from repro.ml.autograd import Parameter, Tensor, matmul, relu, spmm
+
+__all__ = ["GNNConfig", "RelationalGCN", "prepare_adjacency"]
+
+
+@dataclass(frozen=True)
+class GNNConfig:
+    """Shape of the GNN stack."""
+
+    hidden_dim: int = 48
+    num_layers: int = 4
+    num_edge_types: int = NUM_EDGE_TYPES
+    bidirectional: bool = True
+
+
+def _normalized_pair(
+    src: np.ndarray, dst: np.ndarray, num_nodes: int
+) -> Tuple[sp.csr_matrix, sp.csr_matrix]:
+    """(forward, reverse) adjacency with 1/in-degree normalisation.
+
+    forward[d, s] = 1/in_deg(d) for each edge s→d; reverse likewise on the
+    transposed edge set.
+    """
+    ones = np.ones(len(src))
+    in_degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+    out_degree = np.bincount(src, minlength=num_nodes).astype(np.float64)
+    forward = sp.csr_matrix(
+        (1.0 / np.maximum(in_degree[dst], 1.0), (dst, src)),
+        shape=(num_nodes, num_nodes),
+    )
+    reverse = sp.csr_matrix(
+        (1.0 / np.maximum(out_degree[src], 1.0), (src, dst)),
+        shape=(num_nodes, num_nodes),
+    )
+    return forward, reverse
+
+
+def prepare_adjacency(
+    graph: CTGraph,
+) -> Dict[int, Tuple[sp.csr_matrix, sp.csr_matrix]]:
+    """Per-edge-type normalised adjacency, with template-level caching.
+
+    Non-schedule types are identical for every schedule of a CTI, so they
+    live in the template-shared ``base_cache``; the schedule type is built
+    per graph (it is at most a handful of edges).
+    """
+    cached = getattr(graph, "_adjacency", None)
+    if cached is not None:
+        return cached
+    n = graph.num_nodes
+    result: Dict[int, Tuple[sp.csr_matrix, sp.csr_matrix]] = {}
+    base_cache = graph.base_cache if graph.base_cache is not None else {}
+    types_present = np.unique(graph.edges[:, 2]) if graph.num_edges else []
+    for edge_type in types_present:
+        edge_type = int(edge_type)
+        if edge_type != EDGE_SCHEDULE and edge_type in base_cache:
+            result[edge_type] = base_cache[edge_type]
+            continue
+        rows = graph.edges[graph.edges[:, 2] == edge_type]
+        pair = _normalized_pair(
+            rows[:, 0].astype(np.int64), rows[:, 1].astype(np.int64), n
+        )
+        result[edge_type] = pair
+        if edge_type != EDGE_SCHEDULE:
+            base_cache[edge_type] = pair
+    graph._adjacency = result  # per-graph memo
+    return result
+
+
+class RelationalGCN:
+    """A stack of relational graph-convolution layers."""
+
+    def __init__(self, config: GNNConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = rngmod.split(seed, "gnn-init")
+        d = config.hidden_dim
+        scale = 1.0 / np.sqrt(d)
+        directions = 2 if config.bidirectional else 1
+        self.w_self: List[Parameter] = []
+        self.bias: List[Parameter] = []
+        #: [layer][edge_type][direction] weight matrices
+        self.w_edge: List[List[List[Parameter]]] = []
+        for layer in range(config.num_layers):
+            self.w_self.append(
+                Parameter(rng.normal(0.0, scale, size=(d, d)), name=f"gnn.{layer}.self")
+            )
+            self.bias.append(Parameter(np.zeros(d), name=f"gnn.{layer}.bias"))
+            per_type: List[List[Parameter]] = []
+            for edge_type in range(config.num_edge_types):
+                per_direction = [
+                    Parameter(
+                        rng.normal(0.0, scale, size=(d, d)),
+                        name=f"gnn.{layer}.type{edge_type}.dir{direction}",
+                    )
+                    for direction in range(directions)
+                ]
+                per_type.append(per_direction)
+            self.w_edge.append(per_type)
+
+    def parameters(self) -> List[Parameter]:
+        flat: List[Parameter] = []
+        flat.extend(self.w_self)
+        flat.extend(self.bias)
+        for per_type in self.w_edge:
+            for per_direction in per_type:
+                flat.extend(per_direction)
+        return flat
+
+    def forward(self, h: Tensor, graph: CTGraph) -> Tensor:
+        """Run all layers; input and output are (num_nodes, hidden_dim)."""
+        adjacency = prepare_adjacency(graph)
+        for layer in range(self.config.num_layers):
+            out = matmul(h, self.w_self[layer]) + self.bias[layer]
+            for edge_type, (forward_adj, reverse_adj) in adjacency.items():
+                weights = self.w_edge[layer][edge_type]
+                out = out + matmul(spmm(forward_adj, h), weights[0])
+                if self.config.bidirectional:
+                    out = out + matmul(spmm(reverse_adj, h), weights[1])
+            h = relu(out)
+        return h
+
+    def forward_numpy(self, h: np.ndarray, graph: CTGraph) -> np.ndarray:
+        """Gradient-free fast path for inference (same math as forward)."""
+        adjacency = prepare_adjacency(graph)
+        for layer in range(self.config.num_layers):
+            out = h @ self.w_self[layer].data + self.bias[layer].data
+            for edge_type, (forward_adj, reverse_adj) in adjacency.items():
+                weights = self.w_edge[layer][edge_type]
+                out += (forward_adj @ h) @ weights[0].data
+                if self.config.bidirectional:
+                    out += (reverse_adj @ h) @ weights[1].data
+            h = np.maximum(out, 0.0)
+        return h

@@ -1,0 +1,73 @@
+"""Optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.ml.autograd import Parameter
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam with optional gradient clipping (global norm)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        learning_rate: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+        clip_norm: float = 0.0,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2 = betas
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._step = 0
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.grad = None
+
+    def _clip(self) -> None:
+        if self.clip_norm <= 0.0:
+            return
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float((parameter.grad**2).sum())
+        norm = total**0.5
+        if norm > self.clip_norm:
+            scale = self.clip_norm / (norm + 1e-12)
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad *= scale
+
+    def step(self) -> None:
+        self._step += 1
+        self._clip()
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for index, parameter in enumerate(self.parameters):
+            grad = parameter.grad
+            if grad is None:
+                continue
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * parameter.data
+            m = self._m[index]
+            v = self._v[index]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

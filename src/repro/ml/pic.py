@@ -1,0 +1,313 @@
+"""The per-interleaving coverage (PIC) model (§3.2).
+
+Combines the assembly encoder, a node-type embedding, the relational GCN,
+and a per-node binary classification head. The model predicts, for every
+vertex of a CT graph (SCBs and URBs of both threads), the probability the
+block is covered when the CT is dynamically executed under its scheduling
+hints.
+
+Training minimises binary cross-entropy per graph (the paper computes BCE
+within each graph first, then averages across the population). Because URB
+positives are ~1% of nodes, the loss supports a positive-class weight and a
+URB-node weight so the interesting minority is not drowned out.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import rng as rngmod
+from repro.errors import CheckpointError, ModelError
+from repro.graphs.ctgraph import (
+    CTGraph,
+    NODE_URB,
+    NUM_EDGE_TYPES,
+    NUM_HINT_FLAGS,
+    NUM_NODE_TYPES,
+)
+from repro.graphs.dataset import CTExample
+from repro.ml.autograd import (
+    Parameter,
+    Tensor,
+    bce_with_logits,
+    dropout,
+    gather_rows,
+    matmul,
+    rowwise_sum,
+)
+from repro.ml.encoder import AsmEncoder, EncoderConfig
+from repro.ml.gnn import GNNConfig, RelationalGCN
+
+__all__ = ["PICConfig", "PICModel"]
+
+
+@dataclass(frozen=True)
+class PICConfig:
+    """Hyperparameters of one PIC model (the §5.1.2 tuning space)."""
+
+    vocab_size: int
+    pad_id: int
+    token_dim: int = 32
+    hidden_dim: int = 48
+    num_layers: int = 4
+    dropout: float = 0.1
+    #: Loss weight multiplier for positive labels (class imbalance).
+    positive_weight: float = 4.0
+    #: Additional loss weight multiplier for URB nodes.
+    urb_weight: float = 4.0
+    bidirectional: bool = True
+    #: Weight of the auxiliary inter-thread dataflow prediction loss
+    #: (§6's proposed extra task); 0 disables the head during training.
+    dataflow_weight: float = 0.0
+    name: str = "PIC"
+
+
+class PICModel:
+    """Encoder + GNN + per-node classifier; the paper's coverage predictor."""
+
+    def __init__(
+        self,
+        config: PICConfig,
+        seed: int = 0,
+        pretrained_encoder: Optional[AsmEncoder] = None,
+    ) -> None:
+        self.config = config
+        self._rng = rngmod.split(seed, f"pic:{config.name}")
+        if pretrained_encoder is not None:
+            if pretrained_encoder.config.vocab_size != config.vocab_size:
+                raise ModelError("pretrained encoder vocabulary size mismatch")
+            if pretrained_encoder.config.output_dim != config.hidden_dim:
+                raise ModelError(
+                    "pretrained encoder output_dim must equal PIC hidden_dim"
+                )
+            self.encoder = pretrained_encoder
+        else:
+            self.encoder = AsmEncoder(
+                EncoderConfig(
+                    vocab_size=config.vocab_size,
+                    token_dim=config.token_dim,
+                    output_dim=config.hidden_dim,
+                ),
+                seed=rngmod.derive_seed(seed, "encoder"),
+            )
+        init_rng = rngmod.split(seed, "pic-init")
+        scale = 1.0 / np.sqrt(config.hidden_dim)
+        self.node_type_table = Parameter(
+            init_rng.normal(0.0, scale, size=(NUM_NODE_TYPES, config.hidden_dim)),
+            name="pic.node_type_table",
+        )
+        self.hint_flag_table = Parameter(
+            init_rng.normal(0.0, scale, size=(NUM_HINT_FLAGS, config.hidden_dim)),
+            name="pic.hint_flag_table",
+        )
+        self.gnn = RelationalGCN(
+            GNNConfig(
+                hidden_dim=config.hidden_dim,
+                num_layers=config.num_layers,
+                num_edge_types=NUM_EDGE_TYPES,
+                bidirectional=config.bidirectional,
+            ),
+            seed=rngmod.derive_seed(seed, "gnn"),
+        )
+        self.w_out = Parameter(
+            init_rng.normal(0.0, scale, size=(config.hidden_dim, 1)), name="pic.w_out"
+        )
+        self.b_out = Parameter(np.zeros(1), name="pic.b_out")
+        # Bilinear head scoring inter-thread dataflow edges (§6 task).
+        self.w_dataflow = Parameter(
+            init_rng.normal(0.0, scale, size=(config.hidden_dim, config.hidden_dim)),
+            name="pic.w_dataflow",
+        )
+        self.b_dataflow = Parameter(np.zeros(1), name="pic.b_dataflow")
+        #: Classification threshold, tuned on validation URBs (§5.1.2).
+        self.threshold: float = 0.5
+        # Inference-time encoder cache: graphs stamped from one CTI
+        # template share their token_ids array, whose block embeddings do
+        # not depend on the schedule. Invalidated on any training step.
+        self._inference_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._inference_cache_cap = 32
+        self._params_dirty = False
+
+    # -- parameters ------------------------------------------------------------
+
+    def parameters(self) -> List[Parameter]:
+        return (
+            self.encoder.parameters()
+            + [
+                self.node_type_table,
+                self.hint_flag_table,
+                self.w_out,
+                self.b_out,
+                self.w_dataflow,
+                self.b_dataflow,
+            ]
+            + self.gnn.parameters()
+        )
+
+    # -- forward ---------------------------------------------------------------
+
+    def _code_embeddings(self, graph: CTGraph, training: bool) -> Tensor:
+        """Encoder output; cached at inference per CTI template."""
+        if training:
+            self._params_dirty = True
+            return self.encoder.encode(graph.token_ids, self.config.pad_id)
+        if self._params_dirty:
+            self._inference_cache.clear()
+            self._params_dirty = False
+        key = id(graph.token_ids)
+        cached = self._inference_cache.get(key)
+        # Holding a reference to the keyed array prevents id() reuse.
+        if cached is None or cached[0] is not graph.token_ids:
+            encoded = self.encoder.encode(graph.token_ids, self.config.pad_id).data
+            if len(self._inference_cache) >= self._inference_cache_cap:
+                oldest = next(iter(self._inference_cache))
+                del self._inference_cache[oldest]
+            cached = (graph.token_ids, encoded)
+            self._inference_cache[key] = cached
+        return Tensor(cached[1])
+
+    def _hidden(self, graph: CTGraph, training: bool) -> Tensor:
+        """Node representations after message passing."""
+        code = self._code_embeddings(graph, training)
+        types = gather_rows(self.node_type_table, graph.node_types)
+        flags = gather_rows(self.hint_flag_table, graph.hint_flags)
+        h = code + types + flags
+        h = dropout(h, self.config.dropout, self._rng, training)
+        return self.gnn.forward(h, graph)
+
+    def logits(self, graph: CTGraph, training: bool = False) -> Tensor:
+        """Per-node coverage logits for one CT graph."""
+        hidden = self._hidden(graph, training)
+        return matmul(hidden, self.w_out) + self.b_out  # (N, 1)
+
+    def _dataflow_logits(
+        self, hidden: Tensor, graph: CTGraph, edge_rows: np.ndarray
+    ) -> Tensor:
+        """Bilinear scores of inter-thread dataflow edges: (E, 1)."""
+        src = graph.edges[edge_rows, 0]
+        dst = graph.edges[edge_rows, 1]
+        h_src = gather_rows(hidden, src)
+        h_dst = gather_rows(hidden, dst)
+        scores = rowwise_sum(matmul(h_src, self.w_dataflow) * h_dst)
+        return scores + self.b_dataflow
+
+    def predict_proba(self, graph: CTGraph) -> np.ndarray:
+        """Coverage probabilities, shape (num_nodes,).
+
+        Uses a gradient-free numpy path with the per-template encoder
+        cache — this is the fast inference the paper's workflow depends on
+        (many predictions per dynamic execution, §5.2.2).
+        """
+        code = self._code_embeddings(graph, training=False).data
+        h = (
+            code
+            + self.node_type_table.data[graph.node_types]
+            + self.hint_flag_table.data[graph.hint_flags]
+        )
+        h = self.gnn.forward_numpy(h, graph)
+        z = (h @ self.w_out.data + self.b_out.data)[:, 0]
+        return 1.0 / (1.0 + np.exp(-z))
+
+    def predict(self, graph: CTGraph) -> np.ndarray:
+        """Boolean coverage predictions under the tuned threshold."""
+        return self.predict_proba(graph) >= self.threshold
+
+    # -- loss --------------------------------------------------------------------
+
+    def _sample_weights(self, example: CTExample) -> np.ndarray:
+        weights = np.ones(example.num_nodes)
+        if self.config.positive_weight != 1.0:
+            weights[example.labels > 0.5] *= self.config.positive_weight
+        if self.config.urb_weight != 1.0:
+            weights[example.graph.node_types == NODE_URB] *= self.config.urb_weight
+        return weights
+
+    def loss(self, example: CTExample, training: bool = True) -> Tensor:
+        """Weighted BCE of one graph (per-graph loss, as in §3.2).
+
+        With ``dataflow_weight > 0`` the §6 auxiliary task is added: BCE
+        over the inter-thread dataflow edges' realised/not-realised labels,
+        sharing the node representations.
+        """
+        hidden = self._hidden(example.graph, training)
+        logits = matmul(hidden, self.w_out) + self.b_out
+        targets = example.labels[:, None]
+        weights = self._sample_weights(example)[:, None]
+        total = bce_with_logits(logits, targets, weights)
+        if self.config.dataflow_weight > 0.0 and example.num_dataflow_edges:
+            edge_logits = self._dataflow_logits(
+                hidden, example.graph, example.dataflow_edge_rows
+            )
+            edge_loss = bce_with_logits(
+                edge_logits, example.dataflow_labels[:, None]
+            )
+            total = total + edge_loss * self.config.dataflow_weight
+        return total
+
+    def predict_dataflow_proba(
+        self, graph: CTGraph, edge_rows: np.ndarray
+    ) -> np.ndarray:
+        """Realisation probabilities of inter-thread dataflow edges.
+
+        Gradient-free fast path mirroring :meth:`predict_proba`.
+        """
+        if edge_rows.size == 0:
+            return np.zeros(0)
+        code = self._code_embeddings(graph, training=False).data
+        h = (
+            code
+            + self.node_type_table.data[graph.node_types]
+            + self.hint_flag_table.data[graph.hint_flags]
+        )
+        h = self.gnn.forward_numpy(h, graph)
+        src = graph.edges[edge_rows, 0]
+        dst = graph.edges[edge_rows, 1]
+        scores = ((h[src] @ self.w_dataflow.data) * h[dst]).sum(axis=1)
+        z = scores + self.b_dataflow.data[0]
+        return 1.0 / (1.0 + np.exp(-z))
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {p.name: p.data.copy() for p in self.parameters()}
+        state["__threshold__"] = np.asarray([self.threshold])
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for parameter in self.parameters():
+            if parameter.name not in state:
+                raise CheckpointError(f"missing parameter {parameter.name!r}")
+            loaded = np.asarray(state[parameter.name])
+            if loaded.shape != parameter.data.shape:
+                raise CheckpointError(
+                    f"shape mismatch for {parameter.name!r}: "
+                    f"{loaded.shape} vs {parameter.data.shape}"
+                )
+            parameter.data = loaded.astype(np.float64).copy()
+        if "__threshold__" in state:
+            self.threshold = float(np.asarray(state["__threshold__"]).ravel()[0])
+        self._inference_cache.clear()
+        self._params_dirty = False
+
+    def save(self, path: str) -> None:
+        np.savez(path, **self.state_dict())
+
+    @staticmethod
+    def restore(path: str, config: PICConfig, seed: int = 0) -> "PICModel":
+        model = PICModel(config, seed=seed)
+        with np.load(path) as archive:
+            model.load_state_dict({key: archive[key] for key in archive.files})
+        return model
+
+    def clone(self, name: Optional[str] = None, seed: int = 0) -> "PICModel":
+        """Deep copy (used to fork fine-tuned variants from a base model)."""
+        from dataclasses import replace as dc_replace
+
+        config = dc_replace(self.config, name=name or self.config.name)
+        twin = PICModel(config, seed=seed)
+        twin.load_state_dict(self.state_dict())
+        return twin

@@ -1,0 +1,7 @@
+"""Plain-text rendering of the reproduced tables and figure series."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.series import format_series, downsample_history
+from repro.reporting.timeline import format_timeline
+
+__all__ = ["format_table", "format_series", "downsample_history", "format_timeline"]

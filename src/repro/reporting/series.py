@@ -1,0 +1,38 @@
+"""Time-series rendering for the Figure 5 reproductions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["downsample_history", "format_series"]
+
+
+def downsample_history(
+    history: Sequence[Tuple[float, int, int]], points: int = 12
+) -> List[Tuple[float, int, int]]:
+    """Evenly thin a campaign history to at most ``points`` checkpoints,
+    always keeping the final one."""
+    if len(history) <= points:
+        return list(history)
+    step = len(history) / points
+    indices = sorted({int(i * step) for i in range(points)} | {len(history) - 1})
+    return [history[i] for i in indices]
+
+
+def format_series(
+    curves: Dict[str, Sequence[Tuple[float, int, int]]],
+    metric_index: int = 1,
+    metric_name: str = "races",
+    points: int = 12,
+) -> str:
+    """Render campaign curves as aligned (hours, metric) columns.
+
+    ``metric_index``: 1 for unique races, 2 for schedule-dependent blocks.
+    """
+    lines: List[str] = []
+    for label, history in curves.items():
+        lines.append(f"{label}:")
+        for hours, races, blocks in downsample_history(history, points):
+            value = (hours, races, blocks)[metric_index]
+            lines.append(f"  {hours:10.2f} h  {metric_name}={value}")
+    return "\n".join(lines)

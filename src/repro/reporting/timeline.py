@@ -1,0 +1,107 @@
+"""ASCII interleaving timelines.
+
+Renders a concurrent execution as a two-column timeline — which thread ran
+which blocks between context switches, where bugs fired, where interrupts
+landed. The debugging view a kernel-concurrency developer reaches for when
+a schedule does something surprising.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.execution.trace import ConcurrentResult
+from repro.kernel.code import Kernel
+
+__all__ = ["format_timeline"]
+
+
+def format_timeline(
+    kernel: Kernel,
+    result: ConcurrentResult,
+    max_rows: int = 60,
+) -> str:
+    """Render one execution's access/bug event stream as a timeline.
+
+    Each row is one epoch (the stretch between context switches), showing
+    the running thread, the kernel functions it moved through, how many
+    shared-memory accesses it made, and any bug assertions that fired.
+    """
+    if not result.accesses and not result.bug_events:
+        return "(no shared-memory activity recorded)"
+
+    events = sorted(
+        [("access", a.epoch, a.thread, a.block_id, a.step) for a in result.accesses]
+        + [
+            ("bug", _epoch_of(result, e.step), e.thread, e.block_id, e.step)
+            for e in result.bug_events
+        ],
+        key=lambda item: item[4],
+    )
+
+    rows: List[str] = []
+    current_epoch: Optional[int] = None
+    functions: List[str] = []
+    access_count = 0
+    bug_notes: List[str] = []
+    thread: Optional[int] = None
+
+    def flush() -> None:
+        nonlocal functions, access_count, bug_notes
+        if current_epoch is None:
+            return
+        indent = "" if thread == 0 else " " * 26
+        path = " > ".join(_dedupe(functions)) or "(no accesses)"
+        line = (
+            f"{indent}T{thread} | epoch {current_epoch:>3} | "
+            f"{access_count:>3} accesses | {path}"
+        )
+        rows.append(line[:120])
+        for note in bug_notes:
+            rows.append(f"{indent}      *** {note}")
+        functions = []
+        access_count = 0
+        bug_notes = []
+
+    for kind, epoch, event_thread, block_id, _step in events:
+        if epoch != current_epoch:
+            flush()
+            current_epoch = epoch
+            thread = event_thread
+        function = kernel.blocks[block_id].function if block_id in kernel.blocks else "?"
+        if kind == "access":
+            access_count += 1
+            functions.append(function)
+        else:
+            bug_notes.append(f"BUG assertion fired in {function} (block {block_id})")
+        if len(rows) >= max_rows:
+            rows.append("… (truncated)")
+            return "\n".join(rows)
+    flush()
+
+    footer = (
+        f"switches={result.num_switches} hints_enforced={result.hints_enforced} "
+        f"irqs={result.irqs_fired} deadlocked={result.deadlocked}"
+    )
+    rows.append(footer)
+    return "\n".join(rows)
+
+
+def _epoch_of(result: ConcurrentResult, step: int) -> int:
+    """Closest epoch for a bug event (from surrounding accesses)."""
+    best = 0
+    for access in result.accesses:
+        if access.step <= step:
+            best = access.epoch
+        else:
+            break
+    return best
+
+
+def _dedupe(names: Sequence[str]) -> List[str]:
+    """Collapse consecutive repeats, keeping order."""
+    out: List[str] = []
+    for name in names:
+        if not out or out[-1] != name:
+            out.append(name)
+    return out

@@ -1,0 +1,80 @@
+"""Shared fixtures: one small kernel + corpus + dataset per session.
+
+Building kernels and labeled datasets is the expensive part of the test
+suite, so the heavyweight objects are session-scoped and treated as
+read-only by tests (tests that need mutation build their own).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import KernelConfig, build_kernel
+from repro.graphs.dataset import GraphDatasetBuilder
+
+SMALL_KERNEL_CONFIG = KernelConfig(
+    num_subsystems=3,
+    functions_per_subsystem=4,
+    syscalls_per_subsystem=4,
+    vars_per_subsystem=8,
+    segments_per_function=(2, 4),
+    num_atomicity_bugs=2,
+    num_order_bugs=2,
+    num_data_races=2,
+    version="v5.12",
+)
+
+
+@pytest.fixture(scope="session")
+def kernel():
+    """A small deterministic kernel shared across the suite."""
+    return build_kernel(SMALL_KERNEL_CONFIG, seed=42)
+
+
+@pytest.fixture(scope="session")
+def dataset_builder(kernel):
+    """Dataset builder with a grown corpus (read-only for tests)."""
+    builder = GraphDatasetBuilder(kernel, seed=7)
+    builder.grow_corpus(rounds=150)
+    return builder
+
+
+@pytest.fixture(scope="session")
+def corpus(dataset_builder):
+    return dataset_builder.corpus
+
+
+@pytest.fixture(scope="session")
+def small_splits(dataset_builder):
+    """A small labeled dataset (train/validation/evaluation)."""
+    return dataset_builder.build_splits(
+        num_ctis=16,
+        train_fraction=0.5,
+        validation_fraction=0.2,
+        train_interleavings=4,
+        evaluation_interleavings=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model(dataset_builder, small_splits):
+    """A briefly trained PIC model for integration-level tests."""
+    from repro.ml.pic import PICConfig, PICModel
+    from repro.ml.training import TrainingConfig, train_pic
+
+    config = PICConfig(
+        vocab_size=len(dataset_builder.vocabulary),
+        pad_id=dataset_builder.vocabulary.pad_id,
+        token_dim=16,
+        hidden_dim=24,
+        num_layers=2,
+        name="PIC-tiny",
+    )
+    model = PICModel(config, seed=3)
+    train_pic(
+        model,
+        small_splits.train,
+        small_splits.validation,
+        TrainingConfig(epochs=2, learning_rate=3e-3, seed=3),
+    )
+    return model

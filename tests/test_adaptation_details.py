@@ -1,0 +1,69 @@
+"""Detail tests for cross-version adaptation plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Snowcat, SnowcatConfig
+from repro.core.mlpct import ExplorationConfig
+from repro.kernel import EvolutionConfig, evolve_kernel
+
+TINY = SnowcatConfig(
+    seed=3,
+    corpus_rounds=60,
+    dataset_ctis=5,
+    train_interleavings=3,
+    evaluation_interleavings=3,
+    pretrain_epochs=1,
+    token_dim=8,
+    hidden_dim=16,
+    num_layers=2,
+    epochs=1,
+    exploration=ExplorationConfig(execution_budget=3, inference_cap=12, proposal_pool=12),
+)
+
+
+@pytest.fixture(scope="module")
+def base(kernel):
+    snowcat = Snowcat(kernel, TINY)
+    snowcat.train("PIC-base")
+    return snowcat
+
+
+@pytest.fixture(scope="module")
+def new_kernel(kernel):
+    return evolve_kernel(kernel, EvolutionConfig(version="v-next"), seed=9)
+
+
+class TestAdaptTo:
+    def test_vocabulary_shared(self, base, new_kernel):
+        adapted = base.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+        assert adapted.graphs.vocabulary is base.graphs.vocabulary
+
+    def test_model_weights_start_from_base(self, base, new_kernel):
+        adapted = base.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+        # Same architecture, same vocabulary size.
+        assert (
+            adapted.model.config.vocab_size == base.model.config.vocab_size
+        )
+        assert adapted.model.config.hidden_dim == base.model.config.hidden_dim
+
+    def test_default_incremental_dataset_smaller(self, base, new_kernel):
+        adapted = base.adapt_to(new_kernel, epochs=1)
+        assert adapted.config.dataset_ctis < base.config.dataset_ctis or (
+            base.config.dataset_ctis <= 8
+        )
+
+    def test_adapted_explorers_run_on_new_kernel(self, base, new_kernel):
+        adapted = base.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+        explorer = adapted.mlpct_explorer("S1")
+        assert explorer.kernel.version == "v-next"
+        cti = adapted.cti_stream(1)[0]
+        stats = explorer.explore_cti(*cti)
+        assert stats.inferences > 0
+
+    def test_base_remains_usable_after_adaptation(self, base, new_kernel):
+        before = base.model.state_dict()
+        base.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+        after = base.model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key

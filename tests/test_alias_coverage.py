@@ -1,0 +1,85 @@
+"""Tests for the alias-coverage metric (Krace-style)."""
+
+import pytest
+
+from repro.execution.alias import AliasCoverageTracker, AliasPair, alias_coverage
+from repro.execution.trace import ConcurrentResult, MemoryAccess
+
+
+def access(step, thread, iid, address, is_write=False):
+    return MemoryAccess(
+        step=step,
+        thread=thread,
+        iid=iid,
+        block_id=0,
+        address=address,
+        is_write=is_write,
+        locks_held=frozenset(),
+    )
+
+
+class TestAliasCoverage:
+    def test_cross_thread_pair_detected(self):
+        pairs = alias_coverage(
+            [access(1, 0, 10, 5), access(2, 1, 20, 5)]
+        )
+        assert pairs == {AliasPair.of(10, 20, 5)}
+
+    def test_read_read_pairs_count(self):
+        """Unlike races, read/read aliasing counts (it is communication
+        topology, not a safety condition)."""
+        pairs = alias_coverage(
+            [access(1, 0, 10, 5, False), access(2, 1, 20, 5, False)]
+        )
+        assert len(pairs) == 1
+
+    def test_same_thread_does_not_count(self):
+        pairs = alias_coverage([access(1, 0, 10, 5), access(2, 0, 20, 5)])
+        assert pairs == set()
+
+    def test_different_addresses_do_not_pair(self):
+        pairs = alias_coverage([access(1, 0, 10, 5), access(2, 1, 20, 6)])
+        assert pairs == set()
+
+    def test_unordered_identity(self):
+        assert AliasPair.of(1, 2, 0) == AliasPair.of(2, 1, 0)
+
+    def test_no_distance_condition(self):
+        """Aliasing is independent of serialized distance."""
+        pairs = alias_coverage(
+            [access(1, 0, 10, 5), access(10_000, 1, 20, 5)]
+        )
+        assert len(pairs) == 1
+
+    def test_alias_supersets_races(self, kernel):
+        """Every potential race is also an alias pair."""
+        from repro.execution import (
+            ScheduleHint,
+            find_potential_races,
+            run_concurrent,
+            run_sequential,
+        )
+
+        names = kernel.syscall_names()
+        sti_a = [(names[0], [1])]
+        sti_b = [(names[1], [2])]
+        trace_a = run_sequential(kernel, sti_a)
+        hint = ScheduleHint(0, trace_a.iid_trace[len(trace_a.iid_trace) // 2])
+        result = run_concurrent(kernel, (sti_a, sti_b), hints=[hint])
+        races = find_potential_races(result.accesses)
+        aliases = alias_coverage(result.accesses)
+        alias_keys = {pair.iid_pair for pair in aliases}
+        for race in races:
+            assert race.iid_pair in alias_keys
+
+
+class TestTracker:
+    def test_accumulates_fresh_only(self):
+        tracker = AliasCoverageTracker()
+        result = ConcurrentResult(
+            covered_blocks=(set(), set()),
+            accesses=[access(1, 0, 10, 5), access(2, 1, 20, 5)],
+        )
+        assert len(tracker.observe(result)) == 1
+        assert tracker.observe(result) == set()
+        assert tracker.total == 1

@@ -1,0 +1,90 @@
+"""Tests for the whole-kernel CFG and URB identification."""
+
+import pytest
+
+from repro.analysis import build_kernel_cfg, find_urbs, urb_frontier
+from repro.execution import run_sequential
+
+
+@pytest.fixture(scope="module")
+def cfg(kernel):
+    return build_kernel_cfg(kernel)
+
+
+@pytest.fixture(scope="module")
+def trace(kernel):
+    names = kernel.syscall_names()
+    return run_sequential(kernel, [(names[0], [1, 2]), (names[1], [3])])
+
+
+class TestCfgConstruction:
+    def test_every_block_is_a_node(self, kernel, cfg):
+        assert cfg.num_nodes == kernel.num_blocks
+
+    def test_flow_edges_match_successors(self, kernel, cfg):
+        for block in kernel.blocks.values():
+            for successor in block.successors:
+                assert cfg.graph.has_edge(block.block_id, successor)
+
+    def test_call_edges_present(self, kernel, cfg):
+        from repro.kernel.isa import Opcode
+
+        for block in kernel.blocks.values():
+            for instr in block.instructions:
+                if instr.opcode is Opcode.CALL:
+                    callee = kernel.functions[instr.operand(0).name]
+                    assert cfg.graph.has_edge(block.block_id, callee.entry_block)
+                    assert cfg.edge_kind(block.block_id, callee.entry_block) == "call"
+
+    def test_return_edges_come_back(self, kernel, cfg):
+        return_edges = [
+            (u, v)
+            for u, v, data in cfg.graph.edges(data=True)
+            if data.get("kind") == "return"
+        ]
+        assert return_edges  # calls exist, so return edges must too
+
+
+class TestReachability:
+    def test_zero_hops_reaches_nothing(self, cfg, trace):
+        assert cfg.reachable_within(trace.covered_blocks, 0) == set()
+
+    def test_monotone_in_hops(self, cfg, trace):
+        one = cfg.reachable_within(trace.covered_blocks, 1)
+        two = cfg.reachable_within(trace.covered_blocks, 2)
+        assert one <= two
+
+    def test_one_hop_is_successor_union(self, cfg, trace):
+        expected = set()
+        for block_id in trace.covered_blocks:
+            expected.update(cfg.successors(block_id))
+        assert cfg.reachable_within(trace.covered_blocks, 1) == expected
+
+
+class TestUrbs:
+    def test_urbs_disjoint_from_coverage(self, cfg, trace):
+        urbs = find_urbs(cfg, trace.covered_blocks, hops=1)
+        assert urbs & trace.covered_blocks == set()
+
+    def test_urbs_nonempty_for_branchy_code(self, cfg, trace):
+        # Sequential runs take one arm of each diamond; the other arm is
+        # reachable-but-uncovered, so URBs must exist.
+        assert find_urbs(cfg, trace.covered_blocks, hops=1)
+
+    def test_multi_hop_urbs_superset(self, cfg, trace):
+        one = find_urbs(cfg, trace.covered_blocks, hops=1)
+        three = find_urbs(cfg, trace.covered_blocks, hops=3)
+        assert one <= three
+
+    def test_frontier_edges_target_urbs(self, cfg, trace):
+        urbs = find_urbs(cfg, trace.covered_blocks, hops=1)
+        edges = urb_frontier(cfg, trace.covered_blocks, hops=1)
+        assert edges
+        for src, dst in edges:
+            assert dst in urbs
+            assert src in trace.covered_blocks or src in urbs
+
+    def test_every_urb_has_a_frontier_edge(self, cfg, trace):
+        urbs = find_urbs(cfg, trace.covered_blocks, hops=1)
+        targets = {dst for _, dst in urb_frontier(cfg, trace.covered_blocks, hops=1)}
+        assert urbs == targets

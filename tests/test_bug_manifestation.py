@@ -1,0 +1,106 @@
+"""Integration test: every injected bug is actually triggerable.
+
+This is ground truth for the whole evaluation: given the right inputs
+(trigger syscalls with their gate-opening arguments) and the right
+schedule (a hint pair), each atomicity violation, order violation and data
+race must manifest — and must NOT manifest in single-threaded runs, which
+is what makes them *concurrency* bugs.
+"""
+
+import pytest
+
+from repro.execution import (
+    ScheduleHint,
+    find_potential_races,
+    run_concurrent,
+    run_sequential,
+)
+from repro.fuzz import StiGenerator
+from repro.kernel.bugs import BugKind
+
+
+@pytest.fixture(scope="module")
+def directed_stis(kernel):
+    """(writer STI, reader STI) with gate-opening args, per bug."""
+    generator = StiGenerator(kernel, seed=0)
+    result = {}
+    for spec in kernel.bugs:
+        writer = generator.targeted(spec.trigger_syscalls[0], [spec.trigger_args[0]])
+        reader = generator.targeted(spec.trigger_syscalls[1], [spec.trigger_args[1]])
+        result[spec.bug_id] = (writer, reader)
+    return result
+
+
+def manifests(kernel, spec, result):
+    if spec.kind is BugKind.DATA_RACE:
+        races = find_potential_races(result.accesses)
+        return any(
+            race.iid_pair == tuple(sorted(spec.racing_pair)) for race in races
+        )
+    return any(e.block_id == spec.manifest_block for e in result.bug_events)
+
+
+class TestSequentialSafety:
+    def test_no_bug_manifests_single_threaded(self, kernel, directed_stis):
+        """Each constituent STI alone is safe — the bugs need concurrency."""
+        for spec in kernel.bugs:
+            if spec.kind is BugKind.DATA_RACE:
+                continue  # DR manifestation is defined over concurrent traces
+            writer, reader = directed_stis[spec.bug_id]
+            for sti in (writer, reader):
+                trace = run_sequential(kernel, sti.as_pairs())
+                assert not any(
+                    e.block_id == spec.manifest_block for e in trace.bug_events
+                ), f"bug {spec.bug_id} fired single-threaded"
+
+    def test_gates_open_sequentially(self, kernel, directed_stis):
+        """With the magic args, the racing write executes sequentially;
+        the racing read executes too — except for atomicity violations,
+        whose read deliberately lives in a URB (§5.6.1's hard case)."""
+        for spec in kernel.bugs:
+            writer, reader = directed_stis[spec.bug_id]
+            trace_w = run_sequential(kernel, writer.as_pairs())
+            trace_r = run_sequential(kernel, reader.as_pairs())
+            assert spec.write_iid in trace_w.iid_trace
+            if spec.kind is BugKind.ATOMICITY_VIOLATION:
+                assert spec.read_iid not in trace_r.iid_trace
+                read_block = kernel.block_of_instruction(spec.read_iid)
+                from repro.analysis import build_kernel_cfg, find_urbs
+
+                cfg = build_kernel_cfg(kernel)
+                assert read_block in find_urbs(cfg, trace_r.covered_blocks, 1)
+            else:
+                assert spec.read_iid in trace_r.iid_trace
+
+
+class TestConcurrentManifestation:
+    def test_every_bug_manifests_under_some_schedule(self, kernel, directed_stis):
+        for spec in kernel.bugs:
+            writer, reader = directed_stis[spec.bug_id]
+            trace_w = run_sequential(kernel, writer.as_pairs())
+            trace_r = run_sequential(kernel, reader.as_pairs())
+            found = False
+            for x in trace_w.iid_trace:
+                for y in trace_r.iid_trace:
+                    result = run_concurrent(
+                        kernel,
+                        (writer.as_pairs(), reader.as_pairs()),
+                        hints=[ScheduleHint(0, x), ScheduleHint(1, y)],
+                    )
+                    if manifests(kernel, spec, result):
+                        found = True
+                        break
+                if found:
+                    break
+            assert found, f"bug {spec.bug_id} ({spec.kind.value}) never manifested"
+
+    def test_wrong_args_keep_gates_closed(self, kernel):
+        """Without the magic argument the gadget halves never execute."""
+        generator = StiGenerator(kernel, seed=1)
+        for spec in kernel.bugs[:3]:
+            wrong = (spec.trigger_args[0] + 1) % 5
+            if wrong == spec.trigger_args[0]:
+                continue
+            writer = generator.targeted(spec.trigger_syscalls[0], [wrong])
+            trace = run_sequential(kernel, writer.as_pairs())
+            assert spec.write_iid not in trace.iid_trace

@@ -1,0 +1,63 @@
+"""Tests for predictor calibration and measured operating points."""
+
+import numpy as np
+import pytest
+
+from repro.ml.baselines import AllPositive, BiasedCoin
+from repro.ml.calibration import (
+    OperatingPoint,
+    expected_calibration_error,
+    measure_operating_point,
+    reliability_curve,
+)
+
+
+class TestOperatingPoint:
+    def test_all_positive_has_unit_rates(self, small_splits):
+        point = measure_operating_point(AllPositive(), small_splits.evaluation)
+        assert point.true_positive_rate == pytest.approx(1.0)
+        assert point.false_positive_rate == pytest.approx(1.0)
+        assert 0.0 < point.base_rate < 0.3
+        assert point.num_nodes > 0
+
+    def test_trained_model_beats_coin_tradeoff(self, tiny_model, small_splits):
+        model_point = measure_operating_point(tiny_model, small_splits.evaluation)
+        # A useful filter: TPR well above FPR.
+        assert model_point.true_positive_rate > model_point.false_positive_rate
+
+    def test_filter_model_bridge(self, tiny_model, small_splits):
+        point = measure_operating_point(tiny_model, small_splits.evaluation)
+        economics = point.filter_model()
+        assert economics.fruitful_probability == point.base_rate
+        # The measured model must make filtering profitable at paper costs.
+        assert economics.speedup > 1.0
+
+    def test_empty_examples(self):
+        point = measure_operating_point(AllPositive(), [])
+        assert point.num_nodes == 0
+
+
+class TestReliability:
+    def test_curve_bins_within_unit_interval(self, tiny_model, small_splits):
+        curve = reliability_curve(tiny_model, small_splits.evaluation, bins=8)
+        assert curve
+        for confidence, observed, count in curve:
+            assert 0.0 <= confidence <= 1.0
+            assert 0.0 <= observed <= 1.0
+            assert count > 0
+
+    def test_counts_sum_to_population(self, tiny_model, small_splits):
+        curve = reliability_curve(tiny_model, small_splits.evaluation, bins=8)
+        point = measure_operating_point(tiny_model, small_splits.evaluation)
+        assert sum(count for _, _, count in curve) == point.num_nodes
+
+    def test_ece_bounds(self, tiny_model, small_splits):
+        ece = expected_calibration_error(tiny_model, small_splits.evaluation)
+        assert 0.0 <= ece <= 1.0
+
+    def test_constant_predictor_ece_equals_bias(self, small_splits):
+        """A biased coin predicting p everywhere has ECE == |p - base|."""
+        point = measure_operating_point(AllPositive(), small_splits.evaluation)
+        coin = BiasedCoin(0.5, seed=0)
+        ece = expected_calibration_error(coin, small_splits.evaluation, bins=10)
+        assert ece == pytest.approx(abs(0.5 - point.base_rate), abs=1e-9)

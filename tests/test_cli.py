@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "9", "info"])
+        assert args.seed == 9
+        assert args.command == "info"
+
+    def test_filter_model_args(self):
+        args = build_parser().parse_args(
+            ["filter-model", "--fruitful", "0.02", "--tpr", "0.5", "--fpr", "0.1"]
+        )
+        assert args.fruitful == 0.02
+
+    def test_all_commands_registered(self):
+        from repro.cli import _COMMANDS
+
+        parser = build_parser()
+        for command in _COMMANDS:
+            args = parser.parse_args(
+                [command] if command != "train" else [command, "--epochs", "1"]
+            )
+            assert args.command == command
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["--seed", "3", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out
+        assert "injected concurrency bugs" in out
+
+    def test_fuzz(self, capsys):
+        assert main(["--seed", "3", "fuzz", "--rounds", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus:" in out
+        assert "coverage" in out
+
+    def test_filter_model(self, capsys):
+        assert main(["filter-model"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_filter_model_deterministic(self, capsys):
+        main(["filter-model"])
+        first = capsys.readouterr().out
+        main(["filter-model"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,110 @@
+"""Tests for kernel code objects and the memory image."""
+
+import pytest
+
+from repro.errors import KernelBuildError
+from repro.kernel.code import BasicBlock, Function, Kernel
+from repro.kernel.isa import Instruction, Opcode, Operand
+from repro.kernel.memory import MemoryImage
+from repro.kernel.syscalls import SyscallSpec
+
+
+class TestMemoryImage:
+    def test_allocation_assigns_sequential_addresses(self):
+        image = MemoryImage()
+        a = image.allocate("a", 1)
+        b = image.allocate("b", 2)
+        assert (a, b) == (0, 1)
+        assert image.address_of("a") == 0
+        assert image.size == 2
+
+    def test_duplicate_name_rejected(self):
+        image = MemoryImage()
+        image.allocate("x")
+        with pytest.raises(ValueError):
+            image.allocate("x")
+
+    def test_fresh_state_isolated(self):
+        image = MemoryImage()
+        addr = image.allocate("v", 5)
+        state1 = image.fresh_state()
+        state2 = image.fresh_state()
+        state1.store(addr, 99)
+        assert state1.load(addr) == 99
+        assert state2.load(addr) == 5
+        assert image.initial[addr] == 5
+
+    def test_unallocated_address_reads_zero(self):
+        state = MemoryImage().fresh_state()
+        assert state.load(12345) == 0
+
+    def test_snapshot(self):
+        image = MemoryImage()
+        addr = image.allocate("v", 3)
+        state = image.fresh_state()
+        state.store(addr, 8)
+        assert state.snapshot() == {addr: 8}
+
+
+class TestKernelValidation:
+    def _instr(self, opcode, *ops):
+        return Instruction(opcode=opcode, operands=tuple(ops))
+
+    def _base_parts(self):
+        block = BasicBlock(
+            block_id=0, function="f", instructions=[self._instr(Opcode.RET)]
+        )
+        functions = {"f": Function("f", "s", 0, [0])}
+        syscalls = {"sys": SyscallSpec("sys", "f", "s", ())}
+        return {0: block}, functions, syscalls
+
+    def test_unknown_successor_rejected(self):
+        blocks, functions, syscalls = self._base_parts()
+        blocks[0].successors = [99]
+        with pytest.raises(KernelBuildError):
+            Kernel("t", blocks, functions, syscalls, MemoryImage(), [], [])
+
+    def test_unknown_entry_block_rejected(self):
+        blocks, functions, syscalls = self._base_parts()
+        functions["f"].entry_block = 42
+        with pytest.raises(KernelBuildError):
+            Kernel("t", blocks, functions, syscalls, MemoryImage(), [], [])
+
+    def test_unknown_handler_rejected(self):
+        blocks, functions, syscalls = self._base_parts()
+        syscalls["sys"] = SyscallSpec("sys", "ghost", "s", ())
+        with pytest.raises(KernelBuildError):
+            Kernel("t", blocks, functions, syscalls, MemoryImage(), [], [])
+
+
+class TestKernelLookups:
+    def test_iter_instructions_order(self, kernel):
+        iids = [instr.iid for instr in kernel.iter_instructions()]
+        assert iids == list(range(kernel.num_instructions))
+
+    def test_block_of_instruction(self, kernel):
+        for iid in range(0, kernel.num_instructions, 97):
+            block_id = kernel.block_of_instruction(iid)
+            block = kernel.blocks[block_id]
+            assert any(instr.iid == iid for instr in block.instructions)
+
+    def test_blocks_of_function(self, kernel):
+        name = next(iter(kernel.functions))
+        for block in kernel.blocks_of_function(name):
+            assert block.function == name
+
+    def test_describe_mentions_version(self, kernel):
+        assert kernel.version in kernel.describe()
+
+    def test_block_asm_nonempty(self, kernel):
+        for block in list(kernel.blocks.values())[:20]:
+            assert block.asm()
+            assert len(block) == len(block.instructions)
+
+
+class TestSyscallSpec:
+    def test_clamp_pads_and_truncates(self):
+        spec = SyscallSpec("s", "f", "sub", ((0, 3), (0, 3)))
+        assert spec.clamp_args([7]) == [7, 0]
+        assert spec.clamp_args([1, 2, 3, 4]) == [1, 2]
+        assert spec.num_args == 2

@@ -1,0 +1,111 @@
+"""Tests for the continuous-testing simulator (§2 Generalization)."""
+
+import pytest
+
+from repro.core.continuous import (
+    ContinuousConfig,
+    ContinuousRun,
+    run_continuous,
+)
+from repro.core.mlpct import ExplorationConfig
+from repro.core.snowcat import SnowcatConfig
+from repro.kernel import EvolutionConfig, evolve_kernel
+
+SMALL_BASE = SnowcatConfig(
+    seed=5,
+    corpus_rounds=80,
+    dataset_ctis=6,
+    train_interleavings=3,
+    evaluation_interleavings=3,
+    pretrain_epochs=1,
+    token_dim=8,
+    hidden_dim=16,
+    num_layers=2,
+    epochs=1,
+    exploration=ExplorationConfig(
+        execution_budget=4, inference_cap=24, proposal_pool=24
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def versions(kernel):
+    second = evolve_kernel(kernel, EvolutionConfig(version="v5.13"), seed=2)
+    return [kernel, second]
+
+
+def _config(policy, **overrides):
+    params = dict(
+        policy=policy,
+        campaign_ctis=2,
+        fine_tune_ctis=3,
+        fine_tune_epochs=1,
+        base=SMALL_BASE,
+    )
+    params.update(overrides)
+    return ContinuousConfig(**params)
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_continuous([], _config("yolo"))
+
+    def test_pct_policy_never_trains(self, versions):
+        run = run_continuous(versions, _config("pct"))
+        assert run.cumulative_startup_hours == 0.0
+        assert all(o.model_name == "-" for o in run.outcomes)
+        assert len(run.outcomes) == 2
+
+    def test_freeze_trains_once(self, versions):
+        run = run_continuous(versions, _config("freeze"))
+        startups = [o.startup_hours for o in run.outcomes]
+        assert startups[0] > 0.0
+        assert startups[1] == 0.0
+        # Same model serves both versions.
+        assert run.outcomes[0].model_name == run.outcomes[1].model_name
+
+    def test_fine_tune_pays_incrementally(self, versions):
+        run = run_continuous(versions, _config("fine-tune"))
+        startups = [o.startup_hours for o in run.outcomes]
+        assert startups[0] > 0.0
+        assert 0.0 < startups[1] < startups[0]
+        assert run.outcomes[1].model_name != run.outcomes[0].model_name
+
+    def test_scratch_pays_full_price_each_version(self, versions):
+        run = run_continuous(versions, _config("scratch"))
+        startups = [o.startup_hours for o in run.outcomes]
+        assert all(s > 0.0 for s in startups)
+
+    def test_cumulative_accounting(self, versions):
+        run = run_continuous(versions, _config("freeze"))
+        manual_hours = sum(o.startup_hours + o.testing_hours for o in run.outcomes)
+        assert run.cumulative_hours == pytest.approx(manual_hours)
+        assert run.cumulative_races == sum(o.races for o in run.outcomes)
+        assert run.races_per_hour() >= 0.0
+
+
+class TestMarginalMetric:
+    def test_marginal_excludes_first_version(self, versions):
+        run = run_continuous(versions, _config("freeze"))
+        tail = run.outcomes[1:]
+        expected_hours = sum(o.startup_hours + o.testing_hours for o in tail)
+        expected_races = sum(o.races for o in tail)
+        if expected_hours > 0:
+            assert run.marginal_races_per_hour(1) == pytest.approx(
+                expected_races / expected_hours
+            )
+
+    def test_marginal_of_empty_tail_is_zero(self, versions):
+        run = run_continuous(versions[:1], _config("pct"))
+        assert run.marginal_races_per_hour(1) == 0.0
+
+
+class TestAmortisation:
+    def test_fine_tune_cheaper_than_scratch_over_versions(self, versions):
+        """The §5.4 amortisation claim at the startup-cost level."""
+        fine = run_continuous(versions, _config("fine-tune"))
+        scratch = run_continuous(versions, _config("scratch"))
+        assert (
+            fine.cumulative_startup_hours < scratch.cumulative_startup_hours
+        )

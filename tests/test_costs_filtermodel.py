@@ -1,0 +1,136 @@
+"""Tests for cost accounting and the §A.6 analytic filter model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import CostLedger, CostModel
+from repro.core.filtermodel import FilterModel, simulate_filter
+
+
+class TestCostModel:
+    def test_paper_asymmetry(self):
+        model = CostModel()
+        assert model.inferences_per_execution == pytest.approx(2.8 / 0.015)
+        assert round(model.inferences_per_execution) == 187  # "~190"
+
+    def test_startup_hours(self):
+        model = CostModel()
+        hours = model.startup_hours(labeled_graphs=1000, training_steps=500)
+        assert hours == pytest.approx((1000 * 2.8 + 500 * 2.8) / 3600.0)
+
+
+class TestCostLedger:
+    def test_accumulation(self):
+        ledger = CostLedger(startup_hours=1.0)
+        ledger.charge_execution(10)
+        ledger.charge_inference(1000)
+        testing = (10 * 2.8 + 1000 * 0.015) / 3600.0
+        assert ledger.testing_hours == pytest.approx(testing)
+        assert ledger.total_hours == pytest.approx(1.0 + testing)
+
+    def test_snapshot(self):
+        ledger = CostLedger()
+        ledger.charge_execution()
+        hours, executions, inferences = ledger.snapshot()
+        assert executions == 1
+        assert inferences == 0
+        assert hours > 0
+
+
+class TestFilterModel:
+    def test_good_filter_pays_off(self):
+        model = FilterModel(
+            fruitful_probability=0.02,
+            true_positive_rate=0.7,
+            false_positive_rate=0.05,
+        )
+        assert model.speedup > 1.0
+
+    def test_omniscient_filter_speedup_bound(self):
+        """A perfect filter's speedup approaches 1/(p + r) · p ... i.e. the
+        cost drops to one execution per fruitful test plus inference scan."""
+        model = FilterModel(
+            fruitful_probability=0.01,
+            true_positive_rate=1.0,
+            false_positive_rate=0.0,
+        )
+        # unfiltered: c/p; filtered: (c_i + p c)/p -> speedup c/(c_i + p c)
+        expected = 2.8 / (0.015 + 0.01 * 2.8)
+        assert model.speedup == pytest.approx(expected)
+
+    def test_useless_filter_no_speedup(self):
+        model = FilterModel(
+            fruitful_probability=0.5,
+            true_positive_rate=1.0,
+            false_positive_rate=1.0,
+        )
+        assert model.speedup < 1.0  # pays inference for nothing
+
+    def test_zero_tpr_infinite_cost(self):
+        model = FilterModel(
+            fruitful_probability=0.1,
+            true_positive_rate=0.0,
+            false_positive_rate=0.0,
+        )
+        assert model.filtered_cost_per_fruitful == float("inf")
+        assert model.speedup == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FilterModel(1.5, 0.5, 0.5)
+
+    def test_breakeven_fpr_consistency(self):
+        model = FilterModel(
+            fruitful_probability=0.02,
+            true_positive_rate=0.7,
+            false_positive_rate=0.0,
+        )
+        breakeven = model.breakeven_false_positive_rate()
+        at_breakeven = FilterModel(
+            fruitful_probability=0.02,
+            true_positive_rate=0.7,
+            false_positive_rate=breakeven,
+        )
+        if 0.0 < breakeven < 1.0:
+            assert at_breakeven.speedup == pytest.approx(1.0, abs=0.02)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=0.1, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_costs_always_positive(self, p, tpr, fpr):
+        model = FilterModel(p, tpr, fpr)
+        assert model.unfiltered_cost_per_fruitful > 0
+        assert model.filtered_cost_per_fruitful > 0
+        assert 0.0 <= model.execution_rate <= 1.0
+
+
+class TestSimulation:
+    def test_monte_carlo_matches_closed_form(self):
+        model = FilterModel(
+            fruitful_probability=0.05,
+            true_positive_rate=0.8,
+            false_positive_rate=0.1,
+        )
+        sim = simulate_filter(model, target_fruitful=20, trials=80, seed=1)
+        per_fruitful_nofilter = sim["no_filter"] / 20
+        per_fruitful_filter = sim["filter"] / 20
+        assert per_fruitful_nofilter == pytest.approx(
+            model.unfiltered_cost_per_fruitful, rel=0.2
+        )
+        assert per_fruitful_filter == pytest.approx(
+            model.filtered_cost_per_fruitful, rel=0.2
+        )
+
+    def test_omniscient_is_cheapest(self):
+        model = FilterModel(
+            fruitful_probability=0.05,
+            true_positive_rate=0.8,
+            false_positive_rate=0.1,
+        )
+        sim = simulate_filter(model, target_fruitful=10, trials=40, seed=2)
+        assert sim["omniscient"] <= sim["filter"]
+        assert sim["omniscient"] <= sim["no_filter"]

@@ -1,0 +1,198 @@
+"""Tests for CT graph construction: vertices, edge types, templates."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rngmod
+from repro.execution import ScheduleHint
+from repro.execution.pct import propose_hint_pairs
+from repro.graphs import (
+    EDGE_INTER_DATAFLOW,
+    EDGE_INTRA_DATAFLOW,
+    EDGE_SCB_FLOW,
+    EDGE_SCHEDULE,
+    EDGE_SHORTCUT,
+    EDGE_URB_FLOW,
+    HINT_SOURCE,
+    NODE_SCB,
+    NODE_URB,
+    build_ct_graph,
+    build_ct_template,
+)
+
+
+@pytest.fixture(scope="module")
+def entries(corpus):
+    return corpus.entries[0], corpus.entries[1]
+
+
+@pytest.fixture(scope="module")
+def hints(entries):
+    rng = rngmod.make_rng(0)
+    pairs = propose_hint_pairs(rng, entries[0].trace, entries[1].trace, 1)
+    return list(pairs[0])
+
+
+@pytest.fixture(scope="module")
+def graph(kernel, dataset_builder, entries, hints):
+    return build_ct_graph(
+        kernel,
+        dataset_builder.cfg,
+        entries[0].trace,
+        entries[1].trace,
+        hints,
+        dataset_builder.vocabulary,
+    )
+
+
+class TestVertices:
+    def test_scbs_present_for_both_threads(self, graph, entries):
+        for thread, entry in enumerate(entries):
+            for block_id in entry.trace.block_sequence:
+                assert (thread, block_id) in graph.node_index
+
+    def test_urbs_marked(self, graph):
+        assert int(graph.urb_mask().sum()) > 0
+        assert int(graph.scb_mask().sum()) > 0
+        assert graph.num_nodes == int(graph.urb_mask().sum() + graph.scb_mask().sum())
+
+    def test_node_arrays_aligned(self, graph):
+        assert graph.node_types.shape == graph.node_threads.shape
+        assert graph.node_blocks.shape == graph.node_types.shape
+        assert graph.token_ids.shape[0] == graph.num_nodes
+        assert graph.hint_flags.shape == graph.node_types.shape
+
+    def test_threads_are_binary(self, graph):
+        assert set(np.unique(graph.node_threads)) <= {0, 1}
+
+
+class TestEdges:
+    def test_edge_endpoints_valid(self, graph):
+        assert (graph.edges[:, :2] >= 0).all()
+        assert (graph.edges[:, :2] < graph.num_nodes).all()
+
+    def test_all_edge_types_present(self, graph):
+        counts = graph.edge_count_by_type()
+        for edge_type in (
+            EDGE_SCB_FLOW,
+            EDGE_URB_FLOW,
+            EDGE_INTRA_DATAFLOW,
+            EDGE_SCHEDULE,
+            EDGE_SHORTCUT,
+        ):
+            assert counts[edge_type] > 0, f"missing edge type {edge_type}"
+
+    def test_schedule_edge_count_matches_hints(self, graph):
+        # Two hints whose blocks are in the graph -> two schedule edges.
+        assert graph.edge_count_by_type()[EDGE_SCHEDULE] == len(graph.hints)
+
+    def test_urb_flow_edges_end_in_urbs(self, graph):
+        urb = graph.urb_mask()
+        for src, dst, edge_type in graph.edges:
+            if edge_type == EDGE_URB_FLOW:
+                assert urb[dst]
+
+    def test_scb_flow_edges_stay_within_thread(self, graph):
+        for src, dst, edge_type in graph.edges:
+            if edge_type in (EDGE_SCB_FLOW, EDGE_INTRA_DATAFLOW, EDGE_SHORTCUT):
+                assert graph.node_threads[src] == graph.node_threads[dst]
+
+    def test_inter_thread_dataflow_crosses_threads(self, graph):
+        rows = graph.edges[graph.edges[:, 2] == EDGE_INTER_DATAFLOW]
+        for src, dst, _ in rows:
+            assert graph.node_threads[src] != graph.node_threads[dst]
+
+    def test_no_duplicate_edges(self, graph):
+        rows = {tuple(row) for row in graph.edges.tolist()}
+        assert len(rows) == graph.num_edges
+
+
+class TestHintEncoding:
+    def test_hint_source_flagged(self, kernel, graph):
+        flagged = set(np.flatnonzero(graph.hint_flags == HINT_SOURCE))
+        for hint in graph.hints:
+            block = kernel.block_of_instruction(hint.iid)
+            index = graph.node_index.get((hint.thread, block))
+            if index is not None:
+                assert index in flagged
+
+    def test_hint_outside_graph_produces_no_edge(
+        self, kernel, dataset_builder, entries
+    ):
+        # Find an instruction whose block is neither covered nor a URB of
+        # either trace: the hint must be silently dropped from the graph.
+        covered = entries[0].trace.covered_blocks | entries[1].trace.covered_blocks
+        outside_iid = None
+        for iid in range(kernel.num_instructions):
+            if kernel.block_of_instruction(iid) not in covered:
+                outside_iid = iid
+                break
+        assert outside_iid is not None
+        graph = build_ct_graph(
+            kernel,
+            dataset_builder.cfg,
+            entries[0].trace,
+            entries[1].trace,
+            [ScheduleHint(0, outside_iid)],
+            dataset_builder.vocabulary,
+        )
+        # Either no schedule edge (block absent) or, if the block happens
+        # to be a URB node, exactly one; never more.
+        assert graph.edge_count_by_type()[EDGE_SCHEDULE] <= 1
+
+    def test_no_hints_produces_no_schedule_edges(
+        self, kernel, dataset_builder, entries
+    ):
+        graph = build_ct_graph(
+            kernel,
+            dataset_builder.cfg,
+            entries[0].trace,
+            entries[1].trace,
+            [],
+            dataset_builder.vocabulary,
+        )
+        assert graph.edge_count_by_type()[EDGE_SCHEDULE] == 0
+
+
+class TestTemplate:
+    def test_instantiations_share_arrays(self, kernel, dataset_builder, entries):
+        template = build_ct_template(
+            kernel,
+            dataset_builder.cfg,
+            entries[0].trace,
+            entries[1].trace,
+            dataset_builder.vocabulary,
+        )
+        rng = rngmod.make_rng(1)
+        pairs = propose_hint_pairs(rng, entries[0].trace, entries[1].trace, 2)
+        g1 = template.instantiate(kernel, list(pairs[0]))
+        g2 = template.instantiate(kernel, list(pairs[1]))
+        assert g1.token_ids is g2.token_ids
+        assert g1.node_types is g2.node_types
+        assert g1.base_cache is g2.base_cache
+
+    def test_template_equals_oneshot(self, kernel, dataset_builder, entries, hints):
+        template = build_ct_template(
+            kernel,
+            dataset_builder.cfg,
+            entries[0].trace,
+            entries[1].trace,
+            dataset_builder.vocabulary,
+        )
+        from_template = template.instantiate(kernel, hints)
+        oneshot = build_ct_graph(
+            kernel,
+            dataset_builder.cfg,
+            entries[0].trace,
+            entries[1].trace,
+            hints,
+            dataset_builder.vocabulary,
+        )
+        assert np.array_equal(from_template.edges, oneshot.edges)
+        assert np.array_equal(from_template.hint_flags, oneshot.hint_flags)
+        assert np.array_equal(from_template.token_ids, oneshot.token_ids)
+
+    def test_builder_template_cache_hits(self, dataset_builder, entries, hints):
+        t1 = dataset_builder.template_for(*entries)
+        t2 = dataset_builder.template_for(*entries)
+        assert t1 is t2

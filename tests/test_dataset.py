@@ -1,0 +1,78 @@
+"""Tests for labeled dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs.dataset import GraphDatasetBuilder
+
+
+class TestLabeling:
+    def test_labels_aligned_with_nodes(self, small_splits):
+        for example in small_splits.train:
+            assert example.labels.shape == (example.num_nodes,)
+            assert set(np.unique(example.labels)) <= {0.0, 1.0}
+
+    def test_scbs_mostly_covered(self, small_splits):
+        """SCBs were covered sequentially; most stay covered concurrently."""
+        rates = []
+        for example in small_splits.train:
+            mask = example.graph.scb_mask()
+            rates.append(float(example.labels[mask].mean()))
+        assert np.mean(rates) > 0.5
+
+    def test_urbs_mostly_uncovered(self, small_splits):
+        """URB positives are rare — the paper's skewed-label regime."""
+        labels = np.concatenate(
+            [e.urb_labels() for e in small_splits.train if e.urb_labels().size]
+        )
+        assert labels.mean() < 0.2
+
+    def test_some_positive_urbs_exist(self, small_splits):
+        total = sum(float(e.urb_labels().sum()) for e in small_splits.train)
+        assert total > 0
+
+    def test_positive_fraction_bounds(self, small_splits):
+        for example in small_splits.train:
+            assert 0.0 <= example.positive_fraction() <= 1.0
+
+
+class TestSplits:
+    def test_splits_nonempty(self, small_splits):
+        assert small_splits.train
+        assert small_splits.validation
+        assert small_splits.evaluation
+
+    def test_cti_disjointness(self, small_splits):
+        def cti_keys(examples):
+            return {e.graph.cti_key for e in examples}
+
+        train = cti_keys(small_splits.train)
+        validation = cti_keys(small_splits.validation)
+        evaluation = cti_keys(small_splits.evaluation)
+        assert train & validation == set()
+        assert train & evaluation == set()
+        assert validation & evaluation == set()
+
+    def test_summary_mentions_counts(self, small_splits):
+        text = small_splits.summary()
+        assert str(len(small_splits.train)) in text
+
+
+class TestBuilderGuards:
+    def test_empty_corpus_raises(self, kernel):
+        builder = GraphDatasetBuilder(kernel, seed=0)
+        with pytest.raises(DatasetError):
+            builder.build_splits(num_ctis=4)
+
+    def test_label_determinism(self, dataset_builder):
+        entries = dataset_builder.corpus.entries
+        from repro import rng as rngmod
+        from repro.execution.pct import propose_hint_pairs
+
+        pair = propose_hint_pairs(
+            rngmod.make_rng(5), entries[0].trace, entries[1].trace, 1
+        )[0]
+        a = dataset_builder.label_ct(entries[0], entries[1], list(pair))
+        b = dataset_builder.label_ct(entries[0], entries[1], list(pair))
+        assert np.array_equal(a.labels, b.labels)

@@ -1,0 +1,66 @@
+"""Tests for dataset-builder caching and bulk example construction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dataset import GraphDatasetBuilder
+
+
+class TestTemplateCacheEviction:
+    def test_cache_capped(self, kernel):
+        builder = GraphDatasetBuilder(kernel, seed=1)
+        builder.grow_corpus(rounds=120)
+        builder._template_cache_cap = 4
+        entries = builder.corpus.entries
+        pairs = [
+            (entries[i], entries[j])
+            for i in range(3)
+            for j in range(3, 6)
+        ]
+        for entry_a, entry_b in pairs:
+            builder.template_for(entry_a, entry_b)
+        assert len(builder._template_cache) <= 4
+
+    def test_eviction_drops_oldest(self, kernel):
+        builder = GraphDatasetBuilder(kernel, seed=1)
+        builder.grow_corpus(rounds=120)
+        builder._template_cache_cap = 2
+        entries = builder.corpus.entries
+        t1 = builder.template_for(entries[0], entries[1])
+        builder.template_for(entries[1], entries[2])
+        builder.template_for(entries[2], entries[3])  # evicts (0,1)
+        t1_again = builder.template_for(entries[0], entries[1])
+        assert t1_again is not t1  # rebuilt after eviction
+
+
+class TestExamplesForCti:
+    def test_requested_interleavings(self, dataset_builder):
+        entries = dataset_builder.corpus.entries
+        examples = dataset_builder.examples_for_cti(
+            (entries[0], entries[1]), interleavings=5
+        )
+        assert 1 <= len(examples) <= 5
+        keys = {e.graph.hints for e in examples}
+        assert len(keys) == len(examples)  # distinct schedules
+
+    def test_results_dropped_by_default(self, dataset_builder):
+        entries = dataset_builder.corpus.entries
+        examples = dataset_builder.examples_for_cti(
+            (entries[0], entries[2]), interleavings=2
+        )
+        assert all(e.result is None for e in examples)
+
+    def test_results_kept_on_request(self, dataset_builder):
+        entries = dataset_builder.corpus.entries
+        examples = dataset_builder.examples_for_cti(
+            (entries[0], entries[3]), interleavings=2, keep_results=True
+        )
+        assert all(e.result is not None for e in examples)
+
+
+class TestBuildCtiPool:
+    def test_pool_members_distinct(self, dataset_builder):
+        pool = dataset_builder.build_cti_pool(10)
+        assert len(pool) == 10
+        for entry_a, entry_b in pool:
+            assert entry_a.sti.sti_id != entry_b.sti.sti_id

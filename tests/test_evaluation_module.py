@@ -1,0 +1,75 @@
+"""Tests for the Table-1 evaluation machinery itself."""
+
+import numpy as np
+import pytest
+
+from repro.ml.baselines import AllPositive, FairCoin
+from repro.ml.evaluation import evaluate_predictor, predictor_table
+
+
+class TestEvaluatePredictor:
+    def test_urb_only_skips_positive_free_graphs(self, small_splits):
+        """All-pos must score perfect recall when positives exist."""
+        metrics = evaluate_predictor(
+            AllPositive(), small_splits.evaluation, urb_only=True
+        )
+        assert metrics["recall"] == pytest.approx(1.0)
+
+    def test_all_nodes_mode_uses_every_graph(self, small_splits):
+        metrics = evaluate_predictor(
+            AllPositive(), small_splits.evaluation, urb_only=False
+        )
+        # Over all nodes (mostly covered SCBs), all-positive has high
+        # recall AND much higher accuracy than over URBs only.
+        assert metrics["recall"] == pytest.approx(1.0)
+        assert metrics["accuracy"] > 0.3
+
+    def test_empty_examples(self):
+        metrics = evaluate_predictor(AllPositive(), [], urb_only=True)
+        assert metrics["f1"] == 0.0
+
+    def test_metrics_keys_stable(self, small_splits):
+        metrics = evaluate_predictor(FairCoin(seed=0), small_splits.evaluation)
+        assert set(metrics) == {
+            "f1",
+            "precision",
+            "recall",
+            "accuracy",
+            "balanced_accuracy",
+        }
+
+
+class TestPredictorTable:
+    def test_row_order_follows_input(self, small_splits):
+        rows = predictor_table(
+            {"B": FairCoin(seed=0), "A": AllPositive()},
+            small_splits.evaluation,
+        )
+        assert [row["predictor"] for row in rows] == ["B", "A"]
+
+    def test_rows_carry_metrics(self, small_splits):
+        rows = predictor_table({"A": AllPositive()}, small_splits.evaluation)
+        assert rows[0]["recall"] == pytest.approx(1.0)
+
+
+class TestTrainedModelSanity:
+    def test_model_dominates_coin_on_f1(self, tiny_model, small_splits):
+        model_metrics = evaluate_predictor(tiny_model, small_splits.evaluation)
+        coin_metrics = evaluate_predictor(
+            FairCoin(seed=0), small_splits.evaluation
+        )
+        assert model_metrics["f1"] > coin_metrics["f1"]
+
+    def test_model_score_separation(self, tiny_model, small_splits):
+        """Predicted probabilities separate positive from negative URBs."""
+        positive_scores, negative_scores = [], []
+        for example in small_splits.evaluation:
+            mask = example.graph.urb_mask()
+            if not mask.any():
+                continue
+            scores = tiny_model.predict_proba(example.graph)[mask]
+            labels = example.labels[mask].astype(bool)
+            positive_scores.extend(scores[labels])
+            negative_scores.extend(scores[~labels])
+        if positive_scores and negative_scores:
+            assert np.mean(positive_scores) > np.mean(negative_scores)

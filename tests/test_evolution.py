@@ -1,0 +1,103 @@
+"""Tests for kernel version evolution (§5.4 substrate)."""
+
+import pytest
+
+from repro.kernel import EvolutionConfig, evolve_kernel
+from repro.kernel.bugs import BugKind
+from repro.kernel.isa import Opcode
+
+
+@pytest.fixture(scope="module")
+def evolved(kernel):
+    config = EvolutionConfig(
+        version="v5.13",
+        rebuild_fraction=0.3,
+        new_helpers_per_subsystem=1,
+        new_syscalls_per_subsystem=1,
+        new_atomicity_bugs=1,
+        new_data_races=1,
+    )
+    return evolve_kernel(kernel, config, seed=11)
+
+
+class TestEvolutionBasics:
+    def test_version_bumped(self, evolved):
+        assert evolved.version == "v5.13"
+
+    def test_new_syscalls_added(self, kernel, evolved):
+        old = set(kernel.syscall_names())
+        new = set(evolved.syscall_names())
+        assert old - new == set()  # no syscall removed
+        assert len(new) > len(old)
+
+    def test_most_code_preserved(self, kernel, evolved):
+        """Evolution keeps the majority of blocks byte-identical, the
+        property that makes cross-version model transfer work."""
+        identical = 0
+        common = 0
+        for block_id, block in kernel.blocks.items():
+            other = evolved.blocks.get(block_id)
+            if other is None:
+                continue
+            common += 1
+            if other.asm() == block.asm():
+                identical += 1
+        assert common > 0
+        assert identical / common > 0.5
+
+    def test_old_kernel_untouched(self, kernel, evolved):
+        """Evolution must deep-copy: old kernel's iids stay valid."""
+        for iid in range(kernel.num_instructions):
+            block_id, index = kernel.locate(iid)
+            assert kernel.blocks[block_id].instructions[index].iid == iid
+
+    def test_valid_kernel_invariants(self, evolved):
+        for block in evolved.blocks.values():
+            for successor in block.successors:
+                assert successor in evolved.blocks
+        for spec in evolved.syscalls.values():
+            assert spec.handler in evolved.functions
+
+
+class TestBugCarryOver:
+    def test_old_bugs_carried(self, kernel, evolved):
+        old_ids = {bug.bug_id for bug in kernel.bugs}
+        new_ids = {bug.bug_id for bug in evolved.bugs}
+        assert old_ids <= new_ids
+
+    def test_new_bugs_injected(self, kernel, evolved):
+        assert len(evolved.bugs) == len(kernel.bugs) + 2
+
+    def test_carried_racing_pairs_resolve(self, kernel, evolved):
+        for bug in evolved.bugs:
+            write = evolved.instruction(bug.write_iid)
+            read = evolved.instruction(bug.read_iid)
+            assert write.is_write
+            assert read.opcode is Opcode.LOAD
+            assert write.memory_address == bug.variable
+            assert read.memory_address == bug.variable
+
+    def test_fixed_bugs_dropped(self, kernel):
+        config = EvolutionConfig(version="v6.1", fixed_bugs=2)
+        evolved = evolve_kernel(kernel, config, seed=3)
+        old_ids = sorted(bug.bug_id for bug in kernel.bugs)
+        new_ids = {bug.bug_id for bug in evolved.bugs}
+        assert old_ids[0] not in new_ids
+        assert old_ids[1] not in new_ids
+
+
+class TestEvolvedExecution:
+    def test_evolved_kernel_runs(self, evolved):
+        from repro.execution import run_sequential
+
+        for name in evolved.syscall_names()[:6]:
+            trace = run_sequential(evolved, [(name, [1, 2])])
+            assert trace.completed
+            assert trace.covered_blocks
+
+    def test_evolution_deterministic(self, kernel):
+        config = EvolutionConfig(version="vX", new_data_races=1)
+        a = evolve_kernel(kernel, config, seed=5)
+        b = evolve_kernel(kernel, config, seed=5)
+        assert a.num_blocks == b.num_blocks
+        assert a.syscall_names() == b.syscall_names()

@@ -1,0 +1,109 @@
+"""Tests for STI generation, mutation and the coverage-guided corpus."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rngmod
+from repro.fuzz import Corpus, FuzzerConfig, STI, StiGenerator, SyscallCall
+
+
+@pytest.fixture()
+def generator(kernel):
+    return StiGenerator(kernel, seed=9)
+
+
+class TestGeneration:
+    def test_generated_calls_are_valid(self, kernel, generator):
+        for _ in range(30):
+            sti = generator.generate()
+            assert 1 <= len(sti) <= generator.config.max_calls
+            for call in sti.calls:
+                assert call.name in kernel.syscalls
+                spec = kernel.syscalls[call.name]
+                assert len(call.args) == spec.num_args
+
+    def test_sti_ids_unique(self, generator):
+        ids = {generator.generate().sti_id for _ in range(20)}
+        assert len(ids) == 20
+
+    def test_deterministic_given_seed(self, kernel):
+        a = StiGenerator(kernel, seed=4).generate_many(10)
+        b = StiGenerator(kernel, seed=4).generate_many(10)
+        assert [s.render() for s in a] == [s.render() for s in b]
+
+    def test_render_roundtrip_is_readable(self, generator):
+        sti = generator.generate()
+        rendered = sti.render()
+        for call in sti.calls:
+            assert call.name in rendered
+
+
+class TestMutation:
+    def test_parent_unchanged(self, generator):
+        parent = generator.generate()
+        snapshot = parent.render()
+        generator.mutate(parent)
+        assert parent.render() == snapshot
+
+    def test_child_differs_usually(self, generator):
+        parent = generator.generate()
+        children = [generator.mutate(parent) for _ in range(20)]
+        assert any(child.render() != parent.render() for child in children)
+
+    def test_child_respects_bounds(self, generator):
+        parent = generator.generate()
+        for _ in range(30):
+            child = generator.mutate(parent)
+            assert len(child) >= 1
+
+    def test_targeted_builds_exact_call(self, kernel, generator):
+        name = kernel.syscall_names()[0]
+        sti = generator.targeted(name, [2, 3, 9])
+        assert len(sti) == 1
+        assert sti.calls[0].name == name
+
+
+class TestCorpus:
+    def test_feedback_rule_discards_duplicates(self, kernel, generator):
+        corpus = Corpus(kernel)
+        sti = generator.generate()
+        first = corpus.execute_and_consider(sti)
+        again = corpus.execute_and_consider(sti)
+        assert first is not None
+        assert again is None  # no new coverage
+        assert corpus.executions == 2
+
+    def test_keep_all_bypasses_feedback(self, kernel, generator):
+        corpus = Corpus(kernel)
+        sti = generator.generate()
+        corpus.execute_and_consider(sti, keep_all=True)
+        entry = corpus.execute_and_consider(sti, keep_all=True)
+        assert entry is not None
+        assert len(corpus) == 2
+
+    def test_grow_increases_coverage(self, kernel):
+        generator = StiGenerator(kernel, seed=2)
+        corpus = Corpus(kernel)
+        added = corpus.grow(generator, rounds=60)
+        assert added > 0
+        assert 0.0 < corpus.coverage_fraction() <= 1.0
+        assert len(corpus) == added
+
+    def test_sample_pairs_distinct(self, corpus):
+        rng = rngmod.make_rng(0)
+        for a, b in corpus.sample_pairs(rng, 20):
+            assert a.sti.sti_id != b.sti.sti_id
+
+    def test_sample_pairs_empty_when_small(self, kernel):
+        corpus = Corpus(kernel)
+        assert corpus.sample_pairs(rngmod.make_rng(0), 5) == []
+
+
+class TestSTIDataclass:
+    def test_as_pairs_shape(self):
+        sti = STI(sti_id=0, calls=(SyscallCall("x", (1, 2)),))
+        assert sti.as_pairs() == [("x", [1, 2])]
+
+    def test_syscall_names(self):
+        sti = STI(sti_id=0, calls=(SyscallCall("a"), SyscallCall("b")))
+        assert sti.syscall_names == ("a", "b")

@@ -1,0 +1,108 @@
+"""Tests for the synthetic ISA: rendering and tokenization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.isa import (
+    Instruction,
+    Opcode,
+    Operand,
+    asm_text,
+    render_instruction,
+    tokenize_instruction,
+)
+
+
+def make(opcode, *operands):
+    return Instruction(opcode=opcode, operands=tuple(operands))
+
+
+class TestRendering:
+    def test_nop(self):
+        assert render_instruction(make(Opcode.NOP)) == "nop"
+
+    def test_load(self):
+        instr = make(Opcode.LOAD, Operand.make_reg(3), Operand.make_addr(42))
+        assert render_instruction(instr) == "load r3, [v42]"
+
+    def test_storei(self):
+        instr = make(Opcode.STOREI, Operand.make_addr(7), Operand.make_imm(1))
+        assert render_instruction(instr) == "storei [v7], $1"
+
+    def test_branch(self):
+        instr = make(Opcode.JNZ, Operand.make_reg(5), Operand.make_label(12))
+        assert render_instruction(instr) == "jnz r5, .B12"
+
+    def test_call(self):
+        instr = make(Opcode.CALL, Operand.make_fn("sub0_helper1"))
+        assert render_instruction(instr) == "call sub0_helper1"
+
+    def test_lock(self):
+        instr = make(Opcode.LOCK, Operand.make_lock("sub0.lock0"))
+        assert render_instruction(instr) == "lock sub0.lock0"
+
+    def test_asm_text_joins_lines(self):
+        text = asm_text([make(Opcode.NOP), make(Opcode.RET)])
+        assert text == "nop\nret"
+
+
+class TestTokenization:
+    def test_numeric_elision_for_immediates(self):
+        instr = make(Opcode.MOVI, Operand.make_reg(1), Operand.make_imm(123))
+        tokens = tokenize_instruction(instr)
+        assert tokens == ["movi", "r1", "$imm"]
+        assert "123" not in " ".join(tokens)
+
+    def test_numeric_elision_for_addresses(self):
+        instr = make(Opcode.LOAD, Operand.make_reg(2), Operand.make_addr(999))
+        tokens = tokenize_instruction(instr)
+        assert "999" not in " ".join(tokens)
+        assert "var" in tokens
+
+    def test_labels_elided(self):
+        instr = make(Opcode.JMP, Operand.make_label(55))
+        assert tokenize_instruction(instr) == ["jmp", ".label"]
+
+    def test_function_names_elided(self):
+        instr = make(Opcode.CALL, Operand.make_fn("secret_fn"))
+        tokens = tokenize_instruction(instr)
+        assert "secret_fn" not in tokens
+        assert "@fn" in tokens
+
+    def test_registers_preserved(self):
+        instr = make(Opcode.ADD, Operand.make_reg(3), Operand.make_reg(7))
+        assert tokenize_instruction(instr) == ["add", "r3", "r7"]
+
+    @given(st.integers(min_value=-(10**6), max_value=10**6))
+    def test_no_digits_leak_from_operand_payloads(self, value):
+        instr = make(Opcode.ADDI, Operand.make_reg(0), Operand.make_imm(value))
+        tokens = tokenize_instruction(instr)
+        # Only the register token may contain a digit (r0..r7).
+        for token in tokens:
+            if token.startswith("r") and len(token) == 2:
+                continue
+            assert not any(ch.isdigit() for ch in token)
+
+
+class TestInstructionProperties:
+    def test_memory_address_of_load(self):
+        instr = make(Opcode.LOAD, Operand.make_reg(0), Operand.make_addr(5))
+        assert instr.memory_address == 5
+        assert not instr.is_write
+
+    def test_memory_address_of_store(self):
+        instr = make(Opcode.STORE, Operand.make_addr(9), Operand.make_reg(1))
+        assert instr.memory_address == 9
+        assert instr.is_write
+
+    def test_non_memory_has_no_address(self):
+        assert make(Opcode.NOP).memory_address is None
+
+    def test_terminators(self):
+        assert make(Opcode.RET).is_terminator
+        assert make(Opcode.JMP, Operand.make_label(1)).is_terminator
+        assert not make(Opcode.NOP).is_terminator
+
+    def test_unknown_operand_kind_rejected(self):
+        with pytest.raises(ValueError):
+            render_instruction(make(Opcode.NOP, Operand(kind="bogus")))

@@ -1,0 +1,153 @@
+"""Tests for the synthetic kernel builder: structure and invariants."""
+
+import pytest
+
+from repro.errors import KernelBuildError
+from repro.kernel import KernelConfig, build_kernel
+from repro.kernel.bugs import BugKind
+from repro.kernel.isa import Opcode
+
+
+class TestDeterminism:
+    def test_same_seed_same_kernel(self):
+        a = build_kernel(seed=5)
+        b = build_kernel(seed=5)
+        assert a.num_blocks == b.num_blocks
+        assert a.num_instructions == b.num_instructions
+        assert a.syscall_names() == b.syscall_names()
+        for block_id in a.blocks:
+            assert a.blocks[block_id].asm() == b.blocks[block_id].asm()
+
+    def test_different_seed_differs(self):
+        a = build_kernel(seed=5)
+        b = build_kernel(seed=6)
+        assert any(
+            a.blocks[i].asm() != b.blocks[i].asm()
+            for i in a.blocks
+            if i in b.blocks
+        )
+
+
+class TestStructure:
+    def test_block_successors_exist(self, kernel):
+        for block in kernel.blocks.values():
+            for successor in block.successors:
+                assert successor in kernel.blocks
+
+    def test_every_block_has_terminator_or_is_nonempty(self, kernel):
+        for block in kernel.blocks.values():
+            assert len(block.instructions) > 0
+            terminator = block.terminator
+            if terminator is None:
+                # Blocks without terminators are not allowed; every built
+                # block ends in a branch, jmp or ret.
+                pytest.fail(f"block {block.block_id} lacks a terminator")
+
+    def test_function_entry_blocks_exist(self, kernel):
+        for function in kernel.functions.values():
+            assert function.entry_block in kernel.blocks
+
+    def test_function_block_lists_cover_blocks(self, kernel):
+        listed = set()
+        for function in kernel.functions.values():
+            listed.update(function.block_ids)
+        assert listed == set(kernel.blocks)
+
+    def test_instruction_ids_dense_and_locatable(self, kernel):
+        for iid in range(kernel.num_instructions):
+            block_id, index = kernel.locate(iid)
+            assert kernel.blocks[block_id].instructions[index].iid == iid
+
+    def test_syscalls_have_handlers(self, kernel):
+        for spec in kernel.syscalls.values():
+            assert spec.handler in kernel.functions
+
+    def test_conditionals_have_two_successors(self, kernel):
+        for block in kernel.blocks.values():
+            terminator = block.terminator
+            if terminator is not None and terminator.opcode in (
+                Opcode.JZ,
+                Opcode.JNZ,
+            ):
+                assert len(block.successors) == 2
+
+    def test_no_recursion_via_calls(self, kernel):
+        """Call graph must be acyclic (guarantees termination)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for name, function in kernel.functions.items():
+            graph.add_node(name)
+            for block_id in function.block_ids:
+                for instr in kernel.blocks[block_id].instructions:
+                    if instr.opcode is Opcode.CALL:
+                        graph.add_edge(name, instr.operand(0).name)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_intraprocedural_cfg_is_acyclic(self, kernel):
+        import networkx as nx
+
+        for name, function in kernel.functions.items():
+            graph = nx.DiGraph()
+            for block_id in function.block_ids:
+                graph.add_node(block_id)
+                for successor in kernel.blocks[block_id].successors:
+                    graph.add_edge(block_id, successor)
+            assert nx.is_directed_acyclic_graph(graph), name
+
+
+class TestBugInjection:
+    def test_requested_bug_counts(self, kernel):
+        kinds = [bug.kind for bug in kernel.bugs]
+        assert kinds.count(BugKind.ATOMICITY_VIOLATION) == 2
+        assert kinds.count(BugKind.ORDER_VIOLATION) == 2
+        assert kinds.count(BugKind.DATA_RACE) == 2
+
+    def test_racing_pairs_are_valid_iids(self, kernel):
+        for bug in kernel.bugs:
+            write = kernel.instruction(bug.write_iid)
+            read = kernel.instruction(bug.read_iid)
+            assert write.is_write
+            assert read.opcode is Opcode.LOAD
+
+    def test_racing_pair_touches_bug_variable(self, kernel):
+        for bug in kernel.bugs:
+            assert kernel.instruction(bug.write_iid).memory_address == bug.variable
+            assert kernel.instruction(bug.read_iid).memory_address == bug.variable
+
+    def test_manifest_block_exists(self, kernel):
+        for bug in kernel.bugs:
+            assert bug.manifest_block in kernel.blocks
+
+    def test_trigger_syscalls_exist(self, kernel):
+        for bug in kernel.bugs:
+            for name in bug.trigger_syscalls:
+                assert name in kernel.syscalls
+
+    def test_manifest_block_has_check_or_deref_for_non_dr(self, kernel):
+        for bug in kernel.bugs:
+            if bug.kind is BugKind.DATA_RACE:
+                continue
+            opcodes = {
+                instr.opcode
+                for instr in kernel.blocks[bug.manifest_block].instructions
+            }
+            assert Opcode.CHECK in opcodes or Opcode.DEREF in opcodes
+
+
+class TestConfigValidation:
+    def test_too_many_bugs_rejected(self):
+        config = KernelConfig(
+            num_subsystems=1,
+            syscalls_per_subsystem=2,
+            num_atomicity_bugs=5,
+            num_order_bugs=5,
+            num_data_races=5,
+        )
+        with pytest.raises(KernelBuildError):
+            build_kernel(config, seed=0)
+
+    def test_zero_segments_rejected(self):
+        config = KernelConfig(segments_per_function=(0, 0))
+        with pytest.raises(KernelBuildError):
+            build_kernel(config, seed=0)

@@ -1,0 +1,129 @@
+"""Tests for bounded-loop generation (opt-in kernel realism upgrade)."""
+
+import networkx as nx
+import pytest
+
+from repro.execution import run_concurrent, run_sequential
+from repro.kernel import KernelConfig, build_kernel
+from repro.kernel.builder import LOOP_REGISTER
+from repro.kernel.isa import Opcode
+
+LOOPY_CONFIG = KernelConfig(
+    num_subsystems=2,
+    functions_per_subsystem=3,
+    syscalls_per_subsystem=4,
+    segments_per_function=(2, 4),
+    loop_prob=0.5,
+    num_atomicity_bugs=1,
+    num_order_bugs=1,
+    num_data_races=1,
+)
+
+
+@pytest.fixture(scope="module")
+def loopy_kernel():
+    return build_kernel(LOOPY_CONFIG, seed=17)
+
+
+class TestDefaultUnchanged:
+    def test_loop_prob_zero_is_byte_identical_to_historic(self):
+        """The flag must not disturb existing seeds: the default kernel is
+        exactly what it was before loops existed."""
+        a = build_kernel(KernelConfig(), seed=42)
+        b = build_kernel(KernelConfig(loop_prob=0.0), seed=42)
+        assert a.num_blocks == b.num_blocks
+        for block_id in a.blocks:
+            assert a.blocks[block_id].asm() == b.blocks[block_id].asm()
+
+    def test_default_cfg_acyclic(self, kernel):
+        for name, function in kernel.functions.items():
+            graph = nx.DiGraph()
+            for block_id in function.block_ids:
+                for successor in kernel.blocks[block_id].successors:
+                    graph.add_edge(block_id, successor)
+            assert nx.is_directed_acyclic_graph(graph), name
+
+
+class TestLoopStructure:
+    def test_back_edges_exist(self, loopy_kernel):
+        back_edges = 0
+        for block in loopy_kernel.blocks.values():
+            if block.block_id in block.successors:
+                back_edges += 1
+        assert back_edges > 0
+
+    def test_loop_bodies_protect_counter(self, loopy_kernel):
+        """Inside a self-looping block, only the trailing ADDI may write
+        the loop register."""
+        for block in loopy_kernel.blocks.values():
+            if block.block_id not in block.successors:
+                continue
+            for instruction in block.instructions[:-2]:
+                if instruction.opcode in (
+                    Opcode.MOVI,
+                    Opcode.MOV,
+                    Opcode.ADD,
+                    Opcode.ADDI,
+                    Opcode.SUB,
+                    Opcode.AND,
+                    Opcode.XOR,
+                    Opcode.LOAD,
+                ):
+                    assert instruction.operand(0).reg != LOOP_REGISTER
+
+    def test_loop_blocks_end_with_jnz_on_counter(self, loopy_kernel):
+        for block in loopy_kernel.blocks.values():
+            if block.block_id in block.successors:
+                terminator = block.terminator
+                assert terminator is not None
+                assert terminator.opcode is Opcode.JNZ
+                assert terminator.operand(0).reg == LOOP_REGISTER
+
+
+class TestLoopExecution:
+    def test_all_syscalls_terminate(self, loopy_kernel):
+        for name in loopy_kernel.syscall_names():
+            trace = run_sequential(loopy_kernel, [(name, [1, 2, 3])])
+            assert trace.completed
+
+    def test_loop_blocks_execute_multiple_times(self, loopy_kernel):
+        """Some instruction id must repeat in a trace (loop iterations)."""
+        repeated = False
+        for name in loopy_kernel.syscall_names():
+            trace = run_sequential(loopy_kernel, [(name, [1, 2, 3])])
+            if len(trace.iid_trace) != len(set(trace.iid_trace)):
+                repeated = True
+                break
+        assert repeated
+
+    def test_concurrent_execution_terminates(self, loopy_kernel):
+        names = loopy_kernel.syscall_names()
+        result = run_concurrent(
+            loopy_kernel, ([(names[0], [1])], [(names[1], [2])])
+        )
+        assert result.completed
+
+    def test_full_pipeline_works_with_loops(self, loopy_kernel):
+        """Graphs, datasets and a model forward all survive loopy CFGs."""
+        from repro.graphs.dataset import GraphDatasetBuilder
+        from repro.ml.pic import PICConfig, PICModel
+
+        builder = GraphDatasetBuilder(loopy_kernel, seed=3)
+        builder.grow_corpus(rounds=60)
+        splits = builder.build_splits(
+            num_ctis=4, train_interleavings=2, evaluation_interleavings=2
+        )
+        assert splits.train
+        model = PICModel(
+            PICConfig(
+                vocab_size=len(builder.vocabulary),
+                pad_id=builder.vocabulary.pad_id,
+                token_dim=8,
+                hidden_dim=12,
+                num_layers=2,
+            ),
+            seed=0,
+        )
+        example = splits.train[0]
+        proba = model.predict_proba(example.graph)
+        assert proba.shape == (example.num_nodes,)

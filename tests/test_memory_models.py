@@ -1,0 +1,217 @@
+"""Tests for the TSO weak-memory mode (§6 extension).
+
+The centrepiece is the classic store-buffering (SB) litmus test:
+
+    thread A: x := 1; r1 := y          thread B: y := 1; r2 := x
+
+Under sequential consistency — including every serialized interleaving —
+at least one thread observes the other's store (r1 + r2 >= 1). Under TSO,
+both stores can sit in private buffers while both loads read the old
+values: r1 == r2 == 0 becomes reachable. The tests drive exactly that.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution import ScheduleHint, run_concurrent
+from repro.execution.machine import Machine
+from repro.kernel.code import BasicBlock, Function, Kernel
+from repro.kernel.isa import Instruction, Opcode, Operand
+from repro.kernel.memory import MemoryImage
+from repro.kernel.syscalls import SyscallSpec
+
+
+def _instr(opcode, *operands):
+    return Instruction(opcode=opcode, operands=tuple(operands))
+
+
+@pytest.fixture(scope="module")
+def litmus_kernel():
+    """SB litmus: sys_a does x:=1; check(y==0); sys_b does y:=1; check(x==0).
+
+    The CHECK fires when the *relaxed* outcome is observed by that thread
+    (it read 0), so a run where both threads fire both checks witnessed
+    the TSO-only outcome.
+    """
+    image = MemoryImage()
+    x = image.allocate("x", 0)
+    y = image.allocate("y", 0)
+
+    def handler(name, write_addr, read_addr, block_id):
+        return BasicBlock(
+            block_id=block_id,
+            function=name,
+            instructions=[
+                _instr(Opcode.STOREI, Operand.make_addr(write_addr), Operand.make_imm(1)),
+                _instr(Opcode.LOAD, Operand.make_reg(5), Operand.make_addr(read_addr)),
+                _instr(Opcode.CHECK, Operand.make_reg(5), Operand.make_imm(0)),
+                _instr(Opcode.RET),
+            ],
+        )
+
+    blocks = {0: handler("fa", x, y, 0), 1: handler("fb", y, x, 1)}
+    return Kernel(
+        version="litmus",
+        blocks=blocks,
+        functions={
+            "fa": Function("fa", "s", 0, [0]),
+            "fb": Function("fb", "s", 1, [1]),
+        },
+        syscalls={
+            "sys_a": SyscallSpec("sys_a", "fa", "s", ()),
+            "sys_b": SyscallSpec("sys_b", "fb", "s", ()),
+        },
+        memory=image,
+        locks=[],
+        bugs=[],
+    )
+
+
+def relaxed_witnesses(kernel, memory_model):
+    """Count schedules (over all store→switch placements) where BOTH
+    threads observed 0 — the TSO-only outcome."""
+    store_a = kernel.blocks[0].instructions[0].iid
+    store_b = kernel.blocks[1].instructions[0].iid
+    load_a = kernel.blocks[0].instructions[1].iid
+    witnesses = 0
+    # Yield right after each store (and, in the 3-hint schedule, after
+    # A's load too, so B loads before A's syscall-exit fence drains).
+    for hints in (
+        [
+            ScheduleHint(0, store_a),
+            ScheduleHint(1, store_b),
+            ScheduleHint(0, load_a),
+        ],
+        [ScheduleHint(0, store_a), ScheduleHint(1, store_b)],
+        [ScheduleHint(0, store_a)],
+        [],
+    ):
+        result = run_concurrent(
+            kernel,
+            ([("sys_a", [])], [("sys_b", [])]),
+            hints=hints,
+            memory_model=memory_model,
+        )
+        fired_threads = {event.thread for event in result.bug_events}
+        if fired_threads == {0, 1}:
+            witnesses += 1
+    return witnesses
+
+
+class TestStoreBufferingLitmus:
+    def test_sc_forbids_relaxed_outcome(self, litmus_kernel):
+        assert relaxed_witnesses(litmus_kernel, "sc") == 0
+
+    def test_tso_allows_relaxed_outcome(self, litmus_kernel):
+        assert relaxed_witnesses(litmus_kernel, "tso") >= 1
+
+    def test_unknown_model_rejected(self, litmus_kernel):
+        with pytest.raises(ExecutionError):
+            Machine(litmus_kernel, memory_model="arm")
+
+
+class TestStoreForwarding:
+    def test_thread_sees_its_own_buffered_store(self, litmus_kernel):
+        """TSO store forwarding: a thread reads its own latest store."""
+        image = MemoryImage()
+        addr = image.allocate("v", 7)
+        block = BasicBlock(
+            block_id=0,
+            function="f",
+            instructions=[
+                _instr(Opcode.STOREI, Operand.make_addr(addr), Operand.make_imm(3)),
+                _instr(Opcode.LOAD, Operand.make_reg(4), Operand.make_addr(addr)),
+                _instr(Opcode.RET),
+            ],
+        )
+        kernel = Kernel(
+            version="fwd",
+            blocks={0: block},
+            functions={"f": Function("f", "s", 0, [0])},
+            syscalls={"sys": SyscallSpec("sys", "f", "s", ())},
+            memory=image,
+            locks=[],
+            bugs=[],
+        )
+        machine = Machine(kernel, memory_model="tso")
+        thread = machine.create_thread([("sys", [])])
+        while machine.runnable(thread):
+            machine.step(thread)
+        assert thread.registers[4] == 3  # forwarded from the buffer
+        # And the store drained at syscall exit.
+        assert machine.memory.load(addr) == 3
+
+
+class TestFences:
+    def _fence_kernel(self, with_lock):
+        image = MemoryImage()
+        addr = image.allocate("v", 0)
+        instructions = [
+            _instr(Opcode.STOREI, Operand.make_addr(addr), Operand.make_imm(9)),
+        ]
+        if with_lock:
+            instructions += [
+                _instr(Opcode.LOCK, Operand.make_lock("L")),
+                _instr(Opcode.UNLOCK, Operand.make_lock("L")),
+            ]
+        instructions += [_instr(Opcode.NOP), _instr(Opcode.RET)]
+        block = BasicBlock(block_id=0, function="f", instructions=instructions)
+        kernel = Kernel(
+            version="fence",
+            blocks={0: block},
+            functions={"f": Function("f", "s", 0, [0])},
+            syscalls={"sys": SyscallSpec("sys", "f", "s", ())},
+            memory=image,
+            locks=["L"],
+            bugs=[],
+        )
+        return kernel, addr
+
+    def _run_until_nop(self, kernel):
+        machine = Machine(kernel, memory_model="tso")
+        thread = machine.create_thread([("sys", [])])
+        block = kernel.blocks[0]
+        nop_index = next(
+            i for i, instr in enumerate(block.instructions)
+            if instr.opcode is Opcode.NOP
+        )
+        while thread.index < nop_index or thread.block_id is None:
+            machine.step(thread)
+        return machine
+
+    def test_store_buffered_without_fence(self):
+        kernel, addr = self._fence_kernel(with_lock=False)
+        machine = self._run_until_nop(kernel)
+        assert machine.memory.load(addr) == 0  # still in the buffer
+
+    def test_lock_acquire_drains_buffer(self):
+        kernel, addr = self._fence_kernel(with_lock=True)
+        machine = self._run_until_nop(kernel)
+        assert machine.memory.load(addr) == 9  # fence made it visible
+
+    def test_buffer_overflow_drains_oldest(self):
+        image = MemoryImage()
+        addresses = [image.allocate(f"v{i}", 0) for i in range(12)]
+        instructions = [
+            _instr(Opcode.STOREI, Operand.make_addr(a), Operand.make_imm(1))
+            for a in addresses
+        ] + [_instr(Opcode.NOP), _instr(Opcode.RET)]
+        block = BasicBlock(block_id=0, function="f", instructions=instructions)
+        kernel = Kernel(
+            version="overflow",
+            blocks={0: block},
+            functions={"f": Function("f", "s", 0, [0])},
+            syscalls={"sys": SyscallSpec("sys", "f", "s", ())},
+            memory=image,
+            locks=[],
+            bugs=[],
+        )
+        machine = Machine(kernel, memory_model="tso", store_buffer_capacity=4)
+        thread = machine.create_thread([("sys", [])])
+        nop_index = len(instructions) - 2
+        while thread.index < nop_index or thread.block_id is None:
+            machine.step(thread)
+        # 12 stores through a 4-entry buffer: the first 8 must have drained.
+        assert machine.memory.load(addresses[0]) == 1
+        assert machine.memory.load(addresses[7]) == 1
+        assert machine.memory.load(addresses[11]) == 0  # still buffered

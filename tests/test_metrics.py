@@ -1,0 +1,141 @@
+"""Tests for classification metrics: Table 1's scoring machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.metrics import (
+    BinaryMetrics,
+    average_precision,
+    classification_metrics,
+    fbeta_score,
+    mean_metrics,
+    tune_threshold,
+)
+
+
+class TestBinaryMetrics:
+    def test_perfect_predictor(self):
+        labels = np.array([1, 0, 1, 0, 1])
+        metrics = classification_metrics(labels, labels)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.accuracy == 1.0
+        assert metrics.balanced_accuracy == 1.0
+
+    def test_all_positive_predictor(self):
+        labels = np.array([1, 0, 0, 0])
+        predictions = np.ones(4)
+        metrics = classification_metrics(labels, predictions)
+        assert metrics.recall == 1.0
+        assert metrics.precision == 0.25
+        assert metrics.specificity == 0.0
+        assert metrics.balanced_accuracy == 0.5
+
+    def test_all_negative_predictor_on_skewed_labels(self):
+        labels = np.array([0] * 99 + [1])
+        predictions = np.zeros(100)
+        metrics = classification_metrics(labels, predictions)
+        assert metrics.accuracy == 0.99
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_empty_input(self):
+        metrics = classification_metrics(np.array([]), np.array([]))
+        assert metrics.accuracy == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_f2_weighs_recall_more(self):
+        # High recall / low precision: F2 must exceed F1.
+        metrics = BinaryMetrics(tp=9, fp=18, tn=100, fn=1)
+        assert metrics.fbeta(2.0) > metrics.f1
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=60),
+        st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_metric_ranges(self, labels, predictions):
+        n = min(len(labels), len(predictions))
+        metrics = classification_metrics(
+            np.array(labels[:n]), np.array(predictions[:n])
+        )
+        for value in (
+            metrics.precision,
+            metrics.recall,
+            metrics.accuracy,
+            metrics.balanced_accuracy,
+            metrics.f1,
+        ):
+            assert 0.0 <= value <= 1.0
+        assert metrics.tp + metrics.fp + metrics.tn + metrics.fn == n
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert average_precision(labels, scores) == 1.0
+
+    def test_worst_ranking(self):
+        labels = np.array([0, 0, 1])
+        scores = np.array([0.9, 0.8, 0.1])
+        assert average_precision(labels, scores) == pytest.approx(1 / 3)
+
+    def test_no_positives_returns_zero(self):
+        assert average_precision(np.zeros(5), np.linspace(0, 1, 5)) == 0.0
+
+    def test_score_shift_invariance(self):
+        rng = np.random.default_rng(0)
+        labels = rng.random(50) > 0.8
+        scores = rng.random(50)
+        assert average_precision(labels, scores) == pytest.approx(
+            average_precision(labels, scores + 100.0)
+        )
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_in_unit_interval(self, n):
+        rng = np.random.default_rng(n)
+        labels = rng.random(n) > 0.5
+        scores = rng.random(n)
+        assert 0.0 <= average_precision(labels, scores) <= 1.0
+
+
+class TestThresholdTuning:
+    def test_finds_separating_threshold(self):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.7, 0.8, 0.9])
+        threshold, score = tune_threshold(labels, scores, beta=2.0)
+        assert 0.3 < threshold < 0.7
+        assert score == 1.0
+
+    def test_reported_score_matches_threshold(self):
+        rng = np.random.default_rng(1)
+        labels = rng.random(100) > 0.7
+        scores = rng.random(100)
+        threshold, score = tune_threshold(labels, scores, beta=2.0)
+        assert score == pytest.approx(
+            fbeta_score(labels, scores >= threshold, 2.0)
+        )
+
+    def test_custom_grid(self):
+        labels = np.array([0, 1])
+        scores = np.array([0.0, 1.0])
+        threshold, _ = tune_threshold(labels, scores, grid=[0.5])
+        assert threshold == 0.5
+
+
+class TestMeanMetrics:
+    def test_averages(self):
+        rows = [
+            BinaryMetrics(tp=1, fp=0, tn=1, fn=0),  # perfect
+            BinaryMetrics(tp=0, fp=1, tn=0, fn=1),  # all wrong
+        ]
+        result = mean_metrics(rows)
+        assert result["accuracy"] == pytest.approx(0.5)
+
+    def test_empty(self):
+        result = mean_metrics([])
+        assert result["f1"] == 0.0

@@ -1,0 +1,131 @@
+"""Tests for PCT/MLPCT exploration and campaign accounting."""
+
+import pytest
+
+from repro.core.costs import CostLedger
+from repro.core.mlpct import (
+    ExplorationConfig,
+    MLPCTExplorer,
+    PCTExplorer,
+    run_campaign,
+)
+from repro.core.strategies import make_strategy
+from repro.ml.baselines import AllPositive, BiasedCoin
+
+
+@pytest.fixture()
+def ctis(dataset_builder):
+    from repro import rng as rngmod
+
+    return dataset_builder.corpus.sample_pairs(rngmod.make_rng(3), 3)
+
+
+SMALL = ExplorationConfig(execution_budget=6, inference_cap=30, proposal_pool=30)
+
+
+class TestPCTExplorer:
+    def test_budget_respected(self, dataset_builder, ctis):
+        explorer = PCTExplorer(dataset_builder, config=SMALL, seed=0)
+        stats = explorer.explore_cti(*ctis[0])
+        assert stats.executions <= SMALL.execution_budget
+        assert stats.inferences == 0
+
+    def test_ledger_charges_executions(self, dataset_builder, ctis):
+        explorer = PCTExplorer(dataset_builder, config=SMALL, seed=0)
+        explorer.explore_cti(*ctis[0])
+        assert explorer.ledger.executions > 0
+        assert explorer.ledger.inferences == 0
+
+    def test_history_is_monotone(self, dataset_builder, ctis):
+        explorer = PCTExplorer(dataset_builder, config=SMALL, seed=0)
+        campaign = run_campaign(explorer, ctis)
+        hours = [h for h, _, _ in campaign.history]
+        races = [r for _, r, _ in campaign.history]
+        assert hours == sorted(hours)
+        assert races == sorted(races)
+
+    def test_proposals_deterministic_across_explorers(self, dataset_builder, ctis):
+        a = PCTExplorer(dataset_builder, config=SMALL, seed=0)
+        b = PCTExplorer(dataset_builder, config=SMALL, seed=0)
+        assert a.proposals_for(*ctis[0]) == b.proposals_for(*ctis[0])
+
+
+class TestMLPCTExplorer:
+    def test_inference_cap_respected(self, dataset_builder, ctis, tiny_model):
+        config = ExplorationConfig(execution_budget=50, inference_cap=10, proposal_pool=30)
+        explorer = MLPCTExplorer(
+            dataset_builder,
+            predictor=tiny_model,
+            strategy=make_strategy("S1"),
+            config=config,
+            seed=0,
+        )
+        stats = explorer.explore_cti(*ctis[0])
+        assert stats.inferences <= 10
+
+    def test_executes_at_most_selected(self, dataset_builder, ctis, tiny_model):
+        explorer = MLPCTExplorer(
+            dataset_builder,
+            predictor=tiny_model,
+            strategy=make_strategy("S1"),
+            config=SMALL,
+            seed=0,
+        )
+        stats = explorer.explore_cti(*ctis[0])
+        assert stats.executions <= stats.inferences
+
+    def test_all_positive_predictor_with_s2_collapses(
+        self, dataset_builder, ctis
+    ):
+        """All-pos + S2 selects exactly one CT: after the first commit no
+        block is ever new — mirroring why naive static analysis fails."""
+        explorer = MLPCTExplorer(
+            dataset_builder,
+            predictor=AllPositive(),
+            strategy=make_strategy("S2"),
+            config=SMALL,
+            seed=0,
+        )
+        stats = explorer.explore_cti(*ctis[0])
+        assert stats.executions == 1
+
+    def test_label_defaults_include_strategy(self, dataset_builder, tiny_model):
+        explorer = MLPCTExplorer(
+            dataset_builder,
+            predictor=tiny_model,
+            strategy=make_strategy("S3"),
+            config=SMALL,
+            seed=0,
+        )
+        assert "S3" in explorer.label
+
+    def test_campaign_aggregates_per_cti(self, dataset_builder, ctis, tiny_model):
+        explorer = MLPCTExplorer(
+            dataset_builder,
+            predictor=tiny_model,
+            strategy=make_strategy("S1"),
+            config=SMALL,
+            seed=0,
+        )
+        campaign = run_campaign(explorer, ctis)
+        assert len(campaign.per_cti) == len(ctis)
+        assert campaign.ledger.inferences == sum(
+            s.inferences for s in campaign.per_cti
+        )
+
+    def test_hours_to_reach_races(self, dataset_builder, ctis):
+        explorer = PCTExplorer(dataset_builder, config=SMALL, seed=0)
+        campaign = run_campaign(explorer, ctis)
+        if campaign.total_races > 0:
+            hours = campaign.hours_to_reach_races(1)
+            assert hours is not None
+            assert hours <= campaign.ledger.total_hours
+        assert campaign.hours_to_reach_races(10**9) is None
+
+    def test_startup_hours_offset_history(self, dataset_builder, ctis):
+        ledger = CostLedger(startup_hours=5.0)
+        explorer = PCTExplorer(
+            dataset_builder, config=SMALL, seed=0, ledger=ledger
+        )
+        campaign = run_campaign(explorer, ctis)
+        assert campaign.history[0][0] >= 5.0

@@ -1,0 +1,153 @@
+"""Cross-cutting property-based tests on system invariants.
+
+These encode the correctness arguments the rest of the evaluation rests
+on: concurrent executions of non-interfering inputs behave like their
+sequential composition, scheduling only matters when threads share state,
+coverage sets are well-formed, and exploration never exceeds its budgets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import rng as rngmod
+from repro.execution import (
+    ScheduleHint,
+    find_potential_races,
+    run_concurrent,
+    run_sequential,
+)
+from repro.fuzz import StiGenerator
+from repro.kernel import KernelConfig, build_kernel
+
+
+@pytest.fixture(scope="module")
+def generator(kernel):
+    return StiGenerator(kernel, seed=77)
+
+
+def _random_sti(kernel, generator, seed):
+    rng = rngmod.make_rng(seed)
+    names = kernel.syscall_names()
+    name = str(rng.choice(names))
+    spec = kernel.syscalls[name]
+    args = [int(rng.integers(0, 5)) for _ in range(spec.num_args)]
+    return [(name, args)]
+
+
+class TestNonInterferenceProperties:
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_disjoint_footprints_compose(self, kernel, generator, seed):
+        """If two STIs touch disjoint memory, any interleaving covers
+        exactly the union of their sequential coverages and races are
+        impossible."""
+        rng = rngmod.make_rng(seed)
+        sti_a = _random_sti(kernel, generator, seed)
+        sti_b = _random_sti(kernel, generator, seed + 1000)
+        trace_a = run_sequential(kernel, sti_a)
+        trace_b = run_sequential(kernel, sti_b)
+        if trace_a.accessed_addresses() & trace_b.accessed_addresses():
+            return  # property only applies to disjoint footprints
+        # Random hints:
+        hints = []
+        if trace_a.iid_trace:
+            hints.append(
+                ScheduleHint(0, trace_a.iid_trace[int(rng.integers(len(trace_a.iid_trace)))])
+            )
+        if trace_b.iid_trace:
+            hints.append(
+                ScheduleHint(1, trace_b.iid_trace[int(rng.integers(len(trace_b.iid_trace)))])
+            )
+        result = run_concurrent(kernel, (sti_a, sti_b), hints=hints)
+        assert result.covered_blocks[0] == trace_a.covered_blocks
+        assert result.covered_blocks[1] == trace_b.covered_blocks
+        assert find_potential_races(result.accesses) == set()
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_sequential_coverage_is_subset_of_kernel(self, kernel, generator, seed):
+        sti = _random_sti(kernel, generator, seed)
+        trace = run_sequential(kernel, sti)
+        assert trace.covered_blocks <= set(kernel.blocks)
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_concurrent_coverage_contains_entries(self, kernel, generator, seed):
+        """Whatever the schedule, each thread covers its handler entries."""
+        sti_a = _random_sti(kernel, generator, seed)
+        sti_b = _random_sti(kernel, generator, seed + 500)
+        result = run_concurrent(kernel, (sti_a, sti_b))
+        for thread, sti in enumerate((sti_a, sti_b)):
+            handler = kernel.syscalls[sti[0][0]].handler
+            entry = kernel.functions[handler].entry_block
+            assert entry in result.covered_blocks[thread]
+
+
+class TestDeterminismProperties:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_concurrent_execution_is_a_function_of_hints(
+        self, kernel, generator, seed
+    ):
+        sti_a = _random_sti(kernel, generator, seed)
+        sti_b = _random_sti(kernel, generator, seed + 99)
+        trace_a = run_sequential(kernel, sti_a)
+        if not trace_a.iid_trace:
+            return
+        hints = [ScheduleHint(0, trace_a.iid_trace[len(trace_a.iid_trace) // 2])]
+        r1 = run_concurrent(kernel, (sti_a, sti_b), hints=hints)
+        r2 = run_concurrent(kernel, (sti_a, sti_b), hints=hints)
+        assert r1.covered_blocks == r2.covered_blocks
+        assert [a.iid for a in r1.accesses] == [a.iid for a in r2.accesses]
+        assert r1.num_switches == r2.num_switches
+
+
+class TestExplorationBudgets:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_budgets_never_exceeded(
+        self, dataset_builder, tiny_model, budget, cap
+    ):
+        from repro.core.mlpct import ExplorationConfig, MLPCTExplorer
+        from repro.core.strategies import make_strategy
+
+        config = ExplorationConfig(
+            execution_budget=budget, inference_cap=cap, proposal_pool=cap
+        )
+        explorer = MLPCTExplorer(
+            dataset_builder,
+            predictor=tiny_model,
+            strategy=make_strategy("S1"),
+            config=config,
+            seed=0,
+        )
+        entry_a, entry_b = dataset_builder.corpus.entries[:2]
+        stats = explorer.explore_cti(entry_a, entry_b)
+        assert stats.executions <= budget
+        assert stats.inferences <= cap
+        assert stats.executions <= stats.inferences
+
+
+class TestKernelGenerationProperties:
+    @given(st.integers(min_value=0, max_value=10))
+    @settings(max_examples=5, deadline=None)
+    def test_any_seed_builds_valid_kernel(self, seed):
+        config = KernelConfig(
+            num_subsystems=2,
+            functions_per_subsystem=3,
+            syscalls_per_subsystem=4,
+            segments_per_function=(2, 3),
+            num_atomicity_bugs=1,
+            num_order_bugs=1,
+            num_data_races=1,
+        )
+        kernel = build_kernel(config, seed=seed)
+        # Executable: every syscall runs to completion single-threaded.
+        for name in kernel.syscall_names():
+            trace = run_sequential(kernel, [(name, [1, 2, 3])])
+            assert trace.completed
+            assert trace.covered_blocks

@@ -1,0 +1,135 @@
+"""Tests for potential-data-race detection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.execution.races import (
+    PotentialRace,
+    RaceDetector,
+    find_potential_races,
+)
+from repro.execution.trace import ConcurrentResult, MemoryAccess
+
+
+def access(step, thread, iid, address, is_write, locks=(), epoch=0):
+    return MemoryAccess(
+        step=step,
+        thread=thread,
+        iid=iid,
+        block_id=0,
+        address=address,
+        is_write=is_write,
+        locks_held=frozenset(locks),
+        epoch=epoch,
+    )
+
+
+class TestPairDetection:
+    def test_write_read_conflict_detected(self):
+        races = find_potential_races(
+            [access(1, 0, 10, 5, True), access(2, 1, 20, 5, False)]
+        )
+        assert races == {PotentialRace.of(10, 20, 5)}
+
+    def test_write_write_conflict_detected(self):
+        races = find_potential_races(
+            [access(1, 0, 10, 5, True), access(2, 1, 20, 5, True)]
+        )
+        assert len(races) == 1
+
+    def test_read_read_not_a_race(self):
+        races = find_potential_races(
+            [access(1, 0, 10, 5, False), access(2, 1, 20, 5, False)]
+        )
+        assert races == set()
+
+    def test_same_thread_not_a_race(self):
+        races = find_potential_races(
+            [access(1, 0, 10, 5, True), access(2, 0, 20, 5, False)]
+        )
+        assert races == set()
+
+    def test_different_addresses_not_a_race(self):
+        races = find_potential_races(
+            [access(1, 0, 10, 5, True), access(2, 1, 20, 6, False)]
+        )
+        assert races == set()
+
+    def test_common_lock_suppresses(self):
+        races = find_potential_races(
+            [
+                access(1, 0, 10, 5, True, locks=("L",)),
+                access(2, 1, 20, 5, False, locks=("L", "M")),
+            ]
+        )
+        assert races == set()
+
+    def test_disjoint_locks_do_not_suppress(self):
+        races = find_potential_races(
+            [
+                access(1, 0, 10, 5, True, locks=("L",)),
+                access(2, 1, 20, 5, False, locks=("M",)),
+            ]
+        )
+        assert len(races) == 1
+
+    def test_window_excludes_distant_pairs(self):
+        stream = [access(1, 0, 10, 5, True), access(500, 1, 20, 5, False)]
+        assert find_potential_races(stream, proximity_window=100) == set()
+        assert len(find_potential_races(stream, proximity_window=1000)) == 1
+
+    def test_race_identity_is_unordered(self):
+        assert PotentialRace.of(10, 20, 5) == PotentialRace.of(20, 10, 5)
+
+
+class TestWindowMonotonicity:
+    @given(st.integers(min_value=1, max_value=50))
+    def test_wider_window_never_finds_fewer(self, window):
+        stream = [
+            access(i, i % 2, 100 + i, i % 3, i % 2 == 0) for i in range(30)
+        ]
+        small = find_potential_races(stream, proximity_window=window)
+        large = find_potential_races(stream, proximity_window=window + 10)
+        assert small <= large
+
+
+class TestRaceDetector:
+    def test_accumulates_unique(self):
+        detector = RaceDetector()
+        result = ConcurrentResult(
+            covered_blocks=(set(), set()),
+            accesses=[access(1, 0, 10, 5, True), access(2, 1, 20, 5, False)],
+        )
+        fresh1 = detector.observe(result)
+        fresh2 = detector.observe(result)
+        assert len(fresh1) == 1
+        assert fresh2 == set()
+        assert detector.total == 1
+
+    def test_has_pair(self):
+        detector = RaceDetector()
+        result = ConcurrentResult(
+            covered_blocks=(set(), set()),
+            accesses=[access(1, 0, 10, 5, True), access(2, 1, 20, 5, False)],
+        )
+        detector.observe(result)
+        assert detector.has_pair(10, 20)
+        assert detector.has_pair(20, 10)
+        assert not detector.has_pair(10, 21)
+
+    def test_detects_races_in_real_execution(self, kernel):
+        from repro.execution import ScheduleHint, run_concurrent, run_sequential
+
+        names = kernel.syscall_names()
+        detector = RaceDetector()
+        for i in range(3):
+            # Pair syscalls of the same subsystem so they share state.
+            sti_a = [(names[i], [1])]
+            sti_b = [(names[i + 1], [2])]
+            trace_a = run_sequential(kernel, sti_a)
+            # Interleave mid-way so conflicting accesses are adjacent.
+            hint = ScheduleHint(0, trace_a.iid_trace[len(trace_a.iid_trace) // 2])
+            result = run_concurrent(kernel, (sti_a, sti_b), hints=[hint])
+            detector.observe(result)
+        # The synthetic kernel has abundant unsynchronised shared traffic.
+        assert detector.total > 0

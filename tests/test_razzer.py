@@ -1,0 +1,97 @@
+"""Tests for the Razzer integration (§5.6.1)."""
+
+import pytest
+
+from repro.integrations.razzer import (
+    RazzerConfig,
+    RazzerHarness,
+    RazzerVariant,
+)
+
+
+@pytest.fixture(scope="module")
+def harness(dataset_builder, tiny_model):
+    config = RazzerConfig(
+        schedules_per_cti=6, max_candidates=40, pic_probe_schedules=2, shuffles=20
+    )
+    return RazzerHarness(
+        dataset_builder, predictor=tiny_model, config=config, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def race(kernel):
+    return kernel.bugs[0]
+
+
+class TestCandidateSearch:
+    def test_relax_admits_every_strict_trigger(self, harness, kernel, corpus):
+        """The relaxed rule (SCB or URB) admits every strict (SCB) match."""
+        for spec in kernel.bugs[:3]:
+            for entry in corpus:
+                for iid in spec.racing_pair:
+                    if harness._sti_triggers(entry, iid, relaxed=False):
+                        assert harness._sti_triggers(entry, iid, relaxed=True)
+
+    def test_relax_finds_at_least_as_many_candidates(self, harness, kernel):
+        for spec in kernel.bugs[:3]:
+            strict = harness.candidates(spec, RazzerVariant.STRICT)
+            relax = harness.candidates(spec, RazzerVariant.RELAX)
+            if len(relax) < harness.config.max_candidates:
+                assert len(relax) >= len(strict)
+
+    def test_no_self_pairs(self, harness, race):
+        for writer, reader in harness.candidates(race, RazzerVariant.RELAX):
+            assert writer.sti.sti_id != reader.sti.sti_id
+
+    def test_candidate_cap(self, harness, race):
+        assert (
+            len(harness.candidates(race, RazzerVariant.RELAX))
+            <= harness.config.max_candidates
+        )
+
+    def test_strict_requires_dynamic_execution_of_racing_instr(
+        self, harness, race, kernel
+    ):
+        for writer, reader in harness.candidates(race, RazzerVariant.STRICT):
+            assert race.write_iid in writer.trace.iid_trace
+            assert race.read_iid in reader.trace.iid_trace
+
+
+class TestPicFilter:
+    def test_pic_subset_of_relax(self, harness, race):
+        relax = harness.candidates(race, RazzerVariant.RELAX)
+        kept, inferences = harness._pic_filter(race, relax)
+        assert len(kept) <= len(relax)
+        assert inferences >= len(relax) * 0 and inferences <= len(relax) * (
+            harness.config.pic_probe_schedules
+        )
+
+    def test_pic_variant_requires_predictor(self, dataset_builder, race):
+        harness = RazzerHarness(dataset_builder, predictor=None, seed=0)
+        with pytest.raises(ValueError):
+            harness.run_variant(race, RazzerVariant.PIC)
+
+
+class TestOutcomes:
+    def test_run_variant_structure(self, harness, race):
+        outcome = harness.run_variant(race, RazzerVariant.STRICT)
+        assert outcome.variant is RazzerVariant.STRICT
+        assert outcome.num_true_positive <= outcome.num_ctis
+        if outcome.num_true_positive == 0:
+            assert outcome.avg_hours is None
+            assert not outcome.reproduced
+        else:
+            assert outcome.avg_hours is not None
+            assert outcome.worst_hours is not None
+            assert outcome.avg_hours <= outcome.worst_hours + 1e-9
+
+    def test_queue_time_logic(self, harness):
+        # One TP at cost 2 schedules among two non-TPs at 6 schedules each.
+        avg, worst = harness._queue_times([6, 2, 6], [False, True, False])
+        seconds = harness.config.costs.execution_seconds
+        assert worst == pytest.approx((6 + 6 + 2) * seconds / 3600.0)
+        assert avg is not None and 0 < avg <= worst
+
+    def test_queue_time_no_tp(self, harness):
+        assert harness._queue_times([5, 5], [False, False]) == (None, None)

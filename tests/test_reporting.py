@@ -1,0 +1,60 @@
+"""Tests for table/series rendering."""
+
+from repro.reporting import downsample_history, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [
+            {"name": "PIC-5", "f1": 0.55},
+            {"name": "All pos", "f1": 0.02},
+        ]
+        text = format_table(rows, title="Table 1")
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "PIC-5" in text
+        assert "0.550" in text
+
+    def test_missing_cells_and_none(self):
+        rows = [{"a": 1, "b": None}]
+        text = format_table(rows, columns=["a", "b", "c"])
+        assert "n/a" in text
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}])
+        assert "yes" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_float_digits(self):
+        text = format_table([{"v": 0.123456}], float_digits=1)
+        assert "0.1" in text
+        assert "0.12" not in text
+
+
+class TestSeries:
+    def test_downsample_keeps_last(self):
+        history = [(float(i), i, i) for i in range(100)]
+        thin = downsample_history(history, points=10)
+        assert len(thin) <= 11
+        assert thin[-1] == history[-1]
+
+    def test_downsample_short_history_untouched(self):
+        history = [(0.0, 1, 2)]
+        assert downsample_history(history, points=10) == history
+
+    def test_format_series_mentions_labels(self):
+        curves = {
+            "PCT": [(1.0, 10, 3)],
+            "MLPCT-S1": [(1.0, 14, 5)],
+        }
+        text = format_series(curves, metric_index=1, metric_name="races")
+        assert "PCT:" in text
+        assert "MLPCT-S1:" in text
+        assert "races=14" in text
+
+    def test_format_series_blocks_metric(self):
+        curves = {"PCT": [(2.0, 10, 7)]}
+        text = format_series(curves, metric_index=2, metric_name="blocks")
+        assert "blocks=7" in text

@@ -1,0 +1,80 @@
+"""Tests for repro.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import rng as rngmod
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert rngmod.derive_seed(1, "a") == rngmod.derive_seed(1, "a")
+
+    def test_label_sensitivity(self):
+        assert rngmod.derive_seed(1, "a") != rngmod.derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert rngmod.derive_seed(1, "a") != rngmod.derive_seed(2, "a")
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=30))
+    def test_always_in_uint64_range(self, seed, label):
+        value = rngmod.derive_seed(seed, label)
+        assert 0 <= value < 2**64
+
+
+class TestSplit:
+    def test_same_label_same_stream(self):
+        a = rngmod.split(5, "x").integers(0, 1000, size=10)
+        b = rngmod.split(5, "x").integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = rngmod.split(5, "x").integers(0, 1000, size=10)
+        b = rngmod.split(5, "y").integers(0, 1000, size=10)
+        assert not np.array_equal(a, b)
+
+
+class TestChoiceIndex:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rngmod.choice_index(rngmod.make_rng(0), [])
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        rng = rngmod.make_rng(0)
+        picks = {rngmod.choice_index(rng, [0.0, 0.0, 0.0]) for _ in range(50)}
+        assert picks <= {0, 1, 2}
+        assert len(picks) > 1
+
+    def test_dominant_weight_usually_wins(self):
+        rng = rngmod.make_rng(0)
+        picks = [rngmod.choice_index(rng, [0.001, 10.0]) for _ in range(100)]
+        assert sum(picks) > 90
+
+    def test_index_in_range(self):
+        rng = rngmod.make_rng(3)
+        for _ in range(20):
+            assert 0 <= rngmod.choice_index(rng, [1.0, 2.0, 3.0]) < 3
+
+
+class TestShuffled:
+    def test_preserves_multiset(self):
+        rng = rngmod.make_rng(1)
+        items = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert sorted(rngmod.shuffled(rng, items)) == sorted(items)
+
+    def test_original_untouched(self):
+        rng = rngmod.make_rng(1)
+        items = [1, 2, 3]
+        rngmod.shuffled(rng, items)
+        assert items == [1, 2, 3]
+
+
+class TestIterChunks:
+    def test_chunking(self):
+        chunks = list(rngmod.iter_chunks([1, 2, 3, 4, 5], 2))
+        assert chunks == [[1, 2], [3, 4], [5]]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(rngmod.iter_chunks([1], 0))

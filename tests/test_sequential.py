@@ -1,0 +1,77 @@
+"""Tests for single-threaded STI execution and trace recording."""
+
+import pytest
+
+from repro.execution import run_sequential
+from repro.kernel.isa import Opcode
+
+
+@pytest.fixture(scope="module")
+def trace(kernel):
+    names = kernel.syscall_names()
+    return run_sequential(kernel, [(names[0], [1, 2]), (names[1], [0])], sti_id=1)
+
+
+class TestTraceBasics:
+    def test_completes(self, trace):
+        assert trace.completed
+
+    def test_sti_id_recorded(self, trace):
+        assert trace.sti_id == 1
+
+    def test_covered_matches_sequence(self, trace):
+        assert trace.covered_blocks == set(trace.block_sequence)
+
+    def test_sequence_has_no_duplicates(self, trace):
+        assert len(trace.block_sequence) == len(set(trace.block_sequence))
+
+    def test_iid_trace_nonempty(self, trace):
+        assert trace.num_steps > 0
+
+    def test_flow_edges_connect_covered_blocks(self, trace):
+        for src, dst in trace.flow_edges:
+            assert src in trace.covered_blocks
+            assert dst in trace.covered_blocks
+
+    def test_accesses_reference_covered_blocks(self, trace):
+        for access in trace.accesses:
+            assert access.block_id in trace.covered_blocks
+
+    def test_handler_entry_is_first_block(self, kernel, trace):
+        names = kernel.syscall_names()
+        handler = kernel.syscalls[names[0]].handler
+        assert trace.block_sequence[0] == kernel.functions[handler].entry_block
+
+
+class TestDeterminism:
+    def test_same_input_same_trace(self, kernel):
+        names = kernel.syscall_names()
+        sti = [(names[2], [3, 1])]
+        t1 = run_sequential(kernel, sti)
+        t2 = run_sequential(kernel, sti)
+        assert t1.iid_trace == t2.iid_trace
+        assert t1.block_sequence == t2.block_sequence
+
+    def test_different_args_can_change_path(self, kernel):
+        names = kernel.syscall_names()
+        paths = {
+            tuple(run_sequential(kernel, [(name, [a, a, a])]).block_sequence)
+            for name in names[:4]
+            for a in range(4)
+        }
+        assert len(paths) > 4  # args influence control flow somewhere
+
+
+class TestDataflowEdges:
+    def test_dataflow_edges_are_write_to_read(self, trace):
+        edges = trace.dataflow_edges()
+        for writer_block, reader_block in edges:
+            assert writer_block != reader_block
+
+    def test_dataflow_edges_deduplicated(self, trace):
+        edges = trace.dataflow_edges()
+        assert len(edges) == len(set(edges))
+
+    def test_footprint_queries(self, trace):
+        assert trace.written_addresses() <= trace.accessed_addresses()
+        assert trace.read_addresses() <= trace.accessed_addresses()

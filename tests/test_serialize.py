@@ -1,0 +1,70 @@
+"""Tests for kernel (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import KernelBuildError
+from repro.execution import run_concurrent, run_sequential
+from repro.kernel.serialize import (
+    kernel_from_dict,
+    kernel_to_dict,
+    load_kernel,
+    save_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def roundtripped(kernel):
+    return kernel_from_dict(kernel_to_dict(kernel))
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self, kernel, roundtripped):
+        assert roundtripped.version == kernel.version
+        assert roundtripped.num_blocks == kernel.num_blocks
+        assert roundtripped.num_instructions == kernel.num_instructions
+        assert roundtripped.syscall_names() == kernel.syscall_names()
+        assert roundtripped.locks == kernel.locks
+        assert roundtripped.irq_handlers == kernel.irq_handlers
+
+    def test_assembly_identical(self, kernel, roundtripped):
+        for block_id, block in kernel.blocks.items():
+            assert roundtripped.blocks[block_id].asm() == block.asm()
+            assert roundtripped.blocks[block_id].successors == block.successors
+
+    def test_bugs_preserved(self, kernel, roundtripped):
+        assert len(roundtripped.bugs) == len(kernel.bugs)
+        for original, loaded in zip(kernel.bugs, roundtripped.bugs):
+            assert loaded == original
+
+    def test_memory_image_preserved(self, kernel, roundtripped):
+        assert roundtripped.memory.names == kernel.memory.names
+        assert roundtripped.memory.initial == kernel.memory.initial
+
+    def test_execution_identical(self, kernel, roundtripped):
+        names = kernel.syscall_names()
+        sti = [(names[0], [1, 2]), (names[1], [0])]
+        original_trace = run_sequential(kernel, sti)
+        loaded_trace = run_sequential(roundtripped, sti)
+        assert original_trace.iid_trace == loaded_trace.iid_trace
+        assert original_trace.covered_blocks == loaded_trace.covered_blocks
+
+    def test_json_serialisable(self, kernel):
+        text = json.dumps(kernel_to_dict(kernel))
+        reloaded = kernel_from_dict(json.loads(text))
+        assert reloaded.num_blocks == kernel.num_blocks
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, kernel):
+        path = str(tmp_path / "kernel.json")
+        save_kernel(kernel, path)
+        loaded = load_kernel(path)
+        assert loaded.describe() == kernel.describe()
+
+    def test_version_check(self, kernel):
+        data = kernel_to_dict(kernel)
+        data["format_version"] = 99
+        with pytest.raises(KernelBuildError):
+            kernel_from_dict(data)

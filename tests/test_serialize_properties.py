@@ -1,0 +1,43 @@
+"""Property-based serialization tests over random kernel shapes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.execution import run_sequential
+from repro.kernel import KernelConfig, build_kernel
+from repro.kernel.serialize import kernel_from_dict, kernel_to_dict
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    subsystems=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=6, deadline=None)
+def test_roundtrip_over_random_kernels(seed, subsystems):
+    config = KernelConfig(
+        num_subsystems=subsystems,
+        functions_per_subsystem=2,
+        syscalls_per_subsystem=4,
+        segments_per_function=(1, 3),
+        num_atomicity_bugs=1,
+        num_order_bugs=1,
+        num_data_races=0,
+        irq_handlers_per_subsystem=1,
+    )
+    kernel = build_kernel(config, seed=seed)
+    loaded = kernel_from_dict(kernel_to_dict(kernel))
+
+    # Structure identical.
+    assert loaded.num_instructions == kernel.num_instructions
+    assert loaded.syscall_names() == kernel.syscall_names()
+    for block_id in kernel.blocks:
+        assert loaded.blocks[block_id].asm() == kernel.blocks[block_id].asm()
+
+    # Behaviour identical: every syscall's sequential trace matches.
+    for name in kernel.syscall_names()[:4]:
+        original = run_sequential(kernel, [(name, [1, 2])])
+        reloaded = run_sequential(loaded, [(name, [1, 2])])
+        assert original.iid_trace == reloaded.iid_trace
+
+    # Bug ground truth identical.
+    assert loaded.bugs == kernel.bugs

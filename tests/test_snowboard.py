@@ -1,0 +1,103 @@
+"""Tests for the Snowboard integration (§5.6.2)."""
+
+import pytest
+
+from repro.integrations.snowboard import SnowboardConfig, SnowboardHarness
+
+
+@pytest.fixture(scope="module")
+def harness(dataset_builder, tiny_model):
+    config = SnowboardConfig(schedules_per_cti=4, trials=6, max_cluster_size=16)
+    return SnowboardHarness(
+        dataset_builder, predictor=tiny_model, config=config, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def clusters(harness):
+    return harness.build_clusters(max_pairs_per_cti=16)
+
+
+class TestClustering:
+    def test_clusters_keyed_by_instruction_pair(self, clusters):
+        for key, cluster in clusters.items():
+            assert key == (cluster.write_iid, cluster.read_iid)
+
+    def test_cluster_ctis_distinct_stis(self, clusters):
+        for cluster in clusters.values():
+            for writer, reader in cluster.ctis:
+                assert writer.sti.sti_id != reader.sti.sti_id
+
+    def test_cluster_size_capped(self, harness, clusters):
+        for cluster in clusters.values():
+            assert len(cluster) <= harness.config.max_cluster_size
+
+    def test_write_read_pair_semantics(self, kernel, clusters):
+        """The keyed instructions must be a write and a read of the same
+        address, per the INS-PAIR definition."""
+        for cluster in list(clusters.values())[:30]:
+            write = kernel.instruction(cluster.write_iid)
+            read = kernel.instruction(cluster.read_iid)
+            assert write.is_write
+            assert not read.is_write
+            assert write.memory_address == cluster.address
+            assert read.memory_address == cluster.address
+
+    def test_some_clusters_exist(self, clusters):
+        assert len(clusters) > 10
+
+
+class TestBuggyClusters:
+    def test_buggy_clusters_map_to_bugs(self, harness, clusters):
+        buggy = harness.buggy_clusters(clusters)
+        for cluster in buggy:
+            assert harness.bug_for_cluster(cluster) is not None
+
+    def test_bug_for_non_buggy_cluster_is_none(self, harness, clusters, kernel):
+        bug_keys = {(b.write_iid, b.read_iid) for b in kernel.bugs}
+        for key, cluster in clusters.items():
+            if key not in bug_keys:
+                assert harness.bug_for_cluster(cluster) is None
+                break
+
+
+class TestSampling:
+    def test_random_sampler_fraction(self, harness, clusters):
+        from repro import rng as rngmod
+
+        cluster = max(clusters.values(), key=len)
+        rng = rngmod.make_rng(0)
+        half = harness._sample_random(cluster, 0.5, rng)
+        assert len(half) == max(1, round(0.5 * len(cluster)))
+
+    def test_pic_sampler_subsets_cluster(self, harness, clusters):
+        from repro import rng as rngmod
+        from repro.core.strategies import make_strategy
+
+        cluster = max(clusters.values(), key=len)
+        chosen = harness._sample_pic(cluster, make_strategy("S2"), rngmod.make_rng(0))
+        assert len(chosen) <= len(cluster)
+
+    def test_evaluate_sampler_requires_buggy_cluster(self, harness, clusters, kernel):
+        bug_keys = {(b.write_iid, b.read_iid) for b in kernel.bugs}
+        for key, cluster in clusters.items():
+            if key not in bug_keys:
+                with pytest.raises(ValueError):
+                    harness.evaluate_sampler(cluster, "SB-RND", 0.5)
+                break
+
+    def test_evaluate_sampler_outcome_shape(self, harness, clusters):
+        buggy = harness.buggy_clusters(clusters)
+        if not buggy:
+            pytest.skip("corpus produced no buggy clusters at this size")
+        outcome = harness.evaluate_sampler(buggy[0], "SB-RND", 0.5)
+        assert 0.0 <= outcome.bug_finding_probability <= 1.0
+        assert 0.0 < outcome.sampling_rate <= 1.0
+        assert outcome.sampler == "SB-RND(50%)"
+
+    def test_unknown_sampler_rejected(self, harness, clusters):
+        buggy = harness.buggy_clusters(clusters)
+        if not buggy:
+            pytest.skip("no buggy clusters")
+        with pytest.raises(ValueError):
+            harness.evaluate_sampler(buggy[0], "SB-XXX")

@@ -1,0 +1,82 @@
+"""Tests for the end-to-end Snowcat orchestrator."""
+
+import pytest
+
+from repro.core import Snowcat, SnowcatConfig
+from repro.core.mlpct import run_campaign
+from repro.errors import ModelError
+from repro.kernel import EvolutionConfig, evolve_kernel
+
+
+@pytest.fixture(scope="module")
+def snowcat(kernel):
+    config = SnowcatConfig(
+        seed=5,
+        corpus_rounds=80,
+        dataset_ctis=8,
+        train_interleavings=3,
+        evaluation_interleavings=3,
+        pretrain_epochs=1,
+        token_dim=8,
+        hidden_dim=16,
+        num_layers=2,
+        epochs=2,
+    )
+    instance = Snowcat(kernel, config)
+    instance.train()
+    return instance
+
+
+class TestPipeline:
+    def test_training_produces_model(self, snowcat):
+        assert snowcat.model is not None
+        assert snowcat.training_result is not None
+        assert snowcat.startup_hours > 0
+
+    def test_require_model_before_training(self, kernel):
+        fresh = Snowcat(kernel, SnowcatConfig(seed=1))
+        with pytest.raises(ModelError):
+            fresh.require_model()
+
+    def test_cti_stream_deterministic(self, snowcat):
+        a = snowcat.cti_stream(4, "x")
+        b = snowcat.cti_stream(4, "x")
+        assert [(p[0].sti.sti_id, p[1].sti.sti_id) for p in a] == [
+            (p[0].sti.sti_id, p[1].sti.sti_id) for p in b
+        ]
+
+    def test_explorers_share_proposals(self, snowcat):
+        pct = snowcat.pct_explorer()
+        mlpct = snowcat.mlpct_explorer("S1")
+        cti = snowcat.cti_stream(1)[0]
+        assert pct.proposals_for(*cti) == mlpct.proposals_for(*cti)
+
+    def test_campaign_runs(self, snowcat):
+        from dataclasses import replace
+
+        explorer = snowcat.pct_explorer()
+        explorer.config = replace(
+            explorer.config, execution_budget=4, proposal_pool=8
+        )
+        campaign = snowcat.run_campaign(explorer, num_ctis=2)
+        assert campaign.ledger.executions > 0
+
+    def test_startup_cost_optional(self, snowcat):
+        without = snowcat.mlpct_explorer("S1", include_startup_cost=False)
+        with_cost = snowcat.mlpct_explorer("S1", include_startup_cost=True)
+        assert without.ledger.startup_hours == 0.0
+        assert with_cost.ledger.startup_hours == snowcat.startup_hours
+
+
+class TestAdaptation:
+    def test_adapt_to_new_version(self, kernel, snowcat):
+        new_kernel = evolve_kernel(
+            kernel, EvolutionConfig(version="v5.13"), seed=2
+        )
+        adapted = snowcat.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+        assert adapted.model is not None
+        assert adapted.model.config.name.endswith("v5.13")
+        assert adapted.kernel.version == "v5.13"
+        # Fine-tuning on a quarter-size dataset must cost less than the
+        # original training (the amortisation argument of §5.4).
+        assert adapted.startup_hours < snowcat.startup_hours

@@ -1,0 +1,117 @@
+"""Tests for the S1/S2/S3 selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    NewCoverageSet,
+    NewPositiveBlocks,
+    PositiveBlocksLimitedTrials,
+    make_strategy,
+    predicted_block_set,
+)
+
+
+@pytest.fixture(scope="module")
+def graph(small_splits):
+    return small_splits.train[0].graph
+
+
+def prediction(graph, fraction=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(graph.num_nodes) < fraction
+
+
+class TestS1NewCoverageSet:
+    def test_first_candidate_interesting(self, graph):
+        strategy = NewCoverageSet()
+        assert strategy.is_interesting(graph, prediction(graph))
+
+    def test_repeat_bitmap_rejected_after_commit(self, graph):
+        strategy = NewCoverageSet()
+        predicted = prediction(graph)
+        strategy.commit(graph, predicted)
+        assert not strategy.is_interesting(graph, predicted)
+
+    def test_different_bitmap_still_interesting(self, graph):
+        strategy = NewCoverageSet()
+        strategy.commit(graph, prediction(graph, seed=0))
+        assert strategy.is_interesting(graph, prediction(graph, seed=1))
+
+    def test_reset_forgets(self, graph):
+        strategy = NewCoverageSet()
+        predicted = prediction(graph)
+        strategy.commit(graph, predicted)
+        strategy.reset()
+        assert strategy.is_interesting(graph, predicted)
+
+
+class TestS2NewPositiveBlocks:
+    def test_subset_prediction_rejected(self, graph):
+        strategy = NewPositiveBlocks()
+        big = prediction(graph, fraction=0.5, seed=0)
+        strategy.commit(graph, big)
+        subset = big.copy()
+        subset[np.flatnonzero(subset)[::2]] = False
+        assert not strategy.is_interesting(graph, subset)
+
+    def test_new_block_accepted(self, graph):
+        strategy = NewPositiveBlocks()
+        predicted = np.zeros(graph.num_nodes, dtype=bool)
+        predicted[0] = True
+        strategy.commit(graph, predicted)
+        other = np.zeros(graph.num_nodes, dtype=bool)
+        # Pick a node with a different kernel block id.
+        block0 = graph.node_blocks[0]
+        candidates = np.flatnonzero(graph.node_blocks != block0)
+        other[candidates[0]] = True
+        assert strategy.is_interesting(graph, other)
+
+    def test_empty_prediction_not_interesting(self, graph):
+        strategy = NewPositiveBlocks()
+        assert not strategy.is_interesting(
+            graph, np.zeros(graph.num_nodes, dtype=bool)
+        )
+
+
+class TestS3LimitedTrials:
+    def test_limit_exhausts(self, graph):
+        strategy = PositiveBlocksLimitedTrials(limit=2)
+        predicted = prediction(graph)
+        assert strategy.is_interesting(graph, predicted)
+        strategy.commit(graph, predicted)
+        assert strategy.is_interesting(graph, predicted)
+        strategy.commit(graph, predicted)
+        assert not strategy.is_interesting(graph, predicted)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            PositiveBlocksLimitedTrials(limit=0)
+
+    def test_fresh_blocks_reopen_interest(self, graph):
+        strategy = PositiveBlocksLimitedTrials(limit=1)
+        first = np.zeros(graph.num_nodes, dtype=bool)
+        first[0] = True
+        strategy.commit(graph, first)
+        assert not strategy.is_interesting(graph, first)
+        block0 = graph.node_blocks[0]
+        other_index = int(np.flatnonzero(graph.node_blocks != block0)[0])
+        second = np.zeros(graph.num_nodes, dtype=bool)
+        second[other_index] = True
+        assert strategy.is_interesting(graph, second)
+
+
+class TestFactoryAndHelpers:
+    def test_factory_names(self):
+        assert make_strategy("S1").name == "S1"
+        assert make_strategy("S2").name == "S2"
+        assert make_strategy("S3").name == "S3"
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_strategy("S9")
+
+    def test_predicted_block_set_collapses_threads(self, graph):
+        predicted = np.ones(graph.num_nodes, dtype=bool)
+        blocks = predicted_block_set(graph, predicted)
+        assert blocks == set(int(b) for b in graph.node_blocks)

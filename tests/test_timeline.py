@@ -1,0 +1,75 @@
+"""Tests for the ASCII interleaving timeline."""
+
+import pytest
+
+from repro.execution import ScheduleHint, run_concurrent, run_sequential
+from repro.reporting import format_timeline
+
+
+@pytest.fixture(scope="module")
+def interleaved_result(kernel):
+    names = kernel.syscall_names()
+    sti_a = [(names[0], [1])]
+    sti_b = [(names[1], [2])]
+    trace_a = run_sequential(kernel, sti_a)
+    hint = ScheduleHint(0, trace_a.iid_trace[len(trace_a.iid_trace) // 2])
+    return run_concurrent(kernel, (sti_a, sti_b), hints=[hint])
+
+
+class TestFormatTimeline:
+    def test_mentions_both_threads(self, kernel, interleaved_result):
+        text = format_timeline(kernel, interleaved_result)
+        assert "T0" in text
+        assert "T1" in text
+
+    def test_epoch_progression(self, kernel, interleaved_result):
+        text = format_timeline(kernel, interleaved_result)
+        assert "epoch   0" in text
+        assert "epoch   1" in text
+
+    def test_footer_summarises_run(self, kernel, interleaved_result):
+        text = format_timeline(kernel, interleaved_result)
+        assert f"switches={interleaved_result.num_switches}" in text
+        assert "deadlocked=False" in text
+
+    def test_truncation(self, kernel, interleaved_result):
+        text = format_timeline(kernel, interleaved_result, max_rows=2)
+        assert "truncated" in text
+
+    def test_empty_result(self, kernel):
+        from repro.execution.trace import ConcurrentResult
+
+        empty = ConcurrentResult(covered_blocks=(set(), set()))
+        assert "no shared-memory activity" in format_timeline(kernel, empty)
+
+    def test_bug_event_rendered(self, kernel):
+        """Trigger a bug manifestation and check the timeline flags it."""
+        from repro.fuzz import StiGenerator
+        from repro.kernel.bugs import BugKind
+
+        spec = next(
+            s for s in kernel.bugs if s.kind is BugKind.ORDER_VIOLATION
+        )
+        generator = StiGenerator(kernel, seed=0)
+        writer = generator.targeted(spec.trigger_syscalls[0], [spec.trigger_args[0]])
+        reader = generator.targeted(spec.trigger_syscalls[1], [spec.trigger_args[1]])
+        trace_w = run_sequential(kernel, writer.as_pairs())
+        trace_r = run_sequential(kernel, reader.as_pairs())
+        found = None
+        for x in trace_w.iid_trace:
+            for y in trace_r.iid_trace:
+                result = run_concurrent(
+                    kernel,
+                    (writer.as_pairs(), reader.as_pairs()),
+                    hints=[ScheduleHint(0, x), ScheduleHint(1, y)],
+                )
+                if any(
+                    e.block_id == spec.manifest_block for e in result.bug_events
+                ):
+                    found = result
+                    break
+            if found:
+                break
+        assert found is not None
+        text = format_timeline(kernel, found, max_rows=200)
+        assert "BUG assertion fired" in text

@@ -1,0 +1,69 @@
+"""Tests for vocabulary and block tokenization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.tokens import (
+    CLS_TOKEN,
+    MASK_TOKEN,
+    PAD_TOKEN,
+    UNK_TOKEN,
+    Vocabulary,
+    block_token_ids,
+    block_tokens,
+    build_vocabulary,
+)
+
+
+@pytest.fixture(scope="module")
+def vocabulary(kernel):
+    return build_vocabulary(kernel)
+
+
+class TestVocabulary:
+    def test_special_tokens_first(self, vocabulary):
+        assert vocabulary.token_to_id[PAD_TOKEN] == 0
+        assert vocabulary.token_to_id[UNK_TOKEN] == 1
+        assert vocabulary.token_to_id[MASK_TOKEN] == 2
+        assert vocabulary.token_to_id[CLS_TOKEN] == 3
+
+    def test_unknown_maps_to_unk(self, vocabulary):
+        assert vocabulary.lookup("never-seen-token") == vocabulary.unk_id
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("x")
+        second = vocab.add("x")
+        assert first == second
+
+    def test_covers_all_kernel_tokens(self, kernel, vocabulary):
+        for block in kernel.blocks.values():
+            for token in block_tokens(block)[1:]:
+                assert vocabulary.lookup(token) != vocabulary.unk_id
+
+    def test_small_vocabulary(self, vocabulary):
+        # The elided ISA has a tiny, version-stable vocabulary.
+        assert len(vocabulary) < 60
+
+
+class TestBlockTokenIds:
+    def test_padded_to_length(self, kernel, vocabulary):
+        block = next(iter(kernel.blocks.values()))
+        ids = block_token_ids(vocabulary, block, max_tokens=32)
+        assert ids.shape == (32,)
+        assert ids.dtype == np.int64
+
+    def test_starts_with_cls(self, kernel, vocabulary):
+        block = next(iter(kernel.blocks.values()))
+        ids = block_token_ids(vocabulary, block, max_tokens=32)
+        assert ids[0] == vocabulary.cls_id
+
+    def test_truncation(self, kernel, vocabulary):
+        big_block = max(kernel.blocks.values(), key=lambda b: len(b.instructions))
+        ids = block_token_ids(vocabulary, big_block, max_tokens=4)
+        assert ids.shape == (4,)
+
+    def test_pad_fills_tail(self, kernel, vocabulary):
+        smallest = min(kernel.blocks.values(), key=lambda b: len(b.instructions))
+        ids = block_token_ids(vocabulary, smallest, max_tokens=64)
+        assert ids[-1] == vocabulary.pad_id

@@ -1,0 +1,129 @@
+"""Tests for the training loop, model selection, and fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml.pic import PICConfig, PICModel
+from repro.ml.training import (
+    TrainingConfig,
+    fine_tune_pic,
+    hyperparameter_search,
+    train_pic,
+    validation_urb_ap,
+)
+
+
+@pytest.fixture(scope="module")
+def pic_config(dataset_builder):
+    return PICConfig(
+        vocab_size=len(dataset_builder.vocabulary),
+        pad_id=dataset_builder.vocabulary.pad_id,
+        token_dim=8,
+        hidden_dim=12,
+        num_layers=2,
+        name="PIC-train-test",
+    )
+
+
+class TestTrainPic:
+    def test_history_and_best_checkpoint(self, pic_config, small_splits):
+        model = PICModel(pic_config, seed=1)
+        result = train_pic(
+            model,
+            small_splits.train,
+            small_splits.validation,
+            TrainingConfig(epochs=3, learning_rate=3e-3, seed=1),
+        )
+        assert len(result.history) == 3
+        assert 0 <= result.best_epoch < 3
+        assert result.best_validation_ap >= 0.0
+        assert result.num_training_graphs == len(small_splits.train)
+
+    def test_loss_trajectory_improves(self, pic_config, small_splits):
+        model = PICModel(pic_config, seed=1)
+        result = train_pic(
+            model,
+            small_splits.train,
+            small_splits.validation,
+            TrainingConfig(epochs=3, learning_rate=3e-3, seed=1),
+        )
+        losses = [entry["train_loss"] for entry in result.history]
+        assert losses[-1] < losses[0]
+
+    def test_threshold_installed_on_model(self, pic_config, small_splits):
+        model = PICModel(pic_config, seed=2)
+        result = train_pic(
+            model,
+            small_splits.train,
+            small_splits.validation,
+            TrainingConfig(epochs=1, seed=2),
+        )
+        assert model.threshold == result.threshold
+        assert 0.0 < model.threshold < 1.0
+
+    def test_empty_training_set_rejected(self, pic_config, small_splits):
+        with pytest.raises(DatasetError):
+            train_pic(PICModel(pic_config, seed=0), [], small_splits.validation)
+
+    def test_beats_chance_on_validation(self, tiny_model, small_splits):
+        ap = validation_urb_ap(tiny_model, small_splits.validation)
+        # URB positives are ~2%; a learned ranking should clear chance by a
+        # wide margin.
+        assert ap > 0.1
+
+
+class TestFineTune:
+    def test_base_model_untouched(self, tiny_model, small_splits):
+        base_state = {k: v.copy() for k, v in tiny_model.state_dict().items()}
+        fine_tune_pic(
+            tiny_model,
+            small_splits.train[:6],
+            small_splits.validation,
+            TrainingConfig(epochs=1, learning_rate=1e-3),
+            name="ft",
+        )
+        for key, value in tiny_model.state_dict().items():
+            assert np.array_equal(value, base_state[key]), key
+
+    def test_clone_gets_new_name(self, tiny_model, small_splits):
+        result = fine_tune_pic(
+            tiny_model,
+            small_splits.train[:6],
+            small_splits.validation,
+            TrainingConfig(epochs=1),
+            name="PIC.ft.test",
+        )
+        assert result.model.config.name == "PIC.ft.test"
+
+    def test_fine_tuned_starts_from_base(self, tiny_model, small_splits):
+        """With zero epochs of drift (lr=0) the clone predicts like base."""
+        result = fine_tune_pic(
+            tiny_model,
+            small_splits.train[:4],
+            small_splits.validation,
+            TrainingConfig(epochs=1, learning_rate=0.0),
+        )
+        graph = small_splits.validation[0].graph
+        assert np.allclose(
+            result.model.predict_proba(graph), tiny_model.predict_proba(graph),
+            atol=1e-6,
+        )
+
+
+class TestHyperparameterSearch:
+    def test_records_sorted_and_complete(self, pic_config, small_splits):
+        records = hyperparameter_search(
+            pic_config,
+            small_splits.train[:8],
+            small_splits.validation,
+            num_layers_grid=(1, 2),
+            hidden_dim_grid=(8,),
+            learning_rate_grid=(3e-3,),
+            epochs=1,
+        )
+        assert len(records) == 2
+        aps = [record["best_validation_ap"] for record in records]
+        assert aps == sorted(aps, reverse=True)
+        for record in records:
+            assert {"num_layers", "hidden_dim", "learning_rate"} <= set(record)
