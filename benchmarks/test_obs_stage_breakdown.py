@@ -1,0 +1,54 @@
+"""Perf baseline: measured stage-time breakdown of train + campaign.
+
+Runs the full pipeline (corpus → dataset → pretrain → train) and a short
+PCT-vs-MLPCT campaign with telemetry enabled, and writes the rendered
+stage/work/latency breakdown to ``results/obs_stage_breakdown.txt``.
+
+This is the reference point for the ROADMAP's scaling pushes: a PR that
+shards dataset collection, batches inference, or caches graph templates
+should shift measurable time out of the corresponding stage row relative
+to this file.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core import ExplorationConfig, Snowcat, SnowcatConfig, run_campaign
+from repro.kernel import KernelConfig, build_kernel
+from repro.obs import MemorySink, MetricsRegistry
+from repro.obs.report import render_trace_report
+
+BASELINE_CONFIG = SnowcatConfig(
+    seed=11,
+    corpus_rounds=150,
+    dataset_ctis=12,
+    train_interleavings=4,
+    evaluation_interleavings=4,
+    pretrain_epochs=1,
+    epochs=3,
+    exploration=ExplorationConfig(
+        execution_budget=20, inference_cap=160, proposal_pool=160
+    ),
+)
+
+
+def test_obs_stage_breakdown(report):
+    with obs.use_registry(MetricsRegistry(sink=MemorySink())) as registry:
+        kernel = build_kernel(KernelConfig(), seed=11)
+        snowcat = Snowcat(kernel, BASELINE_CONFIG)
+        snowcat.train()
+        ctis = snowcat.cti_stream(4)
+        for explorer in (snowcat.pct_explorer(), snowcat.mlpct_explorer("S1")):
+            run_campaign(explorer, ctis)
+        registry.close()
+
+    text = render_trace_report(
+        registry.sink.events,
+        title="measured stage breakdown — train + short campaign "
+        "(perf baseline for scaling PRs)",
+    )
+    # The baseline must attribute time to every pipeline stage.
+    for stage in ("corpus", "dataset", "pretrain", "train", "campaign"):
+        assert stage in text, stage
+    assert "campaign.executions_saved" in text
+    report("obs_stage_breakdown", text)

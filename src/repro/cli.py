@@ -7,9 +7,15 @@ Runs the pipeline stages a downstream user needs without writing code:
 - ``train``     — full pipeline to a trained PIC model (checkpoint saved)
 - ``campaign``  — PCT vs MLPCT race-coverage campaign
 - ``razzer``    — Razzer / Razzer-Relax / Razzer-PIC on injected races
+- ``snowboard`` — INS-PAIR clustering + sampler comparison
 - ``filter-model`` — the §A.6 analytic rejection-filter calculator
+- ``report``    — render a telemetry trace (stage table + span timeline)
 
-Every command accepts ``--seed`` and prints deterministic results.
+Every command accepts ``--seed`` and prints deterministic results. The
+global ``--trace FILE`` flag records a JSON-lines telemetry trace of the
+run (readable with ``repro report FILE``) and ``--metrics`` prints the
+metrics summary after the command finishes; both are off by default and
+cost nothing when unused (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__, obs
 from repro.core import Snowcat, SnowcatConfig, run_campaign
 from repro.core.filtermodel import FilterModel
 from repro.kernel import KernelConfig, build_kernel
@@ -32,7 +39,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="Snowcat reproduction: learned coverage prediction for "
         "kernel concurrency testing",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     parser.add_argument("--seed", type=int, default=0, help="global seed")
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a JSON-lines telemetry trace of this run to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry metrics summary after the command",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("info", help="build a kernel and print its inventory")
@@ -65,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
     filter_model.add_argument("--fruitful", type=float, default=0.011)
     filter_model.add_argument("--tpr", type=float, default=0.69)
     filter_model.add_argument("--fpr", type=float, default=0.008)
+
+    report = commands.add_parser(
+        "report", help="render a recorded telemetry trace (--trace output)"
+    )
+    report.add_argument("trace_file", help="JSON-lines trace to render")
+    report.add_argument(
+        "--timeline-rows",
+        type=int,
+        default=60,
+        help="maximum spans shown in the timeline",
+    )
 
     return parser
 
@@ -222,6 +254,33 @@ def _cmd_filter_model(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.obs.report import load_trace, render_trace_report
+
+    try:
+        events = load_trace(args.trace_file)
+    except OSError as error:
+        print(f"error: cannot read trace file: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(
+            f"error: {args.trace_file} is not a JSON-lines telemetry trace "
+            f"({error})",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        render_trace_report(
+            events,
+            title=f"telemetry run report — {args.trace_file}",
+            timeline_rows=args.timeline_rows,
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "fuzz": _cmd_fuzz,
@@ -230,12 +289,37 @@ _COMMANDS = {
     "razzer": _cmd_razzer,
     "snowboard": _cmd_snowboard,
     "filter-model": _cmd_filter_model,
+    "report": _cmd_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    registry = None
+    if args.trace or args.metrics:
+        try:
+            sink = obs.JsonLinesSink(args.trace) if args.trace else None
+        except OSError as error:
+            print(f"error: cannot open trace file: {error}", file=sys.stderr)
+            return 2
+        registry = obs.set_registry(obs.MetricsRegistry(sink=sink))
+    try:
+        with obs.span(f"cli.{args.command}", seed=args.seed):
+            return _COMMANDS[args.command](args)
+    finally:
+        if registry is not None:
+            summary = registry.close()
+            obs.clear_registry()
+            if args.metrics:
+                from repro.obs.report import render_metrics_summary
+
+                print(render_metrics_summary(summary))
+            if args.trace:
+                print(
+                    f"telemetry trace written to {args.trace} "
+                    f"(render with: repro report {args.trace})",
+                    file=sys.stderr,
+                )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro import rng as rngmod
 from repro.core.costs import CostLedger
 from repro.core.strategies import SelectionStrategy
@@ -185,6 +186,7 @@ class _ExplorerBase:
         )
         self.ledger.charge_execution()
         stats.executions += 1
+        obs.add("campaign.executions")
         new_races = self.race_detector.observe(result)
         stats.new_races += len(new_races)
         scbs = entry_a.trace.covered_blocks | entry_b.trace.covered_blocks
@@ -264,7 +266,11 @@ class MLPCTExplorer(_ExplorerBase):
             predicted = self.predictor.predict(graph)
             self.ledger.charge_inference()
             stats.inferences += 1
+            obs.add("campaign.inferences")
             if not self.strategy.is_interesting(graph, predicted):
+                # A prediction the strategy rejects is a dynamic execution
+                # the campaign never has to pay for.
+                obs.add("campaign.executions_saved")
                 continue
             self.strategy.commit(graph, predicted)
             self._execute(entry_a, entry_b, list(pair), stats)
@@ -277,8 +283,26 @@ def run_campaign(
 ) -> CampaignResult:
     """Explore a stream of CTIs; returns the cumulative campaign curve."""
     result_stats = []
-    for entry_a, entry_b in ctis:
-        result_stats.append(explorer.explore_cti(entry_a, entry_b))
-    campaign = explorer.result()
+    with obs.span(
+        "campaign.run", label=explorer.label, ctis=len(ctis)
+    ) as campaign_span:
+        for index, (entry_a, entry_b) in enumerate(ctis):
+            with obs.span("campaign.cti", index=index) as cti_span:
+                stats = explorer.explore_cti(entry_a, entry_b)
+                cti_span.set(
+                    executions=stats.executions,
+                    inferences=stats.inferences,
+                    new_races=stats.new_races,
+                    new_blocks=stats.new_blocks,
+                )
+            result_stats.append(stats)
+        campaign = explorer.result()
+        campaign_span.set(
+            races=campaign.total_races,
+            blocks=campaign.total_blocks,
+            executions=campaign.ledger.executions,
+            inferences=campaign.ledger.inferences,
+            simulated_hours=round(campaign.ledger.total_hours, 4),
+        )
     campaign.per_cti = result_stats
     return campaign

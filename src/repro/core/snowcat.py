@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro import rng as rngmod
 from repro.core.costs import CostLedger, CostModel
 from repro.core.mlpct import (
@@ -124,54 +125,64 @@ class Snowcat:
     def pretrain(self) -> AsmEncoder:
         """Stage 5a: masked-token pre-training of the assembly encoder."""
         cfg = self.config
-        self.encoder = AsmEncoder(
-            EncoderConfig(
-                vocab_size=len(self.graphs.vocabulary),
-                token_dim=cfg.token_dim,
-                output_dim=cfg.hidden_dim,
-            ),
-            seed=rngmod.derive_seed(cfg.seed, "encoder"),
-        )
-        pretrain_encoder(
-            self.encoder,
-            self.kernel,
-            self.graphs.vocabulary,
-            epochs=cfg.pretrain_epochs,
-            seed=cfg.seed,
-        )
+        with obs.span("pretrain.encoder", epochs=cfg.pretrain_epochs) as span:
+            self.encoder = AsmEncoder(
+                EncoderConfig(
+                    vocab_size=len(self.graphs.vocabulary),
+                    token_dim=cfg.token_dim,
+                    output_dim=cfg.hidden_dim,
+                ),
+                seed=rngmod.derive_seed(cfg.seed, "encoder"),
+            )
+            pretrain_encoder(
+                self.encoder,
+                self.kernel,
+                self.graphs.vocabulary,
+                epochs=cfg.pretrain_epochs,
+                seed=cfg.seed,
+            )
+            span.set(vocabulary=len(self.graphs.vocabulary))
         return self.encoder
 
     def train(self, name: str = "PIC") -> TrainingResult:
         """Stage 5b: train the PIC model; charges startup hours."""
-        if self.splits is None:
-            self.collect_dataset()
-        if self.encoder is None:
-            self.pretrain()
-        cfg = self.config
-        assert self.splits is not None
-        model = PICModel(
-            self.pic_config(name),
-            seed=rngmod.derive_seed(cfg.seed, "pic"),
-            pretrained_encoder=self.encoder,
-        )
-        self.training_result = train_pic(
-            model,
-            self.splits.train,
-            self.splits.validation,
-            TrainingConfig(
-                epochs=cfg.epochs, learning_rate=cfg.learning_rate, seed=cfg.seed
-            ),
-        )
-        self.model = self.training_result.model
-        labeled = (
-            len(self.splits.train)
-            + len(self.splits.validation)
-            + len(self.splits.evaluation)
-        )
-        self.startup_hours = cfg.costs.startup_hours(
-            labeled_graphs=labeled,
-            training_steps=cfg.epochs * len(self.splits.train),
-        )
+        with obs.span("train.pipeline", model=name, kernel=self.kernel.version) as span:
+            if self.splits is None:
+                self.collect_dataset()
+            if self.encoder is None:
+                self.pretrain()
+            cfg = self.config
+            assert self.splits is not None
+            model = PICModel(
+                self.pic_config(name),
+                seed=rngmod.derive_seed(cfg.seed, "pic"),
+                pretrained_encoder=self.encoder,
+            )
+            self.training_result = train_pic(
+                model,
+                self.splits.train,
+                self.splits.validation,
+                TrainingConfig(
+                    epochs=cfg.epochs, learning_rate=cfg.learning_rate, seed=cfg.seed
+                ),
+            )
+            self.model = self.training_result.model
+            labeled = (
+                len(self.splits.train)
+                + len(self.splits.validation)
+                + len(self.splits.evaluation)
+            )
+            self.startup_hours = cfg.costs.startup_hours(
+                labeled_graphs=labeled,
+                training_steps=cfg.epochs * len(self.splits.train),
+            )
+            span.set(
+                labeled_graphs=labeled,
+                best_validation_ap=round(
+                    self.training_result.best_validation_ap, 4
+                ),
+                simulated_startup_hours=round(self.startup_hours, 3),
+            )
         return self.training_result
 
     def require_model(self) -> PICModel:
@@ -244,6 +255,24 @@ class Snowcat:
         cost reflects only the incremental data + fine-tuning.
         """
         base_model = self.require_model()
+        with obs.span(
+            "adapt.pipeline",
+            source=self.kernel.version,
+            target=new_kernel.version,
+        ):
+            return self._adapt_to(
+                new_kernel, base_model, dataset_ctis, epochs, learning_rate, name
+            )
+
+    def _adapt_to(
+        self,
+        new_kernel: Kernel,
+        base_model: PICModel,
+        dataset_ctis: Optional[int],
+        epochs: int,
+        learning_rate: float,
+        name: Optional[str],
+    ) -> "Snowcat":
         cfg = self.config
         adapted_config = replace(
             cfg,

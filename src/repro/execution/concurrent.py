@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ExecutionLimitExceeded, ScheduleError
 from repro.execution.machine import DEFAULT_MAX_STEPS, Machine, ThreadContext, TraceSink
 from repro.execution.trace import BugEvent, ConcurrentResult, MemoryAccess
@@ -107,6 +108,7 @@ def run_concurrent(
         if hint.thread not in (0, 1):
             raise ScheduleError(f"hint references unknown thread {hint.thread}")
 
+    started = obs.tick()
     sink = ConcurrentSink()
     machine = Machine(kernel, sink, max_steps=max_steps, memory_model=memory_model)
     threads = [machine.create_thread(stis[0]), machine.create_thread(stis[1])]
@@ -190,6 +192,12 @@ def run_concurrent(
     except ExecutionLimitExceeded:
         limit_hit = True
 
+    if started is not None:
+        obs.tock("execution.run_seconds", started)
+        obs.add("execution.runs")
+        obs.add("execution.steps", sink.step)
+        if deadlocked:
+            obs.add("execution.deadlocks")
     return ConcurrentResult(
         covered_blocks=sink.covered,
         accesses=sink.accesses,

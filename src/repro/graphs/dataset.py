@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro import rng as rngmod
 from repro.analysis.cfg import KernelCFG, build_kernel_cfg
 from repro.errors import DatasetError
@@ -166,7 +167,10 @@ class GraphDatasetBuilder:
 
     def grow_corpus(self, rounds: int, keep_all: bool = False) -> Corpus:
         """Fuzz for ``rounds`` iterations to populate the STI corpus."""
-        self.corpus.grow(self.generator, rounds, keep_all=keep_all)
+        with obs.span("corpus.grow", rounds=rounds) as span:
+            self.corpus.grow(self.generator, rounds, keep_all=keep_all)
+            span.set(size=len(self.corpus))
+        obs.gauge("corpus.size", len(self.corpus))
         return self.corpus
 
     def require_corpus(self, minimum: int = 2) -> None:
@@ -221,6 +225,7 @@ class GraphDatasetBuilder:
     ) -> CTExample:
         """Dynamically execute the CT and label its graph's vertices
         (coverage) and inter-thread dataflow edges (realised or not)."""
+        started = obs.tick()
         graph = self.graph_for(entry_a, entry_b, hints)
         result = run_concurrent(
             self.kernel,
@@ -234,6 +239,8 @@ class GraphDatasetBuilder:
             if block_id in result.covered_blocks[thread]:
                 labels[index] = 1.0
         dataflow_rows, dataflow_labels = _label_dataflow_edges(graph, result)
+        obs.add("dataset.graphs_labeled")
+        obs.tock("dataset.label_seconds", started)
         return CTExample(
             graph=graph,
             labels=labels,
@@ -278,18 +285,24 @@ class GraphDatasetBuilder:
         Training/validation CTIs get ``train_interleavings`` schedules each;
         evaluation CTIs get the (larger) ``evaluation_interleavings``.
         """
-        ctis = self.build_cti_pool(num_ctis)
-        if not ctis:
-            raise DatasetError("no CTIs could be formed; corpus too small")
-        num_train = max(1, int(len(ctis) * train_fraction))
-        num_validation = max(1, int(len(ctis) * validation_fraction))
-        splits = DatasetSplits()
-        for position, cti in enumerate(ctis):
-            if position < num_train:
-                bucket, interleavings = splits.train, train_interleavings
-            elif position < num_train + num_validation:
-                bucket, interleavings = splits.validation, train_interleavings
-            else:
-                bucket, interleavings = splits.evaluation, evaluation_interleavings
-            bucket.extend(self.examples_for_cti(cti, interleavings))
+        with obs.span("dataset.build_splits", num_ctis=num_ctis) as span:
+            ctis = self.build_cti_pool(num_ctis)
+            if not ctis:
+                raise DatasetError("no CTIs could be formed; corpus too small")
+            num_train = max(1, int(len(ctis) * train_fraction))
+            num_validation = max(1, int(len(ctis) * validation_fraction))
+            splits = DatasetSplits()
+            for position, cti in enumerate(ctis):
+                if position < num_train:
+                    bucket, interleavings = splits.train, train_interleavings
+                elif position < num_train + num_validation:
+                    bucket, interleavings = splits.validation, train_interleavings
+                else:
+                    bucket, interleavings = splits.evaluation, evaluation_interleavings
+                bucket.extend(self.examples_for_cti(cti, interleavings))
+            span.set(
+                train=len(splits.train),
+                validation=len(splits.validation),
+                evaluation=len(splits.evaluation),
+            )
         return splits

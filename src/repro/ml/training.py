@@ -17,11 +17,13 @@ The loop mirrors the paper's methodology:
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro import rng as rngmod
 from repro.errors import DatasetError
 from repro.graphs.dataset import CTExample
@@ -126,32 +128,54 @@ def train_pic(
     best_epoch = 0
     from repro.ml.batching import iter_batches
 
-    for epoch in range(config.epochs):
-        losses = []
-        for example in iter_batches(train, config.batch_size, rng):
-            optimizer.zero_grad()
-            loss = model.loss(example, training=True)
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
-        epoch_ap = validation_urb_ap(model, validation)
-        history.append(
-            {
-                "epoch": float(epoch),
-                "train_loss": float(np.mean(losses)),
-                "validation_urb_ap": epoch_ap,
-            }
+    with obs.span(
+        "train.pic",
+        model=model.config.name,
+        epochs=config.epochs,
+        graphs=len(train),
+    ) as span:
+        for epoch in range(config.epochs):
+            epoch_started = time.perf_counter() if obs.is_enabled() else 0.0
+            losses = []
+            for example in iter_batches(train, config.batch_size, rng):
+                optimizer.zero_grad()
+                loss = model.loss(example, training=True)
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            epoch_ap = validation_urb_ap(model, validation)
+            history.append(
+                {
+                    "epoch": float(epoch),
+                    "train_loss": float(np.mean(losses)),
+                    "validation_urb_ap": epoch_ap,
+                }
+            )
+            if obs.is_enabled():
+                epoch_seconds = time.perf_counter() - epoch_started
+                obs.add("train.epochs")
+                obs.add("train.gradient_steps", len(losses))
+                obs.observe("train.epoch_seconds", epoch_seconds)
+                obs.point(
+                    "train.epoch",
+                    model=model.config.name,
+                    epoch=epoch,
+                    train_loss=history[-1]["train_loss"],
+                    validation_urb_ap=epoch_ap,
+                    seconds=round(epoch_seconds, 6),
+                )
+            if epoch_ap > best_ap:
+                best_ap = epoch_ap
+                best_epoch = epoch
+                best_state = model.state_dict()
+        if best_state is not None:
+            model.load_state_dict(best_state)
+        threshold, fbeta = _tune_model_threshold(
+            model, validation, beta=config.threshold_beta
         )
-        if epoch_ap > best_ap:
-            best_ap = epoch_ap
-            best_epoch = epoch
-            best_state = model.state_dict()
-    if best_state is not None:
-        model.load_state_dict(best_state)
-    threshold, fbeta = _tune_model_threshold(
-        model, validation, beta=config.threshold_beta
-    )
-    model.threshold = threshold
+        model.threshold = threshold
+        span.set(best_epoch=best_epoch, best_validation_ap=best_ap,
+                 threshold=round(threshold, 4))
     return TrainingResult(
         model=model,
         best_epoch=best_epoch,
@@ -175,8 +199,9 @@ def fine_tune_pic(
     clone. Defaults to a gentler learning rate than from-scratch training.
     """
     config = config or TrainingConfig(epochs=2, learning_rate=1e-3)
-    clone = base.clone(name=name, seed=config.seed)
-    return train_pic(clone, train, validation, config)
+    with obs.span("train.fine_tune", base=base.config.name, model=name):
+        clone = base.clone(name=name, seed=config.seed)
+        return train_pic(clone, train, validation, config)
 
 
 def hyperparameter_search(

@@ -1,0 +1,185 @@
+"""Pipeline-wide telemetry: metrics, tracing, and run reports.
+
+The subsystem is **zero-overhead by default**: no registry is installed
+at import time, and every module-level helper (:func:`span`,
+:func:`add`, :func:`observe`, :func:`gauge`, :func:`tick`/:func:`tock`,
+:func:`point`) degrades to a single ``None`` check when telemetry is
+off. Instrumented code therefore never branches on configuration and
+never perturbs results — telemetry reads the clock, it does not touch
+any RNG stream.
+
+Enabling telemetry is one call::
+
+    from repro import obs
+    from repro.obs import JsonLinesSink, MetricsRegistry
+
+    registry = obs.set_registry(MetricsRegistry(sink=JsonLinesSink("run.jsonl")))
+    ...  # run the pipeline: spans/counters/histograms now record
+    registry.close()          # emits the final metrics snapshot
+    obs.clear_registry()
+
+or, scoped (tests, benches)::
+
+    with obs.use_registry(MetricsRegistry(sink=MemorySink())) as registry:
+        ...
+
+The CLI exposes the same switchery via the global ``--trace FILE`` /
+``--metrics`` flags and renders traces with ``repro report`` (see
+``docs/OBSERVABILITY.md`` for the event schema and span naming
+conventions: ``<stage>.<step>`` where stage is one of ``cli``,
+``corpus``, ``dataset``, ``pretrain``, ``train``, ``adapt``,
+``campaign``, ``execution``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from typing import Iterator, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, default_duration_buckets
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import JsonLinesSink, MemorySink, TelemetrySink, read_events
+from repro.obs.tracing import NOOP_SPAN, NoopSpan, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetrySink",
+    "JsonLinesSink",
+    "MemorySink",
+    "Span",
+    "NoopSpan",
+    "read_events",
+    "default_duration_buckets",
+    "active",
+    "is_enabled",
+    "set_registry",
+    "clear_registry",
+    "use_registry",
+    "span",
+    "timed",
+    "add",
+    "gauge",
+    "observe",
+    "point",
+    "tick",
+    "tock",
+]
+
+#: The process-wide active registry; ``None`` means telemetry is off.
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` when telemetry is disabled."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide telemetry domain."""
+    global _ACTIVE
+    _ACTIVE = registry
+    return registry
+
+
+def clear_registry() -> Optional[MetricsRegistry]:
+    """Disable telemetry; returns the registry that was active (if any)."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scoped installation: restores the previous registry on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous
+
+
+# -- hot-path helpers ----------------------------------------------------------
+
+
+def span(name: str, /, **attrs: object) -> Union[Span, NoopSpan]:
+    """A span on the active registry, or the shared no-op when disabled."""
+    registry = _ACTIVE
+    if registry is None:
+        return NOOP_SPAN
+    return registry.span(name, **attrs)
+
+
+def timed(name: str):
+    """Decorator form of :func:`span` (attrs are fixed at decoration)."""
+
+    def decorate(function):
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            registry = _ACTIVE
+            if registry is None:
+                return function(*args, **kwargs)
+            with registry.span(name):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def add(name: str, amount: int = 1) -> None:
+    """Increment counter ``name`` (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.counter(name).add(amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.histogram(name).observe(value)
+
+
+def point(name: str, /, **fields: object) -> None:
+    """Emit a one-off observation event (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.point(name, **fields)
+
+
+def tick() -> Optional[float]:
+    """Start a cheap manual timer; pairs with :func:`tock`.
+
+    Returns ``None`` when telemetry is disabled so the paired
+    :func:`tock` is a no-op — the hot-path pattern for code too
+    frequently called for a full span per invocation.
+    """
+    if _ACTIVE is None:
+        return None
+    return time.perf_counter()
+
+
+def tock(name: str, started: Optional[float]) -> None:
+    """Record elapsed seconds since :func:`tick` into histogram ``name``."""
+    registry = _ACTIVE
+    if started is None or registry is None:
+        return
+    registry.histogram(name).observe(time.perf_counter() - started)

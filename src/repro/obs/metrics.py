@@ -1,0 +1,134 @@
+"""Metric instruments: counters, gauges, and fixed-bucket histograms.
+
+The instruments are deliberately minimal — a counter is an integer, a
+gauge is a float, a histogram is a fixed set of bucket counts plus
+count/sum/min/max — so recording on a hot path costs one dict lookup and
+one list increment. Percentiles (p50/p90/p99) are *estimates* derived
+from the bucket counts by linear interpolation inside the bucket that
+contains the requested rank, clamped to the observed min/max.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "default_duration_buckets"]
+
+
+def default_duration_buckets() -> List[float]:
+    """1-2-5 series of seconds from 10 µs to 500 s (for wall-clock spans)."""
+    boundaries: List[float] = []
+    for exponent in range(-5, 3):
+        for mantissa in (1.0, 2.0, 5.0):
+            boundaries.append(mantissa * 10.0 ** exponent)
+    return boundaries
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket summary of a stream of values.
+
+    ``boundaries`` are the inclusive upper bounds of the first
+    ``len(boundaries)`` buckets; one overflow bucket catches everything
+    beyond the last boundary. Memory is O(#buckets) regardless of how
+    many values are observed.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        if boundaries is None:
+            boundaries = default_duration_buckets()
+        self.boundaries = sorted(float(b) for b in boundaries)
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile from the bucket counts."""
+        if self.count == 0:
+            return 0.0
+        if p <= 0:
+            return self.min
+        if p >= 100:
+            return self.max
+        rank = (p / 100.0) * self.count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.boundaries[index - 1] if index > 0 else min(self.min, self.boundaries[0])
+                upper = (
+                    self.boundaries[index]
+                    if index < len(self.boundaries)
+                    else self.max
+                )
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return float(min(max(estimate, self.min), self.max))
+            cumulative += bucket_count
+        return self.max
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }

@@ -1,0 +1,173 @@
+"""The metrics registry: one telemetry domain for one run.
+
+Owns every instrument (counters, gauges, histograms), the open-span
+stack, and the optional event sink. All timestamps are seconds relative
+to the registry's creation (``perf_counter`` based), so traces from
+different runs line up at zero.
+
+Event schema (JSON-lines, one object per line, ``seq``-ordered):
+
+- ``{"event": "span", "seq": n, "name": ..., "id": i, "parent": j|null,
+  "depth": d, "start": s, "dur": s, "attrs": {...}}`` — emitted when a
+  span exits (children therefore appear before their parents; the tree
+  is reconstructed from ``id``/``parent``).
+- ``{"event": "point", "seq": n, "name": ..., "t": s, "fields": {...}}``
+  — a one-off observation (e.g. per-epoch training stats).
+- ``{"event": "metrics", "seq": n, "counters": ..., "gauges": ...,
+  "histograms": ..., "spans": ...}`` — the final snapshot, emitted once
+  by :meth:`MetricsRegistry.close`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.tracing import Span
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, spans, and an optional sink."""
+
+    def __init__(
+        self,
+        sink=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.sink = sink
+        self._clock = clock
+        self._t0 = clock()
+        self._seq = 0
+        self._next_span_id = 1
+        self._stack: List[Span] = []
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: Per-span-name aggregates: count, total and exclusive seconds.
+        self.span_stats: Dict[str, Dict[str, float]] = {}
+        self.closed = False
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the registry was created."""
+        return self._clock() - self._t0
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name, boundaries)
+        return instrument
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, /, **attrs: object) -> Span:
+        return Span(self, name, dict(attrs))
+
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def _enter_span(self, span: Span) -> None:
+        span.span_id = self._next_span_id
+        self._next_span_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.depth = len(self._stack)
+        span.child_seconds = 0.0
+        self._stack.append(span)
+        span.start = self.now()
+
+    def _exit_span(self, span: Span, failed: bool = False) -> None:
+        span.duration = self.now() - span.start
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # mis-nested exit: unwind to the span
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].child_seconds += span.duration
+        stats = self.span_stats.setdefault(
+            span.name, {"count": 0, "total": 0.0, "exclusive": 0.0}
+        )
+        stats["count"] += 1
+        stats["total"] += span.duration
+        stats["exclusive"] += max(span.duration - span.child_seconds, 0.0)
+        event: Dict[str, object] = {
+            "event": "span",
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "depth": span.depth,
+            "start": round(span.start, 6),
+            "dur": round(span.duration, 6),
+            "attrs": span.attrs,
+        }
+        if failed:
+            event["failed"] = True
+        self.emit(event)
+
+    # -- events --------------------------------------------------------------
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Stamp ``seq`` and forward to the sink (dropped when sink-less)."""
+        event = dict(event)
+        event["seq"] = self._seq
+        self._seq += 1
+        if self.sink is not None:
+            self.sink.write(event)
+
+    def point(self, name: str, /, **fields: object) -> None:
+        """A one-off named observation (per-epoch stats and the like)."""
+        self.emit(
+            {"event": "point", "name": name, "t": round(self.now(), 6),
+             "fields": fields}
+        )
+
+    # -- snapshot / shutdown ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything the registry knows, as plain JSON-able data."""
+        return {
+            "counters": {
+                name: counter.snapshot() for name, counter in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: gauge.snapshot() for name, gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self.histograms.items())
+            },
+            "spans": {
+                name: dict(stats) for name, stats in sorted(self.span_stats.items())
+            },
+        }
+
+    def close(self) -> Dict[str, object]:
+        """Emit the final metrics snapshot, close the sink; idempotent."""
+        summary = self.snapshot()
+        if not self.closed:
+            self.closed = True
+            self.emit({"event": "metrics", **summary})
+            if self.sink is not None:
+                self.sink.close()
+        return summary

@@ -1,0 +1,209 @@
+"""Run reports: turn a telemetry trace into stage-attributed tables.
+
+Consumes the event stream produced by :class:`repro.obs.MetricsRegistry`
+(live, via :class:`~repro.obs.MemorySink`, or reloaded from a JSON-lines
+file) and renders:
+
+- a **stage table** — wall-clock attributed to pipeline stages (the
+  ``<stage>.`` prefix of each span name: corpus, dataset, pretrain,
+  train, campaign, ...) with *exclusive* seconds, so a parent stage is
+  not double-charged for time its children already account for;
+- a **work table** — the final counter values (graphs labeled,
+  predictions made, executions run/saved, ...);
+- a **latency table** — histogram summaries (count/mean/p50/p90/p99);
+- the **span timeline** (see :func:`repro.reporting.format_span_timeline`).
+
+``repro report TRACE.jsonl`` is the CLI entry point; benches call
+:func:`render_trace_report` directly on in-memory events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.sink import read_events
+from repro.reporting import format_span_timeline, format_table
+
+__all__ = [
+    "collect_spans",
+    "final_metrics",
+    "stage_rows",
+    "render_trace_report",
+    "render_metrics_summary",
+    "load_trace",
+]
+
+#: Canonical pipeline order for the stage table; unknown stages follow,
+#: alphabetically, after these.
+STAGE_ORDER = (
+    "cli",
+    "corpus",
+    "dataset",
+    "pretrain",
+    "train",
+    "adapt",
+    "campaign",
+    "execution",
+)
+
+
+def load_trace(path: str) -> List[Dict[str, object]]:
+    """Alias of :func:`repro.obs.read_events` with a report-flavored name."""
+    return read_events(path)
+
+
+def collect_spans(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """The ``span`` events of a trace, in ``seq`` order."""
+    spans = [dict(event) for event in events if event.get("event") == "span"]
+    spans.sort(key=lambda span: int(span.get("seq", 0)))
+    return spans
+
+
+def final_metrics(
+    events: Sequence[Dict[str, object]]
+) -> Optional[Dict[str, object]]:
+    """The last ``metrics`` snapshot event of a trace, if any."""
+    snapshot = None
+    for event in events:
+        if event.get("event") == "metrics":
+            snapshot = event
+    return snapshot
+
+
+def _stage_of(name: str) -> str:
+    return str(name).split(".", 1)[0]
+
+
+def stage_rows(spans: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Aggregate spans into one row per pipeline stage.
+
+    ``self s`` is exclusive time — each span's duration minus the
+    durations of its direct children — so stages sum to (at most) the
+    run's wall clock instead of multiply counting nested work.
+    """
+    child_seconds: Dict[int, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            child_seconds[int(parent)] = (
+                child_seconds.get(int(parent), 0.0) + float(span.get("dur", 0.0))
+            )
+    totals: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        stage = _stage_of(span.get("name", "?"))
+        duration = float(span.get("dur", 0.0))
+        exclusive = max(
+            duration - child_seconds.get(int(span.get("id", -1)), 0.0), 0.0
+        )
+        bucket = totals.setdefault(
+            stage, {"spans": 0.0, "total": 0.0, "self": 0.0}
+        )
+        bucket["spans"] += 1
+        bucket["total"] += duration
+        bucket["self"] += exclusive
+    self_sum = sum(bucket["self"] for bucket in totals.values()) or 1.0
+
+    def order(stage: str) -> tuple:
+        try:
+            return (STAGE_ORDER.index(stage), stage)
+        except ValueError:
+            return (len(STAGE_ORDER), stage)
+
+    return [
+        {
+            "stage": stage,
+            "spans": int(bucket["spans"]),
+            "total s": bucket["total"],
+            "self s": bucket["self"],
+            "share": f"{bucket['self'] / self_sum:.1%}",
+        }
+        for stage, bucket in sorted(totals.items(), key=lambda kv: order(kv[0]))
+    ]
+
+
+def _counter_rows(snapshot: Dict[str, object]) -> List[Dict[str, object]]:
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    rows = [
+        {"metric": name, "kind": "counter", "value": value}
+        for name, value in sorted(counters.items())
+    ]
+    rows.extend(
+        {"metric": name, "kind": "gauge", "value": value}
+        for name, value in sorted(gauges.items())
+    )
+    return rows
+
+
+def _histogram_rows(snapshot: Dict[str, object]) -> List[Dict[str, object]]:
+    histograms = snapshot.get("histograms") or {}
+    return [
+        {
+            "histogram": name,
+            "count": summary.get("count", 0),
+            "mean s": summary.get("mean", 0.0),
+            "p50 s": summary.get("p50", 0.0),
+            "p90 s": summary.get("p90", 0.0),
+            "p99 s": summary.get("p99", 0.0),
+        }
+        for name, summary in sorted(histograms.items())
+    ]
+
+
+def render_trace_report(
+    events: Sequence[Dict[str, object]],
+    title: str = "telemetry run report",
+    timeline_rows: int = 60,
+) -> str:
+    """The full plain-text report for one trace's events."""
+    spans = collect_spans(events)
+    snapshot = final_metrics(events) or {}
+    sections: List[str] = [title]
+    if spans:
+        sections.append(
+            format_table(stage_rows(spans), title="stage breakdown (wall clock)")
+        )
+    else:
+        sections.append("stage breakdown: (no spans recorded)")
+    counter_rows = _counter_rows(snapshot)
+    if counter_rows:
+        sections.append(
+            format_table(counter_rows, title="work breakdown", float_digits=3)
+        )
+    histogram_rows = _histogram_rows(snapshot)
+    if histogram_rows:
+        sections.append(
+            format_table(histogram_rows, title="latency summaries", float_digits=4)
+        )
+    sections.append(format_span_timeline(spans, max_rows=timeline_rows))
+    return "\n\n".join(sections)
+
+
+def render_metrics_summary(
+    snapshot: Dict[str, object], title: str = "telemetry metrics summary"
+) -> str:
+    """Tables for a live registry snapshot (the ``--metrics`` output)."""
+    sections: List[str] = [title]
+    span_stats = snapshot.get("spans") or {}
+    if span_stats:
+        rows = [
+            {
+                "span": name,
+                "count": int(stats.get("count", 0)),
+                "total s": stats.get("total", 0.0),
+                "self s": stats.get("exclusive", 0.0),
+            }
+            for name, stats in sorted(span_stats.items())
+        ]
+        sections.append(format_table(rows, title="spans"))
+    counter_rows = _counter_rows(snapshot)
+    if counter_rows:
+        sections.append(format_table(counter_rows, title="work breakdown"))
+    histogram_rows = _histogram_rows(snapshot)
+    if histogram_rows:
+        sections.append(
+            format_table(histogram_rows, title="latency summaries", float_digits=4)
+        )
+    if len(sections) == 1:
+        sections.append("(no telemetry recorded)")
+    return "\n\n".join(sections)

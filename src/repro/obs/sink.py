@@ -1,0 +1,75 @@
+"""Telemetry sinks: where emitted events go.
+
+Events are plain dicts with at least an ``event`` kind and a ``seq``
+number (assigned by the registry, so file ordering is reproducible even
+when nested spans finish out of start order). The JSON-lines format is
+one ``json.dumps(..., sort_keys=True)`` object per line — greppable,
+streamable, and round-trippable via :func:`read_events`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterator, List, Optional, Union
+
+__all__ = ["TelemetrySink", "JsonLinesSink", "MemorySink", "read_events"]
+
+
+class TelemetrySink:
+    """Interface: receives event dicts from a registry."""
+
+    def write(self, event: Dict[str, object]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink(TelemetrySink):
+    """Keeps events in a list — the test / in-process analysis sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+        self.closed = False
+
+    def write(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonLinesSink(TelemetrySink):
+    """Appends one JSON object per event to a file (or file-like)."""
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            self.path: Optional[str] = destination
+            self._handle: IO[str] = open(destination, "w")
+            self._owns_handle = True
+        else:
+            self.path = None
+            self._handle = destination
+            self._owns_handle = False
+
+    def write(self, event: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True, default=str))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """Load a JSON-lines trace back into event dicts (blank lines skipped)."""
+    return list(iter_events(path))
+
+
+def iter_events(path: str) -> Iterator[Dict[str, object]]:
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,80 @@
+"""Hierarchical wall-clock spans.
+
+A :class:`Span` is a context manager handed out by a registry; entering
+pushes it on the registry's span stack (establishing parent/child links
+and depth), exiting records the duration, folds it into the per-name
+span statistics, and emits one ``span`` event to the sink. Spans carry
+free-form attributes (set at creation or via :meth:`Span.set` while the
+span is open) that land in the event's ``attrs`` field.
+
+When telemetry is disabled the instrumented code receives the module
+singleton :data:`NOOP_SPAN` instead — a stateless context manager whose
+``set`` is a no-op — so the disabled cost of ``with obs.span(...)`` is a
+single ``None`` check plus an empty context manager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["Span", "NoopSpan", "NOOP_SPAN"]
+
+
+class Span:
+    """One timed region of a run; created via ``registry.span(name)``."""
+
+    __slots__ = (
+        "registry",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start",
+        "duration",
+        "child_seconds",
+    )
+
+    def __init__(self, registry, name: str, attrs: Dict[str, object]) -> None:
+        self.registry = registry
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int = 0
+        self.parent_id: Optional[int] = None
+        self.depth: int = 0
+        self.start: float = 0.0
+        self.duration: float = 0.0
+        #: Total duration of direct children (for exclusive-time stats).
+        self.child_seconds: float = 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes; chainable, allowed any time before exit."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.registry._enter_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.registry._exit_span(self, failed=exc_type is not None)
+        return False
+
+
+class NoopSpan:
+    """Disabled-path stand-in: accepts the same calls, records nothing."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Shared singleton; stateless, so one instance serves every call site.
+NOOP_SPAN = NoopSpan()

@@ -3,5 +3,12 @@
 from repro.reporting.tables import format_table
 from repro.reporting.series import format_series, downsample_history
 from repro.reporting.timeline import format_timeline
+from repro.reporting.spans import format_span_timeline
 
-__all__ = ["format_table", "format_series", "downsample_history", "format_timeline"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "downsample_history",
+    "format_timeline",
+    "format_span_timeline",
+]

@@ -1,0 +1,56 @@
+"""ASCII span timelines for telemetry traces.
+
+Renders a run's hierarchical spans (from :mod:`repro.obs`) as an
+indented tree with proportional duration bars — the at-a-glance view of
+where a pipeline run spent its wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_span_timeline"]
+
+
+def format_span_timeline(
+    spans: Sequence[Dict[str, object]],
+    width: int = 40,
+    max_rows: int = 60,
+    label_width: int = 36,
+) -> str:
+    """Render span dicts (``name``/``depth``/``start``/``dur``) as a tree.
+
+    Spans are ordered by start time; each row shows the name indented by
+    nesting depth, absolute start and duration in seconds, and a bar
+    spanning the run's horizontal extent.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    ordered = sorted(
+        spans, key=lambda s: (float(s.get("start", 0.0)), int(s.get("id", 0)))
+    )
+    extent = max(
+        float(s.get("start", 0.0)) + float(s.get("dur", 0.0)) for s in ordered
+    )
+    extent = extent or 1.0
+    lines: List[str] = [
+        "span timeline"
+        + f" (total {extent:.3f} s, {len(ordered)} spans)"
+    ]
+    for record in ordered[:max_rows]:
+        name = str(record.get("name", "?"))
+        depth = int(record.get("depth", 0))
+        start = float(record.get("start", 0.0))
+        duration = float(record.get("dur", 0.0))
+        label = ("  " * depth + name)[:label_width]
+        offset = min(int(width * start / extent), width - 1)
+        length = max(1, int(round(width * duration / extent)))
+        length = min(length, width - offset)
+        bar = " " * offset + "#" * length
+        lines.append(
+            f"{label:<{label_width}} {start:>9.3f}s {duration:>9.3f}s "
+            f"|{bar:<{width}}|"
+        )
+    if len(ordered) > max_rows:
+        lines.append(f"... ({len(ordered) - max_rows} more spans)")
+    return "\n".join(lines)

@@ -24,12 +24,31 @@ class TestParser:
     def test_all_commands_registered(self):
         from repro.cli import _COMMANDS
 
+        extra_args = {"train": ["--epochs", "1"], "report": ["trace.jsonl"]}
         parser = build_parser()
         for command in _COMMANDS:
-            args = parser.parse_args(
-                [command] if command != "train" else [command, "--epochs", "1"]
-            )
+            args = parser.parse_args([command] + extra_args.get(command, []))
             assert args.command == command
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_trace_and_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["--trace", "out.jsonl", "--metrics", "info"]
+        )
+        assert args.trace == "out.jsonl"
+        assert args.metrics is True
+
+    def test_telemetry_off_by_default(self):
+        args = build_parser().parse_args(["info"])
+        assert args.trace is None
+        assert args.metrics is False
 
 
 class TestCommands:
@@ -56,3 +75,34 @@ class TestCommands:
         main(["filter-model"])
         second = capsys.readouterr().out
         assert first == second
+
+    def test_metrics_flag_prints_summary(self, capsys):
+        assert main(["--metrics", "--seed", "3", "fuzz", "--rounds", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus:" in out
+        assert "telemetry metrics summary" in out
+        assert "corpus.grow" in out
+
+    def test_command_output_identical_with_telemetry(self, capsys, tmp_path):
+        """--trace/--metrics must not change what a command computes."""
+        main(["--seed", "3", "fuzz", "--rounds", "15"])
+        baseline = capsys.readouterr().out
+        trace = str(tmp_path / "t.jsonl")
+        main(["--trace", trace, "--seed", "3", "fuzz", "--rounds", "15"])
+        traced = capsys.readouterr().out
+        assert traced == baseline
+
+    def test_report_missing_trace_file(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "missing.jsonl")]) == 2
+        assert "cannot read trace file" in capsys.readouterr().err
+
+    def test_report_non_json_trace_file(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("this is not json\n")
+        assert main(["report", str(garbage)]) == 2
+        assert "not a JSON-lines telemetry trace" in capsys.readouterr().err
+
+    def test_trace_to_unwritable_path(self, capsys, tmp_path):
+        bad = str(tmp_path / "no-such-dir" / "t.jsonl")
+        assert main(["--trace", bad, "--seed", "3", "fuzz", "--rounds", "5"]) == 2
+        assert "cannot open trace file" in capsys.readouterr().err

@@ -1,0 +1,222 @@
+"""Tests for the telemetry subsystem (:mod:`repro.obs`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import (
+    Histogram,
+    JsonLinesSink,
+    MemorySink,
+    MetricsRegistry,
+    read_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_registry():
+    """Telemetry must be off before and after every test here."""
+    assert obs.active() is None
+    yield
+    obs.clear_registry()
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("x").add()
+        registry.counter("x").add(4)
+        assert registry.counter("x").snapshot() == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3)
+        registry.gauge("g").set(7.5)
+        assert registry.gauge("g").snapshot() == 7.5
+
+    def test_histogram_summary(self):
+        histogram = Histogram("h", boundaries=[1.0, 2.0, 5.0])
+        for value in (0.5, 1.5, 1.6, 3.0, 10.0):
+            histogram.observe(value)
+        summary = histogram.snapshot()
+        assert summary["count"] == 5
+        assert summary["sum"] == pytest.approx(16.6)
+        assert summary["min"] == 0.5
+        assert summary["max"] == 10.0
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        summary = histogram.snapshot()
+        assert summary["count"] == 0
+        assert summary["p50"] == 0.0
+        assert summary["min"] == 0.0
+
+    def test_percentiles_match_numpy_reference(self):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(0.0, 100.0, size=2000)
+        histogram = Histogram("h", boundaries=np.linspace(0.1, 100.0, 1000))
+        for value in values:
+            histogram.observe(float(value))
+        for p in (50, 90, 99):
+            reference = float(np.percentile(values, p))
+            estimate = histogram.percentile(p)
+            # Fixed-bucket estimates are accurate to ~a bucket width.
+            assert abs(estimate - reference) < 0.5, (p, estimate, reference)
+
+    def test_percentile_extremes_clamp_to_observed(self):
+        histogram = Histogram("h", boundaries=[10.0, 20.0])
+        histogram.observe(12.0)
+        histogram.observe(13.0)
+        assert histogram.percentile(0) == 12.0
+        assert histogram.percentile(100) == 13.0
+        assert 12.0 <= histogram.percentile(50) <= 13.0
+
+
+class TestSpans:
+    def test_nesting_and_ordering(self):
+        sink = MemorySink()
+        registry = MetricsRegistry(sink=sink)
+        with registry.span("outer") as outer:
+            with registry.span("inner.a"):
+                pass
+            with registry.span("inner.b") as b:
+                b.set(key="value")
+        spans = [event for event in sink.events if event["event"] == "span"]
+        # Children end (and are emitted) before their parent.
+        assert [span["name"] for span in spans] == ["inner.a", "inner.b", "outer"]
+        by_name = {span["name"]: span for span in spans}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner.a"]["parent"] == by_name["outer"]["id"]
+        assert by_name["inner.b"]["parent"] == by_name["outer"]["id"]
+        assert by_name["inner.a"]["depth"] == 1
+        assert by_name["inner.b"]["attrs"] == {"key": "value"}
+        # Span ids are assigned in *start* order.
+        assert by_name["outer"]["id"] < by_name["inner.a"]["id"] < by_name["inner.b"]["id"]
+        # seq strictly increases across the event stream.
+        seqs = [event["seq"] for event in sink.events]
+        assert seqs == sorted(seqs)
+        assert outer.duration >= b.duration >= 0.0
+
+    def test_exclusive_time_statistics(self):
+        registry = MetricsRegistry()
+        with registry.span("parent"):
+            with registry.span("child"):
+                pass
+        parent = registry.span_stats["parent"]
+        child = registry.span_stats["child"]
+        assert parent["count"] == 1 and child["count"] == 1
+        assert parent["total"] >= child["total"]
+        assert parent["exclusive"] == pytest.approx(
+            parent["total"] - child["total"], abs=1e-9
+        )
+
+    def test_failed_span_is_flagged(self):
+        sink = MemorySink()
+        registry = MetricsRegistry(sink=sink)
+        with pytest.raises(ValueError):
+            with registry.span("doomed"):
+                raise ValueError("boom")
+        (span,) = [event for event in sink.events if event["event"] == "span"]
+        assert span["failed"] is True
+
+    def test_timed_decorator(self):
+        registry = obs.set_registry(MetricsRegistry())
+        try:
+
+            @obs.timed("work.unit")
+            def compute(x):
+                return x * 2
+
+            assert compute(21) == 42
+            assert registry.span_stats["work.unit"]["count"] == 1
+        finally:
+            obs.clear_registry()
+
+
+class TestRegistryLifecycle:
+    def test_close_emits_final_snapshot_once(self):
+        sink = MemorySink()
+        registry = MetricsRegistry(sink=sink)
+        registry.counter("n").add(3)
+        registry.close()
+        registry.close()  # idempotent
+        metrics = [event for event in sink.events if event["event"] == "metrics"]
+        assert len(metrics) == 1
+        assert metrics[0]["counters"] == {"n": 3}
+        assert sink.closed
+
+    def test_use_registry_restores_previous(self):
+        first = MetricsRegistry()
+        obs.set_registry(first)
+        try:
+            with obs.use_registry(MetricsRegistry()) as second:
+                assert obs.active() is second
+            assert obs.active() is first
+        finally:
+            obs.clear_registry()
+
+    def test_point_event(self):
+        sink = MemorySink()
+        registry = MetricsRegistry(sink=sink)
+        registry.point("train.epoch", epoch=0, loss=0.25)
+        (event,) = sink.events
+        assert event["event"] == "point"
+        assert event["fields"] == {"epoch": 0, "loss": 0.25}
+
+
+class TestDisabledPath:
+    def test_helpers_are_noops_without_registry(self):
+        assert obs.active() is None
+        assert not obs.is_enabled()
+        span = obs.span("anything", attr=1)
+        with span as inner:
+            inner.set(more=2)  # accepted, ignored
+        obs.add("counter")
+        obs.gauge("gauge", 1.0)
+        obs.observe("histogram", 0.5)
+        obs.point("point", x=1)
+        assert obs.tick() is None
+        obs.tock("histogram", None)
+
+    def test_span_helper_returns_shared_noop(self):
+        from repro.obs.tracing import NOOP_SPAN
+
+        assert obs.span("a") is NOOP_SPAN
+        assert obs.span("b") is NOOP_SPAN
+
+    def test_timed_passthrough_when_disabled(self):
+        @obs.timed("never.recorded")
+        def compute():
+            return "ok"
+
+        assert compute() == "ok"
+
+
+class TestJsonLinesSink:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        registry = MetricsRegistry(sink=JsonLinesSink(path))
+        with registry.span("corpus.grow", rounds=5) as span:
+            span.set(size=3)
+        registry.counter("execution.runs").add(2)
+        registry.histogram("execution.run_seconds").observe(0.01)
+        registry.close()
+
+        events = read_events(path)
+        assert [event["event"] for event in events] == ["span", "metrics"]
+        assert events[0]["name"] == "corpus.grow"
+        assert events[0]["attrs"] == {"rounds": 5, "size": 3}
+        assert events[1]["counters"] == {"execution.runs": 2}
+        assert events[1]["histograms"]["execution.run_seconds"]["count"] == 1
+        # Every line is independently parseable JSON (the format contract).
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "point", "seq": 0}\n\n\n')
+        assert len(read_events(str(path))) == 1

@@ -1,0 +1,148 @@
+"""Telemetry must be invisible to results: on/off runs are identical.
+
+The acceptance contract of the observability layer is that enabling it
+changes *nothing* about what the pipeline computes — no RNG stream is
+consumed, no result is perturbed. These tests run the same seeded
+pipeline twice, once with telemetry off and once with a live registry,
+and require byte-identical training histories, model parameters, and
+campaign curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import ExplorationConfig, Snowcat, SnowcatConfig
+from repro.kernel import build_kernel
+from repro.obs import MemorySink, MetricsRegistry
+from tests.conftest import SMALL_KERNEL_CONFIG
+
+TINY_CONFIG = SnowcatConfig(
+    seed=5,
+    corpus_rounds=60,
+    dataset_ctis=5,
+    train_interleavings=3,
+    evaluation_interleavings=3,
+    pretrain_epochs=1,
+    epochs=2,
+    token_dim=16,
+    hidden_dim=24,
+    num_layers=2,
+    exploration=ExplorationConfig(
+        execution_budget=5, inference_cap=30, proposal_pool=30
+    ),
+)
+
+
+def _run_pipeline():
+    """Train a tiny Snowcat and run a tiny campaign; returns artefacts."""
+    kernel = build_kernel(SMALL_KERNEL_CONFIG, seed=5)
+    snowcat = Snowcat(kernel, TINY_CONFIG)
+    training = snowcat.train()
+    explorer = snowcat.mlpct_explorer("S1")
+    campaign = snowcat.run_campaign(explorer, num_ctis=2)
+    return snowcat, training, campaign
+
+
+@pytest.fixture(scope="module")
+def paired_runs():
+    assert obs.active() is None
+    baseline = _run_pipeline()
+    with obs.use_registry(MetricsRegistry(sink=MemorySink())) as registry:
+        traced = _run_pipeline()
+        registry.close()
+    assert obs.active() is None
+    return baseline, traced, registry
+
+
+class TestTrainingDeterminism:
+    def test_history_identical(self, paired_runs):
+        (_, base_training, _), (_, traced_training, _), _ = paired_runs
+        assert base_training.history == traced_training.history
+        assert base_training.best_epoch == traced_training.best_epoch
+        assert base_training.threshold == traced_training.threshold
+
+    def test_model_parameters_byte_identical(self, paired_runs):
+        (base_snowcat, _, _), (traced_snowcat, _, _), _ = paired_runs
+        base_state = base_snowcat.model.state_dict()
+        traced_state = traced_snowcat.model.state_dict()
+        assert base_state.keys() == traced_state.keys()
+        for key in base_state:
+            base_array = np.asarray(base_state[key])
+            traced_array = np.asarray(traced_state[key])
+            assert base_array.tobytes() == traced_array.tobytes(), key
+
+    def test_startup_hours_identical(self, paired_runs):
+        (base_snowcat, _, _), (traced_snowcat, _, _), _ = paired_runs
+        assert base_snowcat.startup_hours == traced_snowcat.startup_hours
+
+
+class TestCampaignDeterminism:
+    def test_history_and_ledger_identical(self, paired_runs):
+        (_, _, base_campaign), (_, _, traced_campaign), _ = paired_runs
+        assert base_campaign.history == traced_campaign.history
+        assert base_campaign.bug_history == traced_campaign.bug_history
+        assert base_campaign.manifested_bugs == traced_campaign.manifested_bugs
+        assert base_campaign.ledger.executions == traced_campaign.ledger.executions
+        assert base_campaign.ledger.inferences == traced_campaign.ledger.inferences
+        assert base_campaign.ledger.total_hours == traced_campaign.ledger.total_hours
+
+    def test_per_cti_stats_identical(self, paired_runs):
+        (_, _, base_campaign), (_, _, traced_campaign), _ = paired_runs
+        assert len(base_campaign.per_cti) == len(traced_campaign.per_cti)
+        for base_stats, traced_stats in zip(
+            base_campaign.per_cti, traced_campaign.per_cti
+        ):
+            assert base_stats == traced_stats
+
+
+class TestTraceCoverage:
+    """The traced run must attribute work to every pipeline stage."""
+
+    def test_all_stages_present(self, paired_runs):
+        _, _, registry = paired_runs
+        names = {event["name"] for event in registry.sink.events
+                 if event["event"] == "span"}
+        for required in (
+            "corpus.grow",
+            "dataset.build_splits",
+            "pretrain.encoder",
+            "train.pipeline",
+            "train.pic",
+            "campaign.run",
+            "campaign.cti",
+        ):
+            assert required in names, required
+
+    def test_decision_counters_recorded(self, paired_runs):
+        _, (_, _, campaign), registry = paired_runs
+        counters = {
+            name: counter.snapshot()
+            for name, counter in registry.counters.items()
+        }
+        assert counters["campaign.executions"] == campaign.ledger.executions
+        assert counters["campaign.inferences"] == campaign.ledger.inferences
+        assert (
+            counters["campaign.executions_saved"]
+            == campaign.ledger.inferences - campaign.ledger.executions
+        )
+        assert counters["dataset.graphs_labeled"] > 0
+        # Campaign executions and dataset labeling both go through the
+        # execution machine.
+        assert (
+            counters["execution.runs"]
+            >= counters["campaign.executions"]
+            + counters["dataset.graphs_labeled"]
+        )
+
+    def test_per_epoch_points_recorded(self, paired_runs):
+        _, _, registry = paired_runs
+        points = [event for event in registry.sink.events
+                  if event["event"] == "point" and event["name"] == "train.epoch"]
+        assert len(points) == TINY_CONFIG.epochs
+        for event in points:
+            assert set(event["fields"]) >= {
+                "epoch", "train_loss", "validation_urb_ap", "seconds"
+            }

@@ -1,0 +1,167 @@
+"""Tests for trace reports (:mod:`repro.obs.report`) and the report CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs import JsonLinesSink, MetricsRegistry, read_events
+from repro.obs.report import (
+    collect_spans,
+    final_metrics,
+    render_metrics_summary,
+    render_trace_report,
+    stage_rows,
+)
+from repro.reporting import format_span_timeline
+
+
+def _span(seq, sid, name, start, dur, parent=None, depth=0):
+    return {
+        "event": "span",
+        "seq": seq,
+        "id": sid,
+        "name": name,
+        "start": start,
+        "dur": dur,
+        "parent": parent,
+        "depth": depth,
+        "attrs": {},
+    }
+
+
+SYNTHETIC_EVENTS = [
+    _span(0, 2, "corpus.grow", 0.0, 2.0, parent=1, depth=1),
+    _span(1, 3, "train.pic", 2.0, 3.0, parent=1, depth=1),
+    _span(2, 1, "train.pipeline", 0.0, 6.0),
+    _span(3, 4, "campaign.run", 6.0, 4.0),
+    {
+        "event": "metrics",
+        "seq": 4,
+        "counters": {"campaign.executions": 10, "campaign.executions_saved": 90},
+        "gauges": {"corpus.size": 12.0},
+        "histograms": {
+            "execution.run_seconds": {
+                "count": 10, "sum": 0.1, "mean": 0.01, "min": 0.005,
+                "max": 0.02, "p50": 0.01, "p90": 0.018, "p99": 0.02,
+            }
+        },
+        "spans": {},
+    },
+]
+
+
+class TestStageRows:
+    def test_exclusive_time_attribution(self):
+        rows = {row["stage"]: row for row in stage_rows(collect_spans(SYNTHETIC_EVENTS))}
+        # train.pipeline (6 s) minus its children corpus.grow (2 s) and
+        # train.pic (3 s) leaves 1 s of exclusive "train" time, plus the
+        # 3 s of train.pic itself.
+        assert rows["train"]["total s"] == pytest.approx(9.0)
+        assert rows["train"]["self s"] == pytest.approx(4.0)
+        assert rows["corpus"]["self s"] == pytest.approx(2.0)
+        assert rows["campaign"]["self s"] == pytest.approx(4.0)
+        # Exclusive times sum to the run's wall clock.
+        assert sum(row["self s"] for row in rows.values()) == pytest.approx(10.0)
+
+    def test_stage_ordering_is_pipeline_order(self):
+        stages = [row["stage"] for row in stage_rows(collect_spans(SYNTHETIC_EVENTS))]
+        assert stages == ["corpus", "train", "campaign"]
+
+
+class TestRenderTraceReport:
+    def test_sections_present(self):
+        text = render_trace_report(SYNTHETIC_EVENTS)
+        assert "stage breakdown (wall clock)" in text
+        assert "work breakdown" in text
+        assert "latency summaries" in text
+        assert "span timeline" in text
+        assert "campaign.executions_saved" in text
+        assert "execution.run_seconds" in text
+
+    def test_empty_trace(self):
+        text = render_trace_report([])
+        assert "no spans" in text
+
+    def test_final_metrics_picks_last_snapshot(self):
+        events = SYNTHETIC_EVENTS + [
+            {"event": "metrics", "seq": 5, "counters": {"x": 1},
+             "gauges": {}, "histograms": {}, "spans": {}}
+        ]
+        assert final_metrics(events)["counters"] == {"x": 1}
+
+
+class TestSpanTimeline:
+    def test_tree_indentation_and_bars(self):
+        text = format_span_timeline(collect_spans(SYNTHETIC_EVENTS), width=20)
+        lines = text.splitlines()
+        assert "span timeline" in lines[0]
+        assert any(line.lstrip().startswith("train.pipeline") for line in lines)
+        # Children are indented under their parent.
+        assert any(line.startswith("  corpus.grow") for line in lines)
+        assert all("|" in line for line in lines[1:])
+
+    def test_truncation(self):
+        spans = [_span(i, i + 1, f"s.{i}", float(i), 1.0) for i in range(30)]
+        text = format_span_timeline(spans, max_rows=10)
+        assert "(20 more spans)" in text
+
+
+class TestMetricsSummary:
+    def test_summary_sections(self):
+        registry = MetricsRegistry()
+        with registry.span("corpus.grow"):
+            pass
+        registry.counter("execution.runs").add(4)
+        summary = render_metrics_summary(registry.snapshot())
+        assert "spans" in summary
+        assert "corpus.grow" in summary
+        assert "execution.runs" in summary
+
+    def test_empty_summary(self):
+        assert "(no telemetry recorded)" in render_metrics_summary(
+            {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+        )
+
+
+class TestReportCli:
+    def test_report_renders_trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonLinesSink(path)
+        for event in SYNTHETIC_EVENTS:
+            sink.write(event)
+        sink.close()
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "stage breakdown (wall clock)" in out
+        assert "corpus" in out and "train" in out and "campaign" in out
+
+    def test_trace_flag_produces_parseable_jsonl(self, tmp_path, capsys):
+        assert obs.active() is None
+        path = str(tmp_path / "fuzz.jsonl")
+        assert main(["--trace", path, "--seed", "3", "fuzz", "--rounds", "20"]) == 0
+        # Telemetry is torn down after the command.
+        assert obs.active() is None
+        with open(path) as handle:
+            events = [json.loads(line) for line in handle if line.strip()]
+        assert events, "trace file is empty"
+        names = {event.get("name") for event in events if event["event"] == "span"}
+        assert "cli.fuzz" in names
+        assert "corpus.grow" in names
+        assert events[-1]["event"] == "metrics"
+        # And the report command renders it.
+        capsys.readouterr()
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "cli" in out and "corpus" in out
+
+    def test_trace_round_trips_through_read_events(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonLinesSink(path)
+        for event in SYNTHETIC_EVENTS:
+            sink.write(event)
+        sink.close()
+        assert read_events(path) == SYNTHETIC_EVENTS
