@@ -27,7 +27,13 @@ BASELINE_CONFIG = SnowcatConfig(
     pretrain_epochs=1,
     epochs=3,
     exploration=ExplorationConfig(
-        execution_budget=20, inference_cap=160, proposal_pool=160
+        execution_budget=20,
+        inference_cap=160,
+        proposal_pool=160,
+        # This file is the single-graph, serial-execution reference the
+        # batched-engine bench (test_scoring_throughput.py) compares
+        # against, so pin the per-graph scoring path explicitly.
+        score_batch_size=1,
     ),
 )
 

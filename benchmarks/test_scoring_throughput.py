@@ -1,0 +1,191 @@
+"""Perf bench for PR 2's batched scoring engine + parallel execution.
+
+Two measurements against the committed ``results/obs_stage_breakdown.txt``
+baseline (single-graph inference, serial execution):
+
+1. **Scoring throughput** — graphs scored per second for the per-graph
+   ``predict_proba`` loop vs the block-diagonal ``predict_proba_batch``
+   path, over one CTI's candidate pool (the MLPCT hot loop shape). Each
+   timing repeat scores a *freshly stamped* pool: a campaign scores every
+   candidate exactly once, so per-graph adjacency memos are always cold
+   while template-level caches are warm — both paths are measured under
+   exactly those conditions.
+2. **Campaign stage share** — the baseline pipeline re-run with batched
+   scoring; the campaign stage's share of wall clock should drop below
+   the baseline's 55.2%.
+
+``REPRO_BENCH_SMOKE=1`` shrinks every size so CI can run this as a quick
+regression gate; the committed results file is produced by a full run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import obs
+from repro import rng as rngmod
+from repro.core import ExplorationConfig, Snowcat, SnowcatConfig, run_campaign
+from repro.core.scoring import CandidateScorer
+from repro.execution.pct import propose_hint_pairs
+from repro.kernel import KernelConfig, build_kernel
+from repro.obs import MemorySink, MetricsRegistry
+from repro.obs.report import collect_spans, stage_rows
+from repro.reporting import format_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Campaign share of the committed single-graph baseline
+#: (results/obs_stage_breakdown.txt, pinned to score_batch_size=1).
+BASELINE_CAMPAIGN_SHARE = 0.552
+
+POOL_SIZE = 32 if SMOKE else 160
+BATCH_SIZE = 8
+TIMING_REPEATS = 2 if SMOKE else 8
+MIN_SPEEDUP = 1.2 if SMOKE else 2.0
+
+PIPELINE_CONFIG = SnowcatConfig(
+    seed=11,
+    corpus_rounds=80 if SMOKE else 150,
+    dataset_ctis=6 if SMOKE else 12,
+    train_interleavings=4,
+    evaluation_interleavings=4,
+    pretrain_epochs=1,
+    epochs=1 if SMOKE else 3,
+    exploration=ExplorationConfig(
+        execution_budget=20,
+        inference_cap=160,
+        proposal_pool=160,
+        score_batch_size=BATCH_SIZE,
+    ),
+)
+
+
+def _interleaved_totals(scorers, stamp_pool, repeats):
+    """Total seconds each scorer spends over ``repeats`` pools, interleaved.
+
+    Each repeat scores its own freshly stamped pool, matching the
+    campaign hot loop: every candidate graph is scored exactly once, so
+    per-graph adjacency memos never help while per-template caches do.
+    Alternating the paths within each repeat means ambient load on the
+    machine biases both measurements equally, and summing over repeats
+    (rather than best-of) keeps each path's real allocator/GC cost in
+    its steady-state throughput.
+    """
+    totals = [0.0] * len(scorers)
+    for _ in range(repeats):
+        for i, score in enumerate(scorers):
+            pool = stamp_pool()
+            started = time.perf_counter()
+            score(pool)
+            totals[i] += time.perf_counter() - started
+    return totals
+
+
+def test_scoring_throughput(report):
+    kernel = build_kernel(KernelConfig(), seed=11)
+    snowcat = Snowcat(kernel, PIPELINE_CONFIG)
+    snowcat.train()
+    model = snowcat.require_model()
+
+    # One CTI's candidate pool: the shape of the MLPCT hot loop.
+    entry_a, entry_b = snowcat.graphs.corpus.sample_pairs(
+        rngmod.make_rng(11), 1
+    )[0]
+    pairs = propose_hint_pairs(
+        rngmod.make_rng(11), entry_a.trace, entry_b.trace, POOL_SIZE
+    )
+
+    def stamp_pool():
+        return [
+            snowcat.graphs.graph_for(entry_a, entry_b, list(pair))
+            for pair in pairs
+        ]
+
+    # Warm template-level caches (encoder cache, base_cache adjacencies,
+    # batch plan), so the comparison measures steady-state scoring, not
+    # one-time setup. Every timed repeat then gets fresh graph objects.
+    warm = stamp_pool()
+    model.predict_proba(warm[0])
+    scorer = CandidateScorer(model, batch_size=BATCH_SIZE)
+    scorer.score_proba(warm[:BATCH_SIZE])
+
+    serial_total, batched_total = _interleaved_totals(
+        [
+            lambda pool: [model.predict_proba(graph) for graph in pool],
+            scorer.score_proba,
+        ],
+        stamp_pool,
+        TIMING_REPEATS,
+    )
+    serial_rate = POOL_SIZE * TIMING_REPEATS / serial_total
+    batched_rate = POOL_SIZE * TIMING_REPEATS / batched_total
+    speedup = batched_rate / serial_rate
+
+    # Campaign stage share with batched scoring, measured the same way as
+    # the committed baseline breakdown.
+    with obs.use_registry(MetricsRegistry(sink=MemorySink())) as registry:
+        campaign_snowcat = Snowcat(
+            build_kernel(KernelConfig(), seed=11), PIPELINE_CONFIG
+        )
+        campaign_snowcat.train()
+        ctis = campaign_snowcat.cti_stream(2 if SMOKE else 4)
+        for explorer in (
+            campaign_snowcat.pct_explorer(),
+            campaign_snowcat.mlpct_explorer("S1"),
+        ):
+            run_campaign(explorer, ctis)
+        registry.close()
+    rows = stage_rows(collect_spans(registry.sink.events))
+    self_total = sum(row["self s"] for row in rows) or 1.0
+    shares = {row["stage"]: row["self s"] / self_total for row in rows}
+    campaign_share = shares.get("campaign", 0.0)
+
+    text = "\n".join(
+        [
+            "scoring throughput — batched engine vs per-graph inference "
+            + ("(smoke run)" if SMOKE else "(full run)"),
+            "",
+            format_table(
+                [
+                    {
+                        "path": "per-graph predict_proba",
+                        "graphs/s": round(serial_rate, 1),
+                    },
+                    {
+                        "path": f"batched (batch={BATCH_SIZE})",
+                        "graphs/s": round(batched_rate, 1),
+                    },
+                ],
+                title=f"candidate pool of {len(pairs)} graphs, one CTI template",
+            ),
+            "",
+            f"speedup: {speedup:.2f}x graphs scored per second",
+            "",
+            format_table(
+                [
+                    {
+                        "stage": row["stage"],
+                        "self s": round(row["self s"], 3),
+                        "share": row["share"],
+                    }
+                    for row in rows
+                ],
+                title="stage breakdown with batched scoring",
+            ),
+            "",
+            f"campaign stage share: {campaign_share:.1%} "
+            f"(baseline obs_stage_breakdown.txt: "
+            f"{BASELINE_CAMPAIGN_SHARE:.1%})",
+        ]
+    )
+    report("scoring_throughput", text)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched scoring only {speedup:.2f}x faster (need {MIN_SPEEDUP}x)"
+    )
+    if not SMOKE:
+        assert campaign_share < BASELINE_CAMPAIGN_SHARE, (
+            f"campaign share {campaign_share:.1%} did not drop below the "
+            f"single-graph baseline {BASELINE_CAMPAIGN_SHARE:.1%}"
+        )

@@ -5,7 +5,10 @@ Runs the pipeline stages a downstream user needs without writing code:
 - ``info``      — build a kernel and print its inventory
 - ``fuzz``      — grow an STI corpus and report coverage
 - ``train``     — full pipeline to a trained PIC model (checkpoint saved)
-- ``campaign``  — PCT vs MLPCT race-coverage campaign
+- ``campaign``  — PCT vs MLPCT race-coverage campaign; ``--batch-size N``
+  sets how many candidate graphs the PIC scores per batched inference
+  call and ``--workers N`` executes selected CTs in N worker processes
+  (results identical to serial; see ``docs/PERFORMANCE.md``)
 - ``razzer``    — Razzer / Razzer-Relax / Razzer-PIC on injected races
 - ``snowboard`` — INS-PAIR clustering + sampler comparison
 - ``filter-model`` — the §A.6 analytic rejection-filter calculator
@@ -25,7 +28,7 @@ import sys
 from typing import List, Optional
 
 from repro import __version__, obs
-from repro.core import Snowcat, SnowcatConfig, run_campaign
+from repro.core import ExplorationConfig, Snowcat, SnowcatConfig, run_campaign
 from repro.core.filtermodel import FilterModel
 from repro.kernel import KernelConfig, build_kernel
 from repro.reporting import format_series, format_table
@@ -69,6 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = commands.add_parser("campaign", help="PCT vs MLPCT campaign")
     campaign.add_argument("--ctis", type=int, default=8)
     campaign.add_argument("--strategy", choices=("S1", "S2", "S3"), default="S1")
+    campaign.add_argument(
+        "--batch-size",
+        type=int,
+        default=ExplorationConfig.score_batch_size,
+        help="candidate graphs scored per batched inference call "
+        "(1 disables batching)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for dynamic executions "
+        "(0 runs serially; results are identical either way)",
+    )
 
     razzer = commands.add_parser("razzer", help="directed race reproduction")
     razzer.add_argument("--schedules", type=int, default=400)
@@ -101,11 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _trained_snowcat(seed: int, ctis: int = 30, epochs: int = 3) -> Snowcat:
+def _trained_snowcat(
+    seed: int,
+    ctis: int = 30,
+    epochs: int = 3,
+    exploration: Optional[ExplorationConfig] = None,
+) -> Snowcat:
     kernel = build_kernel(KernelConfig(), seed=seed)
     snowcat = Snowcat(
         kernel,
-        SnowcatConfig(seed=seed, corpus_rounds=200, dataset_ctis=ctis, epochs=epochs),
+        SnowcatConfig(
+            seed=seed,
+            corpus_rounds=200,
+            dataset_ctis=ctis,
+            epochs=epochs,
+            exploration=exploration or ExplorationConfig(),
+        ),
     )
     snowcat.train()
     return snowcat
@@ -155,7 +183,13 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    snowcat = _trained_snowcat(args.seed)
+    snowcat = _trained_snowcat(
+        args.seed,
+        exploration=ExplorationConfig(
+            score_batch_size=args.batch_size,
+            parallel_workers=args.workers,
+        ),
+    )
     ctis = snowcat.cti_stream(args.ctis)
     curves = {}
     for explorer in (snowcat.pct_explorer(), snowcat.mlpct_explorer(args.strategy)):

@@ -7,6 +7,12 @@ analytic rejection-filter model of §A.6, and the end-to-end orchestrator.
 """
 
 from repro.core.costs import CostModel, CostLedger
+from repro.core.scoring import (
+    CandidateScorer,
+    ScoredCandidate,
+    iter_score_candidates,
+    score_candidates,
+)
 from repro.core.strategies import (
     NewCoverageSet,
     NewPositiveBlocks,
@@ -33,6 +39,10 @@ from repro.core.snowcat import Snowcat, SnowcatConfig
 __all__ = [
     "CostModel",
     "CostLedger",
+    "CandidateScorer",
+    "ScoredCandidate",
+    "score_candidates",
+    "iter_score_candidates",
     "SelectionStrategy",
     "NewCoverageSet",
     "NewPositiveBlocks",

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro import rng as rngmod
 from repro.core.costs import CostLedger
+from repro.core.scoring import DEFAULT_BATCH_SIZE, CandidateScorer
 from repro.execution.concurrent import ScheduleHint, run_concurrent
 from repro.execution.pct import propose_hint_pairs
 from repro.fuzz.corpus import CorpusEntry
@@ -47,11 +48,13 @@ class DirectedScheduleSearch:
         graphs: GraphDatasetBuilder,
         predictor: CoveragePredictor,
         seed: int = 0,
+        score_batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.graphs = graphs
         self.kernel = graphs.kernel
         self.predictor = predictor
         self.seed = seed
+        self.scorer = CandidateScorer(predictor, batch_size=score_batch_size)
 
     def rank_schedules(
         self,
@@ -64,20 +67,29 @@ class DirectedScheduleSearch:
 
         A target block covered by either thread counts; the score is the
         max predicted probability over the target's (thread, block) nodes,
-        0 when the block is not in the CT graph at all.
+        0 when the block is not in the CT graph at all. Only graphs that
+        contain the target go through the (batched) scoring engine.
         """
         rng = rngmod.split(
             self.seed, f"directed:{entry_a.sti.sti_id}:{entry_b.sti.sti_id}"
         )
         proposals = propose_hint_pairs(rng, entry_a.trace, entry_b.trace, pool)
+        graphs = [
+            self.graphs.graph_for(entry_a, entry_b, list(pair))
+            for pair in proposals
+        ]
+        target_nodes = [graph.nodes_of_block(target_block) for graph in graphs]
+        probas = iter(
+            self.scorer.score_proba(
+                [graph for graph, nodes in zip(graphs, target_nodes) if nodes]
+            )
+        )
         scored = []
-        for pair in proposals:
-            graph = self.graphs.graph_for(entry_a, entry_b, list(pair))
-            nodes = graph.nodes_of_block(target_block)
+        for pair, nodes in zip(proposals, target_nodes):
             if not nodes:
                 scored.append((0.0, pair))
                 continue
-            proba = self.predictor.predict_proba(graph)
+            proba = next(probas)
             scored.append((float(max(proba[n] for n in nodes)), pair))
         scored.sort(key=lambda item: -item[0])
         return scored

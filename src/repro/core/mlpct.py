@@ -26,8 +26,14 @@ import numpy as np
 from repro import obs
 from repro import rng as rngmod
 from repro.core.costs import CostLedger
+from repro.core.scoring import (
+    DEFAULT_BATCH_SIZE,
+    CandidateScorer,
+    iter_score_candidates,
+)
 from repro.core.strategies import SelectionStrategy
-from repro.execution.concurrent import ScheduleHint, run_concurrent
+from repro.execution.concurrent import ScheduleHint
+from repro.execution.parallel import CTTask, make_runner
 from repro.execution.pct import propose_hint_pairs
 from repro.execution.races import RaceDetector
 from repro.execution.trace import ConcurrentResult
@@ -56,6 +62,14 @@ class ExplorationConfig:
     #: Candidate schedules proposed per CTI (candidates beyond the caps are
     #: never considered).
     proposal_pool: int = 1600
+    #: Candidates scored per batched inference call (see
+    #: :mod:`repro.core.scoring`); 1 forces per-graph scoring. Predictors
+    #: without a batch path always score per graph regardless.
+    score_batch_size: int = DEFAULT_BATCH_SIZE
+    #: Worker processes for dynamic executions; 0 (the default) runs
+    #: serially in-process. Results are byte-identical either way (see
+    #: :mod:`repro.execution.parallel`).
+    parallel_workers: int = 0
 
 
 @dataclass
@@ -125,6 +139,8 @@ class _ExplorerBase:
         self.history: List[Tuple[float, int, int]] = []
         self.bug_history: List[Tuple[float, int]] = []
         self.label = label
+        self.runner = make_runner(self.config.parallel_workers)
+        self._task_index = 0
         self._visit_counts: Dict[Tuple[int, int], int] = {}
         self._manifest_index: Dict[int, BugSpec] = {
             spec.manifest_block: spec for spec in self.kernel.bugs
@@ -172,18 +188,19 @@ class _ExplorerBase:
             ):
                 self._record_bug(spec.bug_id, stats)
 
-    def _execute(
+    def _account(
         self,
         entry_a: CorpusEntry,
         entry_b: CorpusEntry,
-        hints: Sequence[ScheduleHint],
+        result: ConcurrentResult,
         stats: ExplorationStats,
-    ) -> ConcurrentResult:
-        result = run_concurrent(
-            self.kernel,
-            (entry_a.sti.as_pairs(), entry_b.sti.as_pairs()),
-            hints=hints,
-        )
+    ) -> None:
+        """Fold one execution's outcome into the campaign state.
+
+        Order-sensitive (race dedup, fresh-block sets, history
+        checkpoints): callers replay results in selection order, which is
+        what makes parallel execution byte-identical to serial.
+        """
         self.ledger.charge_execution()
         stats.executions += 1
         obs.add("campaign.executions")
@@ -203,7 +220,48 @@ class _ExplorerBase:
                 len(self.covered_schedule_blocks),
             )
         )
-        return result
+
+    def _execute_selected(
+        self,
+        entry_a: CorpusEntry,
+        entry_b: CorpusEntry,
+        hints_list: Sequence[Sequence[ScheduleHint]],
+        stats: ExplorationStats,
+        inferences_before: Optional[Sequence[int]] = None,
+    ) -> List[ConcurrentResult]:
+        """Run the selected CTs (serially or in the worker pool) and
+        account for them in selection order.
+
+        ``inferences_before[j]`` is how many of this CTI's inferences had
+        happened when candidate ``j`` was selected. Inference charges are
+        replayed against the ledger just before each execution's charge —
+        with any tail inferences charged after the last — so every history
+        checkpoint carries the exact simulated hours an interleaved
+        predict-then-execute loop would have recorded.
+        """
+        programs = (entry_a.sti.as_pairs(), entry_b.sti.as_pairs())
+        tasks = []
+        for hints in hints_list:
+            tasks.append(
+                CTTask.build(programs, hints, seed=self.seed, index=self._task_index)
+            )
+            self._task_index += 1
+        results = self.runner.run_many(self.kernel, tasks)
+        charged = 0
+        for index, result in enumerate(results):
+            if inferences_before is not None:
+                owed = inferences_before[index] - charged
+                if owed:
+                    self.ledger.charge_inference(owed)
+                    charged = inferences_before[index]
+            self._account(entry_a, entry_b, result, stats)
+        if inferences_before is not None and stats.inferences > charged:
+            self.ledger.charge_inference(stats.inferences - charged)
+        return results
+
+    def close(self) -> None:
+        """Release the execution runner (a no-op for the serial one)."""
+        self.runner.close()
 
     def explore_cti(
         self, entry_a: CorpusEntry, entry_b: CorpusEntry
@@ -231,10 +289,9 @@ class PCTExplorer(_ExplorerBase):
         self, entry_a: CorpusEntry, entry_b: CorpusEntry
     ) -> ExplorationStats:
         stats = ExplorationStats()
-        for pair in self.proposals_for(entry_a, entry_b):
-            if stats.executions >= self.config.execution_budget:
-                break
-            self._execute(entry_a, entry_b, list(pair), stats)
+        proposals = self.proposals_for(entry_a, entry_b)
+        selected = [list(pair) for pair in proposals[: self.config.execution_budget]]
+        self._execute_selected(entry_a, entry_b, selected, stats)
         return stats
 
 
@@ -252,28 +309,49 @@ class MLPCTExplorer(_ExplorerBase):
         super().__init__(graphs, **kwargs)
         self.predictor = predictor
         self.strategy = strategy
+        self.scorer = CandidateScorer(
+            predictor, batch_size=self.config.score_batch_size
+        )
 
     def explore_cti(
         self, entry_a: CorpusEntry, entry_b: CorpusEntry
     ) -> ExplorationStats:
         stats = ExplorationStats()
-        for pair in self.proposals_for(entry_a, entry_b):
-            if stats.executions >= self.config.execution_budget:
+        scored = iter_score_candidates(
+            self.scorer,
+            self.graphs,
+            entry_a,
+            entry_b,
+            self.proposals_for(entry_a, entry_b),
+        )
+        selected: List[Tuple[ScheduleHint, ...]] = []
+        inferences_before: List[int] = []
+        while True:
+            # Budget checks come before pulling the next candidate: the
+            # engine's fallback path predicts lazily, so an RNG-consuming
+            # predictor draws exactly once per considered candidate.
+            if len(selected) >= self.config.execution_budget:
                 break
             if stats.inferences >= self.config.inference_cap:
                 break
-            graph = self.graphs.graph_for(entry_a, entry_b, list(pair))
-            predicted = self.predictor.predict(graph)
-            self.ledger.charge_inference()
+            candidate = next(scored, None)
+            if candidate is None:
+                break
             stats.inferences += 1
             obs.add("campaign.inferences")
-            if not self.strategy.is_interesting(graph, predicted):
+            if not self.strategy.is_interesting(
+                candidate.graph, candidate.predicted
+            ):
                 # A prediction the strategy rejects is a dynamic execution
                 # the campaign never has to pay for.
                 obs.add("campaign.executions_saved")
                 continue
-            self.strategy.commit(graph, predicted)
-            self._execute(entry_a, entry_b, list(pair), stats)
+            self.strategy.commit(candidate.graph, candidate.predicted)
+            selected.append(candidate.hints)
+            inferences_before.append(stats.inferences)
+        self._execute_selected(
+            entry_a, entry_b, selected, stats, inferences_before
+        )
         return stats
 
 
@@ -283,26 +361,30 @@ def run_campaign(
 ) -> CampaignResult:
     """Explore a stream of CTIs; returns the cumulative campaign curve."""
     result_stats = []
-    with obs.span(
-        "campaign.run", label=explorer.label, ctis=len(ctis)
-    ) as campaign_span:
-        for index, (entry_a, entry_b) in enumerate(ctis):
-            with obs.span("campaign.cti", index=index) as cti_span:
-                stats = explorer.explore_cti(entry_a, entry_b)
-                cti_span.set(
-                    executions=stats.executions,
-                    inferences=stats.inferences,
-                    new_races=stats.new_races,
-                    new_blocks=stats.new_blocks,
-                )
-            result_stats.append(stats)
-        campaign = explorer.result()
-        campaign_span.set(
-            races=campaign.total_races,
-            blocks=campaign.total_blocks,
-            executions=campaign.ledger.executions,
-            inferences=campaign.ledger.inferences,
-            simulated_hours=round(campaign.ledger.total_hours, 4),
-        )
+    try:
+        with obs.span(
+            "campaign.run", label=explorer.label, ctis=len(ctis)
+        ) as campaign_span:
+            for index, (entry_a, entry_b) in enumerate(ctis):
+                with obs.span("campaign.cti", index=index) as cti_span:
+                    stats = explorer.explore_cti(entry_a, entry_b)
+                    cti_span.set(
+                        executions=stats.executions,
+                        inferences=stats.inferences,
+                        new_races=stats.new_races,
+                        new_blocks=stats.new_blocks,
+                    )
+                result_stats.append(stats)
+            campaign = explorer.result()
+            campaign_span.set(
+                races=campaign.total_races,
+                blocks=campaign.total_blocks,
+                executions=campaign.ledger.executions,
+                inferences=campaign.ledger.inferences,
+                simulated_hours=round(campaign.ledger.total_hours, 4),
+            )
+    finally:
+        # Worker pools (parallel_workers > 0) do not outlive the campaign.
+        explorer.close()
     campaign.per_cti = result_stats
     return campaign

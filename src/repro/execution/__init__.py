@@ -19,6 +19,12 @@ from repro.execution.concurrent import ScheduleHint, run_concurrent
 from repro.execution.pct import PctScheduler, propose_hint_pairs, run_concurrent_pct
 from repro.execution.races import PotentialRace, RaceDetector, find_potential_races
 from repro.execution.alias import AliasCoverageTracker, AliasPair, alias_coverage
+from repro.execution.parallel import (
+    CTTask,
+    ProcessPoolCTRunner,
+    SerialCTRunner,
+    make_runner,
+)
 
 __all__ = [
     "BugEvent",
@@ -40,4 +46,8 @@ __all__ = [
     "AliasPair",
     "alias_coverage",
     "AliasCoverageTracker",
+    "CTTask",
+    "SerialCTRunner",
+    "ProcessPoolCTRunner",
+    "make_runner",
 ]

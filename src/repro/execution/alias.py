@@ -11,7 +11,10 @@ two philosophies can be compared on the same substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import combinations
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.execution.trace import ConcurrentResult, MemoryAccess
 
@@ -38,20 +41,29 @@ def alias_coverage(accesses: Sequence[MemoryAccess]) -> Set[AliasPair]:
     proximity condition applies — Krace counts the communication topology,
     not its safety.
     """
-    by_address: Dict[int, List[MemoryAccess]] = {}
+    by_address: Dict[int, Dict[int, Set[int]]] = {}
     for access in accesses:
-        by_address.setdefault(access.address, []).append(access)
+        by_address.setdefault(access.address, {}).setdefault(
+            access.thread, set()
+        ).add(access.iid)
     pairs: Set[AliasPair] = set()
-    for address, stream in by_address.items():
-        per_thread_iids: Dict[int, Set[int]] = {}
-        for access in stream:
-            per_thread_iids.setdefault(access.thread, set()).add(access.iid)
-        threads = sorted(per_thread_iids)
-        for i, first_thread in enumerate(threads):
-            for second_thread in threads[i + 1 :]:
-                for iid_a in per_thread_iids[first_thread]:
-                    for iid_b in per_thread_iids[second_thread]:
-                        pairs.add(AliasPair.of(iid_a, iid_b, address))
+    for address, per_thread_iids in by_address.items():
+        iid_arrays = {
+            thread: np.fromiter(iids, dtype=np.int64, count=len(iids))
+            for thread, iids in per_thread_iids.items()
+        }
+        for first_thread, second_thread in combinations(sorted(iid_arrays), 2):
+            a = iid_arrays[first_thread]
+            b = iid_arrays[second_thread]
+            # The cross product, ordered (lo, hi) in one vectorised pass;
+            # dedup before materialising Python objects.
+            lo = np.minimum.outer(a, b).ravel()
+            hi = np.maximum.outer(a, b).ravel()
+            unique = np.unique(np.stack((lo, hi), axis=1), axis=0)
+            pairs.update(
+                AliasPair(iid_pair=(lo_iid, hi_iid), address=address)
+                for lo_iid, hi_iid in unique.tolist()
+            )
     return pairs
 
 

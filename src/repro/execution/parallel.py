@@ -1,0 +1,198 @@
+"""Opt-in parallel dynamic execution of selected CTs.
+
+Dynamic executions dominate a campaign's wall clock (they are what the
+PIC filter exists to avoid), and :func:`~repro.execution.concurrent
+.run_concurrent` is a pure function of ``(kernel, programs, hints, ...)``
+— no shared state, no RNG. That makes the selected CTs of one CTI
+embarrassingly parallel: this module runs them in a process pool and
+returns results **in task order**, so downstream accounting (race
+detection, coverage, cost ledger) replays serially and campaign results
+are byte-identical to a serial run.
+
+Determinism contract:
+
+- each :class:`CTTask` carries a ``seed`` derived from the campaign seed
+  and the task's position via :func:`repro.rng.derive_seed` — the
+  deterministic token any future stochastic runner must draw from
+  (today's interpreter is RNG-free, so the seed is carried, not drawn);
+- workers never touch the parent's telemetry: the pool initializer
+  clears any registry inherited across ``fork`` (a forked JSON-lines
+  sink would interleave writes with the parent), and the parent
+  re-emits the per-run execution counters from the collected results so
+  traces stay complete.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro import rng as rngmod
+from repro.execution.concurrent import ScheduleHint, run_concurrent
+from repro.execution.machine import DEFAULT_MAX_STEPS
+from repro.execution.trace import ConcurrentResult
+from repro.kernel.code import Kernel
+
+__all__ = [
+    "CTTask",
+    "SerialCTRunner",
+    "ProcessPoolCTRunner",
+    "make_runner",
+]
+
+Program = Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+
+def _freeze_program(program: Sequence[Tuple[str, Sequence[int]]]) -> Program:
+    return tuple((name, tuple(arguments)) for name, arguments in program)
+
+
+@dataclass(frozen=True)
+class CTTask:
+    """One concurrent test to execute: two STI programs plus hints."""
+
+    programs: Tuple[Program, Program]
+    hints: Tuple[ScheduleHint, ...] = ()
+    #: Deterministic per-CT token (see the module docstring); results for
+    #: a task depend only on the task's own fields, never on which worker
+    #: runs it or in what order.
+    seed: int = 0
+    max_steps: int = DEFAULT_MAX_STEPS
+    memory_model: str = "sc"
+    irq_plan: Tuple[Tuple[int, str], ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        programs: Tuple[
+            Sequence[Tuple[str, Sequence[int]]],
+            Sequence[Tuple[str, Sequence[int]]],
+        ],
+        hints: Sequence[ScheduleHint],
+        seed: int = 0,
+        index: int = 0,
+    ) -> "CTTask":
+        """Freeze programs/hints and derive the per-CT seed from
+        ``(seed, index)``."""
+        return cls(
+            programs=(
+                _freeze_program(programs[0]),
+                _freeze_program(programs[1]),
+            ),
+            hints=tuple(hints),
+            seed=rngmod.derive_seed(seed, f"ct-task:{index}"),
+        )
+
+
+def _run_task(kernel: Kernel, task: CTTask) -> ConcurrentResult:
+    return run_concurrent(
+        kernel,
+        task.programs,
+        hints=task.hints,
+        max_steps=task.max_steps,
+        memory_model=task.memory_model,
+        irq_plan=task.irq_plan,
+    )
+
+
+class SerialCTRunner:
+    """Executes tasks one by one in-process (the default)."""
+
+    workers = 0
+
+    def run_many(
+        self, kernel: Kernel, tasks: Sequence[CTTask]
+    ) -> List[ConcurrentResult]:
+        return [_run_task(kernel, task) for task in tasks]
+
+    def close(self) -> None:
+        pass
+
+
+# Worker-side state, installed once per worker by the pool initializer.
+_WORKER_KERNEL: Optional[Kernel] = None
+
+
+def _init_worker(kernel: Kernel) -> None:
+    global _WORKER_KERNEL
+    _WORKER_KERNEL = kernel
+    # A registry inherited across fork would double-write events (and
+    # interleave with the parent on a shared file descriptor).
+    obs.clear_registry()
+
+
+def _worker_run(task: CTTask) -> ConcurrentResult:
+    assert _WORKER_KERNEL is not None, "pool initializer did not run"
+    return _run_task(_WORKER_KERNEL, task)
+
+
+class ProcessPoolCTRunner:
+    """Executes tasks in ``workers`` processes, results in task order.
+
+    The pool is created lazily on first use and pinned to one kernel
+    (the initializer ships the kernel once instead of pickling it per
+    task); running against a different kernel recycles the pool.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("process pool needs at least one worker")
+        self.workers = workers
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_kernel: Optional[Kernel] = None
+
+    def _context(self) -> multiprocessing.context.BaseContext:
+        # fork shares the kernel pages copy-on-write; fall back where the
+        # platform does not offer it (e.g. Windows spawn-only).
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform-dependent
+            return multiprocessing.get_context()
+
+    def _ensure_pool(self, kernel: Kernel) -> "multiprocessing.pool.Pool":
+        if self._pool is not None and self._pool_kernel is not kernel:
+            self.close()
+        if self._pool is None:
+            self._pool = self._context().Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(kernel,),
+            )
+            self._pool_kernel = kernel
+        return self._pool
+
+    def run_many(
+        self, kernel: Kernel, tasks: Sequence[CTTask]
+    ) -> List[ConcurrentResult]:
+        if not tasks:
+            return []
+        started = obs.tick()
+        pool = self._ensure_pool(kernel)
+        # Pool.map preserves input order regardless of completion order.
+        results = pool.map(_worker_run, list(tasks))
+        if started is not None:
+            obs.tock("execution.pool_seconds", started)
+            # Workers run with telemetry off; replay their per-run
+            # counters so a trace accounts for every execution.
+            obs.add("execution.runs", len(results))
+            obs.add("execution.steps", sum(r.steps for r in results))
+            deadlocks = sum(1 for r in results if r.deadlocked)
+            if deadlocks:
+                obs.add("execution.deadlocks", deadlocks)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_kernel = None
+
+
+def make_runner(workers: int):
+    """A serial runner for ``workers <= 0``, else a process pool."""
+    if workers <= 0:
+        return SerialCTRunner()
+    return ProcessPoolCTRunner(workers)

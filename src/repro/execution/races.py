@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.execution.trace import ConcurrentResult, MemoryAccess
 
 __all__ = ["PotentialRace", "RaceDetector", "find_potential_races"]
@@ -53,30 +55,66 @@ def find_potential_races(
 
     A conflicting pair races when it falls within ``proximity_window``
     steps, or (``adjacent_epochs``) when exactly one context switch
-    separates it. Runs in O(n²) per address in the worst case, with an
-    early break once both criteria are out of reach.
+    separates it. The pairwise conditions over each per-address stream
+    are evaluated as NumPy masks; lockset intersections are looked up in
+    a table over the (few) distinct locksets seen in the stream.
     """
     by_address: Dict[int, List[MemoryAccess]] = {}
     for access in accesses:
         by_address.setdefault(access.address, []).append(access)
 
     races: Set[PotentialRace] = set()
+    lockset_ids: Dict[FrozenSet[int], int] = {}
+    locksets: List[FrozenSet[int]] = []
+    disjoint = np.empty((0, 0), np.bool_)
     for address, stream in by_address.items():
-        for i, first in enumerate(stream):
-            for second in stream[i + 1 :]:
-                near = second.step - first.step <= proximity_window
-                adjacent = adjacent_epochs and second.epoch - first.epoch == 1
-                if not near and second.epoch - first.epoch > 1:
-                    break  # later accesses are only farther away
-                if not (near or adjacent):
-                    continue
-                if second.thread == first.thread:
-                    continue
-                if not (first.is_write or second.is_write):
-                    continue
-                if first.locks_held & second.locks_held:
-                    continue
-                races.add(PotentialRace.of(first.iid, second.iid, address))
+        size = len(stream)
+        if size < 2:
+            continue
+        step = np.fromiter((a.step for a in stream), np.int64, size)
+        epoch = np.fromiter((a.epoch for a in stream), np.int64, size)
+        thread = np.fromiter((a.thread for a in stream), np.int64, size)
+        write = np.fromiter((a.is_write for a in stream), np.bool_, size)
+        lockset = np.empty(size, np.int64)
+        for k, access in enumerate(stream):
+            held = access.locks_held
+            index = lockset_ids.get(held)
+            if index is None:
+                index = len(locksets)
+                lockset_ids[held] = index
+                locksets.append(held)
+            lockset[k] = index
+
+        conflicting = step[None, :] - step[:, None] <= proximity_window
+        if adjacent_epochs:
+            conflicting |= epoch[None, :] - epoch[:, None] == 1
+        conflicting &= thread[None, :] != thread[:, None]
+        conflicting &= write[None, :] | write[:, None]
+        conflicting &= np.tri(size, size, -1, dtype=np.bool_).T
+        first_idx, second_idx = np.nonzero(conflicting)
+        if not len(first_idx):
+            continue
+
+        # Lockset condition: intersect only the distinct lockset pairs.
+        if len(disjoint) < len(locksets):
+            disjoint = np.array(
+                [[not (a & b) for b in locksets] for a in locksets], np.bool_
+            )
+        keep = disjoint[lockset[first_idx], lockset[second_idx]]
+        first_idx, second_idx = first_idx[keep], second_idx[keep]
+
+        iid = np.fromiter((a.iid for a in stream), np.int64, size)
+        pairs = np.stack(
+            (
+                np.minimum(iid[first_idx], iid[second_idx]),
+                np.maximum(iid[first_idx], iid[second_idx]),
+            ),
+            axis=1,
+        )
+        races.update(
+            PotentialRace(iid_pair=(lo, hi), address=address)
+            for lo, hi in np.unique(pairs, axis=0).tolist()
+        )
     return races
 
 

@@ -32,6 +32,7 @@ import numpy as np
 from repro import rng as rngmod
 from repro.analysis.urb import find_urbs
 from repro.core.costs import CostModel
+from repro.core.scoring import DEFAULT_BATCH_SIZE, CandidateScorer
 from repro.execution.concurrent import ScheduleHint, run_concurrent
 from repro.execution.pct import propose_hint_pairs
 from repro.execution.races import find_potential_races
@@ -63,6 +64,9 @@ class RazzerConfig:
     pic_probe_schedules: int = 3
     #: Queue shuffles for the average-time estimate.
     shuffles: int = 200
+    #: Probe graphs scored per batched inference call (see
+    #: :mod:`repro.core.scoring`).
+    score_batch_size: int = DEFAULT_BATCH_SIZE
     costs: CostModel = field(default_factory=CostModel)
 
 
@@ -96,6 +100,13 @@ class RazzerHarness:
         self.kernel = graphs.kernel
         self.predictor = predictor
         self.config = config or RazzerConfig()
+        self.scorer = (
+            None
+            if predictor is None
+            else CandidateScorer(
+                predictor, batch_size=self.config.score_batch_size
+            )
+        )
         self.seed = seed
         self._urb_cache: Dict[int, Set[int]] = {}
         self._minimized_cache: Dict[Tuple[int, int, bool], Optional[CorpusEntry]] = {}
@@ -207,6 +218,7 @@ class RazzerHarness:
             ScheduleHint(thread=0, iid=spec.write_iid),
             ScheduleHint(thread=1, iid=spec.read_iid),
         ]
+        assert self.scorer is not None
         kept: List[Tuple[CorpusEntry, CorpusEntry]] = []
         inferences = 0
         for writer, reader in pairs:
@@ -216,10 +228,14 @@ class RazzerHarness:
                     rng, writer.trace, reader.trace, self.config.pic_probe_schedules
                 )
             ]
+            probe_graphs = (
+                self.graphs.graph_for(writer, reader, list(probe))
+                for probe in probes
+            )
             selected = False
-            for probe in probes:
-                graph = self.graphs.graph_for(writer, reader, list(probe))
-                predicted = self.predictor.predict(graph)
+            # The engine only counts probes the break actually consumed,
+            # so ``inference_count`` matches a hand-written lazy loop.
+            for graph, predicted in self.scorer.iter_predicted(probe_graphs):
                 inferences += 1
                 covered = {
                     int(block)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro import rng as rngmod
+from repro.core.scoring import DEFAULT_BATCH_SIZE, CandidateScorer
 from repro.core.strategies import SelectionStrategy, make_strategy
 from repro.execution.concurrent import ScheduleHint, run_concurrent
 from repro.execution.pct import propose_hint_pairs
@@ -72,6 +73,9 @@ class SnowboardConfig:
     trials: int = 50
     #: Cap on CTIs per cluster considered.
     max_cluster_size: int = 64
+    #: Probe graphs scored per batched inference call (see
+    #: :mod:`repro.core.scoring`).
+    score_batch_size: int = DEFAULT_BATCH_SIZE
 
 
 @dataclass
@@ -99,6 +103,13 @@ class SnowboardHarness:
         self.kernel = graphs.kernel
         self.predictor = predictor
         self.config = config or SnowboardConfig()
+        self.scorer = (
+            None
+            if predictor is None
+            else CandidateScorer(
+                predictor, batch_size=self.config.score_batch_size
+            )
+        )
         self.seed = seed
         #: (cluster key, trial, writer id, reader id) -> bug manifested.
         #: Exploration depends only on the trial, not on which sampler
@@ -271,20 +282,37 @@ class SnowboardHarness:
         strategy: SelectionStrategy,
         rng: np.random.Generator,
     ) -> List[Tuple[CorpusEntry, CorpusEntry]]:
-        assert self.predictor is not None
+        assert self.scorer is not None
         strategy.reset()
         order = rng.permutation(len(cluster))
+        # Prefetch uncached predictions through the batched engine, in
+        # first-encounter order — the order a lazy loop would have
+        # predicted them in, which matters for RNG-consuming predictors.
+        missing: List[Tuple[Tuple, CorpusEntry, CorpusEntry]] = []
+        queued: Set[Tuple] = set()
+        for index in order:
+            writer, reader = cluster.ctis[int(index)]
+            key = (cluster.key, writer.sti.sti_id, reader.sti.sti_id)
+            if key not in self._prediction_cache and key not in queued:
+                queued.add(key)
+                missing.append((key, writer, reader))
+        if missing:
+            graphs = [
+                self.graphs.graph_for(
+                    writer, reader, self._synthetic_hint(cluster, writer)
+                )
+                for _, writer, reader in missing
+            ]
+            predictions = self.scorer.predict_graphs(graphs)
+            for (key, _, _), graph, predicted in zip(
+                missing, graphs, predictions
+            ):
+                self._prediction_cache[key] = (graph, predicted)
         selected = []
         for index in order:
             writer, reader = cluster.ctis[int(index)]
             key = (cluster.key, writer.sti.sti_id, reader.sti.sti_id)
-            cached = self._prediction_cache.get(key)
-            if cached is None:
-                hints = self._synthetic_hint(cluster, writer)
-                graph = self.graphs.graph_for(writer, reader, hints)
-                cached = (graph, self.predictor.predict(graph))
-                self._prediction_cache[key] = cached
-            graph, predicted = cached
+            graph, predicted = self._prediction_cache[key]
             if strategy.is_interesting(graph, predicted):
                 strategy.commit(graph, predicted)
                 selected.append((writer, reader))

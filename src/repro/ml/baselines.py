@@ -12,7 +12,7 @@ strategies are agnostic to which one is plugged in.
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, Sequence
+from typing import Iterable, List, Protocol, Sequence
 
 import numpy as np
 
@@ -30,7 +30,17 @@ __all__ = [
 
 
 class CoveragePredictor(Protocol):
-    """Anything that predicts per-node coverage of a CT graph."""
+    """Anything that predicts per-node coverage of a CT graph.
+
+    Predictors may additionally expose ``predict_proba_batch(graphs)``
+    returning one probability array per graph (and a ``threshold``
+    attribute for the boolean cut); the candidate-scoring engine
+    (:mod:`repro.core.scoring`) uses the batch path when present and
+    falls back to these per-graph methods otherwise. Predictors whose
+    :meth:`predict` consumes randomness (the coin baselines) must *not*
+    advertise a batch path, so scoring order — and hence their RNG
+    stream — is preserved.
+    """
 
     def predict_proba(self, graph: CTGraph) -> np.ndarray:
         """Coverage probability per node, shape (num_nodes,)."""
@@ -44,11 +54,17 @@ class CoveragePredictor(Protocol):
 class AllPositive:
     """Predicts every node covered."""
 
+    #: Boolean cut used by the batched scoring engine.
+    threshold: float = 0.5
+
     def predict_proba(self, graph: CTGraph) -> np.ndarray:
         return np.ones(graph.num_nodes)
 
     def predict(self, graph: CTGraph) -> np.ndarray:
         return np.ones(graph.num_nodes, dtype=bool)
+
+    def predict_proba_batch(self, graphs: Sequence[CTGraph]) -> List[np.ndarray]:
+        return [np.ones(graph.num_nodes) for graph in graphs]
 
 
 class _CoinPredictor:

@@ -20,17 +20,27 @@ predict concurrent coverage better (§5.1.2), which ``num_layers`` exposes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+try:  # scipy's C kernel directly: lets the hot loop reuse one output buffer
+    from scipy.sparse import _sparsetools as _sptools
+except ImportError:  # pragma: no cover - all supported scipy versions have it
+    _sptools = None
 
 from repro import rng as rngmod
 from repro.graphs.ctgraph import CTGraph, EDGE_SCHEDULE, NUM_EDGE_TYPES
 from repro.ml.autograd import Parameter, Tensor, matmul, relu, spmm
 
-__all__ = ["GNNConfig", "RelationalGCN", "prepare_adjacency"]
+__all__ = [
+    "GNNConfig",
+    "RelationalGCN",
+    "prepare_adjacency",
+    "prepare_adjacency_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -97,6 +107,116 @@ def prepare_adjacency(
     return result
 
 
+def prepare_adjacency_batch(
+    graphs: Sequence[CTGraph],
+) -> Dict[int, Tuple[sp.csr_matrix, sp.csr_matrix]]:
+    """Block-diagonal per-edge-type adjacency of a disjoint-union batch.
+
+    Message passing never crosses components, so normalising over the
+    concatenated (offset-shifted) edge set computes exactly the per-graph
+    propagation: in/out degrees never mix across components, and each CSR
+    row holds the same (column, value) entries as the per-graph matrix.
+
+    Built directly from the merged edge arrays — one sparse construction
+    per edge type for the whole batch instead of per graph. When every
+    graph comes from one :class:`CTIGraphTemplate` (shared ``base_cache``,
+    the candidate-pool case), the merged schedule-independent matrices are
+    cached in the template keyed by batch shape, so scoring a pool builds
+    them once and only the handful of scheduling-hint edges are prepared
+    per batch.
+    """
+    if len(graphs) == 1:
+        return prepare_adjacency(graphs[0])
+    offsets = np.cumsum([0] + [graph.num_nodes for graph in graphs])
+    n_total = int(offsets[-1])
+    shifted = [
+        graph.edges + np.array([offset, offset, 0], dtype=graph.edges.dtype)
+        for offset, graph in zip(offsets[:-1], graphs)
+        if graph.num_edges
+    ]
+    all_edges = (
+        np.vstack(shifted) if shifted else np.zeros((0, 3), dtype=np.int64)
+    )
+
+    def merged_pair(rows: np.ndarray) -> Tuple[sp.csr_matrix, sp.csr_matrix]:
+        return _normalized_pair(
+            rows[:, 0].astype(np.int64), rows[:, 1].astype(np.int64), n_total
+        )
+
+    result: Dict[int, Tuple[sp.csr_matrix, sp.csr_matrix]] = {}
+    base_cache = graphs[0].base_cache
+    shared_template = base_cache is not None and all(
+        graph.base_cache is base_cache for graph in graphs
+    )
+    cache_key = ("__batched__", len(graphs), n_total)
+    base = base_cache.get(cache_key) if shared_template else None
+    if base is None:
+        base = {}
+        for edge_type in np.unique(all_edges[:, 2]) if len(all_edges) else []:
+            edge_type = int(edge_type)
+            if edge_type == EDGE_SCHEDULE:
+                continue
+            base[edge_type] = merged_pair(
+                all_edges[all_edges[:, 2] == edge_type]
+            )
+        if shared_template:
+            base_cache[cache_key] = base
+    result.update(base)
+    schedule_rows = all_edges[all_edges[:, 2] == EDGE_SCHEDULE]
+    if len(schedule_rows):
+        result[EDGE_SCHEDULE] = merged_pair(schedule_rows)
+    return result
+
+
+def _compressed_columns(
+    matrix: sp.csr_matrix,
+) -> Tuple[np.ndarray, sp.csr_matrix]:
+    """(nonzero column indices, matrix restricted to those columns).
+
+    ``A @ (h @ W)`` only reads ``h @ W`` at columns where ``A`` is
+    nonzero, so the per-type weight GEMM can run on just those rows of
+    ``h`` — in CT graphs most nodes lack edges of any given type, which
+    removes over half of the batched GEMM work exactly. Keeping the full
+    row dimension lets the sparse propagation accumulate directly into
+    the layer output buffer.
+    """
+    cols = np.unique(matrix.indices)
+    remap = np.empty(matrix.shape[1], np.int32)
+    remap[cols] = np.arange(len(cols), dtype=np.int32)
+    compressed = sp.csr_matrix(
+        (matrix.data, remap[matrix.indices], matrix.indptr),
+        shape=(matrix.shape[0], len(cols)),
+    )
+    return cols, compressed
+
+
+@dataclass
+class _BatchPlan:
+    """Template-cached compressed adjacency of a uniform candidate batch.
+
+    All schedules of one CTI share their base edges, so the block-diagonal
+    union of a same-template batch is the base adjacency tiled ``k``
+    times — built once per (template, batch shape) and cached in the
+    template's ``base_cache``; only each chunk's scheduling-hint edges are
+    merged per call. Each (edge_type, direction) term keeps only its
+    nonzero *columns* (the nodes that send messages of that type), so the
+    per-type weight GEMM runs on just those rows of ``h``; the terms'
+    column-compressed matrices are stacked side by side into one
+    ``matrix`` whose single sparse product accumulates every term
+    straight into the layer output. ``cols`` concatenates the terms'
+    column supports (one gather per layer) and ``slices`` delimits each
+    term's segment. The buffers are reused across calls so steady-state
+    scoring allocates almost nothing.
+    """
+
+    terms: List[Tuple[int, int]]
+    cols: np.ndarray
+    slices: np.ndarray
+    matrix: sp.csr_matrix
+    out: np.ndarray = field(repr=False)
+    scratch: np.ndarray = field(repr=False)
+
+
 class RelationalGCN:
     """A stack of relational graph-convolution layers."""
 
@@ -151,7 +271,170 @@ class RelationalGCN:
 
     def forward_numpy(self, h: np.ndarray, graph: CTGraph) -> np.ndarray:
         """Gradient-free fast path for inference (same math as forward)."""
-        adjacency = prepare_adjacency(graph)
+        return self._run_numpy(h, prepare_adjacency(graph))
+
+    def forward_numpy_batch(
+        self, h: np.ndarray, graphs: Sequence[CTGraph]
+    ) -> np.ndarray:
+        """Batched inference over a disjoint-union of graphs.
+
+        ``h`` is the concatenated node features of all graphs; adjacency is
+        the block-diagonal union, so the output rows equal the per-graph
+        :meth:`forward_numpy` results stacked in order. Same-template
+        batches (one CTI's candidate pool) take the compressed-row fast
+        path with a cached :class:`_BatchPlan`; mixed batches fall back to
+        the generic merged adjacency.
+        """
+        plan = self._batch_plan(graphs) if len(graphs) > 1 else None
+        if plan is None:
+            return self._run_numpy(h, prepare_adjacency_batch(graphs))
+        return self._run_numpy_compressed(
+            h, plan, self._schedule_terms(graphs)
+        )
+
+    def _batch_plan(self, graphs: Sequence[CTGraph]) -> Optional[_BatchPlan]:
+        """Cached compressed plan when the batch shares one template."""
+        first = graphs[0]
+        base_cache = first.base_cache
+        if base_cache is None:
+            return None
+        n = first.num_nodes
+        for graph in graphs[1:]:
+            if graph.base_cache is not base_cache or graph.num_nodes != n:
+                return None
+        key = ("__plan__", len(graphs), n)
+        plan = base_cache.get(key)
+        if plan is None:
+            plan = self._build_plan(first, len(graphs))
+            base_cache[key] = plan
+        return plan
+
+    def _build_plan(self, graph: CTGraph, k: int) -> _BatchPlan:
+        n = graph.num_nodes
+        n_total = n * k
+        offsets = (np.arange(k) * n).astype(np.int64)
+        base_rows = graph.edges[graph.edges[:, 2] != EDGE_SCHEDULE]
+        directions = 2 if self.config.bidirectional else 1
+        terms: List[Tuple[int, int]] = []
+        col_blocks: List[np.ndarray] = []
+        matrices: List[sp.csr_matrix] = []
+        types = np.unique(base_rows[:, 2]) if len(base_rows) else []
+        for edge_type in types:
+            rows = base_rows[base_rows[:, 2] == edge_type]
+            src = (rows[:, 0][None, :] + offsets[:, None]).ravel()
+            dst = (rows[:, 1][None, :] + offsets[:, None]).ravel()
+            pair = _normalized_pair(src, dst, n_total)
+            for direction in range(directions):
+                cols, compressed = _compressed_columns(pair[direction])
+                terms.append((int(edge_type), direction))
+                col_blocks.append(cols)
+                matrices.append(compressed)
+        d = self.config.hidden_dim
+        cols = (
+            np.concatenate(col_blocks)
+            if col_blocks
+            else np.empty(0, np.int64)
+        )
+        slices = np.cumsum([0] + [len(block) for block in col_blocks])
+        matrix = (
+            sp.hstack(matrices, format="csr")
+            if matrices
+            else sp.csr_matrix((n_total, 0))
+        )
+        return _BatchPlan(
+            terms=terms,
+            cols=cols,
+            slices=slices,
+            matrix=matrix,
+            out=np.empty((n_total, d)),
+            scratch=np.empty((len(cols), d)),
+        )
+
+    def _schedule_terms(
+        self, graphs: Sequence[CTGraph]
+    ) -> List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+        """Merged scheduling-hint edges of one chunk, in gather/scatter form.
+
+        Each term is ``(direction, rows_out, rows_in, coeff)``: messages
+        are gathered from ``rows_in``, scaled by the 1/in-degree ``coeff``
+        (same normalisation as :func:`_normalized_pair`), pushed through
+        the direction's weight and scatter-added into ``rows_out``. Hint
+        edges are so few — a couple per candidate — that edge-list form
+        beats building sparse matrices for every chunk.
+        """
+        n = graphs[0].num_nodes
+        n_total = n * len(graphs)
+        srcs: List[np.ndarray] = []
+        dsts: List[np.ndarray] = []
+        for j, graph in enumerate(graphs):
+            rows = graph.edges[graph.edges[:, 2] == EDGE_SCHEDULE]
+            if len(rows):
+                srcs.append(rows[:, 0].astype(np.int64) + j * n)
+                dsts.append(rows[:, 1].astype(np.int64) + j * n)
+        if not srcs:
+            return []
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        in_degree = np.bincount(dst, minlength=n_total).astype(np.float64)
+        terms = [(0, dst, src, 1.0 / np.maximum(in_degree[dst], 1.0))]
+        if self.config.bidirectional:
+            out_degree = np.bincount(src, minlength=n_total).astype(np.float64)
+            terms.append((1, src, dst, 1.0 / np.maximum(out_degree[src], 1.0)))
+        return terms
+
+    def _run_numpy_compressed(
+        self,
+        h: np.ndarray,
+        plan: _BatchPlan,
+        schedule_terms: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> np.ndarray:
+        """Compressed-row layer loop (same math as :meth:`_run_numpy`).
+
+        Every zero column skipped here multiplies an exact zero in the
+        dense path, so results match the generic batch and per-graph
+        paths to floating-point accuracy; the per-type GEMMs run only on
+        the nodes that send messages of that type, and the sparse
+        propagation accumulates straight into the layer output buffer.
+        """
+        out, scratch = plan.out, plan.scratch
+        matrix = plan.matrix
+        width = h.shape[1]
+        for layer in range(self.config.num_layers):
+            np.dot(h, self.w_self[layer].data, out=out)
+            out += self.bias[layer].data
+            if len(plan.cols):
+                # note: h.take() beats np.take(..., out=) — numpy's buffered
+                # out-path is several times slower than a fresh gather
+                gather = h.take(plan.cols, axis=0)
+                for i, (edge_type, direction) in enumerate(plan.terms):
+                    weight = self.w_edge[layer][edge_type][direction].data
+                    segment = slice(plan.slices[i], plan.slices[i + 1])
+                    np.dot(gather[segment], weight, out=scratch[segment])
+                if _sptools is not None:
+                    _sptools.csr_matvecs(
+                        matrix.shape[0],
+                        matrix.shape[1],
+                        width,
+                        matrix.indptr,
+                        matrix.indices,
+                        matrix.data,
+                        scratch.ravel(),
+                        out.ravel(),
+                    )
+                else:
+                    out += matrix @ scratch
+            for direction, rows_out, rows_in, coeff in schedule_terms:
+                weight = self.w_edge[layer][EDGE_SCHEDULE][direction].data
+                contrib = (h[rows_in] * coeff[:, None]) @ weight
+                np.add.at(out, rows_out, contrib)
+            np.maximum(out, 0.0, out=h)
+        return h
+
+    def _run_numpy(
+        self,
+        h: np.ndarray,
+        adjacency: Dict[int, Tuple[sp.csr_matrix, sp.csr_matrix]],
+    ) -> np.ndarray:
         for layer in range(self.config.num_layers):
             out = h @ self.w_self[layer].data + self.bias[layer].data
             for edge_type, (forward_adj, reverse_adj) in adjacency.items():

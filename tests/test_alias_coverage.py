@@ -1,9 +1,24 @@
 """Tests for the alias-coverage metric (Krace-style)."""
 
+import numpy as np
 import pytest
 
 from repro.execution.alias import AliasCoverageTracker, AliasPair, alias_coverage
 from repro.execution.trace import ConcurrentResult, MemoryAccess
+
+
+def brute_force_alias_coverage(accesses):
+    """Reference implementation: the plain quadruple loop the vectorised
+    version replaced."""
+    pairs = set()
+    for first in accesses:
+        for second in accesses:
+            if first.address != second.address:
+                continue
+            if first.thread >= second.thread:
+                continue
+            pairs.add(AliasPair.of(first.iid, second.iid, first.address))
+    return pairs
 
 
 def access(step, thread, iid, address, is_write=False):
@@ -50,6 +65,38 @@ class TestAliasCoverage:
             [access(1, 0, 10, 5), access(10_000, 1, 20, 5)]
         )
         assert len(pairs) == 1
+
+    def test_matches_brute_force_on_random_streams(self):
+        """The vectorised cross-product agrees with the quadruple loop on
+        randomized access streams (many threads, repeated iids)."""
+        rng = np.random.default_rng(123)
+        for _ in range(10):
+            accesses = [
+                access(
+                    step=step,
+                    thread=int(rng.integers(4)),
+                    iid=int(rng.integers(12)),
+                    address=int(rng.integers(5)),
+                    is_write=bool(rng.integers(2)),
+                )
+                for step in range(60)
+            ]
+            assert alias_coverage(accesses) == brute_force_alias_coverage(
+                accesses
+            )
+
+    def test_matches_brute_force_on_real_trace(self, kernel):
+        from repro.execution import ScheduleHint, run_concurrent, run_sequential
+
+        names = kernel.syscall_names()
+        sti_a = [(names[0], [1])]
+        sti_b = [(names[2], [3])]
+        trace_a = run_sequential(kernel, sti_a)
+        hint = ScheduleHint(0, trace_a.iid_trace[len(trace_a.iid_trace) // 3])
+        result = run_concurrent(kernel, (sti_a, sti_b), hints=[hint])
+        assert alias_coverage(result.accesses) == brute_force_alias_coverage(
+            result.accesses
+        )
 
     def test_alias_supersets_races(self, kernel):
         """Every potential race is also an alias pair."""

@@ -1,0 +1,340 @@
+"""Batched scoring engine + parallel execution equivalence tests.
+
+The whole point of PR 2's engine is that batching and parallelism are
+*pure* performance knobs: every test here pins some flavour of "the fast
+path computes exactly what the slow path computed".
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro import rng as rngmod
+from repro.core.mlpct import (
+    ExplorationConfig,
+    MLPCTExplorer,
+    PCTExplorer,
+    run_campaign,
+)
+from repro.core.scoring import (
+    CandidateScorer,
+    iter_score_candidates,
+    score_candidates,
+)
+from repro.core.strategies import make_strategy
+from repro.execution.parallel import (
+    CTTask,
+    ProcessPoolCTRunner,
+    SerialCTRunner,
+    make_runner,
+)
+from repro.execution.pct import propose_hint_pairs
+from repro.ml.baselines import AllPositive, FairCoin
+from repro.ml.pic import stable_sigmoid
+from repro.obs import MemorySink, MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def cti(dataset_builder):
+    return dataset_builder.corpus.sample_pairs(rngmod.make_rng(3), 1)[0]
+
+
+@pytest.fixture(scope="module")
+def candidate_graphs(dataset_builder, cti):
+    """A pool of candidate graphs of one CTI (shared template)."""
+    entry_a, entry_b = cti
+    rng = rngmod.make_rng(11)
+    pairs = propose_hint_pairs(rng, entry_a.trace, entry_b.trace, 7)
+    return [
+        dataset_builder.graph_for(entry_a, entry_b, list(pair)) for pair in pairs
+    ]
+
+
+class TestStableSigmoid:
+    def test_extreme_logits_stay_finite(self):
+        with np.errstate(over="raise", invalid="raise"):
+            out = stable_sigmoid(np.array([-800.0, -30.0, 0.0, 30.0, 800.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == 0.0 and out[-1] == 1.0
+
+    def test_matches_naive_form_in_safe_range(self):
+        z = np.linspace(-20, 20, 101)
+        np.testing.assert_allclose(
+            stable_sigmoid(z), 1.0 / (1.0 + np.exp(-z)), rtol=0, atol=1e-15
+        )
+
+    def test_scalar_and_shape_preserved(self):
+        assert stable_sigmoid(np.zeros((3, 2))).shape == (3, 2)
+        assert float(stable_sigmoid(np.array(0.0))) == 0.5
+
+
+class TestBatchedPredictions:
+    def test_batch_matches_serial_proba(self, tiny_model, candidate_graphs):
+        serial = [tiny_model.predict_proba(g) for g in candidate_graphs]
+        batched = tiny_model.predict_proba_batch(candidate_graphs)
+        assert len(batched) == len(serial)
+        for one, many in zip(serial, batched):
+            np.testing.assert_allclose(many, one, rtol=0, atol=1e-9)
+
+    def test_singleton_and_empty_batches(self, tiny_model, candidate_graphs):
+        assert tiny_model.predict_proba_batch([]) == []
+        only = tiny_model.predict_proba_batch(candidate_graphs[:1])[0]
+        np.testing.assert_array_equal(
+            only, tiny_model.predict_proba(candidate_graphs[0])
+        )
+
+    def test_predict_batch_booleans_match(self, tiny_model, candidate_graphs):
+        serial = [tiny_model.predict(g) for g in candidate_graphs]
+        for one, many in zip(serial, tiny_model.predict_batch(candidate_graphs)):
+            np.testing.assert_array_equal(many, one)
+
+    def test_dataflow_batch_matches_serial(self, tiny_model, candidate_graphs):
+        edge_rows = [
+            np.arange(min(3, graph.num_edges), dtype=np.int64)
+            for graph in candidate_graphs
+        ]
+        serial = [
+            tiny_model.predict_dataflow_proba(graph, rows)
+            for graph, rows in zip(candidate_graphs, edge_rows)
+        ]
+        batched = tiny_model.predict_dataflow_proba_batch(
+            candidate_graphs, edge_rows
+        )
+        for one, many in zip(serial, batched):
+            np.testing.assert_allclose(many, one, rtol=0, atol=1e-9)
+
+
+class TestCandidateScorer:
+    def test_batched_property(self, tiny_model):
+        assert CandidateScorer(tiny_model, batch_size=32).batched
+        assert not CandidateScorer(tiny_model, batch_size=1).batched
+        assert not CandidateScorer(FairCoin(seed=1), batch_size=32).batched
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 32])
+    def test_score_proba_any_chunking(
+        self, tiny_model, candidate_graphs, batch_size
+    ):
+        """Ragged chunking (7 graphs in batches of 3), singletons, and a
+        single full-pool batch all reproduce the per-graph path."""
+        scorer = CandidateScorer(tiny_model, batch_size=batch_size)
+        serial = [tiny_model.predict_proba(g) for g in candidate_graphs]
+        for one, many in zip(serial, scorer.score_proba(candidate_graphs)):
+            np.testing.assert_allclose(many, one, rtol=0, atol=1e-9)
+
+    def test_predict_graphs_matches_model_threshold(
+        self, tiny_model, candidate_graphs
+    ):
+        scorer = CandidateScorer(tiny_model, batch_size=4)
+        serial = [tiny_model.predict(g) for g in candidate_graphs]
+        for one, many in zip(serial, scorer.predict_graphs(candidate_graphs)):
+            np.testing.assert_array_equal(many, one)
+
+    def test_fallback_preserves_coin_rng_stream(self, candidate_graphs):
+        """Coins draw RNG per predict call: the engine must consume the
+        stream in exactly hand-written-loop order."""
+        reference = FairCoin(seed=9)
+        direct = [reference.predict(g) for g in candidate_graphs]
+        scorer = CandidateScorer(FairCoin(seed=9), batch_size=32)
+        engine = [p for _, p in scorer.iter_predicted(iter(candidate_graphs))]
+        for one, many in zip(direct, engine):
+            np.testing.assert_array_equal(many, one)
+
+    def test_fallback_is_lazy(self, candidate_graphs):
+        """The fallback path must not predict ahead of consumption."""
+
+        class CountingCoin(FairCoin):
+            calls = 0
+
+            def predict(self, graph):
+                CountingCoin.calls += 1
+                return super().predict(graph)
+
+        scorer = CandidateScorer(CountingCoin(seed=2), batch_size=32)
+        iterator = scorer.iter_predicted(iter(candidate_graphs))
+        next(iterator)
+        next(iterator)
+        assert CountingCoin.calls == 2
+
+    def test_engine_emits_batch_telemetry(self, tiny_model, candidate_graphs):
+        with obs.use_registry(MetricsRegistry(sink=MemorySink())) as registry:
+            CandidateScorer(tiny_model, batch_size=3).score_proba(
+                candidate_graphs
+            )
+            assert registry.counter("inference.batched").value == 7
+            histogram = registry.histogram("inference.batch_size")
+            assert histogram.count == 3  # 3 + 3 + 1
+
+
+class TestScoreCandidates:
+    def test_modes_and_order(self, dataset_builder, tiny_model, cti):
+        entry_a, entry_b = cti
+        rng = rngmod.make_rng(5)
+        schedules = propose_hint_pairs(rng, entry_a.trace, entry_b.trace, 5)
+        predicted = score_candidates(
+            tiny_model, dataset_builder, entry_a, entry_b, schedules
+        )
+        proba = score_candidates(
+            tiny_model,
+            dataset_builder,
+            entry_a,
+            entry_b,
+            schedules,
+            mode="proba",
+        )
+        assert [c.index for c in predicted] == list(range(5))
+        assert [c.hints for c in predicted] == [tuple(s) for s in schedules]
+        for scored_p, scored_b in zip(proba, predicted):
+            assert scored_b.proba is None and scored_p.predicted is None
+            np.testing.assert_array_equal(
+                scored_p.proba >= tiny_model.threshold, scored_b.predicted
+            )
+
+    def test_unknown_mode_rejected(self, dataset_builder, tiny_model, cti):
+        entry_a, entry_b = cti
+        with pytest.raises(ValueError):
+            next(
+                iter_score_candidates(
+                    tiny_model, dataset_builder, entry_a, entry_b, [], mode="x"
+                )
+            )
+
+
+def _mlpct_campaign(
+    dataset_builder, predictor, ctis, batch_size=32, workers=0, budget=5
+):
+    explorer = MLPCTExplorer(
+        dataset_builder,
+        predictor=predictor,
+        strategy=make_strategy("S1"),
+        config=ExplorationConfig(
+            execution_budget=budget,
+            inference_cap=24,
+            proposal_pool=24,
+            score_batch_size=batch_size,
+            parallel_workers=workers,
+        ),
+        seed=0,
+    )
+    return run_campaign(explorer, ctis)
+
+
+def _assert_campaigns_identical(left, right):
+    assert left.history == right.history
+    assert left.bug_history == right.bug_history
+    assert left.manifested_bugs == right.manifested_bugs
+    assert left.ledger.executions == right.ledger.executions
+    assert left.ledger.inferences == right.ledger.inferences
+    assert left.ledger.total_hours == right.ledger.total_hours
+    assert left.per_cti == right.per_cti
+
+
+class TestCampaignEquivalence:
+    @pytest.fixture(scope="class")
+    def ctis(self, dataset_builder):
+        return dataset_builder.corpus.sample_pairs(rngmod.make_rng(3), 3)
+
+    def test_batched_equals_unbatched(self, dataset_builder, tiny_model, ctis):
+        batched = _mlpct_campaign(dataset_builder, tiny_model, ctis, batch_size=32)
+        single = _mlpct_campaign(dataset_builder, tiny_model, ctis, batch_size=1)
+        _assert_campaigns_identical(batched, single)
+
+    def test_parallel_equals_serial_mlpct(self, dataset_builder, tiny_model, ctis):
+        serial = _mlpct_campaign(dataset_builder, tiny_model, ctis, workers=0)
+        parallel = _mlpct_campaign(dataset_builder, tiny_model, ctis, workers=2)
+        _assert_campaigns_identical(serial, parallel)
+
+    def test_parallel_equals_serial_pct(self, dataset_builder, ctis):
+        def pct(workers):
+            explorer = PCTExplorer(
+                dataset_builder,
+                config=ExplorationConfig(
+                    execution_budget=4,
+                    proposal_pool=12,
+                    parallel_workers=workers,
+                ),
+                seed=0,
+            )
+            return run_campaign(explorer, ctis)
+
+        _assert_campaigns_identical(pct(0), pct(2))
+
+    def test_parallel_equals_serial_with_telemetry(
+        self, dataset_builder, tiny_model, ctis
+    ):
+        """Telemetry on or off, workers or not: same campaign, and the
+        parent's trace still accounts for every execution."""
+        with obs.use_registry(MetricsRegistry(sink=MemorySink())) as registry:
+            parallel = _mlpct_campaign(
+                dataset_builder, tiny_model, ctis, workers=2
+            )
+            runs = registry.counter("execution.runs").value
+        serial = _mlpct_campaign(dataset_builder, tiny_model, ctis, workers=0)
+        _assert_campaigns_identical(serial, parallel)
+        assert runs == parallel.ledger.executions
+
+    def test_coin_predictor_campaign_unchanged_by_engine(
+        self, dataset_builder, ctis
+    ):
+        """RNG-consuming predictors take the strict-lazy path, so any
+        configured batch size yields the same campaign."""
+        wide = _mlpct_campaign(
+            dataset_builder, FairCoin(seed=4), ctis, batch_size=32
+        )
+        narrow = _mlpct_campaign(
+            dataset_builder, FairCoin(seed=4), ctis, batch_size=1
+        )
+        _assert_campaigns_identical(wide, narrow)
+
+    def test_all_positive_batches(self, dataset_builder, ctis):
+        batched = _mlpct_campaign(
+            dataset_builder, AllPositive(), ctis, batch_size=8
+        )
+        single = _mlpct_campaign(
+            dataset_builder, AllPositive(), ctis, batch_size=1
+        )
+        _assert_campaigns_identical(batched, single)
+
+
+class TestRunners:
+    def _tasks(self, dataset_builder, cti, count=3):
+        entry_a, entry_b = cti
+        rng = rngmod.make_rng(17)
+        pairs = propose_hint_pairs(rng, entry_a.trace, entry_b.trace, count)
+        programs = (entry_a.sti.as_pairs(), entry_b.sti.as_pairs())
+        return [
+            CTTask.build(programs, list(pair), seed=0, index=i)
+            for i, pair in enumerate(pairs)
+        ]
+
+    def test_make_runner_dispatch(self):
+        assert isinstance(make_runner(0), SerialCTRunner)
+        assert isinstance(make_runner(-1), SerialCTRunner)
+        pool = make_runner(2)
+        assert isinstance(pool, ProcessPoolCTRunner)
+        pool.close()
+
+    def test_pool_results_ordered_and_identical(
+        self, kernel, dataset_builder, cti
+    ):
+        tasks = self._tasks(dataset_builder, cti)
+        serial = SerialCTRunner().run_many(kernel, tasks)
+        pool = ProcessPoolCTRunner(workers=2)
+        try:
+            parallel = pool.run_many(kernel, tasks)
+        finally:
+            pool.close()
+        assert parallel == serial
+
+    def test_task_seeds_are_deterministic(self, dataset_builder, cti):
+        first = self._tasks(dataset_builder, cti)
+        second = self._tasks(dataset_builder, cti)
+        assert [t.seed for t in first] == [t.seed for t in second]
+        assert len({t.seed for t in first}) == len(first)
+
+    def test_empty_task_list(self, kernel):
+        pool = ProcessPoolCTRunner(workers=2)
+        try:
+            assert pool.run_many(kernel, []) == []
+        finally:
+            pool.close()
+        assert pool._pool is None  # empty batch never spawned workers
