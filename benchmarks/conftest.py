@@ -51,12 +51,16 @@ def results_dir():
 
 @pytest.fixture(scope="session")
 def report(results_dir):
-    """Write a bench's rendered output to results/<name>.txt and echo it."""
+    """Write a bench's rendered output to results/<name>.txt and echo it.
+
+    Writes are atomic (temp+fsync+rename): an interrupted bench leaves
+    the previous result file intact instead of a truncated one.
+    """
+    from repro.resilience.atomic import atomic_write_text
 
     def write(name: str, text: str) -> None:
         path = os.path.join(results_dir, f"{name}.txt")
-        with open(path, "w") as handle:
-            handle.write(text + "\n")
+        atomic_write_text(path, text + "\n")
         print(f"\n{text}\n[written to {path}]")
 
     return write

@@ -24,6 +24,7 @@ cost nothing when unused (see ``docs/OBSERVABILITY.md``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -85,6 +86,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker processes for dynamic executions "
         "(0 runs serially; results are identical either way)",
+    )
+    campaign.add_argument(
+        "--model",
+        metavar="CKPT",
+        default=None,
+        help="use a saved PIC checkpoint instead of training; an unusable "
+        "checkpoint degrades to the PCT baseline with a warning",
+    )
+    campaign.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="journal campaign progress durably to FILE (any previous "
+        "journal state at FILE is reset first)",
+    )
+    campaign.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume an interrupted journaled campaign from FILE "
+        "(mutually exclusive with --journal)",
+    )
+    campaign.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection, e.g. 'crash:0.05,hang@3' "
+        "(see docs/ROBUSTNESS.md; implies supervised execution)",
+    )
+    campaign.add_argument(
+        "--supervise",
+        action="store_true",
+        help="supervised execution: per-CT timeouts, bounded retries, "
+        "quarantine, pool-to-serial fallback",
+    )
+    campaign.add_argument(
+        "--ct-timeout",
+        type=float,
+        default=None,
+        help="per-CT wall-clock timeout in seconds (implies --supervise)",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries before a failing CT is quarantined (implies --supervise)",
     )
 
     razzer = commands.add_parser("razzer", help="directed race reproduction")
@@ -167,6 +214,19 @@ def _cmd_fuzz(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    if args.out:
+        # Fail fast on an unwritable destination: before hours of
+        # training, not after.
+        from repro.resilience.atomic import probe_writable
+
+        try:
+            probe_writable(args.out)
+        except OSError as error:
+            print(
+                f"error: cannot write checkpoint to {args.out}: {error}",
+                file=sys.stderr,
+            )
+            return 2
     snowcat = _trained_snowcat(args.seed, args.ctis, args.epochs)
     result = snowcat.training_result
     assert result is not None and snowcat.model is not None
@@ -177,29 +237,152 @@ def _cmd_train(args) -> int:
         f"simulated startup {snowcat.startup_hours:.1f} h"
     )
     if args.out:
-        snowcat.model.save(args.out)
+        try:
+            snowcat.model.save(args.out)
+        except OSError as error:
+            print(
+                f"error: cannot write checkpoint to {args.out}: {error}",
+                file=sys.stderr,
+            )
+            return 2
         print(f"checkpoint written to {args.out}")
     return 0
 
 
-def _cmd_campaign(args) -> int:
-    snowcat = _trained_snowcat(
-        args.seed,
-        exploration=ExplorationConfig(
-            score_batch_size=args.batch_size,
-            parallel_workers=args.workers,
-        ),
+def _campaign_snowcat(args, exploration: ExplorationConfig):
+    """Build the deployment for ``campaign``: trained, or from ``--model``.
+
+    Returns ``(snowcat, degraded)``; ``degraded`` is True when the
+    supplied checkpoint was unusable and the campaign must fall back to
+    the PCT baseline.
+    """
+    from repro.errors import CheckpointError
+
+    if not args.model:
+        return _trained_snowcat(args.seed, exploration=exploration), False
+    from repro.ml.pic import PICModel
+
+    kernel = build_kernel(KernelConfig(), seed=args.seed)
+    snowcat = Snowcat(
+        kernel,
+        SnowcatConfig(seed=args.seed, corpus_rounds=200, exploration=exploration),
     )
+    snowcat.prepare_corpus()
+    try:
+        model = PICModel.load(args.model, seed=args.seed)
+        if len(snowcat.graphs.vocabulary) > model.config.vocab_size:
+            raise CheckpointError(
+                f"checkpoint vocabulary ({model.config.vocab_size} tokens) "
+                f"is smaller than this kernel's "
+                f"({len(snowcat.graphs.vocabulary)} tokens)"
+            )
+    except CheckpointError as error:
+        # Graceful degradation: an unusable model must not kill the
+        # campaign — fall back to the learned-filter-free baseline,
+        # loudly.
+        print(
+            f"warning: model checkpoint {args.model} is unusable ({error}); "
+            "continuing with the PCT baseline",
+            file=sys.stderr,
+        )
+        obs.point("resilience.degraded", checkpoint=args.model)
+        return snowcat, True
+    snowcat.model = model
+    return snowcat, False
+
+
+def _cmd_campaign(args) -> int:
+    from repro.errors import CheckpointError, FaultSpecError, JournalError
+
+    supervised = (
+        args.supervise
+        or args.inject_faults is not None
+        or args.ct_timeout is not None
+        or args.retries is not None
+    )
+    supervision = None
+    if supervised:
+        from repro.resilience.supervisor import SupervisionPolicy
+
+        overrides = {}
+        if args.ct_timeout is not None:
+            overrides["timeout_seconds"] = args.ct_timeout
+        if args.retries is not None:
+            overrides["max_retries"] = args.retries
+        supervision = SupervisionPolicy(**overrides)
+    if args.inject_faults is not None:
+        from repro.resilience.faults import FaultPlan
+
+        try:  # validate the spec before any expensive work
+            FaultPlan.parse(args.inject_faults, seed=args.seed)
+        except FaultSpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    exploration = ExplorationConfig(
+        score_batch_size=args.batch_size,
+        parallel_workers=args.workers,
+        supervision=supervision,
+        fault_spec=args.inject_faults,
+    )
+
+    journal = None
+    if args.journal and args.resume:
+        print(
+            "error: --journal and --resume are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    journal_path = args.journal or args.resume
+    if args.resume and not os.path.exists(args.resume):
+        print(
+            f"error: cannot resume: journal {args.resume} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+
+    snowcat, degraded = _campaign_snowcat(args, exploration)
+
+    if journal_path:
+        from repro.resilience.journal import CampaignJournal, reset_journal
+
+        if args.journal:
+            reset_journal(args.journal)
+        try:
+            journal = CampaignJournal(journal_path)
+        except (JournalError, CheckpointError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    explorers = [snowcat.pct_explorer()]
+    if not degraded:
+        explorers.append(snowcat.mlpct_explorer(args.strategy))
     ctis = snowcat.cti_stream(args.ctis)
     curves = {}
-    for explorer in (snowcat.pct_explorer(), snowcat.mlpct_explorer(args.strategy)):
-        result = run_campaign(explorer, ctis)
-        curves[explorer.label] = result.history
-        print(
-            f"{explorer.label}: {result.total_races} races, "
-            f"{result.ledger.executions} executions, "
-            f"{result.ledger.total_hours:.2f} simulated hours"
-        )
+    try:
+        for explorer in explorers:
+            try:
+                result = run_campaign(explorer, ctis, journal=journal)
+            except (JournalError, CheckpointError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            curves[explorer.label] = result.history
+            print(
+                f"{explorer.label}: {result.total_races} races, "
+                f"{result.ledger.executions} executions, "
+                f"{result.ledger.total_hours:.2f} simulated hours"
+            )
+            if result.resilience is not None:
+                counters = result.resilience
+                print(
+                    f"  resilience: {counters['retries']:.0f} retries, "
+                    f"{counters['timeouts']:.0f} timeouts, "
+                    f"{counters['quarantined']:.0f} quarantined, "
+                    f"{counters['worker_deaths']:.0f} worker deaths, "
+                    f"{counters['fallbacks']:.0f} fallbacks"
+                )
+    finally:
+        if journal is not None:
+            journal.close()
     print(format_series(curves, metric_name="races", points=8))
     return 0
 

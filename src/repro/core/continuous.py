@@ -111,13 +111,28 @@ class ContinuousRun:
 def run_continuous(
     versions: Sequence[Kernel],
     config: Optional[ContinuousConfig] = None,
+    journal: Optional["ContinuousJournal"] = None,
 ) -> ContinuousRun:
-    """Simulate continuous testing of ``versions`` under one policy."""
+    """Simulate continuous testing of ``versions`` under one policy.
+
+    With ``journal`` (a :class:`repro.resilience.journal
+    .ContinuousJournal`) each completed version is journaled and the
+    trained deployment checkpointed — including the model itself — so an
+    interrupted run resumes at the next version and finishes identical
+    to an uninterrupted one (see ``docs/ROBUSTNESS.md``).
+    """
     config = (config or ContinuousConfig()).validated()
+    versions = list(versions)
     run = ContinuousRun(policy=config.policy)
     current: Optional[Snowcat] = None
+    start_position = 0
+    if journal is not None:
+        outcomes, start_position, current = journal.prepare(versions, config)
+        run.outcomes.extend(outcomes)
 
     for position, kernel in enumerate(versions):
+        if position < start_position:
+            continue
         startup_hours = 0.0
         if config.policy == "pct":
             deployment = Snowcat(kernel, config.base)
@@ -170,12 +185,13 @@ def run_continuous(
         campaign = run_campaign(
             explorer, deployment.cti_stream(config.campaign_ctis, "continuous")
         )
-        run.outcomes.append(
-            VersionOutcome(
-                version=kernel.version,
-                model_name=model_name,
-                startup_hours=startup_hours,
-                campaign=campaign,
-            )
+        outcome = VersionOutcome(
+            version=kernel.version,
+            model_name=model_name,
+            startup_hours=startup_hours,
+            campaign=campaign,
         )
+        run.outcomes.append(outcome)
+        if journal is not None:
+            journal.record_version(position, outcome, current)
     return run

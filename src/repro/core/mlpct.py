@@ -42,6 +42,8 @@ from repro.graphs.dataset import GraphDatasetBuilder
 from repro.kernel.bugs import BugKind, BugSpec
 from repro.kernel.code import Kernel
 from repro.ml.baselines import CoveragePredictor
+from repro.resilience.faults import FaultPlan
+from repro.resilience.supervisor import SupervisionPolicy
 
 __all__ = [
     "ExplorationConfig",
@@ -70,6 +72,15 @@ class ExplorationConfig:
     #: serially in-process. Results are byte-identical either way (see
     #: :mod:`repro.execution.parallel`).
     parallel_workers: int = 0
+    #: Supervised-execution policy (per-CT timeouts, bounded retries,
+    #: quarantine, pool→serial fallback; see
+    #: :mod:`repro.resilience.supervisor`). ``None`` uses the plain
+    #: unsupervised runners.
+    supervision: Optional[SupervisionPolicy] = None
+    #: Deterministic fault-injection spec (see
+    #: :mod:`repro.resilience.faults`); setting one implies supervised
+    #: execution.
+    fault_spec: Optional[str] = None
 
 
 @dataclass
@@ -96,6 +107,10 @@ class CampaignResult:
     #: (simulated hours, bug id) at first manifestation, in order.
     bug_history: List[Tuple[float, int]] = field(default_factory=list)
     per_cti: List[ExplorationStats] = field(default_factory=list)
+    #: Supervised-execution counters (retries, timeouts, quarantined,
+    #: worker deaths, fallbacks, accounted backoff seconds); ``None``
+    #: when the campaign ran unsupervised.
+    resilience: Optional[Dict[str, float]] = None
 
     @property
     def total_races(self) -> int:
@@ -139,8 +154,18 @@ class _ExplorerBase:
         self.history: List[Tuple[float, int, int]] = []
         self.bug_history: List[Tuple[float, int]] = []
         self.label = label
-        self.runner = make_runner(self.config.parallel_workers)
+        fault_plan = (
+            FaultPlan.parse(self.config.fault_spec, seed=seed)
+            if self.config.fault_spec
+            else None
+        )
+        self.runner = make_runner(
+            self.config.parallel_workers,
+            policy=self.config.supervision,
+            fault_plan=fault_plan,
+        )
         self._task_index = 0
+        self._audit: Optional[Dict[str, object]] = None
         self._visit_counts: Dict[Tuple[int, int], int] = {}
         self._manifest_index: Dict[int, BugSpec] = {
             spec.manifest_block: spec for spec in self.kernel.bugs
@@ -247,6 +272,10 @@ class _ExplorerBase:
             )
             self._task_index += 1
         results = self.runner.run_many(self.kernel, tasks)
+        if self._audit is not None:
+            from repro.resilience.journal import result_digest
+
+            self._audit["results"].extend(result_digest(r) for r in results)
         charged = 0
         for index, result in enumerate(results):
             if inferences_before is not None:
@@ -268,13 +297,79 @@ class _ExplorerBase:
     ) -> ExplorationStats:
         raise NotImplementedError
 
+    # -- crash-safe campaigns (see repro.resilience.journal) -----------------
+
+    def begin_audit(self) -> None:
+        """Start collecting integrity digests for the next CTI.
+
+        While auditing, :meth:`_execute_selected` folds a digest of every
+        execution result (and :class:`MLPCTExplorer` one of every scored
+        prediction) into the audit record the journal persists — a resumed
+        campaign that diverges (different kernel, model, or seed) fails
+        checksum comparison instead of silently producing a franken-run.
+        """
+        self._audit = {"results": [], "scored": 0, "scored_digest": ""}
+
+    def end_audit(self) -> Dict[str, object]:
+        audit, self._audit = self._audit, None
+        assert audit is not None, "end_audit without begin_audit"
+        return audit
+
+    def state_dict(self) -> Dict[str, object]:
+        """Full campaign-progress snapshot, exact under a JSON round-trip.
+
+        Everything order-sensitive accounting depends on is captured —
+        ledger charges, the race-dedup set, coverage, bug ledger, history
+        curves, the task-seed counter, per-CTI visit counts, and (when
+        supervised) the runner's counters — so a resumed campaign is
+        byte-identical to an uninterrupted one.
+        """
+        state: Dict[str, object] = {
+            "executions": self.ledger.executions,
+            "inferences": self.ledger.inferences,
+            "races": self.race_detector.state_dict(),
+            "covered_blocks": sorted(self.covered_schedule_blocks),
+            "manifested_bugs": sorted(self.manifested_bugs),
+            "history": [list(point) for point in self.history],
+            "bug_history": [list(point) for point in self.bug_history],
+            "task_index": self._task_index,
+            "visit_counts": sorted(
+                [list(key), visits]
+                for key, visits in self._visit_counts.items()
+            ),
+        }
+        runner_state = getattr(self.runner, "state_dict", None)
+        if runner_state is not None:
+            state["runner"] = runner_state()
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.ledger.executions = int(state["executions"])
+        self.ledger.inferences = int(state["inferences"])
+        self.race_detector.load_state(state["races"])
+        self.covered_schedule_blocks = set(state["covered_blocks"])
+        self.manifested_bugs = set(state["manifested_bugs"])
+        self.history = [tuple(point) for point in state["history"]]
+        self.bug_history = [tuple(point) for point in state["bug_history"]]
+        self._task_index = int(state["task_index"])
+        self._visit_counts = {
+            tuple(key): int(visits) for key, visits in state["visit_counts"]
+        }
+        if "runner" in state:
+            loader = getattr(self.runner, "load_state", None)
+            if loader is not None:
+                loader(state["runner"])
+
     def result(self) -> CampaignResult:
+        summary = getattr(self.runner, "summary", None)
         return CampaignResult(
             label=self.label,
             history=list(self.history),
             ledger=self.ledger,
             manifested_bugs=set(self.manifested_bugs),
             bug_history=list(self.bug_history),
+            resilience=summary() if summary is not None else None,
         )
 
 
@@ -313,6 +408,15 @@ class MLPCTExplorer(_ExplorerBase):
             predictor, batch_size=self.config.score_batch_size
         )
 
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["strategy"] = self.strategy.state_dict()
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        super().load_state(state)
+        self.strategy.load_state(state["strategy"])
+
     def explore_cti(
         self, entry_a: CorpusEntry, entry_b: CorpusEntry
     ) -> ExplorationStats:
@@ -339,6 +443,15 @@ class MLPCTExplorer(_ExplorerBase):
                 break
             stats.inferences += 1
             obs.add("campaign.inferences")
+            if self._audit is not None:
+                from repro.resilience.journal import fold_prediction_digest
+
+                self._audit["scored"] += 1
+                self._audit["scored_digest"] = fold_prediction_digest(
+                    self._audit["scored_digest"],
+                    candidate.proba,
+                    candidate.predicted,
+                )
             if not self.strategy.is_interesting(
                 candidate.graph, candidate.predicted
             ):
@@ -358,15 +471,32 @@ class MLPCTExplorer(_ExplorerBase):
 def run_campaign(
     explorer: _ExplorerBase,
     ctis: Sequence[Tuple[CorpusEntry, CorpusEntry]],
+    journal: Optional["CampaignJournal"] = None,
 ) -> CampaignResult:
-    """Explore a stream of CTIs; returns the cumulative campaign curve."""
-    result_stats = []
+    """Explore a stream of CTIs; returns the cumulative campaign curve.
+
+    With ``journal`` (a :class:`repro.resilience.journal.CampaignJournal`)
+    every completed CTI is appended to a durable write-ahead journal and
+    the explorer's full state is checkpointed atomically; if the journal
+    already holds progress for this campaign, completed CTIs are skipped
+    and exploration resumes mid-stream, producing a result byte-identical
+    to an uninterrupted run (see ``docs/ROBUSTNESS.md``).
+    """
+    ctis = list(ctis)
+    result_stats: List[ExplorationStats] = []
+    start_index = 0
+    if journal is not None:
+        result_stats, start_index = journal.prepare(explorer, ctis)
     try:
         with obs.span(
             "campaign.run", label=explorer.label, ctis=len(ctis)
         ) as campaign_span:
             for index, (entry_a, entry_b) in enumerate(ctis):
+                if index < start_index:
+                    continue
                 with obs.span("campaign.cti", index=index) as cti_span:
+                    if journal is not None:
+                        explorer.begin_audit()
                     stats = explorer.explore_cti(entry_a, entry_b)
                     cti_span.set(
                         executions=stats.executions,
@@ -375,6 +505,8 @@ def run_campaign(
                         new_blocks=stats.new_blocks,
                     )
                 result_stats.append(stats)
+                if journal is not None:
+                    journal.record_cti(explorer, index, stats)
             campaign = explorer.result()
             campaign_span.set(
                 races=campaign.total_races,

@@ -18,7 +18,7 @@ already selected so future candidates are judged against it:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, List, Set
 
 import numpy as np
 
@@ -54,6 +54,18 @@ class SelectionStrategy(ABC):
     def reset(self) -> None:
         """Forget all recorded history (new campaign)."""
 
+    # Strategies are part of a campaign's resumable state (the journal
+    # checkpoints them after every CTI): state must round-trip through
+    # JSON exactly, so collections are stored sorted.
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the selection history."""
+        return {}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.reset()
+
 
 class NewCoverageSet(SelectionStrategy):
     """S1: select CTs whose predicted coverage bitmap is novel."""
@@ -72,6 +84,12 @@ class NewCoverageSet(SelectionStrategy):
     def reset(self) -> None:
         self._seen.clear()
 
+    def state_dict(self) -> Dict[str, object]:
+        return {"seen": sorted(sorted(bitmap) for bitmap in self._seen)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._seen = {frozenset(bitmap) for bitmap in state["seen"]}
+
 
 class NewPositiveBlocks(SelectionStrategy):
     """S2: select CTs predicted to cover at least one never-seen block."""
@@ -89,6 +107,12 @@ class NewPositiveBlocks(SelectionStrategy):
 
     def reset(self) -> None:
         self._seen_blocks.clear()
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"seen_blocks": sorted(self._seen_blocks)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._seen_blocks = set(state["seen_blocks"])
 
 
 class PositiveBlocksLimitedTrials(SelectionStrategy):
@@ -114,6 +138,12 @@ class PositiveBlocksLimitedTrials(SelectionStrategy):
 
     def reset(self) -> None:
         self._trials.clear()
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"trials": sorted(self._trials.items())}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._trials = {int(block): int(count) for block, count in state["trials"]}
 
 
 def make_strategy(name: str, s3_limit: int = 3) -> SelectionStrategy:

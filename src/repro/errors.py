@@ -31,8 +31,25 @@ class InvalidInstruction(ExecutionError):
     """Raised when the interpreter decodes an unknown or malformed opcode."""
 
 
+class WorkerCrashError(ExecutionError):
+    """Raised when a supervised worker process dies mid-execution.
+
+    The supervisor converts crashes into retries (and eventually a
+    quarantined result); this error only escapes when supervision is off.
+    """
+
+
 class ScheduleError(ReproError):
     """Raised when scheduling hints are inconsistent (e.g. unknown thread)."""
+
+
+class FaultSpecError(ReproError):
+    """Raised when a fault-injection spec string cannot be parsed."""
+
+
+class JournalError(ReproError):
+    """Raised when a campaign journal is corrupt or inconsistent with the
+    run being resumed (wrong seed, wrong CTI stream, missing checkpoint)."""
 
 
 class DatasetError(ReproError):

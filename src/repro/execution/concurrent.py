@@ -198,6 +198,7 @@ def run_concurrent(
         obs.add("execution.steps", sink.step)
         if deadlocked:
             obs.add("execution.deadlocks")
+    failure = "hang" if limit_hit else ("deadlock" if deadlocked else None)
     return ConcurrentResult(
         covered_blocks=sink.covered,
         accesses=sink.accesses,
@@ -208,4 +209,5 @@ def run_concurrent(
         completed=not limit_hit and not deadlocked,
         deadlocked=deadlocked,
         irqs_fired=irqs_fired,
+        failure=failure,
     )

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro import rng as rngmod
+from repro.errors import ExecutionLimitExceeded
 from repro.execution.concurrent import ScheduleHint, run_concurrent
 from repro.execution.machine import DEFAULT_MAX_STEPS
 from repro.execution.trace import ConcurrentResult
@@ -87,14 +88,36 @@ class CTTask:
 
 
 def _run_task(kernel: Kernel, task: CTTask) -> ConcurrentResult:
-    return run_concurrent(
-        kernel,
-        task.programs,
-        hints=task.hints,
-        max_steps=task.max_steps,
-        memory_model=task.memory_model,
-        irq_plan=task.irq_plan,
-    )
+    """Execute one CT; an exceeded instruction budget is a *recorded*
+    hang outcome, never an exception escaping into the campaign.
+
+    :func:`~repro.execution.concurrent.run_concurrent` already converts
+    budget overruns inside the scheduling loop; this guard classifies
+    overruns from any other path (e.g. thread setup) identically, so the
+    serial and parallel runners have one uniform hang contract.
+    """
+    try:
+        return run_concurrent(
+            kernel,
+            task.programs,
+            hints=task.hints,
+            max_steps=task.max_steps,
+            memory_model=task.memory_model,
+            irq_plan=task.irq_plan,
+        )
+    except ExecutionLimitExceeded:
+        return ConcurrentResult(
+            covered_blocks=(set(), set()),
+            steps=task.max_steps,
+            completed=False,
+            failure="hang",
+        )
+
+
+def _count_hangs(results: Sequence[ConcurrentResult]) -> None:
+    hangs = sum(1 for result in results if result.hung)
+    if hangs:
+        obs.add("execution.hangs", hangs)
 
 
 class SerialCTRunner:
@@ -105,7 +128,9 @@ class SerialCTRunner:
     def run_many(
         self, kernel: Kernel, tasks: Sequence[CTTask]
     ) -> List[ConcurrentResult]:
-        return [_run_task(kernel, task) for task in tasks]
+        results = [_run_task(kernel, task) for task in tasks]
+        _count_hangs(results)
+        return results
 
     def close(self) -> None:
         pass
@@ -181,6 +206,7 @@ class ProcessPoolCTRunner:
             deadlocks = sum(1 for r in results if r.deadlocked)
             if deadlocks:
                 obs.add("execution.deadlocks", deadlocks)
+        _count_hangs(results)
         return results
 
     def close(self) -> None:
@@ -191,8 +217,19 @@ class ProcessPoolCTRunner:
             self._pool_kernel = None
 
 
-def make_runner(workers: int):
-    """A serial runner for ``workers <= 0``, else a process pool."""
-    if workers <= 0:
-        return SerialCTRunner()
-    return ProcessPoolCTRunner(workers)
+def make_runner(workers: int, policy=None, fault_plan=None):
+    """Build the CT runner for a campaign.
+
+    With neither ``policy`` nor ``fault_plan``: a serial runner for
+    ``workers <= 0``, else a process pool (the fast paths). With either
+    set, a :class:`~repro.resilience.supervisor.SupervisedRunner` that
+    adds per-CT timeouts, bounded retries, quarantine, and pool→serial
+    fallback (see ``docs/ROBUSTNESS.md``).
+    """
+    if policy is None and fault_plan is None:
+        if workers <= 0:
+            return SerialCTRunner()
+        return ProcessPoolCTRunner(workers)
+    from repro.resilience.supervisor import SupervisedRunner
+
+    return SupervisedRunner(workers, policy=policy, fault_plan=fault_plan)

@@ -149,6 +149,25 @@ class RaceDetector:
         key = tuple(sorted((write_iid, read_iid)))
         return any(race.iid_pair == key for race in self._seen)
 
+    def state_dict(self) -> List[List[int]]:
+        """JSON-serializable snapshot (sorted ``[lo, hi, address]`` rows).
+
+        Part of a campaign's resumable state: the journal checkpoints the
+        detector after every CTI so a resumed campaign deduplicates races
+        against exactly the set the interrupted one had seen.
+        """
+        return sorted(
+            [race.iid_pair[0], race.iid_pair[1], race.address]
+            for race in self._seen
+        )
+
+    def load_state(self, state: Sequence[Sequence[int]]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._seen = {
+            PotentialRace(iid_pair=(int(lo), int(hi)), address=int(address))
+            for lo, hi, address in state
+        }
+
     def has_address(self, address: int) -> bool:
         """Whether any race over ``address`` has been observed.
 

@@ -108,6 +108,17 @@ class ConcurrentResult:
     deadlocked: bool = False
     #: Interrupts injected during the run (§6 extension).
     irqs_fired: int = 0
+    #: Why the run did not complete: ``None`` (completed), ``"hang"``
+    #: (instruction budget exceeded — the recorded outcome for a CT that
+    #: would wedge a real worker), ``"deadlock"``, or ``"quarantined"``
+    #: (the supervisor gave up after repeated failures and recorded a
+    #: failed-but-counted result).
+    failure: Optional[str] = None
+
+    @property
+    def hung(self) -> bool:
+        """Whether the run was cut off by the instruction budget."""
+        return self.failure == "hang"
 
     def all_covered(self) -> Set[int]:
         return self.covered_blocks[0] | self.covered_blocks[1]

@@ -182,9 +182,11 @@ def kernel_from_dict(data: Dict[str, Any]) -> Kernel:
 
 
 def save_kernel(kernel: Kernel, path: str) -> None:
-    """Write a kernel to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(kernel_to_dict(kernel), handle)
+    """Write a kernel to a JSON file (atomically: temp+fsync+rename, so
+    a crash mid-save never leaves a torn kernel file)."""
+    from repro.resilience.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(kernel_to_dict(kernel)))
 
 
 def load_kernel(path: str) -> Kernel:

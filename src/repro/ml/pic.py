@@ -15,7 +15,9 @@ URB-node weight so the interesting minority is not drowned out.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
+import json
+import zipfile
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,7 +44,33 @@ from repro.ml.autograd import (
 from repro.ml.encoder import AsmEncoder, EncoderConfig
 from repro.ml.gnn import GNNConfig, RelationalGCN
 
-__all__ = ["PICConfig", "PICModel", "stable_sigmoid"]
+__all__ = ["PICConfig", "PICModel", "stable_sigmoid", "CHECKPOINT_SCHEMA"]
+
+#: On-disk model checkpoint schema. Version 1 was a bare ``np.savez`` of
+#: the state dict; version 2 adds a checksummed, versioned header with
+#: the embedded :class:`PICConfig`, so a checkpoint is self-describing
+#: and corruption is detected at load instead of producing NaNs later.
+CHECKPOINT_SCHEMA = 2
+
+
+def _checkpoint_checksum(state: Dict[str, np.ndarray], config_json: str) -> str:
+    """Content checksum over the parameter arrays and embedded config.
+
+    Covers name, dtype, shape, and raw bytes of every array (sorted by
+    name), so any bit flip in the payload fails verification.
+    """
+    from repro.resilience.atomic import sha256_hex
+
+    parts: List[bytes] = []
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        parts.append(name.encode("utf-8"))
+        parts.append(str(array.dtype).encode("utf-8"))
+        parts.append(repr(array.shape).encode("utf-8"))
+        parts.append(array.tobytes())
+    parts.append(config_json.encode("utf-8"))
+    parts.append(str(CHECKPOINT_SCHEMA).encode("utf-8"))
+    return sha256_hex(b"".join(parts))
 
 
 def stable_sigmoid(z: np.ndarray) -> np.ndarray:
@@ -439,13 +467,100 @@ class PICModel:
         self._params_dirty = False
 
     def save(self, path: str) -> None:
-        np.savez(path, **self.state_dict())
+        """Write a durable, self-describing checkpoint to ``path``.
+
+        The archive embeds a schema version, a content checksum, and the
+        model's :class:`PICConfig` (as JSON), and reaches disk via an
+        atomic temp+fsync+rename — a crash mid-save leaves either the old
+        checkpoint or the new one, never a torn file.
+        """
+        from repro.resilience.atomic import atomic_write_bytes, canonical_json
+
+        state = self.state_dict()
+        config_json = canonical_json(asdict(self.config))
+        buffer = io.BytesIO()
+        # savez through a buffer: writing to a file object keeps the exact
+        # destination name (np.savez appends ``.npz`` to bare paths) and
+        # lets the bytes go through the atomic-write helper.
+        np.savez(
+            buffer,
+            __schema__=np.asarray([CHECKPOINT_SCHEMA]),
+            __checksum__=np.asarray([_checkpoint_checksum(state, config_json)]),
+            __config__=np.asarray([config_json]),
+            **state,
+        )
+        atomic_write_bytes(path, buffer.getvalue())
+
+    @staticmethod
+    def _read_checkpoint(path: str) -> Tuple[Dict[str, np.ndarray], PICConfig]:
+        """Read and verify a checkpoint; any unusable file is a
+        :class:`~repro.errors.CheckpointError` (the signal consumers use
+        to degrade gracefully instead of crashing)."""
+        try:
+            with np.load(path) as archive:
+                payload = {key: archive[key] for key in archive.files}
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            raise CheckpointError(
+                f"cannot read model checkpoint {path!r}: {error}"
+            ) from None
+        for key in ("__schema__", "__checksum__", "__config__"):
+            if key not in payload:
+                raise CheckpointError(
+                    f"model checkpoint {path!r} lacks the {key} header "
+                    "(not a Snowcat model checkpoint, or written by a "
+                    "pre-versioning build)"
+                )
+        schema = int(np.asarray(payload.pop("__schema__")).ravel()[0])
+        if schema != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"model checkpoint {path!r} has schema {schema}, "
+                f"this build reads schema {CHECKPOINT_SCHEMA}"
+            )
+        checksum = str(np.asarray(payload.pop("__checksum__")).ravel()[0])
+        config_json = str(np.asarray(payload.pop("__config__")).ravel()[0])
+        if _checkpoint_checksum(payload, config_json) != checksum:
+            raise CheckpointError(
+                f"model checkpoint {path!r} failed checksum verification "
+                "(corrupt or truncated)"
+            )
+        try:
+            config = PICConfig(**json.loads(config_json))
+        except (ValueError, TypeError) as error:
+            raise CheckpointError(
+                f"model checkpoint {path!r} embeds an unreadable config: {error}"
+            ) from None
+        return payload, config
+
+    @classmethod
+    def load(cls, path: str, seed: int = 0) -> "PICModel":
+        """Reconstruct a model purely from a checkpoint file.
+
+        The embedded config makes the checkpoint self-describing: unlike
+        :meth:`restore`, no externally supplied :class:`PICConfig` is
+        needed (this is what ``repro campaign --model`` consumes).
+        """
+        state, config = cls._read_checkpoint(path)
+        model = cls(config, seed=seed)
+        model.load_state_dict(state)
+        return model
 
     @staticmethod
     def restore(path: str, config: PICConfig, seed: int = 0) -> "PICModel":
+        """Load a checkpoint into a model built from ``config``.
+
+        ``config`` must agree with the checkpoint's embedded config on
+        every architecture field (name may differ).
+        """
+        from dataclasses import replace as dc_replace
+
+        state, saved_config = PICModel._read_checkpoint(path)
+        if asdict(dc_replace(saved_config, name=config.name)) != asdict(config):
+            raise CheckpointError(
+                f"model checkpoint {path!r} was written with config "
+                f"{saved_config}, incompatible with requested {config}"
+            )
         model = PICModel(config, seed=seed)
-        with np.load(path) as archive:
-            model.load_state_dict({key: archive[key] for key in archive.files})
+        model.load_state_dict(state)
         return model
 
     def clone(self, name: Optional[str] = None, seed: int = 0) -> "PICModel":

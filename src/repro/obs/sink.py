@@ -9,7 +9,10 @@ streamable, and round-trippable via :func:`read_events`.
 
 from __future__ import annotations
 
+import errno
 import json
+import os
+import tempfile
 from typing import IO, Dict, Iterator, List, Optional, Union
 
 __all__ = ["TelemetrySink", "JsonLinesSink", "MemorySink", "read_events"]
@@ -40,15 +43,33 @@ class MemorySink(TelemetrySink):
 
 
 class JsonLinesSink(TelemetrySink):
-    """Appends one JSON object per event to a file (or file-like)."""
+    """Appends one JSON object per event to a file (or file-like).
+
+    Path mode is durable: events stream into a temp file in the
+    destination's directory, and :meth:`close` fsyncs and atomically
+    renames it into place — a reader never observes a half-written
+    trace, and a crash mid-run leaves any previous trace at the path
+    intact. Unwritable destinations still fail here in the constructor
+    (with the underlying :class:`OSError`), before any work runs.
+    """
 
     def __init__(self, destination: Union[str, IO[str]]) -> None:
         if isinstance(destination, str):
+            if os.path.isdir(destination):
+                raise IsADirectoryError(
+                    errno.EISDIR, "destination is a directory", destination
+                )
             self.path: Optional[str] = destination
-            self._handle: IO[str] = open(destination, "w")
+            fd, self._temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(destination) or ".",
+                prefix=os.path.basename(destination) + ".",
+                suffix=".tmp",
+            )
+            self._handle: IO[str] = os.fdopen(fd, "w")
             self._owns_handle = True
         else:
             self.path = None
+            self._temp_path = None
             self._handle = destination
             self._owns_handle = False
 
@@ -57,9 +78,14 @@ class JsonLinesSink(TelemetrySink):
         self._handle.write("\n")
 
     def close(self) -> None:
+        if self._handle.closed:
+            return
         self._handle.flush()
         if self._owns_handle:
+            os.fsync(self._handle.fileno())
             self._handle.close()
+            assert self.path is not None and self._temp_path is not None
+            os.replace(self._temp_path, self.path)
 
 
 def read_events(path: str) -> List[Dict[str, object]]:

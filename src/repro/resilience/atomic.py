@@ -1,0 +1,100 @@
+"""Atomic, durable file writes.
+
+Every artifact the pipeline persists — kernels, model checkpoints,
+telemetry traces, journal checkpoints, benchmark results — goes through
+the same recipe: write the complete content to a temporary file in the
+*same directory* as the destination, flush, ``fsync`` the file, then
+``os.replace`` it over the destination (and ``fsync`` the directory so
+the rename itself is durable). A crash at any point leaves either the
+old file or the new file, never a truncated hybrid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Union
+
+__all__ = [
+    "sha256_hex",
+    "canonical_json",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+    "probe_writable",
+]
+
+
+def sha256_hex(data: Union[str, bytes]) -> str:
+    """Hex SHA-256 of ``data`` (text is hashed as UTF-8)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON encoding (sorted keys, minimal separators).
+
+    Used wherever a checksum is computed over structured data, so the
+    checksum does not depend on dict insertion order.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fsync_directory(path: str) -> None:
+    """Flush directory metadata so a completed rename survives a crash."""
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs may be unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically and durably."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically and durably."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def probe_writable(path: str) -> None:
+    """Raise :class:`OSError` unless a file can be created at ``path``.
+
+    Used by the CLI to fail fast — *before* an expensive training run —
+    when an output destination is unwritable (missing directory, a
+    directory in the file's place, no permission).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    if os.path.isdir(path):
+        raise IsADirectoryError(21, "destination is a directory", path)
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".probe"
+    )
+    os.close(fd)
+    os.unlink(temp_path)

@@ -1,0 +1,482 @@
+"""Supervised CT execution: timeouts, retries, quarantine, fallback.
+
+The plain runners in :mod:`repro.execution.parallel` assume a healthy
+substrate: a hung or dying worker stalls ``Pool.map`` forever. Real
+kernel concurrency testers cannot assume that — executions of a buggy
+kernel routinely wedge the worker VM — so this module supervises every
+dynamic execution:
+
+- **per-CT wall-clock timeouts** — a worker that exceeds the deadline is
+  killed and replaced, and the CT is retried;
+- **bounded retries with deterministic backoff accounting** — failed
+  attempts are retried up to ``max_retries`` times; the exponential
+  backoff a production system would sleep is *accounted* (counters and
+  the ``resilience.backoff_seconds`` histogram) rather than slept, so
+  tests stay fast and results stay deterministic;
+- **quarantine** — a CT that keeps failing is recorded as a
+  failed-but-counted result (``failure="quarantined"``) instead of
+  wedging the campaign;
+- **pool→serial fallback** — after more than ``max_worker_deaths``
+  worker deaths the supervisor stops trusting process isolation and runs
+  the remaining CTs in-process.
+
+Every event is counted in :mod:`repro.obs` metrics (``resilience.retries``,
+``resilience.timeouts``, ``resilience.quarantined``,
+``resilience.fallbacks``, ``resilience.worker_deaths``) and mirrored on
+the runner instance for the campaign's run report.
+
+With ``workers > 0`` the supervisor manages its own pool of pipe-fed
+worker processes (the supervised counterpart of
+:class:`~repro.execution.parallel.ProcessPoolCTRunner` — ``Pool.map``
+offers no per-task deadline or death detection). Results are returned in
+task order and, absent injected or real faults, are byte-identical to
+the serial runner's: each CT is the same pure function of its task.
+
+Fault injection (:mod:`repro.resilience.faults`) plugs in here: injected
+worker crashes and hangs are *real* in pool mode (``os._exit`` in the
+worker, a sleep past the deadline) and simulated in serial mode, so one
+fault plan drives both unit tests and soak runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from multiprocessing import connection as mp_connection
+from typing import Deque, Dict, List, Optional, Sequence
+
+import multiprocessing
+
+from repro import obs
+from repro.errors import ExecutionError, ReproError
+from repro.execution.parallel import CTTask, _run_task
+from repro.execution.trace import ConcurrentResult
+from repro.kernel.code import Kernel
+from repro.resilience.faults import FaultPlan
+
+__all__ = ["SupervisionPolicy", "SupervisedRunner"]
+
+#: How long an injected hang sleeps inside a worker; the parent's
+#: deadline fires long before this, and the worker is killed.
+_WORKER_HANG_SLEEP_SECONDS = 600.0
+
+#: Exit status of an abrupt campaign-process death (``die`` faults);
+#: matches the shell's status for a SIGKILLed process.
+DIE_EXIT_STATUS = 137
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs of supervised execution."""
+
+    #: Per-CT wall-clock deadline (pool mode; injected hangs in serial
+    #: mode time out immediately, without waiting).
+    timeout_seconds: float = 30.0
+    #: Failed attempts are retried up to this many times before the CT
+    #: is quarantined.
+    max_retries: int = 2
+    #: Base of the exponential backoff *accounted* per retry
+    #: (``backoff_seconds * 2**attempt``); never actually slept.
+    backoff_seconds: float = 0.5
+    #: Worker deaths tolerated before falling back to serial execution.
+    max_worker_deaths: int = 3
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One CT execution attempt in flight."""
+
+    pos: int  # position in this run_many batch
+    task: CTTask
+    index: int  # campaign-global task index (fault-plan key)
+    attempt: int = 0
+
+
+def _quarantined_result(task: CTTask) -> ConcurrentResult:
+    """The failed-but-counted result recorded for a poison CT."""
+    return ConcurrentResult(
+        covered_blocks=(set(), set()),
+        completed=False,
+        failure="quarantined",
+    )
+
+
+def _supervised_worker_main(conn, kernel: Kernel) -> None:
+    """Worker loop: receive ``(task, fault_kind)``, reply with the result.
+
+    A registry inherited across fork would interleave telemetry writes
+    with the parent, so workers run with telemetry off; the parent
+    re-emits execution counters from collected results.
+    """
+    obs.clear_registry()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            if message is None:
+                return
+            task, fault_kind = message
+            if fault_kind == "crash":
+                os._exit(13)
+            if fault_kind == "hang":
+                time.sleep(_WORKER_HANG_SLEEP_SECONDS)
+                conn.send(("error", "injected hang outlived its sleep"))
+                continue
+            if fault_kind == "transient":
+                conn.send(("error", "injected transient fault"))
+                continue
+            try:
+                result = _run_task(kernel, task)
+            except ReproError as error:
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+            else:
+                conn.send(("ok", result))
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+        return
+
+
+class _WorkerHandle:
+    """One supervised worker process and its command pipe."""
+
+    def __init__(self, context, kernel: Kernel) -> None:
+        parent_conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_supervised_worker_main,
+            args=(child_conn, kernel),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.job: Optional[_Job] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.job is None
+
+    def dispatch(self, job: _Job, fault_kind: Optional[str], timeout: float) -> None:
+        self.job = job
+        self.deadline = time.monotonic() + timeout
+        self.conn.send((job.task, fault_kind))
+
+    def take_job(self) -> Optional[_Job]:
+        job, self.job, self.deadline = self.job, None, None
+        return job
+
+    def kill(self) -> None:
+        """Terminate immediately (hung or untrusted worker)."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join()
+
+    def stop(self) -> None:
+        """Graceful shutdown of an idle worker."""
+        try:
+            self.conn.send(None)
+            self.conn.close()
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join()
+
+
+class SupervisedRunner:
+    """Supervised counterpart of the plain CT runners.
+
+    Satisfies the same ``run_many(kernel, tasks) -> results in task
+    order`` contract, adding the timeout/retry/quarantine/fallback
+    behaviour described in the module docstring. Carries its own
+    counters (:attr:`retries`, :attr:`timeouts`, :attr:`quarantined`,
+    :attr:`fallbacks`, :attr:`worker_deaths`, :attr:`backoff_seconds`)
+    and supports :meth:`state_dict`/:meth:`load_state` so a resumed
+    campaign continues fault-plan positions and accounting exactly.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        policy: Optional[SupervisionPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.workers = max(0, int(workers))
+        self.policy = policy or SupervisionPolicy()
+        self.plan = fault_plan
+        self.retries = 0
+        self.timeouts = 0
+        self.quarantined = 0
+        self.worker_deaths = 0
+        self.fallbacks = 0
+        self.backoff_seconds = 0.0
+        self._next_index = 0
+        self._fallback = False
+        self._pool: List[_WorkerHandle] = []
+        self._pool_kernel: Optional[Kernel] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _context(self):
+        # fork shares the kernel pages copy-on-write; fall back where the
+        # platform does not offer it (e.g. Windows spawn-only).
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform-dependent
+            return multiprocessing.get_context()
+
+    def _ensure_pool(self, kernel: Kernel) -> None:
+        if self._pool and self._pool_kernel is not kernel:
+            self._shutdown_pool()
+        if not self._pool:
+            context = self._context()
+            self._pool = [
+                _WorkerHandle(context, kernel) for _ in range(self.workers)
+            ]
+            self._pool_kernel = kernel
+
+    def _shutdown_pool(self, graceful: bool = True) -> None:
+        for worker in self._pool:
+            if graceful and worker.idle:
+                worker.stop()
+            else:
+                worker.kill()
+        self._pool = []
+        self._pool_kernel = None
+
+    def close(self) -> None:
+        self._shutdown_pool()
+
+    # -- persistence (campaign journal) --------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "next_index": self._next_index,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "worker_deaths": self.worker_deaths,
+            "fallbacks": self.fallbacks,
+            "backoff_seconds": self.backoff_seconds,
+            "fallback_engaged": self._fallback,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._next_index = int(state["next_index"])
+        self.retries = int(state["retries"])
+        self.timeouts = int(state["timeouts"])
+        self.quarantined = int(state["quarantined"])
+        self.worker_deaths = int(state["worker_deaths"])
+        self.fallbacks = int(state["fallbacks"])
+        self.backoff_seconds = float(state["backoff_seconds"])
+        self._fallback = bool(state["fallback_engaged"])
+
+    def summary(self) -> Dict[str, float]:
+        """Counters for the campaign's run report."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "worker_deaths": self.worker_deaths,
+            "fallbacks": self.fallbacks,
+            "backoff_seconds": self.backoff_seconds,
+        }
+
+    # -- execution -----------------------------------------------------------
+
+    def run_many(
+        self, kernel: Kernel, tasks: Sequence[CTTask]
+    ) -> List[ConcurrentResult]:
+        if not tasks:
+            return []
+        jobs = [
+            _Job(pos=pos, task=task, index=self._next_index + pos)
+            for pos, task in enumerate(tasks)
+        ]
+        self._next_index += len(tasks)
+        results: List[Optional[ConcurrentResult]] = [None] * len(tasks)
+        if self.workers <= 0 or self._fallback:
+            for job in jobs:
+                results[job.pos] = self._run_serial_job(kernel, job)
+        else:
+            self._run_pool(kernel, deque(jobs), results)
+            self._reemit_counters(results)
+        return results  # type: ignore[return-value]
+
+    def _maybe_die(self, job: _Job) -> None:
+        if (
+            job.attempt == 0
+            and self.plan is not None
+            and self.plan.should_die(job.index)
+        ):
+            # Abrupt process death (no cleanup, no flushing): what a
+            # SIGKILL mid-campaign looks like to the journal.
+            os._exit(DIE_EXIT_STATUS)
+
+    def _fault_kind(self, job: _Job) -> Optional[str]:
+        if self.plan is None:
+            return None
+        fault = self.plan.fault_for(job.index, job.attempt)
+        return fault.kind if fault is not None else None
+
+    # -- failure bookkeeping (shared by serial and pool paths) ---------------
+
+    def _account_retry(self, job: _Job) -> _Job:
+        self.retries += 1
+        obs.add("resilience.retries")
+        delay = self.policy.backoff_seconds * (2**job.attempt)
+        self.backoff_seconds += delay
+        obs.observe("resilience.backoff_seconds", delay)
+        return replace(job, attempt=job.attempt + 1)
+
+    def _account_quarantine(self, job: _Job) -> ConcurrentResult:
+        self.quarantined += 1
+        obs.add("resilience.quarantined")
+        return _quarantined_result(job.task)
+
+    def _account_timeout(self) -> None:
+        self.timeouts += 1
+        obs.add("resilience.timeouts")
+
+    def _account_worker_death(self) -> None:
+        self.worker_deaths += 1
+        obs.add("resilience.worker_deaths")
+
+    def _engage_fallback_if_due(self) -> None:
+        if not self._fallback and self.worker_deaths > self.policy.max_worker_deaths:
+            self._fallback = True
+            self.fallbacks += 1
+            obs.add("resilience.fallbacks")
+
+    # -- serial path ---------------------------------------------------------
+
+    def _run_serial_job(self, kernel: Kernel, job: _Job) -> ConcurrentResult:
+        while True:
+            self._maybe_die(job)
+            fault_kind = self._fault_kind(job)
+            if fault_kind is None:
+                try:
+                    result = _run_task(kernel, job.task)
+                except ExecutionError:
+                    pass  # transient framework failure: retry below
+                else:
+                    if result.hung:
+                        obs.add("execution.hangs")
+                    return result
+            elif fault_kind == "crash":
+                self._account_worker_death()
+                self._engage_fallback_if_due()
+            elif fault_kind == "hang":
+                # No real worker to wait on: the timeout is charged
+                # immediately, keeping serial soak runs fast.
+                self._account_timeout()
+            if job.attempt >= self.policy.max_retries:
+                return self._account_quarantine(job)
+            job = self._account_retry(job)
+
+    # -- pool path -----------------------------------------------------------
+
+    def _run_pool(
+        self,
+        kernel: Kernel,
+        pending: Deque[_Job],
+        results: List[Optional[ConcurrentResult]],
+    ) -> None:
+        self._ensure_pool(kernel)
+        while pending or any(not worker.idle for worker in self._pool):
+            if self._fallback:
+                # Process isolation is no longer trusted: reclaim the
+                # in-flight jobs and finish everything in-process.
+                for worker in self._pool:
+                    job = worker.take_job()
+                    if job is not None:
+                        pending.appendleft(job)
+                self._shutdown_pool(graceful=False)
+                while pending:
+                    job = pending.popleft()
+                    results[job.pos] = self._run_serial_job(kernel, job)
+                return
+            for worker in self._pool:
+                if worker.idle and pending:
+                    job = pending.popleft()
+                    self._maybe_die(job)
+                    worker.dispatch(
+                        job, self._fault_kind(job), self.policy.timeout_seconds
+                    )
+            busy = [worker for worker in self._pool if not worker.idle]
+            if not busy:  # pragma: no cover - loop condition guards this
+                continue
+            now = time.monotonic()
+            next_deadline = min(worker.deadline for worker in busy)
+            ready = mp_connection.wait(
+                [worker.conn for worker in busy],
+                timeout=max(0.0, min(next_deadline - now, 0.25)),
+            )
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                job = worker.job
+                try:
+                    status, payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    # The worker died mid-task (a real crash).
+                    worker.take_job()
+                    self._account_worker_death()
+                    self._engage_fallback_if_due()
+                    self._replace_worker(kernel, worker)
+                    self._finish_failed(job, pending, results)
+                    continue
+                worker.take_job()
+                if status == "ok":
+                    results[job.pos] = payload
+                else:
+                    self._finish_failed(job, pending, results)
+            # Enforce deadlines on whoever is still busy.
+            now = time.monotonic()
+            for worker in self._pool:
+                if worker.job is not None and now >= worker.deadline:
+                    job = worker.take_job()
+                    self._account_timeout()
+                    self._replace_worker(kernel, worker)
+                    self._finish_failed(job, pending, results)
+
+    def _finish_failed(
+        self,
+        job: _Job,
+        pending: Deque[_Job],
+        results: List[Optional[ConcurrentResult]],
+    ) -> None:
+        if job.attempt >= self.policy.max_retries:
+            results[job.pos] = self._account_quarantine(job)
+        else:
+            pending.append(self._account_retry(job))
+
+    def _replace_worker(self, kernel: Kernel, worker: _WorkerHandle) -> None:
+        worker.kill()
+        if self._fallback:
+            return
+        position = self._pool.index(worker)
+        self._pool[position] = _WorkerHandle(self._context(), kernel)
+
+    def _reemit_counters(self, results: Sequence[Optional[ConcurrentResult]]) -> None:
+        """Workers run with telemetry off; replay their per-run counters."""
+        executed = [
+            r for r in results if r is not None and r.failure != "quarantined"
+        ]
+        if not executed:
+            return
+        obs.add("execution.runs", len(executed))
+        obs.add("execution.steps", sum(r.steps for r in executed))
+        deadlocks = sum(1 for r in executed if r.deadlocked)
+        if deadlocks:
+            obs.add("execution.deadlocks", deadlocks)
+        hangs = sum(1 for r in executed if r.hung)
+        if hangs:
+            obs.add("execution.hangs", hangs)

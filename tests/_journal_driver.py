@@ -1,0 +1,92 @@
+"""Subprocess driver for the kill-and-resume journal tests.
+
+Run as ``python tests/_journal_driver.py JOURNAL [--sleep S]``: builds a
+small deterministic kernel + corpus, then runs a journaled PCT campaign,
+sleeping ``S`` seconds before each CTI so the parent test can SIGKILL the
+process mid-campaign. The tests also import :func:`build_campaign` to
+reconstruct the *exact same* campaign in-process — for resuming the
+interrupted journal and for the uninterrupted reference run the resumed
+result must match byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import rng as rngmod
+from repro.core.mlpct import ExplorationConfig, PCTExplorer, run_campaign
+from repro.graphs.dataset import GraphDatasetBuilder
+from repro.kernel import KernelConfig, build_kernel
+
+SEED = 5
+NUM_CTIS = 5
+EXECUTION_BUDGET = 3
+
+KERNEL_CONFIG = KernelConfig(
+    num_subsystems=2,
+    functions_per_subsystem=3,
+    syscalls_per_subsystem=3,
+    vars_per_subsystem=6,
+    segments_per_function=(2, 3),
+    num_atomicity_bugs=1,
+    num_order_bugs=1,
+    num_data_races=1,
+    version="v5.12",
+)
+
+
+def build_campaign(fault_spec=None, pause=0.0):
+    """The canonical test campaign: explorer + CTI stream, deterministic.
+
+    ``pause`` seconds are slept before each CTI (slow mode, giving the
+    parent a window to SIGKILL between journal commits); ``fault_spec``
+    turns on supervised execution with that fault plan.
+    """
+    kernel = build_kernel(KERNEL_CONFIG, seed=SEED)
+    graphs = GraphDatasetBuilder(kernel, seed=SEED)
+    graphs.grow_corpus(rounds=60)
+    explorer_cls = PCTExplorer
+    if pause > 0.0:
+
+        class SlowPCTExplorer(PCTExplorer):
+            def explore_cti(self, entry_a, entry_b):
+                time.sleep(pause)
+                return super().explore_cti(entry_a, entry_b)
+
+        explorer_cls = SlowPCTExplorer
+    explorer = explorer_cls(
+        graphs,
+        config=ExplorationConfig(
+            execution_budget=EXECUTION_BUDGET,
+            proposal_pool=6,
+            fault_spec=fault_spec,
+        ),
+        seed=SEED,
+    )
+    ctis = graphs.corpus.sample_pairs(
+        rngmod.split(SEED, "ctis:journal-driver"), NUM_CTIS
+    )
+    return explorer, ctis
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("journal")
+    parser.add_argument("--sleep", type=float, default=0.0)
+    parser.add_argument("--fault-spec", default=None)
+    args = parser.parse_args(argv)
+    from repro.resilience.journal import CampaignJournal
+
+    explorer, ctis = build_campaign(fault_spec=args.fault_spec, pause=args.sleep)
+    journal = CampaignJournal(args.journal)
+    try:
+        run_campaign(explorer, ctis, journal=journal)
+    finally:
+        journal.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

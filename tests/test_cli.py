@@ -106,3 +106,47 @@ class TestCommands:
         bad = str(tmp_path / "no-such-dir" / "t.jsonl")
         assert main(["--trace", bad, "--seed", "3", "fuzz", "--rounds", "5"]) == 2
         assert "cannot open trace file" in capsys.readouterr().err
+
+
+class TestRobustness:
+    """CLI-level resilience behaviour (see docs/ROBUSTNESS.md)."""
+
+    def test_train_unwritable_out_fails_fast(self, capsys, tmp_path):
+        # The destination is probed before training starts, so this is
+        # cheap: no model is ever built.
+        bad = str(tmp_path / "no-such-dir" / "model.npz")
+        assert main(["train", "--out", bad]) == 2
+        assert "cannot write checkpoint" in capsys.readouterr().err
+
+    def test_campaign_journal_and_resume_are_exclusive(self, capsys, tmp_path):
+        code = main(
+            [
+                "campaign",
+                "--journal",
+                str(tmp_path / "a.journal"),
+                "--resume",
+                str(tmp_path / "b.journal"),
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_campaign_resume_missing_journal(self, capsys, tmp_path):
+        code = main(["campaign", "--resume", str(tmp_path / "missing.journal")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_campaign_bad_fault_spec(self, capsys):
+        assert main(["campaign", "--inject-faults", "frobnicate:0.5"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_campaign_degrades_on_unusable_model(self, capsys, tmp_path):
+        garbage = tmp_path / "model.npz"
+        garbage.write_bytes(b"not a checkpoint")
+        assert main(["--seed", "3", "campaign", "--ctis", "1", "--model", str(garbage)]) == 0
+        captured = capsys.readouterr()
+        assert "unusable" in captured.err
+        assert "continuing with the PCT baseline" in captured.err
+        # the campaign ran PCT-only: no MLPCT curve in the output
+        assert "PCT" in captured.out
+        assert "MLPCT" not in captured.out

@@ -124,6 +124,52 @@ class TestDeadlocks:
         assert result.completed
 
 
+class TestPoolHangContract:
+    def test_pool_worker_hang_returns_recorded_result(self):
+        """A CT that blows its step budget inside a pool worker comes back
+        as a recorded hang outcome — it must not poison the pool or raise
+        into the campaign."""
+        from repro.execution.parallel import CTTask, ProcessPoolCTRunner
+
+        kernel = _looping_kernel()
+        program = (("sys_spin", (0,)),)
+        tasks = [
+            CTTask(programs=(program, program), max_steps=300, seed=index)
+            for index in range(3)
+        ]
+        runner = ProcessPoolCTRunner(2)
+        try:
+            results = runner.run_many(kernel, tasks)
+            assert len(results) == 3
+            for result in results:
+                assert not result.completed
+                assert result.hung
+            # the pool survived and is reusable for another batch
+            again = runner.run_many(kernel, tasks[:1])
+            assert again[0].hung
+        finally:
+            runner.close()
+
+    def test_pool_and_serial_agree_on_hang_classification(self):
+        from repro.execution.parallel import (
+            CTTask,
+            ProcessPoolCTRunner,
+            SerialCTRunner,
+        )
+
+        kernel = _looping_kernel()
+        program = (("sys_spin", (0,)),)
+        task = CTTask(programs=(program, program), max_steps=300)
+        serial = SerialCTRunner().run_many(kernel, [task])
+        pool = ProcessPoolCTRunner(2)
+        try:
+            pooled = pool.run_many(kernel, [task])
+        finally:
+            pool.close()
+        assert serial[0].failure == pooled[0].failure
+        assert serial[0].steps == pooled[0].steps
+
+
 class TestCampaignRobustness:
     def test_explorer_survives_limit_exceeding_ctis(self, dataset_builder):
         """A CTI whose executions blow the step budget is recorded as a

@@ -1,0 +1,159 @@
+"""Model checkpoints (versioned, checksummed, atomic) and the other
+atomic artefact writes the pipeline does."""
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.ml.pic import CHECKPOINT_SCHEMA, PICModel
+
+
+class TestModelCheckpoint:
+    def test_round_trip_is_exact(self, tiny_model, small_splits, tmp_path):
+        path = str(tmp_path / "model.npz")
+        tiny_model.save(path)
+        loaded = PICModel.load(path)
+        assert loaded.config == tiny_model.config
+        assert loaded.threshold == tiny_model.threshold
+        graph = small_splits.evaluation[0].graph
+        np.testing.assert_array_equal(
+            loaded.predict_proba(graph), tiny_model.predict_proba(graph)
+        )
+
+    def test_save_leaves_no_temp_files(self, tiny_model, tmp_path):
+        tiny_model.save(str(tmp_path / "model.npz"))
+        assert sorted(os.listdir(tmp_path)) == ["model.npz"]
+
+    def test_truncated_checkpoint_refused(self, tiny_model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        tiny_model.save(path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            PICModel.load(path)
+
+    def test_garbage_file_refused(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a model checkpoint")
+        with pytest.raises(CheckpointError):
+            PICModel.load(path)
+
+    def test_headerless_archive_refused(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        np.savez(open(path, "wb"), weights=np.zeros(3))
+        with pytest.raises(CheckpointError, match="lacks"):
+            PICModel.load(path)
+
+    def test_tampered_payload_fails_checksum(self, tiny_model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        tiny_model.save(path)
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["pic.w_out"] = payload["pic.w_out"] + 1.0
+        np.savez(open(path, "wb"), **payload)
+        with pytest.raises(CheckpointError, match="checksum"):
+            PICModel.load(path)
+
+    def test_wrong_schema_refused(self, tiny_model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        tiny_model.save(path)
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["__schema__"] = np.asarray([CHECKPOINT_SCHEMA + 1])
+        np.savez(open(path, "wb"), **payload)
+        with pytest.raises(CheckpointError, match="schema"):
+            PICModel.load(path)
+
+    def test_restore_validates_architecture(self, tiny_model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        tiny_model.save(path)
+        wrong = replace(
+            tiny_model.config, hidden_dim=tiny_model.config.hidden_dim + 8
+        )
+        with pytest.raises(CheckpointError, match="incompatible"):
+            PICModel.restore(path, wrong)
+
+    def test_restore_allows_rename(self, tiny_model, small_splits, tmp_path):
+        path = str(tmp_path / "model.npz")
+        tiny_model.save(path)
+        renamed = replace(tiny_model.config, name="PIC-renamed")
+        restored = PICModel.restore(path, renamed)
+        assert restored.config.name == "PIC-renamed"
+        graph = small_splits.evaluation[0].graph
+        np.testing.assert_array_equal(
+            restored.predict_proba(graph), tiny_model.predict_proba(graph)
+        )
+
+
+class TestAtomicArtefacts:
+    def test_save_kernel_is_atomic_and_round_trips(self, kernel, tmp_path):
+        from repro.kernel.serialize import load_kernel, save_kernel
+
+        path = tmp_path / "kernel.json"
+        save_kernel(kernel, str(path))
+        assert sorted(os.listdir(tmp_path)) == ["kernel.json"]
+        loaded = load_kernel(str(path))
+        assert loaded.version == kernel.version
+        assert set(loaded.syscalls) == set(kernel.syscalls)
+
+    def test_jsonlines_sink_is_durable(self, tmp_path):
+        from repro.obs.sink import JsonLinesSink, read_events
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonLinesSink(str(path))
+        sink.write({"event": "point", "seq": 0})
+        # events stream into a temp file; the destination appears only on
+        # a clean close (a crash mid-run never leaves a torn trace)
+        assert not path.exists()
+        sink.close()
+        assert read_events(str(path)) == [{"event": "point", "seq": 0}]
+        assert sorted(os.listdir(tmp_path)) == ["trace.jsonl"]
+        sink.close()  # idempotent
+
+    def test_sink_close_replaces_previous_trace(self, tmp_path):
+        from repro.obs.sink import JsonLinesSink, read_events
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "old", "seq": 0}\n')
+        sink = JsonLinesSink(str(path))
+        sink.write({"event": "new", "seq": 0})
+        assert read_events(str(path)) == [{"event": "old", "seq": 0}]
+        sink.close()
+        assert read_events(str(path)) == [{"event": "new", "seq": 0}]
+
+    def test_sink_rejects_directory_destination(self, tmp_path):
+        from repro.obs.sink import JsonLinesSink
+
+        with pytest.raises(IsADirectoryError):
+            JsonLinesSink(str(tmp_path))
+
+    def test_sink_unwritable_directory_fails_at_construction(self, tmp_path):
+        from repro.obs.sink import JsonLinesSink
+
+        with pytest.raises(OSError):
+            JsonLinesSink(str(tmp_path / "no-such-dir" / "t.jsonl"))
+
+    def test_atomic_write_leaves_no_temp_on_success(self, tmp_path):
+        from repro.resilience.atomic import atomic_write_text
+
+        path = tmp_path / "artefact.txt"
+        atomic_write_text(str(path), "first\n")
+        atomic_write_text(str(path), "second\n")
+        assert path.read_text() == "second\n"
+        assert sorted(os.listdir(tmp_path)) == ["artefact.txt"]
+
+    def test_probe_writable(self, tmp_path):
+        from repro.resilience.atomic import probe_writable
+
+        probe_writable(str(tmp_path / "fine.npz"))  # no exception
+        assert os.listdir(tmp_path) == []  # probe cleans up after itself
+        with pytest.raises(OSError):
+            probe_writable(str(tmp_path / "no-such-dir" / "x.npz"))
+        with pytest.raises(OSError):
+            probe_writable(str(tmp_path))  # a directory is not writable

@@ -1,0 +1,108 @@
+"""Deterministic fault-injection plans: grammar, decisions, determinism."""
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.resilience.faults import FAULT_KINDS, FaultPlan, InjectedFault
+
+
+class TestParsing:
+    def test_rate_entries(self):
+        plan = FaultPlan.parse("crash:0.25, hang:0.5 ,transient:1.0", seed=3)
+        assert plan.rates == (
+            ("crash", 0.25),
+            ("hang", 0.5),
+            ("transient", 1.0),
+        )
+        assert plan.exact == ()
+
+    def test_exact_entries(self):
+        plan = FaultPlan.parse("hang@3,poison@5,die@7,crash@0", seed=3)
+        assert ("hang", 3) in plan.exact
+        assert ("die", 7) in plan.exact
+        assert plan.poisoned == {5}
+
+    def test_empty_entries_are_skipped(self):
+        plan = FaultPlan.parse("crash:0.1,,  ,hang@2", seed=0)
+        assert plan.rates == (("crash", 0.1),)
+        assert plan.exact == (("hang", 2),)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "frobnicate:0.5",  # unknown kind
+            "frobnicate@3",
+            "crash:banana",  # non-numeric rate
+            "crash:1.5",  # rate out of range
+            "crash:-0.1",
+            "poison:0.5",  # poison takes no rate
+            "die:0.5",  # die takes no rate
+            "hang@banana",  # non-integer index
+            "hang@-1",  # negative index
+            "justgarbage",  # neither form
+        ],
+    )
+    def test_bad_specs_are_refused(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec, seed=0)
+
+
+class TestDecisions:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.parse("crash:0.2,hang:0.1,transient:0.3", seed=11)
+        b = FaultPlan.parse("crash:0.2,hang:0.1,transient:0.3", seed=11)
+        assert a.preview(300) == b.preview(300)
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.parse("crash:0.3", seed=1)
+        b = FaultPlan.parse("crash:0.3", seed=2)
+        assert a.preview(300) != b.preview(300)
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan.parse("crash:0.0", seed=4)
+        assert plan.preview(200) == {}
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan.parse("transient:1.0", seed=4)
+        preview = plan.preview(50)
+        assert preview == {i: "transient" for i in range(50)}
+
+    def test_rate_roughly_proportional(self):
+        plan = FaultPlan.parse("crash:0.2", seed=9)
+        hits = len(plan.preview(1000))
+        assert 100 < hits < 320
+
+    def test_rate_faults_fire_on_first_attempt_only(self):
+        plan = FaultPlan.parse("transient:1.0", seed=4)
+        assert plan.fault_for(7, attempt=0) == InjectedFault("transient", 7)
+        assert plan.fault_for(7, attempt=1) is None
+
+    def test_exact_fault_fires_at_its_index_only(self):
+        plan = FaultPlan.parse("hang@3", seed=0)
+        assert plan.fault_for(3, 0) == InjectedFault("hang", 3)
+        assert plan.fault_for(2, 0) is None
+        assert plan.fault_for(3, 1) is None
+
+    def test_poison_fires_on_every_attempt(self):
+        plan = FaultPlan.parse("poison@5", seed=0)
+        for attempt in range(4):
+            fault = plan.fault_for(5, attempt)
+            assert fault is not None and fault.kind == "transient"
+
+    def test_should_die(self):
+        plan = FaultPlan.parse("die@7", seed=0)
+        assert plan.should_die(7)
+        assert not plan.should_die(6)
+        # die never surfaces as an execution fault
+        assert plan.fault_for(7, 0) is None
+
+    def test_preview_marks_die(self):
+        plan = FaultPlan.parse("crash:0.0,hang@3,poison@5,die@7", seed=11)
+        preview = plan.preview(10)
+        assert preview[3] == "hang"
+        assert preview[5] == "transient"
+        assert preview[7] == "die"
+
+    def test_all_kinds_are_parseable(self):
+        for kind in FAULT_KINDS:
+            FaultPlan.parse(f"{kind}@1", seed=0)
