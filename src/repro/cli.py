@@ -13,6 +13,10 @@ Runs the pipeline stages a downstream user needs without writing code:
 - ``snowboard`` — INS-PAIR clustering + sampler comparison
 - ``filter-model`` — the §A.6 analytic rejection-filter calculator
 - ``report``    — render a telemetry trace (stage table + span timeline)
+- ``quality``   — model-quality regression gate: rebuild the golden
+  pipeline, measure predictor metrics, compare against the stored
+  baseline with tolerance bands (non-zero exit on regression; see
+  ``docs/TESTING.md``)
 
 Every command accepts ``--seed`` and prints deterministic results. The
 global ``--trace FILE`` flag records a JSON-lines telemetry trace of the
@@ -150,6 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
     filter_model.add_argument("--fruitful", type=float, default=0.011)
     filter_model.add_argument("--tpr", type=float, default=0.69)
     filter_model.add_argument("--fpr", type=float, default=0.008)
+
+    quality = commands.add_parser(
+        "quality",
+        help="model-quality regression gate against the golden baseline",
+    )
+    quality.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline JSON to gate against (default: the packaged baseline)",
+    )
+    quality.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="measure the golden pipeline and write a fresh baseline to "
+        "FILE instead of gating (use after an intentional quality change)",
+    )
 
     report = commands.add_parser(
         "report", help="render a recorded telemetry trace (--trace output)"
@@ -471,6 +493,49 @@ def _cmd_filter_model(args) -> int:
     return 0
 
 
+def _cmd_quality(args) -> int:
+    """The model-quality regression gate (exit 1 on regression).
+
+    The golden pipeline is fully pinned, so ``--seed`` intentionally has
+    no effect here: the command always measures the same artefacts the
+    baseline was recorded from.
+    """
+    from repro.errors import QualityGateError
+    from repro.oracle.quality import (
+        GOLDEN_CONFIG,
+        build_golden,
+        check_against_baseline,
+        load_baseline,
+        measure_quality,
+        write_baseline,
+    )
+
+    model, examples = build_golden(GOLDEN_CONFIG)
+    measured = measure_quality(model, examples, GOLDEN_CONFIG)
+    if args.write_baseline:
+        try:
+            write_baseline(args.write_baseline, measured, GOLDEN_CONFIG)
+        except OSError as error:
+            print(
+                f"error: cannot write baseline to {args.write_baseline}: "
+                f"{error}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"baseline written to {args.write_baseline}")
+        for name in sorted(measured):
+            print(f"  {name}: {measured[name]:.4f}")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+        report = check_against_baseline(measured, baseline, GOLDEN_CONFIG)
+    except QualityGateError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def _cmd_report(args) -> int:
     import json
 
@@ -506,6 +571,7 @@ _COMMANDS = {
     "razzer": _cmd_razzer,
     "snowboard": _cmd_snowboard,
     "filter-model": _cmd_filter_model,
+    "quality": _cmd_quality,
     "report": _cmd_report,
 }
 

@@ -52,6 +52,26 @@ class JournalError(ReproError):
     run being resumed (wrong seed, wrong CTI stream, missing checkpoint)."""
 
 
+class OracleError(ReproError):
+    """Raised when a ground-truth oracle cannot be constructed or applied."""
+
+
+class OracleLimitError(OracleError):
+    """Raised when exhaustive exploration exceeds its schedule/step budget.
+
+    Exceeding the budget means the derived sets would be *partial* ground
+    truth, which is worse than no ground truth — conformance checks against
+    them could pass vacuously or fail spuriously — so the explorer refuses
+    to return them.
+    """
+
+
+class QualityGateError(OracleError):
+    """Raised when a model-quality baseline is missing, malformed, or was
+    produced under different pinned-configuration settings than the run
+    being gated (comparing those numbers would be meaningless)."""
+
+
 class DatasetError(ReproError):
     """Raised when a graph dataset is malformed or empty."""
 

@@ -1,0 +1,97 @@
+"""Ground-truth oracles: the subsystem that checks the checker.
+
+Everything else in this repo is tested against itself — the batched
+scorer against the serial scorer, the pool runner against the serial
+runner.  This package provides *independent* references to test
+against:
+
+- :mod:`repro.oracle.explorer` — a bounded exhaustive interleaving
+  explorer for tiny two-thread CTs.  Enumerating every schedule (with
+  optional partial-order / sleep-set pruning) yields ground-truth
+  coverage sets, race universes, and bug-manifestation verdicts that
+  any single observed execution must be contained in.
+- :mod:`repro.oracle.differential` — a declarative conformance harness
+  (:class:`DifferentialRunner`) unifying the repo's scattered
+  "fast path == slow path" equivalence checks into structured,
+  telemetry-wired reports.
+- :mod:`repro.oracle.quality` — a model-quality regression gate:
+  golden pinned pipeline, measured metrics, stored baselines with
+  tolerance bands, surfaced as ``repro quality`` in the CLI.
+
+See ``docs/TESTING.md`` for how the oracle suite is run in CI.
+"""
+
+from repro.oracle.differential import (
+    CheckOutcome,
+    ConformanceReport,
+    DifferentialRunner,
+    Mismatch,
+    add_campaign_check,
+    add_runner_checks,
+    add_scoring_checks,
+    compare_array_sequences,
+    compare_campaigns,
+    compare_equal,
+)
+from repro.oracle.explorer import (
+    PRUNING_MODES,
+    ExhaustiveExplorer,
+    GroundTruth,
+    conflicting_pairs,
+    explore_interleavings,
+    reference_alias_pairs,
+    reference_potential_races,
+)
+from repro.oracle.quality import (
+    DEFAULT_TOLERANCES,
+    GOLDEN_CONFIG,
+    GOLDEN_KERNEL_CONFIG,
+    Baseline,
+    MetricCheck,
+    QualityConfig,
+    QualityReport,
+    build_golden,
+    check_against_baseline,
+    default_baseline_path,
+    load_baseline,
+    measure_quality,
+    run_quality_gate,
+    write_baseline,
+)
+
+__all__ = [
+    # explorer
+    "PRUNING_MODES",
+    "ExhaustiveExplorer",
+    "GroundTruth",
+    "explore_interleavings",
+    "conflicting_pairs",
+    "reference_potential_races",
+    "reference_alias_pairs",
+    # differential
+    "Mismatch",
+    "CheckOutcome",
+    "ConformanceReport",
+    "DifferentialRunner",
+    "compare_equal",
+    "compare_array_sequences",
+    "compare_campaigns",
+    "add_scoring_checks",
+    "add_runner_checks",
+    "add_campaign_check",
+    # quality
+    "QualityConfig",
+    "GOLDEN_CONFIG",
+    "GOLDEN_KERNEL_CONFIG",
+    "DEFAULT_TOLERANCES",
+    "Baseline",
+    "MetricCheck",
+    "QualityReport",
+    "build_golden",
+    "measure_quality",
+    "load_baseline",
+    "write_baseline",
+    "check_against_baseline",
+    "run_quality_gate",
+    "default_baseline_path",
+]

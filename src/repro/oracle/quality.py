@@ -1,0 +1,389 @@
+"""Model-quality regression gate: golden pins, measured metrics, baselines.
+
+Predictor refactors (new batching plans, encoder rewrites, optimiser
+tweaks) can silently shift prediction quality while every equivalence
+test still passes — those tests only pin *internal* consistency.  This
+module pins *external* quality: a fully deterministic golden pipeline
+(kernel → corpus → splits → trained PIC) is rebuilt from
+:data:`GOLDEN_CONFIG`, evaluated into a metric dict, and compared
+against a stored baseline with per-metric tolerance bands.
+
+The baseline JSON carries a digest of the golden pins; a gate run whose
+pins differ from the baseline's refuses to compare (the numbers would
+be apples-to-oranges) and raises :class:`~repro.errors.QualityGateError`
+instead of passing or failing spuriously.
+
+The pins intentionally equal the session fixtures in
+``tests/conftest.py`` (which imports them from here), so the test suite
+reuses its already-built kernel/model while the ``repro quality`` CLI
+rebuilds the identical artefacts from scratch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import QualityGateError
+from repro.kernel import KernelConfig, build_kernel
+from repro.ml.calibration import expected_calibration_error
+from repro.ml.evaluation import evaluate_predictor
+from repro.ml.metrics import average_precision
+from repro.resilience.atomic import atomic_write_text
+
+__all__ = [
+    "GOLDEN_KERNEL_CONFIG",
+    "GOLDEN_CONFIG",
+    "DEFAULT_TOLERANCES",
+    "QualityConfig",
+    "MetricCheck",
+    "QualityReport",
+    "Baseline",
+    "build_golden",
+    "measure_quality",
+    "load_baseline",
+    "write_baseline",
+    "check_against_baseline",
+    "run_quality_gate",
+    "default_baseline_path",
+]
+
+BASELINE_FORMAT_VERSION = 1
+
+#: The pinned small kernel every golden run (and the test suite) builds.
+GOLDEN_KERNEL_CONFIG = KernelConfig(
+    num_subsystems=3,
+    functions_per_subsystem=4,
+    syscalls_per_subsystem=4,
+    vars_per_subsystem=8,
+    segments_per_function=(2, 4),
+    num_atomicity_bugs=2,
+    num_order_bugs=2,
+    num_data_races=2,
+    version="v5.12",
+)
+
+#: Per-metric absolute tolerance bands.  The golden pipeline is seeded
+#: end to end, so same-platform reruns reproduce the metrics exactly;
+#: the bands absorb BLAS/platform float drift, not behaviour changes.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "f1": 0.02,
+    "precision": 0.02,
+    "recall": 0.02,
+    "accuracy": 0.02,
+    "balanced_accuracy": 0.02,
+    "average_precision": 0.02,
+    "ece": 0.02,
+}
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Every seed and hyperparameter the golden pipeline depends on."""
+
+    kernel_seed: int = 42
+    corpus_seed: int = 7
+    corpus_rounds: int = 150
+    num_ctis: int = 16
+    train_fraction: float = 0.5
+    validation_fraction: float = 0.2
+    train_interleavings: int = 4
+    evaluation_interleavings: int = 4
+    token_dim: int = 16
+    hidden_dim: int = 24
+    num_layers: int = 2
+    model_seed: int = 3
+    #: Part of the pins: the model name seeds the PIC's RNG stream
+    #: (``rngmod.split(seed, f"pic:{name}")``), so a different name is a
+    #: different model.
+    model_name: str = "PIC-tiny"
+    epochs: int = 2
+    learning_rate: float = 3e-3
+    urb_only: bool = True
+    calibration_bins: int = 10
+    kernel: KernelConfig = field(default_factory=lambda: GOLDEN_KERNEL_CONFIG)
+
+    def digest(self) -> str:
+        """Stable hash of every pin; stored in (and checked against) baselines."""
+        payload = asdict(self)
+        payload["kernel"] = asdict(self.kernel)
+        canonical = json.dumps(payload, sort_keys=True, default=list)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+GOLDEN_CONFIG = QualityConfig()
+
+
+def build_golden(config: QualityConfig = GOLDEN_CONFIG):
+    """Rebuild the golden pipeline from pins: ``(model, evaluation examples)``.
+
+    Deterministic by construction — every stage is explicitly seeded from
+    ``config`` — so two builds on one platform yield identical metrics.
+    """
+    from repro.graphs.dataset import GraphDatasetBuilder
+    from repro.ml.pic import PICConfig, PICModel
+    from repro.ml.training import TrainingConfig, train_pic
+
+    with obs.span("oracle.quality.build", digest=config.digest()):
+        kernel = build_kernel(config.kernel, seed=config.kernel_seed)
+        builder = GraphDatasetBuilder(kernel, seed=config.corpus_seed)
+        builder.grow_corpus(rounds=config.corpus_rounds)
+        splits = builder.build_splits(
+            num_ctis=config.num_ctis,
+            train_fraction=config.train_fraction,
+            validation_fraction=config.validation_fraction,
+            train_interleavings=config.train_interleavings,
+            evaluation_interleavings=config.evaluation_interleavings,
+        )
+        model = PICModel(
+            PICConfig(
+                vocab_size=len(builder.vocabulary),
+                pad_id=builder.vocabulary.pad_id,
+                token_dim=config.token_dim,
+                hidden_dim=config.hidden_dim,
+                num_layers=config.num_layers,
+                name=config.model_name,
+            ),
+            seed=config.model_seed,
+        )
+        train_pic(
+            model,
+            splits.train,
+            splits.validation,
+            TrainingConfig(
+                epochs=config.epochs,
+                learning_rate=config.learning_rate,
+                seed=config.model_seed,
+            ),
+        )
+    return model, splits.evaluation
+
+
+def _pooled_urb_scores(
+    model, examples: Sequence[object], urb_only: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pool (labels, probabilities) over evaluation graphs' scored nodes."""
+    labels: List[np.ndarray] = []
+    scores: List[np.ndarray] = []
+    for example in examples:
+        proba = np.asarray(model.predict_proba(example.graph), dtype=np.float64)
+        graph_labels = np.asarray(example.labels)
+        if urb_only:
+            mask = example.graph.urb_mask()
+            if not mask.any():
+                continue
+            proba = proba[mask]
+            graph_labels = graph_labels[mask]
+        labels.append(graph_labels)
+        scores.append(proba)
+    if not labels:
+        return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.float64)
+    return np.concatenate(labels).astype(bool), np.concatenate(scores)
+
+
+def measure_quality(
+    model,
+    examples: Sequence[object],
+    config: QualityConfig = GOLDEN_CONFIG,
+) -> Dict[str, float]:
+    """The gated metric dict: Table-1 means + ranking + calibration.
+
+    Per-graph classification means come from
+    :func:`~repro.ml.evaluation.evaluate_predictor`; ``average_precision``
+    is threshold-free (catches score-quality drift the thresholded
+    metrics can mask) and ``ece`` catches calibration drift.
+    """
+    with obs.span("oracle.quality.measure", graphs=len(examples)):
+        metrics = dict(
+            evaluate_predictor(model, examples, urb_only=config.urb_only)
+        )
+        pooled_labels, pooled_scores = _pooled_urb_scores(
+            model, examples, config.urb_only
+        )
+        metrics["average_precision"] = average_precision(
+            pooled_labels, pooled_scores
+        )
+        metrics["ece"] = expected_calibration_error(
+            model, examples, bins=config.calibration_bins
+        )
+    return {name: float(value) for name, value in metrics.items()}
+
+
+# -- baselines -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A stored golden-metric snapshot with its tolerance bands."""
+
+    metrics: Dict[str, float]
+    tolerances: Dict[str, float]
+    config_digest: str
+    version: int = BASELINE_FORMAT_VERSION
+
+
+def default_baseline_path() -> str:
+    """The baseline shipped as package data (``repro/oracle/data``)."""
+    return os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "data", "quality_baseline.json"
+    )
+
+
+def load_baseline(path: Optional[str] = None) -> Baseline:
+    path = path or default_baseline_path()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError as error:
+        raise QualityGateError(f"baseline not found: {path}") from error
+    except (OSError, json.JSONDecodeError) as error:
+        raise QualityGateError(f"unreadable baseline {path}: {error}") from error
+    try:
+        version = int(payload["version"])
+        if version != BASELINE_FORMAT_VERSION:
+            raise QualityGateError(
+                f"baseline {path} has format version {version}, "
+                f"expected {BASELINE_FORMAT_VERSION}"
+            )
+        return Baseline(
+            metrics={k: float(v) for k, v in payload["metrics"].items()},
+            tolerances={k: float(v) for k, v in payload["tolerances"].items()},
+            config_digest=str(payload["config_digest"]),
+            version=version,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise QualityGateError(f"malformed baseline {path}: {error}") from error
+
+
+def write_baseline(
+    path: str,
+    metrics: Dict[str, float],
+    config: QualityConfig = GOLDEN_CONFIG,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> Baseline:
+    """Atomically persist a refreshed baseline (see docs/TESTING.md)."""
+    baseline = Baseline(
+        metrics={k: float(v) for k, v in metrics.items()},
+        tolerances=dict(tolerances or DEFAULT_TOLERANCES),
+        config_digest=config.digest(),
+    )
+    payload = {
+        "version": baseline.version,
+        "config_digest": baseline.config_digest,
+        "metrics": baseline.metrics,
+        "tolerances": baseline.tolerances,
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return baseline
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One metric compared against its baseline band."""
+
+    name: str
+    measured: float
+    baseline: float
+    tolerance: float
+
+    @property
+    def deviation(self) -> float:
+        return abs(self.measured - self.baseline)
+
+    @property
+    def passed(self) -> bool:
+        return self.deviation <= self.tolerance
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """The gate's verdict: every metric check plus the pins it ran under."""
+
+    checks: Tuple[MetricCheck, ...]
+    config_digest: str
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def summary(self) -> str:
+        lines = [
+            f"quality gate [{self.config_digest}]: "
+            f"{'PASS' if self.passed else 'FAIL'}"
+        ]
+        for check in self.checks:
+            mark = "ok  " if check.passed else "FAIL"
+            lines.append(
+                f"  {mark} {check.name}: measured={check.measured:.4f} "
+                f"baseline={check.baseline:.4f} "
+                f"(deviation {check.deviation:.4f}, tolerance {check.tolerance:.3f})"
+            )
+        return "\n".join(lines)
+
+
+def check_against_baseline(
+    measured: Dict[str, float],
+    baseline: Baseline,
+    config: QualityConfig = GOLDEN_CONFIG,
+) -> QualityReport:
+    """Compare measured metrics with a baseline; pins must match.
+
+    Every baseline metric must be present in ``measured`` — a metric
+    silently dropped by a refactor fails loudly rather than shrinking
+    the gate's surface.
+    """
+    digest = config.digest()
+    if baseline.config_digest != digest:
+        raise QualityGateError(
+            "baseline was recorded under different golden pins "
+            f"(baseline digest {baseline.config_digest}, current {digest}); "
+            "refresh it with `repro quality --write-baseline`"
+        )
+    checks: List[MetricCheck] = []
+    for name, pinned in sorted(baseline.metrics.items()):
+        if name not in measured:
+            raise QualityGateError(
+                f"measured metrics are missing baseline metric {name!r}"
+            )
+        checks.append(
+            MetricCheck(
+                name=name,
+                measured=float(measured[name]),
+                baseline=float(pinned),
+                tolerance=float(
+                    baseline.tolerances.get(name, DEFAULT_TOLERANCES.get(name, 0.0))
+                ),
+            )
+        )
+    report = QualityReport(checks=tuple(checks), config_digest=digest)
+    obs.point(
+        "oracle.quality.gate",
+        passed=report.passed,
+        failed=[c.name for c in report.checks if not c.passed],
+    )
+    return report
+
+
+def run_quality_gate(
+    baseline_path: Optional[str] = None,
+    config: QualityConfig = GOLDEN_CONFIG,
+    model=None,
+    examples: Optional[Sequence[object]] = None,
+) -> QualityReport:
+    """End-to-end gate: (re)build golden artefacts, measure, compare.
+
+    Pass ``model``/``examples`` to reuse already-built golden artefacts
+    (the test suite's session fixtures); they must have been built from
+    the same ``config`` pins or the comparison is meaningless.
+    """
+    baseline = load_baseline(baseline_path)
+    if model is None or examples is None:
+        model, examples = build_golden(config)
+    measured = measure_quality(model, examples, config)
+    return check_against_baseline(measured, baseline, config)

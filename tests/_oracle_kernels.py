@@ -1,0 +1,148 @@
+"""Tiny hand-rolled two-thread kernels for the oracle test suite.
+
+The exhaustive explorer only tractably enumerates *small* schedule
+spaces, so these builders produce kernels far below the synthetic
+builder's floor: two single-block syscalls, a couple of shared
+variables, optionally a lock and a data-dependent CHECK bug.  Shared by
+``test_oracle_explorer.py`` and ``test_oracle_conformance.py`` (the
+same pattern as ``tests/_journal_driver.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernel.code import BasicBlock, Function, Kernel
+from repro.kernel.isa import Instruction, Opcode, Operand
+from repro.kernel.memory import MemoryImage
+from repro.kernel.syscalls import SyscallSpec
+
+#: The two-program shape every helper returns alongside its kernel.
+Programs = Tuple[List[Tuple[str, List[int]]], List[Tuple[str, List[int]]]]
+
+
+def instr(opcode: Opcode, *operands: Operand) -> Instruction:
+    return Instruction(opcode=opcode, operands=tuple(operands))
+
+
+def two_thread_kernel(
+    body_a: Sequence[Instruction],
+    body_b: Sequence[Instruction],
+    memory: Optional[MemoryImage] = None,
+    locks: Sequence[str] = (),
+) -> Tuple[Kernel, Programs]:
+    """One kernel with two single-block syscalls ``sa``/``sb``."""
+    blocks = {
+        0: BasicBlock(block_id=0, function="fa", instructions=list(body_a)),
+        1: BasicBlock(block_id=1, function="fb", instructions=list(body_b)),
+    }
+    functions = {
+        "fa": Function(name="fa", subsystem="s", entry_block=0, block_ids=[0]),
+        "fb": Function(name="fb", subsystem="s", entry_block=1, block_ids=[1]),
+    }
+    syscalls = {
+        "sa": SyscallSpec(
+            name="sa", handler="fa", subsystem="s", arg_ranges=((0, 7),)
+        ),
+        "sb": SyscallSpec(
+            name="sb", handler="fb", subsystem="s", arg_ranges=((0, 7),)
+        ),
+    }
+    kernel = Kernel(
+        version="tiny",
+        blocks=blocks,
+        functions=functions,
+        syscalls=syscalls,
+        memory=memory or MemoryImage(),
+        locks=list(locks),
+        bugs=[],
+    )
+    return kernel, ([("sa", [1])], [("sb", [1])])
+
+
+def straightline_nops(nops_a: int, nops_b: int) -> Tuple[Kernel, Programs]:
+    """Two straight-line threads of ``n`` NOPs each (plus RET).
+
+    The unpruned schedule space of such a pair has a closed form (see
+    ``test_oracle_explorer.py``), which pins the explorer's enumeration
+    against combinatorics instead of against itself.
+    """
+    body_a = [instr(Opcode.NOP)] * nops_a + [instr(Opcode.RET)]
+    body_b = [instr(Opcode.NOP)] * nops_b + [instr(Opcode.RET)]
+    return two_thread_kernel(body_a, body_b)
+
+
+def _thread_body(
+    rng: np.random.Generator,
+    addresses: Sequence[int],
+    lock: Optional[str],
+    max_visible: int,
+) -> List[Instruction]:
+    """One random straight-line thread: loads, stores, maybe a lock
+    around the middle, maybe a data-dependent CHECK after a load."""
+    body: List[Instruction] = []
+    visible_budget = int(rng.integers(1, max_visible + 1))
+    if lock is not None:
+        visible_budget = max(1, visible_budget - 2)  # LOCK/UNLOCK are visible
+        body.append(instr(Opcode.LOCK, Operand.make_lock(lock)))
+    loaded_register: Optional[int] = None
+    for _ in range(visible_budget):
+        address = int(addresses[int(rng.integers(0, len(addresses)))])
+        roll = rng.random()
+        if roll < 0.45:
+            body.append(
+                instr(
+                    Opcode.STOREI,
+                    Operand.make_addr(address),
+                    Operand.make_imm(int(rng.integers(1, 4))),
+                )
+            )
+        else:
+            register = int(rng.integers(2, 6))
+            body.append(
+                instr(Opcode.LOAD, Operand.make_reg(register), Operand.make_addr(address))
+            )
+            loaded_register = register
+        if rng.random() < 0.3:  # sprinkle invisible thread-local work
+            body.append(
+                instr(
+                    Opcode.MOVI,
+                    Operand.make_reg(7),
+                    Operand.make_imm(int(rng.integers(0, 8))),
+                )
+            )
+    if loaded_register is not None and rng.random() < 0.6:
+        # Bug event iff the loaded value equals the other thread's store:
+        # manifestation is genuinely schedule-dependent.
+        body.append(
+            instr(
+                Opcode.CHECK,
+                Operand.make_reg(loaded_register),
+                Operand.make_imm(int(rng.integers(1, 4))),
+            )
+        )
+    if lock is not None:
+        body.append(instr(Opcode.UNLOCK, Operand.make_lock(lock)))
+    body.append(instr(Opcode.RET))
+    return body
+
+
+def random_tiny_kernel(seed: int) -> Tuple[Kernel, Programs]:
+    """A random two-thread kernel small enough to enumerate exhaustively.
+
+    Visible operations are capped at ~5 per thread, so sleep-set
+    exploration stays in the hundreds of schedules.
+    """
+    rng = np.random.default_rng(seed)
+    image = MemoryImage()
+    addresses = [
+        image.allocate(f"g{i}", 0) for i in range(int(rng.integers(1, 3)))
+    ]
+    locks = ["la"]
+    lock_a = "la" if rng.random() < 0.35 else None
+    lock_b = "la" if rng.random() < 0.35 else None
+    body_a = _thread_body(rng, addresses, lock_a, max_visible=3)
+    body_b = _thread_body(rng, addresses, lock_b, max_visible=3)
+    return two_thread_kernel(body_a, body_b, memory=image, locks=locks)

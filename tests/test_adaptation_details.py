@@ -1,32 +1,21 @@
-"""Detail tests for cross-version adaptation plumbing."""
+"""Detail tests for cross-version adaptation plumbing.
+
+Uses the session-scoped ``trained_snowcat`` deployment as the base
+model (adaptation never mutates its base — asserted below) and shares
+one adapted deployment across the read-only assertions.
+"""
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
 
-from repro.core import Snowcat, SnowcatConfig
-from repro.core.mlpct import ExplorationConfig
 from repro.kernel import EvolutionConfig, evolve_kernel
-
-TINY = SnowcatConfig(
-    seed=3,
-    corpus_rounds=60,
-    dataset_ctis=5,
-    train_interleavings=3,
-    evaluation_interleavings=3,
-    pretrain_epochs=1,
-    token_dim=8,
-    hidden_dim=16,
-    num_layers=2,
-    epochs=1,
-    exploration=ExplorationConfig(execution_budget=3, inference_cap=12, proposal_pool=12),
-)
 
 
 @pytest.fixture(scope="module")
-def base(kernel):
-    snowcat = Snowcat(kernel, TINY)
-    snowcat.train("PIC-base")
-    return snowcat
+def base(trained_snowcat):
+    return trained_snowcat
 
 
 @pytest.fixture(scope="module")
@@ -34,13 +23,16 @@ def new_kernel(kernel):
     return evolve_kernel(kernel, EvolutionConfig(version="v-next"), seed=9)
 
 
+@pytest.fixture(scope="module")
+def adapted(base, new_kernel):
+    return base.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+
+
 class TestAdaptTo:
-    def test_vocabulary_shared(self, base, new_kernel):
-        adapted = base.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+    def test_vocabulary_shared(self, base, adapted):
         assert adapted.graphs.vocabulary is base.graphs.vocabulary
 
-    def test_model_weights_start_from_base(self, base, new_kernel):
-        adapted = base.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+    def test_model_weights_start_from_base(self, base, adapted):
         # Same architecture, same vocabulary size.
         assert (
             adapted.model.config.vocab_size == base.model.config.vocab_size
@@ -53,9 +45,14 @@ class TestAdaptTo:
             base.config.dataset_ctis <= 8
         )
 
-    def test_adapted_explorers_run_on_new_kernel(self, base, new_kernel):
-        adapted = base.adapt_to(new_kernel, dataset_ctis=3, epochs=1)
+    def test_adapted_explorers_run_on_new_kernel(self, adapted):
         explorer = adapted.mlpct_explorer("S1")
+        explorer.config = replace(
+            explorer.config,
+            execution_budget=3,
+            inference_cap=12,
+            proposal_pool=12,
+        )
         assert explorer.kernel.version == "v-next"
         cti = adapted.cti_stream(1)[0]
         stats = explorer.explore_cti(*cti)

@@ -11,6 +11,8 @@ from repro.kernel.isa import Instruction, Opcode, Operand
 from repro.kernel.memory import MemoryImage
 from repro.kernel.syscalls import SyscallSpec
 
+pytestmark = pytest.mark.slow  # CI recovery suite: run via `-m slow`
+
 
 def _instr(opcode, *operands):
     return Instruction(opcode=opcode, operands=tuple(operands))

@@ -1,0 +1,124 @@
+"""Exhaustive-vs-observed conformance: the acceptance-criteria suite.
+
+On ≥ 25 randomly generated tiny kernels, every PCT-sampled and
+hint-driven execution must be *contained* in the exhaustive explorer's
+ground truth — coverage sets, race pairs, alias pairs, bug
+manifestations, deadlock verdicts.  The same access streams also
+differentially test the NumPy-vectorised race/alias detectors against
+their naive O(n²) references.
+
+Marked ``oracle``: CI runs this suite standalone via ``-m oracle``
+(it also runs in the default tier-1 invocation — it is fast enough).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import rng as rngmod
+from repro.errors import OracleLimitError
+from repro.execution.alias import alias_coverage
+from repro.execution.concurrent import ScheduleHint, run_concurrent
+from repro.execution.pct import PctScheduler, run_concurrent_pct
+from repro.execution.races import find_potential_races
+from repro.oracle import (
+    explore_interleavings,
+    reference_alias_pairs,
+    reference_potential_races,
+)
+
+from tests._oracle_kernels import random_tiny_kernel
+
+pytestmark = pytest.mark.oracle
+
+NUM_KERNELS = 25
+PCT_RUNS_PER_KERNEL = 6
+HINT_RUNS_PER_KERNEL = 4
+
+
+def _tiny_kernel_with_truth(index: int):
+    """Kernel #index and its ground truth; resample the rare generator
+    draw whose schedule space exceeds the exploration budget."""
+    for attempt in range(10):
+        kernel, programs = random_tiny_kernel(1000 * index + attempt)
+        try:
+            truth = explore_interleavings(kernel, programs, pruning="sleep")
+        except OracleLimitError:
+            continue
+        return kernel, programs, truth
+    raise AssertionError(f"no explorable kernel found for index {index}")
+
+
+@pytest.fixture(scope="module", params=range(NUM_KERNELS), ids=lambda i: f"kernel{i}")
+def observed(request):
+    """(ground truth, observed executions) for one random tiny kernel."""
+    kernel, programs, truth = _tiny_kernel_with_truth(request.param)
+    results = []
+    rng = rngmod.make_rng(request.param)
+    for _ in range(PCT_RUNS_PER_KERNEL):
+        schedule = PctScheduler.sample(rng, 2, 10)
+        results.append(run_concurrent_pct(kernel, programs, schedule))
+    for run in range(HINT_RUNS_PER_KERNEL):
+        results.append(
+            run_concurrent(
+                kernel,
+                programs,
+                hints=[ScheduleHint(0, run), ScheduleHint(1, 7 - run)],
+            )
+        )
+    return truth, results
+
+
+class TestContainment:
+    def test_every_observed_execution_is_subsumed(self, observed):
+        truth, results = observed
+        for index, result in enumerate(results):
+            violations = truth.check_result(result)
+            assert not violations, f"execution {index}: {violations}"
+
+    def test_ground_truth_is_not_vacuous(self, observed):
+        """The union of observed coverage must be non-empty and inside
+        the ground-truth union (sanity that check_result checks things)."""
+        truth, results = observed
+        seen = set()
+        for result in results:
+            seen.update(*result.covered_blocks)
+        assert seen
+        assert seen <= set(truth.covered_blocks)
+
+
+class TestDetectorDifferentials:
+    """Vectorised detectors vs naive references, on real access streams."""
+
+    def test_race_detector_matches_reference(self, observed):
+        _, results = observed
+        for result in results:
+            assert find_potential_races(result.accesses) == (
+                reference_potential_races(result.accesses)
+            )
+
+    def test_race_detector_matches_reference_tight_window(self, observed):
+        _, results = observed
+        for result in results:
+            for window in (0, 1, 3):
+                assert find_potential_races(
+                    result.accesses, proximity_window=window
+                ) == reference_potential_races(
+                    result.accesses, proximity_window=window
+                )
+                assert find_potential_races(
+                    result.accesses,
+                    proximity_window=window,
+                    adjacent_epochs=False,
+                ) == reference_potential_races(
+                    result.accesses,
+                    proximity_window=window,
+                    adjacent_epochs=False,
+                )
+
+    def test_alias_coverage_matches_reference(self, observed):
+        _, results = observed
+        for result in results:
+            assert alias_coverage(result.accesses) == reference_alias_pairs(
+                result.accesses
+            )

@@ -1,0 +1,125 @@
+"""Property tests for the exhaustive interleaving explorer itself.
+
+The explorer is the suite's ground-truth oracle, so it gets the
+strongest checks we can state *without* trusting any other component:
+closed-form schedule counts on straight-line shapes, pruning soundness
+(every pruning mode derives the same ground truth), and determinism.
+"""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OracleError, OracleLimitError
+from repro.oracle import (
+    PRUNING_MODES,
+    ExhaustiveExplorer,
+    explore_interleavings,
+)
+
+from tests._oracle_kernels import random_tiny_kernel, straightline_nops
+
+RELAXED = settings(deadline=None, max_examples=20)
+
+
+class TestScheduleCounts:
+    @settings(deadline=None, max_examples=15)
+    @given(nops_a=st.integers(0, 3), nops_b=st.integers(0, 3))
+    def test_unpruned_count_is_binomial(self, nops_a, nops_b):
+        """Straight-line threads have a closed-form schedule count.
+
+        A thread of ``n`` NOPs takes ``n + 2`` machine steps (syscall
+        dispatch, the NOPs, RET), and interleavings of two independent
+        straight-line step sequences of lengths ``x`` and ``y`` number
+        exactly ``C(x + y, x)``.
+        """
+        kernel, programs = straightline_nops(nops_a, nops_b)
+        truth = explore_interleavings(kernel, programs, pruning="none")
+        steps_a, steps_b = nops_a + 2, nops_b + 2
+        assert truth.num_schedules == comb(steps_a + steps_b, steps_a)
+
+    @settings(deadline=None, max_examples=10)
+    @given(nops=st.integers(0, 3))
+    def test_nop_threads_fully_commute(self, nops):
+        """NOP-only threads have exactly one behaviour, so pruning
+        collapses the whole space to a single schedule."""
+        kernel, programs = straightline_nops(nops, nops)
+        truth = explore_interleavings(kernel, programs, pruning="sleep")
+        assert truth.num_schedules == 1
+        assert not truth.race_universe
+        assert not truth.bug_iids
+
+
+class TestPruningSoundness:
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_all_modes_agree_on_ground_truth(self, seed):
+        """Sleep sets and POR prune *schedules*, never *behaviours*."""
+        kernel, programs = random_tiny_kernel(seed)
+        truths = {
+            mode: explore_interleavings(kernel, programs, pruning=mode)
+            for mode in PRUNING_MODES
+        }
+        unpruned = truths["none"]
+        for mode in ("por", "sleep"):
+            assert truths[mode].behavior_key() == unpruned.behavior_key(), mode
+        assert (
+            truths["sleep"].num_schedules
+            <= truths["por"].num_schedules
+            <= unpruned.num_schedules
+        )
+
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_pruned_truth_subsumes_executions(self, seed):
+        """A pruned ground truth must subsume the same executions the
+        unpruned one does — here, a handful of hint-driven runs."""
+        from repro.execution.concurrent import ScheduleHint, run_concurrent
+
+        kernel, programs = random_tiny_kernel(seed)
+        sleep = explore_interleavings(kernel, programs, pruning="sleep")
+        none = explore_interleavings(kernel, programs, pruning="none")
+        for priority_a, priority_b in ((0, 4), (4, 0), (2, 2)):
+            result = run_concurrent(
+                kernel,
+                programs,
+                hints=[ScheduleHint(0, priority_a), ScheduleHint(1, priority_b)],
+            )
+            assert sleep.check_result(result) == none.check_result(result) == []
+
+
+class TestDeterminism:
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 10_000), shuffle=st.integers(0, 5))
+    def test_exploration_order_is_irrelevant(self, seed, shuffle):
+        """Shuffling the DFS branch order must not change anything
+        observable: same schedule count, same ground truth."""
+        kernel, programs = random_tiny_kernel(seed)
+        default = explore_interleavings(kernel, programs, pruning="sleep")
+        shuffled = explore_interleavings(
+            kernel, programs, pruning="sleep", shuffle_seed=shuffle
+        )
+        assert shuffled.num_schedules == default.num_schedules
+        assert shuffled.behavior_key() == default.behavior_key()
+
+    def test_repeated_runs_identical(self):
+        kernel, programs = random_tiny_kernel(1234)
+        first = explore_interleavings(kernel, programs)
+        second = explore_interleavings(kernel, programs)
+        assert first == second
+
+
+class TestBudgets:
+    def test_schedule_budget_refuses_partial_truth(self):
+        kernel, programs = straightline_nops(3, 3)
+        with pytest.raises(OracleLimitError):
+            explore_interleavings(
+                kernel, programs, pruning="none", max_schedules=10
+            )
+
+    def test_unknown_pruning_mode_rejected(self):
+        kernel, programs = straightline_nops(1, 1)
+        with pytest.raises(OracleError):
+            ExhaustiveExplorer(kernel, programs, pruning="bogus")

@@ -1,0 +1,143 @@
+"""Tests for the model-quality regression gate and its CLI command.
+
+The session fixtures (``tiny_model``/``small_splits``) are built from
+the same :data:`GOLDEN_CONFIG` pins the gate rebuilds from, so the gate
+can be exercised here without re-training anything.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import QualityGateError
+from repro.oracle.quality import (
+    DEFAULT_TOLERANCES,
+    GOLDEN_CONFIG,
+    QualityConfig,
+    check_against_baseline,
+    default_baseline_path,
+    load_baseline,
+    measure_quality,
+    run_quality_gate,
+    write_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def golden_metrics(tiny_model, small_splits):
+    return measure_quality(tiny_model, small_splits.evaluation)
+
+
+class TestMeasurement:
+    def test_metric_surface_complete(self, golden_metrics):
+        assert set(golden_metrics) == set(DEFAULT_TOLERANCES)
+        for name, value in golden_metrics.items():
+            assert 0.0 <= value <= 1.0, name
+
+    def test_measurement_deterministic(self, tiny_model, small_splits, golden_metrics):
+        again = measure_quality(tiny_model, small_splits.evaluation)
+        assert again == golden_metrics
+
+
+class TestBaselineIO:
+    def test_round_trip(self, tmp_path, golden_metrics):
+        path = str(tmp_path / "baseline.json")
+        written = write_baseline(path, golden_metrics)
+        loaded = load_baseline(path)
+        assert loaded == written
+        assert loaded.config_digest == GOLDEN_CONFIG.digest()
+
+    def test_missing_baseline(self, tmp_path):
+        with pytest.raises(QualityGateError, match="not found"):
+            load_baseline(str(tmp_path / "nope.json"))
+
+    def test_malformed_baseline(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"version\": 1}")
+        with pytest.raises(QualityGateError, match="malformed"):
+            load_baseline(str(path))
+        path.write_text("not json")
+        with pytest.raises(QualityGateError, match="unreadable"):
+            load_baseline(str(path))
+
+    def test_packaged_baseline_matches_session_fixtures(self, golden_metrics):
+        """The committed baseline IS this suite's fixtures: the gate must
+        pass without rebuilding anything."""
+        report = check_against_baseline(golden_metrics, load_baseline())
+        assert report.passed, report.summary()
+
+
+class TestGate:
+    def test_perturbed_baseline_fails(self, tmp_path, golden_metrics):
+        path = str(tmp_path / "perturbed.json")
+        perturbed = dict(golden_metrics)
+        perturbed["f1"] += 10 * DEFAULT_TOLERANCES["f1"]
+        write_baseline(path, perturbed)
+        report = check_against_baseline(golden_metrics, load_baseline(path))
+        assert not report.passed
+        failed = [check.name for check in report.checks if not check.passed]
+        assert failed == ["f1"]
+        assert "FAIL f1" in report.summary()
+
+    def test_within_tolerance_passes(self, tmp_path, golden_metrics):
+        path = str(tmp_path / "nudged.json")
+        nudged = dict(golden_metrics)
+        nudged["recall"] += DEFAULT_TOLERANCES["recall"] / 2
+        write_baseline(path, nudged)
+        assert check_against_baseline(golden_metrics, load_baseline(path)).passed
+
+    def test_pin_mismatch_refuses_comparison(self, tmp_path, golden_metrics):
+        path = str(tmp_path / "other-pins.json")
+        other = dataclasses.replace(GOLDEN_CONFIG, corpus_rounds=151)
+        write_baseline(path, golden_metrics, config=other)
+        with pytest.raises(QualityGateError, match="different golden pins"):
+            check_against_baseline(golden_metrics, load_baseline(path))
+
+    def test_missing_metric_refuses_comparison(self, golden_metrics):
+        partial = {k: v for k, v in golden_metrics.items() if k != "ece"}
+        with pytest.raises(QualityGateError, match="missing baseline metric"):
+            check_against_baseline(partial, load_baseline())
+
+    def test_gate_reuses_prebuilt_artefacts(self, tiny_model, small_splits):
+        report = run_quality_gate(
+            model=tiny_model, examples=small_splits.evaluation
+        )
+        assert report.passed
+
+    def test_golden_pins_are_frozen_dataclass(self):
+        assert isinstance(GOLDEN_CONFIG, QualityConfig)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GOLDEN_CONFIG.epochs = 99  # type: ignore[misc]
+        assert GOLDEN_CONFIG.digest() == QualityConfig().digest()
+
+
+class TestCli:
+    def test_quality_command_passes_then_fails_on_perturbation(
+        self, tmp_path, capsys, golden_metrics
+    ):
+        """One golden rebuild exercises both CLI exits: 0 against the
+        packaged baseline, 1 against a perturbed copy."""
+        assert main(["quality"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        payload = json.loads(
+            open(default_baseline_path(), encoding="utf-8").read()
+        )
+        payload["metrics"]["accuracy"] -= 0.5
+        perturbed = tmp_path / "perturbed.json"
+        perturbed.write_text(json.dumps(payload))
+        assert main(["quality", "--baseline", str(perturbed)]) == 1
+        assert "FAIL accuracy" in capsys.readouterr().out
+
+    def test_quality_write_baseline_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "fresh.json"
+        assert main(["quality", "--write-baseline", str(out)]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        assert main(["quality", "--baseline", str(out)]) == 0
+
+    def test_quality_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "gone.json"
+        assert main(["quality", "--baseline", str(missing)]) == 2
+        assert "not found" in capsys.readouterr().err

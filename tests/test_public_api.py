@@ -66,6 +66,16 @@ PUBLIC_SYMBOLS = {
         "OverlapPrioritizedGenerator",
     ],
     "repro.integrations": ["RazzerHarness", "RazzerVariant", "SnowboardHarness"],
+    "repro.oracle": [
+        "ExhaustiveExplorer",
+        "GroundTruth",
+        "explore_interleavings",
+        "DifferentialRunner",
+        "ConformanceReport",
+        "QualityConfig",
+        "run_quality_gate",
+        "measure_quality",
+    ],
     "repro.reporting": [
         "format_table",
         "format_series",

@@ -10,6 +10,8 @@ import pytest
 from repro.errors import CheckpointError
 from repro.ml.pic import CHECKPOINT_SCHEMA, PICModel
 
+pytestmark = pytest.mark.slow  # CI recovery suite: run via `-m slow`
+
 
 class TestModelCheckpoint:
     def test_round_trip_is_exact(self, tiny_model, small_splits, tmp_path):

@@ -5,6 +5,8 @@ import pytest
 from repro.errors import FaultSpecError
 from repro.resilience.faults import FAULT_KINDS, FaultPlan, InjectedFault
 
+pytestmark = pytest.mark.slow  # CI recovery suite: run via `-m slow`
+
 
 class TestParsing:
     def test_rate_entries(self):

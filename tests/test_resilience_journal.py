@@ -36,6 +36,8 @@ from repro.resilience.supervisor import DIE_EXIT_STATUS
 
 from tests._journal_driver import KERNEL_CONFIG, NUM_CTIS, build_campaign
 
+pytestmark = pytest.mark.slow  # CI recovery suite: run via `-m slow`
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DRIVER = os.path.join(REPO_ROOT, "tests", "_journal_driver.py")
 

@@ -14,6 +14,8 @@ from repro.resilience.faults import FaultPlan
 from repro.resilience.journal import result_digest
 from repro.resilience.supervisor import SupervisedRunner, SupervisionPolicy
 
+pytestmark = pytest.mark.slow  # CI recovery suite: run via `-m slow`
+
 
 def _tasks(corpus, count, seed=0):
     entries = corpus.entries

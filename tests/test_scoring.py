@@ -32,6 +32,7 @@ from repro.execution.pct import propose_hint_pairs
 from repro.ml.baselines import AllPositive, FairCoin
 from repro.ml.pic import stable_sigmoid
 from repro.obs import MemorySink, MetricsRegistry
+from repro.oracle import DifferentialRunner, add_campaign_check
 
 
 @pytest.fixture(scope="module")
@@ -219,13 +220,12 @@ def _mlpct_campaign(
 
 
 def _assert_campaigns_identical(left, right):
-    assert left.history == right.history
-    assert left.bug_history == right.bug_history
-    assert left.manifested_bugs == right.manifested_bugs
-    assert left.ledger.executions == right.ledger.executions
-    assert left.ledger.inferences == right.ledger.inferences
-    assert left.ledger.total_hours == right.ledger.total_hours
-    assert left.per_cti == right.per_cti
+    """Campaign equivalence via the differential conformance harness
+    (see :mod:`repro.oracle.differential`): structured mismatch reports
+    instead of a bare assert on the first differing field."""
+    runner = DifferentialRunner("campaign-equivalence")
+    add_campaign_check(runner, "campaign", lambda: left, lambda: right)
+    runner.run().raise_if_failed()
 
 
 class TestCampaignEquivalence:

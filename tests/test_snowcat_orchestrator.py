@@ -9,22 +9,9 @@ from repro.kernel import EvolutionConfig, evolve_kernel
 
 
 @pytest.fixture(scope="module")
-def snowcat(kernel):
-    config = SnowcatConfig(
-        seed=5,
-        corpus_rounds=80,
-        dataset_ctis=8,
-        train_interleavings=3,
-        evaluation_interleavings=3,
-        pretrain_epochs=1,
-        token_dim=8,
-        hidden_dim=16,
-        num_layers=2,
-        epochs=2,
-    )
-    instance = Snowcat(kernel, config)
-    instance.train()
-    return instance
+def snowcat(trained_snowcat):
+    """The session-scoped trained deployment (read-only here)."""
+    return trained_snowcat
 
 
 class TestPipeline:
