@@ -17,6 +17,11 @@ Runs the pipeline stages a downstream user needs without writing code:
   pipeline, measure predictor metrics, compare against the stored
   baseline with tolerance bands (non-zero exit on regression; see
   ``docs/TESTING.md``)
+- ``serve``     — shared PIC prediction service on a Unix socket
+  (``start``/``stop``/``status``); campaigns attach to it with
+  ``campaign --serve-socket PATH``, or use ``campaign --serve`` for an
+  in-process service (shared cache + micro-batching; see
+  ``docs/SERVING.md``)
 
 Every command accepts ``--seed`` and prints deterministic results. The
 global ``--trace FILE`` flag records a JSON-lines telemetry trace of the
@@ -137,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="retries before a failing CT is quarantined (implies --supervise)",
     )
+    campaign.add_argument(
+        "--serve",
+        action="store_true",
+        help="route candidate scoring through an in-process prediction "
+        "service (content-addressed cache + micro-batching; results are "
+        "identical to direct scoring)",
+    )
+    campaign.add_argument(
+        "--serve-socket",
+        metavar="PATH",
+        default=None,
+        help="route candidate scoring through a running 'repro serve' "
+        "server on this Unix socket (no local model is trained)",
+    )
 
     razzer = commands.add_parser("razzer", help="directed race reproduction")
     razzer.add_argument("--schedules", type=int, default=400)
@@ -172,6 +191,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure the golden pipeline and write a fresh baseline to "
         "FILE instead of gating (use after an intentional quality change)",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="shared PIC prediction service over a Unix socket "
+        "(see docs/SERVING.md)",
+    )
+    serve_actions = serve.add_subparsers(dest="action", required=True)
+    serve_start = serve_actions.add_parser(
+        "start", help="host a PIC model on a Unix socket (foreground)"
+    )
+    serve_start.add_argument(
+        "--socket", required=True, metavar="PATH", help="Unix socket path"
+    )
+    serve_start.add_argument(
+        "--model",
+        metavar="CKPT",
+        default=None,
+        help="PIC checkpoint (.npz) to serve; trains a fresh model when "
+        "neither --model nor --registry is given",
+    )
+    serve_start.add_argument(
+        "--registry",
+        metavar="DIR",
+        default=None,
+        help="serve a model registry's active version instead of --model",
+    )
+    serve_start.add_argument(
+        "--model-version",
+        default=None,
+        help="version label for --model, or the registry version to serve",
+    )
+    serve_start.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="largest coalesced inference batch",
+    )
+    serve_start.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window after the first queued request",
+    )
+    serve_start.add_argument(
+        "--cache-mb",
+        type=int,
+        default=64,
+        help="prediction-cache budget in MiB",
+    )
+    serve_stop = serve_actions.add_parser(
+        "stop", help="shut down the server on a socket"
+    )
+    serve_stop.add_argument("--socket", required=True, metavar="PATH")
+    serve_status = serve_actions.add_parser(
+        "status", help="print a running server's model identity and stats"
+    )
+    serve_status.add_argument("--socket", required=True, metavar="PATH")
 
     report = commands.add_parser(
         "report", help="render a recorded telemetry trace (--trace output)"
@@ -313,6 +389,61 @@ def _campaign_snowcat(args, exploration: ExplorationConfig):
     return snowcat, False
 
 
+def _campaign_backend(args, exploration: ExplorationConfig):
+    """Resolve the serving seam for ``campaign``.
+
+    Returns ``(snowcat, degraded, backend)``. With ``--serve-socket`` no
+    local model is trained — the corpus is still grown locally (graphs
+    are built client-side) and predictions come from the remote server,
+    whose vocabulary must cover this kernel's. With ``--serve`` the
+    locally trained model is wrapped in an in-process service.
+    """
+    if args.serve_socket:
+        from repro.errors import ServeError
+        from repro.serve import SocketBackend
+
+        kernel = build_kernel(KernelConfig(), seed=args.seed)
+        snowcat = Snowcat(
+            kernel,
+            SnowcatConfig(
+                seed=args.seed, corpus_rounds=200, exploration=exploration
+            ),
+        )
+        snowcat.prepare_corpus()
+        backend = SocketBackend(args.serve_socket)
+        try:
+            status = backend.status()
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return None, False, None
+        vocab = len(snowcat.graphs.vocabulary)
+        if int(status.get("vocab_size", 0)) < vocab:
+            print(
+                f"error: served model vocabulary "
+                f"({status.get('vocab_size')} tokens) is smaller than this "
+                f"kernel's ({vocab} tokens); serve a compatible checkpoint",
+                file=sys.stderr,
+            )
+            backend.close()
+            return None, False, None
+        print(
+            f"scoring via {args.serve_socket} "
+            f"(model {status.get('model_name')} {status.get('version')})"
+        )
+        return snowcat, False, backend
+    snowcat, degraded = _campaign_snowcat(args, exploration)
+    backend = None
+    if args.serve and not degraded:
+        from repro.serve import BatcherConfig, InProcessServer
+
+        backend = InProcessServer(
+            snowcat.require_model(),
+            version="local",
+            batcher_config=BatcherConfig(max_batch=args.batch_size),
+        )
+    return snowcat, degraded, backend
+
+
 def _cmd_campaign(args) -> int:
     from repro.errors import CheckpointError, FaultSpecError, JournalError
 
@@ -354,6 +485,12 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.serve and args.serve_socket:
+        print(
+            "error: --serve and --serve-socket are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     journal_path = args.journal or args.resume
     if args.resume and not os.path.exists(args.resume):
         print(
@@ -362,7 +499,9 @@ def _cmd_campaign(args) -> int:
         )
         return 2
 
-    snowcat, degraded = _campaign_snowcat(args, exploration)
+    snowcat, degraded, backend = _campaign_backend(args, exploration)
+    if snowcat is None:
+        return 2
 
     if journal_path:
         from repro.resilience.journal import CampaignJournal, reset_journal
@@ -377,7 +516,9 @@ def _cmd_campaign(args) -> int:
 
     explorers = [snowcat.pct_explorer()]
     if not degraded:
-        explorers.append(snowcat.mlpct_explorer(args.strategy))
+        explorers.append(
+            snowcat.mlpct_explorer(args.strategy, backend=backend)
+        )
     ctis = snowcat.cti_stream(args.ctis)
     curves = {}
     try:
@@ -405,6 +546,23 @@ def _cmd_campaign(args) -> int:
     finally:
         if journal is not None:
             journal.close()
+        if backend is not None:
+            try:
+                info = (
+                    backend.status()
+                    if hasattr(backend, "status")
+                    else backend.stats()
+                )
+                cache = info.get("cache", {})
+                print(
+                    f"serving cache: {cache.get('hits', 0):.0f} hits / "
+                    f"{cache.get('misses', 0):.0f} misses "
+                    f"(hit rate {cache.get('hit_rate', 0.0):.1%}, "
+                    f"{cache.get('entries', 0):.0f} entries)"
+                )
+            except Exception:
+                pass
+            backend.close()
     print(format_series(curves, metric_name="races", points=8))
     return 0
 
@@ -536,6 +694,103 @@ def _cmd_quality(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.errors import CheckpointError, ServeError
+    from repro.serve import ServerConfig, SocketBackend, serve_forever
+
+    if args.action == "status":
+        backend = SocketBackend(args.socket)
+        try:
+            status = backend.status()
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        finally:
+            backend.close()
+        cache = status.get("cache", {})
+        batcher = status.get("batcher", {})
+        print(
+            f"serving {status.get('model_name')} "
+            f"version {status.get('version')} on {args.socket}\n"
+            f"  threshold {status.get('threshold'):.2f}, "
+            f"vocab {status.get('vocab_size')}, "
+            f"{status.get('requests', 0)} requests\n"
+            f"  cache: {cache.get('hits', 0):.0f} hits / "
+            f"{cache.get('misses', 0):.0f} misses "
+            f"(hit rate {cache.get('hit_rate', 0.0):.1%}), "
+            f"{cache.get('entries', 0):.0f} entries, "
+            f"{cache.get('bytes', 0):.0f}/{cache.get('max_bytes', 0):.0f} B, "
+            f"{cache.get('evictions', 0):.0f} evictions\n"
+            f"  batcher: {batcher.get('batches', 0)} batches "
+            f"({batcher.get('flush_full', 0)} full / "
+            f"{batcher.get('flush_deadline', 0)} deadline flushes), "
+            f"{batcher.get('rejected', 0)} rejected, "
+            f"{batcher.get('backpressure', 0)} backpressured"
+        )
+        return 0
+
+    if args.action == "stop":
+        backend = SocketBackend(args.socket)
+        try:
+            backend.shutdown()
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"server on {args.socket} stopped")
+        return 0
+
+    # -- start ---------------------------------------------------------------
+    if args.model and args.registry:
+        print(
+            "error: --model and --registry are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.registry:
+            from repro.serve import ModelRegistry
+
+            registry = ModelRegistry(args.registry)
+            version = args.model_version or registry.active_version
+            if version is None:
+                print(
+                    f"error: registry {args.registry} has no active model",
+                    file=sys.stderr,
+                )
+                return 2
+            model = registry.load(version, seed=args.seed)
+        elif args.model:
+            from repro.ml.pic import PICModel
+
+            model = PICModel.load(args.model, seed=args.seed)
+            version = args.model_version or "cli"
+        else:
+            print("no --model/--registry given; training a fresh model...")
+            model = _trained_snowcat(args.seed).require_model()
+            version = args.model_version or "trained"
+    except (CheckpointError, ServeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        socket_path=args.socket,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+    )
+    print(
+        f"serving {model.config.name} version {version} on {args.socket} "
+        f"(max batch {config.max_batch}, window {config.max_wait_ms} ms, "
+        f"cache {args.cache_mb} MiB) — Ctrl-C or "
+        f"'repro serve stop --socket {args.socket}' to stop"
+    )
+    try:
+        serve_forever(model, config, version=version)
+    except OSError as error:
+        print(f"error: cannot serve on {args.socket}: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_report(args) -> int:
     import json
 
@@ -572,6 +827,7 @@ _COMMANDS = {
     "snowboard": _cmd_snowboard,
     "filter-model": _cmd_filter_model,
     "quality": _cmd_quality,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

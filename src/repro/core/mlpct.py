@@ -396,16 +396,25 @@ class MLPCTExplorer(_ExplorerBase):
     def __init__(
         self,
         graphs: GraphDatasetBuilder,
-        predictor: CoveragePredictor,
+        predictor: Optional[CoveragePredictor],
         strategy: SelectionStrategy,
+        backend: Optional[object] = None,
         **kwargs,
     ) -> None:
+        """``backend`` routes all predictions through a serving backend
+        (:mod:`repro.serve`) instead of calling ``predictor`` directly;
+        ``predictor`` may then be ``None`` (socket campaigns have no
+        local model). The default (no backend) is byte-identical to the
+        historical direct-call path."""
         kwargs.setdefault("label", f"MLPCT-{strategy.name}")
         super().__init__(graphs, **kwargs)
         self.predictor = predictor
+        self.backend = backend
         self.strategy = strategy
         self.scorer = CandidateScorer(
-            predictor, batch_size=self.config.score_batch_size
+            predictor,
+            batch_size=self.config.score_batch_size,
+            backend=backend,
         )
 
     def state_dict(self) -> Dict[str, object]:

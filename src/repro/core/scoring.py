@@ -68,25 +68,45 @@ class ScoredCandidate:
 
 
 class CandidateScorer:
-    """Batched (or order-preserving per-graph) scoring of CT graphs."""
+    """Batched (or order-preserving per-graph) scoring of CT graphs.
+
+    ``backend`` is the serving seam: when given (a
+    :class:`repro.serve.backend.PredictionBackend` — in-process server or
+    socket client), every prediction routes through it instead of the
+    raw predictor; leaving it ``None`` keeps the historical direct-call
+    path, byte for byte. ``predictor`` stays required even with a
+    backend so consumers that inspect the model (threshold tuning,
+    reporting) keep working, but it may be ``None`` for socket backends
+    where no local model exists.
+    """
 
     def __init__(
         self,
-        predictor: CoveragePredictor,
+        predictor: Optional[CoveragePredictor],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        backend: Optional[object] = None,
     ) -> None:
+        if predictor is None and backend is None:
+            raise ValueError("CandidateScorer needs a predictor or a backend")
         self.predictor = predictor
+        self.backend = backend
         self.batch_size = max(1, int(batch_size))
+
+    @property
+    def target(self) -> object:
+        """Where predictions actually run: the backend if set, else the
+        predictor directly."""
+        return self.backend if self.backend is not None else self.predictor
 
     @property
     def batched(self) -> bool:
         """Whether the block-diagonal batch path is in use."""
         return self.batch_size > 1 and hasattr(
-            self.predictor, "predict_proba_batch"
+            self.target, "predict_proba_batch"
         )
 
     def _threshold(self) -> float:
-        return float(getattr(self.predictor, "threshold", 0.5))
+        return float(getattr(self.target, "threshold", 0.5))
 
     # -- eager scoring ---------------------------------------------------------
 
@@ -94,11 +114,11 @@ class CandidateScorer:
         """Coverage probabilities per graph, batched when possible."""
         if not self.batched:
             obs.add("inference.single", len(graphs))
-            return [self.predictor.predict_proba(graph) for graph in graphs]
+            return [self.target.predict_proba(graph) for graph in graphs]
         probas: List[np.ndarray] = []
         for start in range(0, len(graphs), self.batch_size):
             chunk = graphs[start : start + self.batch_size]
-            probas.extend(self.predictor.predict_proba_batch(chunk))
+            probas.extend(self.target.predict_proba_batch(chunk))
             obs.add("inference.batched", len(chunk))
             obs.observe("inference.batch_size", len(chunk))
         return probas
@@ -107,7 +127,7 @@ class CandidateScorer:
         """Boolean predictions per graph, batched when possible."""
         if not self.batched:
             obs.add("inference.single", len(graphs))
-            return [self.predictor.predict(graph) for graph in graphs]
+            return [self.target.predict(graph) for graph in graphs]
         threshold = self._threshold()
         return [proba >= threshold for proba in self.score_proba(graphs)]
 
@@ -125,7 +145,7 @@ class CandidateScorer:
         if not self.batched:
             for graph in graphs:
                 obs.add("inference.single")
-                yield graph, self.predictor.predict(graph)
+                yield graph, self.target.predict(graph)
             return
         threshold = self._threshold()
         iterator = iter(graphs)
@@ -133,7 +153,7 @@ class CandidateScorer:
             chunk = list(itertools.islice(iterator, self.batch_size))
             if not chunk:
                 return
-            probas = self.predictor.predict_proba_batch(chunk)
+            probas = self.target.predict_proba_batch(chunk)
             obs.add("inference.batched", len(chunk))
             obs.observe("inference.batch_size", len(chunk))
             for graph, proba in zip(chunk, probas):
@@ -197,7 +217,7 @@ def iter_score_candidates(
         else:
             for candidate in candidates():
                 obs.add("inference.single")
-                candidate.predicted = scorer.predictor.predict(candidate.graph)
+                candidate.predicted = scorer.target.predict(candidate.graph)
                 yield candidate
     else:
         if scorer.batched:
@@ -214,7 +234,7 @@ def iter_score_candidates(
         else:
             for candidate in candidates():
                 obs.add("inference.single")
-                candidate.proba = scorer.predictor.predict_proba(candidate.graph)
+                candidate.proba = scorer.target.predict_proba(candidate.graph)
                 yield candidate
 
 

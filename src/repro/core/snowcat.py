@@ -204,16 +204,28 @@ class Snowcat:
         include_startup_cost: bool = False,
         s3_limit: int = 3,
         label: Optional[str] = None,
+        backend: Optional[object] = None,
     ) -> MLPCTExplorer:
-        model = self.require_model()
+        """``backend`` (a :mod:`repro.serve` prediction backend) routes
+        scoring through the shared inference service; campaigns without
+        one call this deployment's model directly, as before. With a
+        backend, a deployment that never trained locally (socket
+        campaigns) is allowed — predictions come from the service."""
+        model = self.model if backend is not None else self.require_model()
         return MLPCTExplorer(
             self.graphs,
             predictor=model,
             strategy=make_strategy(strategy, s3_limit=s3_limit),
+            backend=backend,
             config=self.config.exploration,
             seed=self.config.seed,
             ledger=self._ledger(include_startup_cost),
-            label=label or f"MLPCT-{strategy} ({model.config.name})",
+            label=label
+            or (
+                f"MLPCT-{strategy} ({model.config.name})"
+                if model is not None
+                else f"MLPCT-{strategy} (served)"
+            ),
         )
 
     def pct_explorer(self, label: str = "PCT") -> PCTExplorer:

@@ -80,5 +80,22 @@ class ModelError(ReproError):
     """Raised on invalid model configuration or shape mismatches."""
 
 
+class ServeError(ReproError):
+    """Raised when the prediction service cannot satisfy a request
+    (unknown model version, server unreachable, server-side failure)."""
+
+
+class AdmissionError(ServeError):
+    """Raised when the micro-batcher's bounded queue rejects a request.
+
+    Only raised under the non-blocking admission policy; the default
+    policy applies backpressure (blocks the submitter) instead.
+    """
+
+
+class ProtocolError(ServeError):
+    """Raised on a malformed frame or payload on the serving socket."""
+
+
 class CheckpointError(ModelError):
     """Raised when a model checkpoint cannot be saved or restored."""

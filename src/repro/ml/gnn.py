@@ -20,7 +20,8 @@ predict concurrent coverage better (§5.1.2), which ``num_layers`` exposes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +52,28 @@ class GNNConfig:
     num_layers: int = 4
     num_edge_types: int = NUM_EDGE_TYPES
     bidirectional: bool = True
+
+
+def _freeze_csr(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Mark a CSR matrix's backing arrays read-only.
+
+    Everything published into a template's shared ``base_cache`` is read
+    concurrently by server worker threads; freezing at publish time turns
+    any accidental in-place mutation into an immediate ``ValueError``
+    instead of silent cross-thread corruption.
+    """
+    matrix.data.setflags(write=False)
+    matrix.indices.setflags(write=False)
+    matrix.indptr.setflags(write=False)
+    return matrix
+
+
+def _freeze_pair(
+    pair: Tuple[sp.csr_matrix, sp.csr_matrix]
+) -> Tuple[sp.csr_matrix, sp.csr_matrix]:
+    _freeze_csr(pair[0])
+    _freeze_csr(pair[1])
+    return pair
 
 
 def _normalized_pair(
@@ -102,7 +125,7 @@ def prepare_adjacency(
         )
         result[edge_type] = pair
         if edge_type != EDGE_SCHEDULE:
-            base_cache[edge_type] = pair
+            base_cache[edge_type] = _freeze_pair(pair)
     graph._adjacency = result  # per-graph memo
     return result
 
@@ -160,6 +183,8 @@ def prepare_adjacency_batch(
                 all_edges[all_edges[:, 2] == edge_type]
             )
         if shared_template:
+            for pair in base.values():
+                _freeze_pair(pair)
             base_cache[cache_key] = base
     result.update(base)
     schedule_rows = all_edges[all_edges[:, 2] == EDGE_SCHEDULE]
@@ -205,16 +230,51 @@ class _BatchPlan:
     ``matrix`` whose single sparse product accumulates every term
     straight into the layer output. ``cols`` concatenates the terms'
     column supports (one gather per layer) and ``slices`` delimits each
-    term's segment. The buffers are reused across calls so steady-state
-    scoring allocates almost nothing.
+    term's segment.
+
+    Plans live in a *shared* template cache and are therefore immutable
+    on publish (arrays frozen read-only); the mutable layer buffers the
+    loop writes into are per-thread (:func:`_layer_buffers`), so server
+    worker threads can score the same template concurrently while
+    steady-state scoring on any one thread still allocates almost
+    nothing.
     """
 
     terms: List[Tuple[int, int]]
     cols: np.ndarray
     slices: np.ndarray
     matrix: sp.csr_matrix
-    out: np.ndarray = field(repr=False)
-    scratch: np.ndarray = field(repr=False)
+
+    def freeze(self) -> "_BatchPlan":
+        self.cols.setflags(write=False)
+        self.slices.setflags(write=False)
+        _freeze_csr(self.matrix)
+        return self
+
+
+#: Per-thread reusable (out, scratch) layer buffers, keyed by shape; a
+#: small FIFO cap bounds memory when many batch shapes are in play.
+_LAYER_BUFFERS = threading.local()
+_LAYER_BUFFER_CAP = 16
+
+
+def _layer_buffers(
+    n_total: int, n_cols: int, width: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    store = getattr(_LAYER_BUFFERS, "store", None)
+    if store is None:
+        store = _LAYER_BUFFERS.store = {}
+    key = (n_total, n_cols, width)
+    buffers = store.get(key)
+    if buffers is None:
+        if len(store) >= _LAYER_BUFFER_CAP:
+            del store[next(iter(store))]
+        buffers = (
+            np.empty((n_total, width)),
+            np.empty((n_cols, width)),
+        )
+        store[key] = buffers
+    return buffers
 
 
 class RelationalGCN:
@@ -329,7 +389,6 @@ class RelationalGCN:
                 terms.append((int(edge_type), direction))
                 col_blocks.append(cols)
                 matrices.append(compressed)
-        d = self.config.hidden_dim
         cols = (
             np.concatenate(col_blocks)
             if col_blocks
@@ -342,13 +401,8 @@ class RelationalGCN:
             else sp.csr_matrix((n_total, 0))
         )
         return _BatchPlan(
-            terms=terms,
-            cols=cols,
-            slices=slices,
-            matrix=matrix,
-            out=np.empty((n_total, d)),
-            scratch=np.empty((len(cols), d)),
-        )
+            terms=terms, cols=cols, slices=slices, matrix=matrix
+        ).freeze()
 
     def _schedule_terms(
         self, graphs: Sequence[CTGraph]
@@ -396,9 +450,9 @@ class RelationalGCN:
         the nodes that send messages of that type, and the sparse
         propagation accumulates straight into the layer output buffer.
         """
-        out, scratch = plan.out, plan.scratch
         matrix = plan.matrix
         width = h.shape[1]
+        out, scratch = _layer_buffers(matrix.shape[0], len(plan.cols), width)
         for layer in range(self.config.num_layers):
             np.dot(h, self.w_self[layer].data, out=out)
             out += self.bias[layer].data

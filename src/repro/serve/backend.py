@@ -1,0 +1,254 @@
+"""The PredictionBackend seam and the in-process serving backend.
+
+:class:`repro.core.scoring.CandidateScorer` historically called its
+predictor directly; the backend seam generalises that call-site to
+anything exposing the predictor surface (``predict_proba``,
+``predict_proba_batch``, ``predict``/``predict_batch``, ``threshold``):
+
+- :class:`LocalBackend` wraps a plain predictor with zero added
+  machinery — it is the default and is byte-identical to calling the
+  predictor directly.
+- :class:`InProcessServer` is the full service in one process: a single
+  shared model behind a :class:`~repro.serve.batching.MicroBatcher`
+  (which serialises all inference onto one thread), fronted by a
+  content-addressed :class:`~repro.serve.cache.PredictionCache`, with
+  registry-driven hot-swap (:meth:`InProcessServer.swap_model`).
+- :class:`repro.serve.server.SocketBackend` (separate module) speaks the
+  same surface over a Unix socket to an :class:`InProcessServer` hosted
+  elsewhere.
+
+Cache coherence across hot-swap: cache keys embed the model version, so
+requests admitted before a swap read/write the old version's key space
+and requests after it a fresh one — no explicit invalidation. The one
+subtle race (a request keyed against version A whose compute lands on
+version B mid-swap) is closed by tagging every computed result with the
+version that produced it and refusing to cache a mismatch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.serve.batching import BatcherConfig, MicroBatcher, PendingResult
+from repro.serve.cache import PredictionCache
+from repro.serve.digest import prediction_key
+
+__all__ = ["PredictionBackend", "LocalBackend", "InProcessServer"]
+
+
+class PredictionBackend:
+    """The predictor surface scoring code consumes.
+
+    Subclasses provide :meth:`predict_proba_batch` and :attr:`threshold`;
+    the boolean variants derive from them, matching
+    :class:`~repro.ml.pic.PICModel` semantics exactly.
+    """
+
+    @property
+    def threshold(self) -> float:
+        raise NotImplementedError
+
+    def predict_proba_batch(self, graphs: Sequence[object]) -> List[np.ndarray]:
+        raise NotImplementedError
+
+    def predict_proba(self, graph: object) -> np.ndarray:
+        return self.predict_proba_batch([graph])[0]
+
+    def predict(self, graph: object) -> np.ndarray:
+        return self.predict_proba(graph) >= self.threshold
+
+    def predict_batch(self, graphs: Sequence[object]) -> List[np.ndarray]:
+        threshold = self.threshold
+        return [proba >= threshold for proba in self.predict_proba_batch(graphs)]
+
+    def stats(self) -> dict:
+        return {}
+
+    def close(self) -> None:
+        """Release any resources (threads, sockets). Idempotent."""
+
+
+class LocalBackend(PredictionBackend):
+    """Transparent pass-through to an in-memory predictor (the default).
+
+    Adds no queueing, caching, or copying — calls land on the wrapped
+    predictor exactly as direct calls would, so results (and campaign
+    outcomes) are byte-identical to not using a backend at all.
+    """
+
+    def __init__(self, predictor: object) -> None:
+        self.predictor = predictor
+
+    @property
+    def threshold(self) -> float:
+        return float(getattr(self.predictor, "threshold", 0.5))
+
+    def predict_proba(self, graph: object) -> np.ndarray:
+        return self.predictor.predict_proba(graph)
+
+    def predict_proba_batch(self, graphs: Sequence[object]) -> List[np.ndarray]:
+        batch = getattr(self.predictor, "predict_proba_batch", None)
+        if batch is not None:
+            return batch(graphs)
+        return [self.predictor.predict_proba(graph) for graph in graphs]
+
+    def stats(self) -> dict:
+        return {"backend": "local"}
+
+
+class InProcessServer(PredictionBackend):
+    """One shared model + prediction cache + micro-batcher.
+
+    Thread-safe: any number of client threads may call the prediction
+    methods concurrently. Cache lookups happen on the calling thread;
+    every actual forward pass is submitted to the batcher and runs on
+    its single worker thread, holding ``_model_lock`` so a concurrent
+    :meth:`swap_model` can never interleave with inference.
+
+    Concurrent requests for the *same* graph content are deduplicated
+    in flight: the second requester waits on the first's pending result
+    instead of submitting a duplicate compute.
+    """
+
+    def __init__(
+        self,
+        model: object,
+        version: str = "v0",
+        cache: Optional[PredictionCache] = None,
+        cache_bytes: Optional[int] = None,
+        batcher_config: Optional[BatcherConfig] = None,
+        clock=None,
+    ) -> None:
+        if cache is not None and cache_bytes is not None:
+            raise ValueError("pass either cache or cache_bytes, not both")
+        self._model = model
+        self._version = version
+        self._model_lock = threading.Lock()
+        self.cache = cache if cache is not None else PredictionCache(
+            **({"max_bytes": cache_bytes} if cache_bytes is not None else {})
+        )
+        kwargs = {} if clock is None else {"clock": clock}
+        self._batcher = MicroBatcher(self._compute, batcher_config, **kwargs)
+        self._inflight: Dict[str, PendingResult] = {}
+        self._inflight_lock = threading.Lock()
+        self._requests = 0
+        self._stats_lock = threading.Lock()
+
+    # -- the single compute path ---------------------------------------------
+
+    def _compute(self, graphs: List[object]) -> List[tuple]:
+        """Batcher worker entry: one forward pass for a gathered batch.
+
+        Tags each result with the version that produced it so the
+        requesting side can detect a hot-swap that raced its request.
+        """
+        with self._model_lock:
+            model = self._model
+            version = self._version
+            with obs.span("serve.compute", batch=len(graphs)):
+                probas = model.predict_proba_batch(list(graphs))
+        return [(version, proba) for proba in probas]
+
+    # -- the predictor surface -----------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        with self._model_lock:
+            return float(getattr(self._model, "threshold", 0.5))
+
+    @property
+    def version(self) -> str:
+        with self._model_lock:
+            return self._version
+
+    def predict_proba_batch(self, graphs: Sequence[object]) -> List[np.ndarray]:
+        graphs = list(graphs)
+        if not graphs:
+            return []
+        with self._stats_lock:
+            self._requests += 1
+        obs.add("serve.requests")
+        with self._model_lock:
+            version = self._version
+        keys = [prediction_key(version, graph) for graph in graphs]
+        results: List[Optional[np.ndarray]] = [self.cache.get(key) for key in keys]
+
+        # For each distinct missing key, either adopt the in-flight
+        # computation another thread already submitted or submit one.
+        pending_by_key: Dict[str, PendingResult] = {}
+        submitted: Dict[str, PendingResult] = {}
+        for key, graph, cached in zip(keys, graphs, results):
+            if cached is not None or key in pending_by_key:
+                continue
+            with self._inflight_lock:
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = self._batcher.submit(graph)
+                    self._inflight[key] = pending
+                    submitted[key] = pending
+            pending_by_key[key] = pending
+
+        filled = dict(submitted)
+        try:
+            for key, pending in pending_by_key.items():
+                computed_version, proba = pending.result()
+                if key in submitted:
+                    if computed_version == version:
+                        self.cache.put(key, proba)
+                    filled.pop(key, None)
+                    with self._inflight_lock:
+                        if self._inflight.get(key) is pending:
+                            del self._inflight[key]
+                pending_by_key[key] = proba
+        finally:
+            # On error, un-register what we submitted so later requests
+            # re-compute instead of inheriting a poisoned pending.
+            if filled:
+                with self._inflight_lock:
+                    for key, pending in filled.items():
+                        if self._inflight.get(key) is pending:
+                            del self._inflight[key]
+
+        return [
+            cached if cached is not None else pending_by_key[key]
+            for key, cached in zip(keys, results)
+        ]
+
+    # -- administration ------------------------------------------------------
+
+    def swap_model(self, model: object, version: str) -> None:
+        """Atomically replace the served model (registry hot-swap).
+
+        Waits for any in-progress forward pass to finish, then installs
+        the new model and version. Cached predictions of the old version
+        stop being addressed (keys embed the version) and age out.
+        """
+        with self._model_lock:
+            old = self._version
+            self._model = model
+            self._version = version
+        obs.point("serve.swap", previous=old, version=version)
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            requests = self._requests
+        with self._model_lock:
+            version = self._version
+            model_name = getattr(getattr(self._model, "config", None), "name", "?")
+            threshold = float(getattr(self._model, "threshold", 0.5))
+        return {
+            "backend": "in-process",
+            "version": version,
+            "model_name": model_name,
+            "threshold": threshold,
+            "requests": requests,
+            "cache": self.cache.stats(),
+            "batcher": self._batcher.stats(),
+        }
+
+    def close(self) -> None:
+        self._batcher.close()

@@ -1,0 +1,233 @@
+"""Micro-batching scheduler: coalesce single-graph requests into batches.
+
+The PIC model's batched forward pass is what makes inference cheap
+(:meth:`predict_proba_batch` amortises per-call overhead across a
+block-diagonal union), but concurrent clients naturally produce *single*
+requests. The :class:`MicroBatcher` sits between them and the model: a
+bounded queue feeds one worker thread that gathers up to
+``max_batch`` requests — waiting at most ``max_wait_ms`` after the first
+one arrives — and runs the whole gather through one compute call.
+
+Two deliberate properties:
+
+- **Serialised inference.** All compute runs on the single worker
+  thread, so the shared model's internal caches (encoder memo, base
+  features, template batch plans) never see concurrent writers. The
+  batcher *is* the model's concurrency discipline, not just a perf
+  device.
+- **Admission control.** The queue is bounded; the default policy
+  blocks the submitter (backpressure, counted in
+  ``serve.queue.backpressure``), and ``block_on_full=False`` turns a
+  full queue into an immediate :class:`~repro.errors.AdmissionError`
+  (load-shedding, counted in ``serve.queue.rejected``).
+
+Telemetry: ``serve.batch.size`` histogram, ``serve.batch.flush_full`` /
+``serve.batch.flush_deadline`` counters, queue-depth gauge
+``serve.queue.depth``; :meth:`MicroBatcher.stats` mirrors all of it for
+the server's ``status`` op. The clock is injectable so deadline-flush
+behaviour is testable under a fake clock.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro import obs
+from repro.errors import AdmissionError, ServeError
+
+__all__ = ["BatcherConfig", "PendingResult", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Coalescing and admission knobs (CLI: ``--max-batch``,
+    ``--max-wait-ms``)."""
+
+    #: Largest compute batch; also the flush trigger.
+    max_batch: int = 8
+    #: How long the worker waits after the first request of a batch for
+    #: more to arrive before flushing a partial batch.
+    max_wait_ms: float = 2.0
+    #: Bounded-queue capacity (admission control).
+    max_queue: int = 256
+    #: Full-queue policy: ``True`` blocks the submitter (backpressure),
+    #: ``False`` raises :class:`~repro.errors.AdmissionError`.
+    block_on_full: bool = True
+
+
+class PendingResult:
+    """A single request's future result (set once by the worker)."""
+
+    __slots__ = ("payload", "_event", "_value", "_error")
+
+    def __init__(self, payload: object) -> None:
+        self.payload = payload
+        self._event = threading.Event()
+        self._value: object = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, value: object) -> None:
+        self._value = value
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        if not self._event.wait(timeout):
+            raise ServeError("timed out waiting for a served prediction")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class MicroBatcher:
+    """One worker thread turning a request queue into compute batches.
+
+    ``compute`` receives the payloads of one gathered batch (a list) and
+    must return one result per payload, in order. Any exception it
+    raises is propagated to every requester in that batch.
+    """
+
+    def __init__(
+        self,
+        compute: Callable[[List[object]], Sequence[object]],
+        config: Optional[BatcherConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or BatcherConfig()
+        if self.config.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.config.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self._compute = compute
+        self._clock = clock
+        self._queue: "queue.Queue[Optional[PendingResult]]" = queue.Queue(
+            maxsize=self.config.max_queue
+        )
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._rejected = 0
+        self._backpressure = 0
+        self._batches = 0
+        self._flush_full = 0
+        self._flush_deadline = 0
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, payload: object) -> PendingResult:
+        """Enqueue one request; returns its :class:`PendingResult`."""
+        if self._closed:
+            raise ServeError("micro-batcher is closed")
+        pending = PendingResult(payload)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            if not self.config.block_on_full:
+                with self._lock:
+                    self._rejected += 1
+                obs.add("serve.queue.rejected")
+                raise AdmissionError(
+                    f"serving queue full ({self.config.max_queue} pending); "
+                    "request rejected by admission control"
+                ) from None
+            with self._lock:
+                self._backpressure += 1
+            obs.add("serve.queue.backpressure")
+            self._queue.put(pending)  # backpressure: wait for capacity
+        with self._lock:
+            self._submitted += 1
+        obs.gauge("serve.queue.depth", self._queue.qsize())
+        return pending
+
+    def submit_many(self, payloads: Sequence[object]) -> List[PendingResult]:
+        return [self.submit(payload) for payload in payloads]
+
+    # -- the worker ----------------------------------------------------------
+
+    def _gather(self, first: PendingResult) -> List[PendingResult]:
+        """One coalescing window: flush on max-batch or the deadline.
+
+        The deadline is ``max_wait_ms`` after the window opens; a batch
+        that fills first flushes immediately. Uses only ``self._clock``
+        for time, so tests drive it with a fake clock.
+        """
+        batch = [first]
+        deadline = self._clock() + self.config.max_wait_ms / 1000.0
+        while len(batch) < self.config.max_batch:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:  # shutdown sentinel: flush what we have
+                self._queue.put(None)  # re-post for the main loop to see
+                break
+            batch.append(item)
+        with self._lock:
+            self._batches += 1
+            if len(batch) >= self.config.max_batch:
+                self._flush_full += 1
+                obs.add("serve.batch.flush_full")
+            else:
+                self._flush_deadline += 1
+                obs.add("serve.batch.flush_deadline")
+        obs.observe("serve.batch.size", len(batch))
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is None:
+                return
+            batch = self._gather(first)
+            try:
+                results = self._compute([pending.payload for pending in batch])
+                if len(results) != len(batch):
+                    raise ServeError(
+                        f"compute returned {len(results)} results "
+                        f"for a batch of {len(batch)}"
+                    )
+            except BaseException as error:  # propagate to every requester
+                for pending in batch:
+                    pending._reject(error)
+                continue
+            for pending, value in zip(batch, results):
+                pending._resolve(value)
+
+    # -- lifecycle / stats ---------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain the queue, and join the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._worker.join(timeout)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "batches": self._batches,
+                "flush_full": self._flush_full,
+                "flush_deadline": self._flush_deadline,
+                "rejected": self._rejected,
+                "backpressure": self._backpressure,
+                "queue_depth": self._queue.qsize(),
+                "max_batch": self.config.max_batch,
+                "max_wait_ms": self.config.max_wait_ms,
+                "max_queue": self.config.max_queue,
+            }

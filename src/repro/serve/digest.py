@@ -1,0 +1,102 @@
+"""Canonical content digests of CT graphs — the prediction cache key.
+
+A served prediction is a pure function of (model parameters, graph
+content): two requests whose graphs carry identical node features and
+edges must hit the same cache line no matter which process, template
+instance, or campaign generation produced them. The digest therefore
+covers every array the PIC forward pass reads — node types, threads,
+blocks, hint flags, token ids, and the full typed edge list — plus the
+kernel version and the schedule hints (redundant with the hint edges
+and flags, but cheap insurance against a future encoding that moves
+information out of the arrays).
+
+Digesting ``token_ids`` dominates the cost (``num_nodes × max_tokens``
+int64s), and that array is shared by every schedule of a CTI — graphs
+stamped from one :class:`~repro.graphs.ctgraph.CTIGraphTemplate` alias
+the same object. The template-level portion of the digest is memoised
+per ``token_ids`` array (same keying discipline as the PIC model's
+encoder cache, holding a reference so ``id()`` cannot be reused), so a
+candidate pool pays the big hash once and each candidate only hashes
+its own hint flags and schedule edges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graphs.ctgraph import EDGE_SCHEDULE, CTGraph
+
+__all__ = ["graph_digest", "prediction_key", "clear_digest_memo"]
+
+#: Memo of template-level digest prefixes: id(token_ids) -> (token_ids,
+#: hexdigest). Bounded; eviction is FIFO like the model's encoder cache.
+_TEMPLATE_MEMO: Dict[int, Tuple[np.ndarray, str]] = {}
+_TEMPLATE_MEMO_CAP = 64
+
+
+def _hash_arrays(hasher: "hashlib._Hash", *arrays: np.ndarray) -> None:
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        hasher.update(str(array.dtype).encode("ascii"))
+        hasher.update(repr(array.shape).encode("ascii"))
+        hasher.update(array.tobytes())
+
+
+def _template_prefix(graph: CTGraph) -> str:
+    """Digest of everything schedule-independent, memoised per template."""
+    key = id(graph.token_ids)
+    cached = _TEMPLATE_MEMO.get(key)
+    if cached is not None and cached[0] is graph.token_ids:
+        return cached[1]
+    hasher = hashlib.sha256()
+    hasher.update(graph.kernel_version.encode("utf-8"))
+    hasher.update(repr(graph.cti_key).encode("ascii"))
+    base_rows = graph.edges[graph.edges[:, 2] != EDGE_SCHEDULE]
+    _hash_arrays(
+        hasher,
+        graph.node_types,
+        graph.node_threads,
+        graph.node_blocks,
+        graph.token_ids,
+        base_rows,
+    )
+    prefix = hasher.hexdigest()
+    if len(_TEMPLATE_MEMO) >= _TEMPLATE_MEMO_CAP:
+        oldest = next(iter(_TEMPLATE_MEMO))
+        del _TEMPLATE_MEMO[oldest]
+    _TEMPLATE_MEMO[key] = (graph.token_ids, prefix)
+    return prefix
+
+
+def graph_digest(graph: CTGraph) -> str:
+    """Hex digest of one CT graph's full prediction-relevant content.
+
+    Canonical: graphs built independently (different template objects,
+    different processes) digest identically iff their arrays match, and
+    any change to the schedule hints — which rewrites the hint flags
+    and/or schedule edges — changes the digest.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(_template_prefix(graph).encode("ascii"))
+    schedule_rows = graph.edges[graph.edges[:, 2] == EDGE_SCHEDULE]
+    _hash_arrays(hasher, graph.hint_flags, schedule_rows)
+    hasher.update(repr(tuple(graph.hints)).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def prediction_key(model_version: str, graph: CTGraph) -> str:
+    """The content-addressed cache key: model version + graph digest.
+
+    Including the model version means a registry hot-swap implicitly
+    invalidates every cached prediction of the previous version — stale
+    entries simply stop being addressed and age out of the LRU.
+    """
+    return f"{model_version}:{graph_digest(graph)}"
+
+
+def clear_digest_memo() -> None:
+    """Drop the template-prefix memo (tests; never needed in production)."""
+    _TEMPLATE_MEMO.clear()

@@ -1,0 +1,253 @@
+"""Versioned, checksummed PIC model registry with hot-swap and rollback.
+
+A serving deployment outlives any single model: models are retrained on
+new kernel versions, fine-tuned, and occasionally turn out to be worse
+than their predecessor. The registry is the durable source of truth for
+"which model is serving": a directory of immutable checkpoint files plus
+one ``manifest.json`` naming the active version, the previously active
+version (the rollback target), and every published record with its file
+checksum.
+
+Durability discipline (reusing :mod:`repro.resilience.atomic`):
+
+- checkpoints are written by :meth:`PICModel.save`, which is already
+  atomic and embeds its own schema/checksum header;
+- the manifest is rewritten atomically *after* the checkpoint exists, so
+  a crash mid-publish leaves either the old manifest (new checkpoint is
+  an orphan file, harmless) or the new one (checkpoint guaranteed on
+  disk) — never a manifest pointing at a missing/torn file;
+- every load re-verifies the whole-file SHA-256 recorded at publish
+  time before handing bytes to :meth:`PICModel.load`, so bit rot is a
+  :class:`~repro.errors.CheckpointError` at swap time, not NaNs later.
+
+Activation (:meth:`activate` / :meth:`rollback`) only rewrites the
+manifest — hot-swapping a live server is the server's job (it loads the
+new version, verifies it, and replaces its model under the compute
+lock; see :meth:`repro.serve.backend.InProcessServer.swap_model`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.errors import CheckpointError, ServeError
+from repro.resilience.atomic import atomic_write_text, sha256_hex
+
+__all__ = ["ModelRecord", "ModelRegistry", "MANIFEST_NAME", "MANIFEST_FORMAT"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One published model version."""
+
+    version: str
+    #: Checkpoint filename relative to the registry root.
+    filename: str
+    #: SHA-256 of the checkpoint file bytes at publish time.
+    checksum: str
+    #: The model's configured name and tuned threshold (display/status).
+    model_name: str
+    threshold: float
+    vocab_size: int
+
+
+class ModelRegistry:
+    """A directory of versioned checkpoints plus an atomic manifest."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(os.path.join(self.root, "checkpoints"), exist_ok=True)
+        self._active: Optional[str] = None
+        self._previous: Optional[str] = None
+        self._records: Dict[str, ModelRecord] = {}
+        self._load_manifest()
+
+    # -- manifest ------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _load_manifest(self) -> None:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return
+        except (OSError, json.JSONDecodeError) as error:
+            raise ServeError(
+                f"unreadable registry manifest {self.manifest_path}: {error}"
+            ) from None
+        try:
+            if int(payload["format"]) != MANIFEST_FORMAT:
+                raise ServeError(
+                    f"registry manifest {self.manifest_path} has format "
+                    f"{payload['format']}, this build reads {MANIFEST_FORMAT}"
+                )
+            self._active = payload["active"]
+            self._previous = payload["previous"]
+            self._records = {
+                version: ModelRecord(
+                    version=version,
+                    filename=str(record["filename"]),
+                    checksum=str(record["checksum"]),
+                    model_name=str(record["model_name"]),
+                    threshold=float(record["threshold"]),
+                    vocab_size=int(record["vocab_size"]),
+                )
+                for version, record in payload["models"].items()
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServeError(
+                f"malformed registry manifest {self.manifest_path}: {error}"
+            ) from None
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "active": self._active,
+            "previous": self._previous,
+            "models": {
+                record.version: {
+                    "filename": record.filename,
+                    "checksum": record.checksum,
+                    "model_name": record.model_name,
+                    "threshold": record.threshold,
+                    "vocab_size": record.vocab_size,
+                }
+                for record in self._records.values()
+            },
+        }
+        atomic_write_text(
+            self.manifest_path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, model, version: Optional[str] = None, activate: bool = True) -> ModelRecord:
+        """Checkpoint ``model`` under ``version`` and record it durably.
+
+        ``version`` defaults to ``v<N>`` (N = one past the highest
+        auto-numbered version). Re-publishing an existing version is
+        refused — records are immutable by construction, which is what
+        makes the cache's (version, digest) keys trustworthy.
+        """
+        if version is None:
+            version = f"v{self._next_number()}"
+        if version in self._records:
+            raise ServeError(
+                f"model version {version!r} already published; "
+                "registry records are immutable"
+            )
+        if ":" in version or "/" in version or not version:
+            raise ServeError(
+                f"invalid model version {version!r} "
+                "(must be non-empty, no ':' or '/')"
+            )
+        filename = os.path.join("checkpoints", f"{version}.npz")
+        path = os.path.join(self.root, filename)
+        model.save(path)
+        with open(path, "rb") as handle:
+            checksum = sha256_hex(handle.read())
+        record = ModelRecord(
+            version=version,
+            filename=filename,
+            checksum=checksum,
+            model_name=model.config.name,
+            threshold=float(model.threshold),
+            vocab_size=int(model.config.vocab_size),
+        )
+        self._records[version] = record
+        if activate:
+            self._previous, self._active = self._active, version
+        self._write_manifest()
+        obs.point("serve.registry.publish", version=version, active=activate)
+        return record
+
+    def _next_number(self) -> int:
+        highest = 0
+        for version in self._records:
+            if version.startswith("v") and version[1:].isdigit():
+                highest = max(highest, int(version[1:]))
+        return highest + 1
+
+    # -- activation ----------------------------------------------------------
+
+    def activate(self, version: str) -> ModelRecord:
+        """Make ``version`` the active model (verifying its checkpoint
+        first) and remember the outgoing one as the rollback target."""
+        record = self.record(version)
+        self.verify(version)
+        if self._active != version:
+            self._previous, self._active = self._active, version
+            self._write_manifest()
+        obs.point("serve.registry.activate", version=version)
+        return record
+
+    def rollback(self) -> ModelRecord:
+        """Re-activate the previously active version (one-step undo)."""
+        if self._previous is None:
+            raise ServeError("nothing to roll back to: no previous active version")
+        target = self._previous
+        record = self.record(target)
+        self.verify(target)
+        self._previous, self._active = self._active, target
+        self._write_manifest()
+        obs.point("serve.registry.rollback", version=target)
+        return record
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def active_version(self) -> Optional[str]:
+        return self._active
+
+    def record(self, version: str) -> ModelRecord:
+        try:
+            return self._records[version]
+        except KeyError:
+            raise ServeError(
+                f"unknown model version {version!r}; published: "
+                f"{sorted(self._records) or '(none)'}"
+            ) from None
+
+    def versions(self) -> List[ModelRecord]:
+        return [self._records[version] for version in sorted(self._records)]
+
+    def checkpoint_path(self, version: str) -> str:
+        return os.path.join(self.root, self.record(version).filename)
+
+    def verify(self, version: str) -> None:
+        """Recompute the checkpoint file checksum against the manifest."""
+        record = self.record(version)
+        path = self.checkpoint_path(version)
+        try:
+            with open(path, "rb") as handle:
+                actual = sha256_hex(handle.read())
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint for {version!r}: {error}"
+            ) from None
+        if actual != record.checksum:
+            raise CheckpointError(
+                f"checkpoint for model version {version!r} failed registry "
+                "checksum verification (corrupt or tampered)"
+            )
+
+    def load(self, version: Optional[str] = None, seed: int = 0):
+        """Load (and fully verify) a published model; default the active one."""
+        if version is None:
+            if self._active is None:
+                raise ServeError("registry has no active model version")
+            version = self._active
+        from repro.ml.pic import PICModel
+
+        self.verify(version)
+        return PICModel.load(self.checkpoint_path(version), seed=seed)

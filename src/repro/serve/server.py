@@ -1,0 +1,471 @@
+"""Unix-socket JSON serving: share one PIC model across processes.
+
+Parallel campaign workers (and unrelated campaigns on one machine) each
+loading a private ``PICModel`` wastes memory and — worse — splits the
+prediction cache into per-process shards that never share hits. This
+module hosts one :class:`~repro.serve.backend.InProcessServer` behind a
+Unix domain socket; any number of client processes attach a
+:class:`SocketBackend`, which speaks the same predictor surface the
+scoring layer already consumes.
+
+Wire protocol (deliberately stdlib-only):
+
+- **Framing**: each message is a 4-byte big-endian length followed by
+  that many bytes of UTF-8 JSON. One connection carries any number of
+  request/response pairs, in order.
+- **Ops**: ``predict_batch`` (the workhorse), ``status`` (stats +
+  model identity), ``ping``, and ``shutdown``.
+- **Graphs on the wire** are template-deduplicated: candidates of one
+  CTI share their template arrays (``token_ids`` dominates the bytes),
+  so a request carries each distinct template once and per-graph
+  deltas (hint flags, edges, hints) referencing it by index. The
+  server rebuilds graphs that *share* array objects per template,
+  which keeps the digest memo and the model's encoder cache effective
+  server-side.
+- **Exactness**: probabilities return as JSON floats. Python's float
+  repr is shortest-round-trip, so every float64 crosses the socket
+  bit-identically — served predictions are byte-equal to local ones.
+
+Malformed frames raise :class:`~repro.errors.ProtocolError`;
+server-side failures come back as ``{"ok": false, ...}`` and re-raise
+client-side as :class:`~repro.errors.ServeError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ProtocolError, ServeError
+from repro.execution.concurrent import ScheduleHint
+from repro.graphs.ctgraph import CTGraph
+from repro.serve.backend import InProcessServer, PredictionBackend
+from repro.serve.batching import BatcherConfig
+from repro.serve.cache import DEFAULT_CACHE_BYTES
+
+__all__ = [
+    "ServerConfig",
+    "PredictionServer",
+    "SocketBackend",
+    "serve_forever",
+    "encode_graphs",
+    "decode_graphs",
+]
+
+#: Upper bound on one frame; a request larger than this is a protocol
+#: violation, not a workload we try to serve.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def _read_exact(rfile, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            raise EOFError
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(rfile) -> dict:
+    """One length-prefixed JSON message, or raise ``EOFError`` at EOF."""
+    header = rfile.read(_LENGTH.size)
+    if not header:
+        raise EOFError
+    if len(header) < _LENGTH.size:
+        header += _read_exact(rfile, _LENGTH.size - len(header))
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    body = _read_exact(rfile, length)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def write_frame(wfile, payload: dict) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"refusing to send a {len(body)}-byte frame")
+    wfile.write(_LENGTH.pack(len(body)) + body)
+    wfile.flush()
+
+
+# -- graph (de)serialisation -------------------------------------------------
+
+
+def encode_graphs(graphs: Sequence[CTGraph]) -> dict:
+    """Template-deduplicated wire form of a batch of CT graphs."""
+    templates: List[dict] = []
+    template_index: Dict[int, int] = {}
+    encoded: List[dict] = []
+    for graph in graphs:
+        key = id(graph.token_ids)
+        index = template_index.get(key)
+        if index is None or templates[index]["_token_ids_ref"] is not graph.token_ids:
+            index = len(templates)
+            template_index[key] = index
+            templates.append(
+                {
+                    "_token_ids_ref": graph.token_ids,  # stripped below
+                    "kernel_version": graph.kernel_version,
+                    "cti_key": list(graph.cti_key),
+                    "node_types": graph.node_types.tolist(),
+                    "node_threads": graph.node_threads.tolist(),
+                    "node_blocks": graph.node_blocks.tolist(),
+                    "token_ids": graph.token_ids.tolist(),
+                }
+            )
+        encoded.append(
+            {
+                "template": index,
+                "hint_flags": graph.hint_flags.tolist(),
+                "edges": graph.edges.tolist(),
+                "hints": [[hint.thread, hint.iid] for hint in graph.hints],
+            }
+        )
+    for template in templates:
+        del template["_token_ids_ref"]
+    return {"templates": templates, "graphs": encoded}
+
+
+def decode_graphs(payload: dict) -> List[CTGraph]:
+    """Rebuild graphs, re-sharing arrays (and a GNN base cache) per template."""
+    try:
+        shared: List[dict] = []
+        for template in payload["templates"]:
+            shared.append(
+                {
+                    "kernel_version": str(template["kernel_version"]),
+                    "cti_key": tuple(template["cti_key"]),
+                    "node_types": np.asarray(template["node_types"], dtype=np.int64),
+                    "node_threads": np.asarray(
+                        template["node_threads"], dtype=np.int64
+                    ),
+                    "node_blocks": np.asarray(template["node_blocks"], dtype=np.int64),
+                    "token_ids": np.asarray(template["token_ids"], dtype=np.int64),
+                    "base_cache": {},
+                }
+            )
+        graphs = []
+        for encoded in payload["graphs"]:
+            template = shared[encoded["template"]]
+            edges = np.asarray(encoded["edges"], dtype=np.int64)
+            graphs.append(
+                CTGraph(
+                    kernel_version=template["kernel_version"],
+                    cti_key=template["cti_key"],
+                    hints=tuple(
+                        ScheduleHint(thread=int(t), iid=int(i))
+                        for t, i in encoded["hints"]
+                    ),
+                    node_types=template["node_types"],
+                    node_threads=template["node_threads"],
+                    node_blocks=template["node_blocks"],
+                    hint_flags=np.asarray(encoded["hint_flags"], dtype=np.int64),
+                    token_ids=template["token_ids"],
+                    edges=edges.reshape(-1, 3) if edges.size else
+                    np.zeros((0, 3), dtype=np.int64),
+                    node_index={},
+                    base_cache=template["base_cache"],
+                )
+            )
+        return graphs
+    except (KeyError, TypeError, ValueError, IndexError) as error:
+        raise ProtocolError(f"malformed graph payload: {error}") from None
+
+
+# -- the server --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Socket-server knobs (CLI: ``repro serve``)."""
+
+    socket_path: str
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    max_queue: int = 256
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        prediction_server: "PredictionServer" = self.server.prediction_server
+        while True:
+            try:
+                request = read_frame(self.rfile)
+            except EOFError:
+                return
+            except ProtocolError as error:
+                try:
+                    write_frame(
+                        self.wfile,
+                        {"ok": False, "kind": "ProtocolError", "error": str(error)},
+                    )
+                except OSError:
+                    pass
+                return
+            try:
+                response = prediction_server.dispatch(request)
+            except Exception as error:  # per-request fault isolation
+                response = {
+                    "ok": False,
+                    "kind": type(error).__name__,
+                    "error": str(error),
+                }
+            try:
+                write_frame(self.wfile, response)
+            except OSError:
+                return
+
+
+class _UnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class PredictionServer:
+    """An :class:`InProcessServer` exposed on a Unix domain socket."""
+
+    def __init__(
+        self,
+        model,
+        config: ServerConfig,
+        version: str = "v0",
+        backend: Optional[InProcessServer] = None,
+    ) -> None:
+        self.config = config
+        self.backend = backend or InProcessServer(
+            model,
+            version=version,
+            cache_bytes=config.cache_bytes,
+            batcher_config=BatcherConfig(
+                max_batch=config.max_batch,
+                max_wait_ms=config.max_wait_ms,
+                max_queue=config.max_queue,
+            ),
+        )
+        path = config.socket_path
+        if os.path.exists(path):
+            os.unlink(path)  # stale socket from a dead server
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        self._server = _UnixServer(path, _Handler)
+        self._server.prediction_server = self
+        self._thread: Optional[threading.Thread] = None
+
+    # -- request dispatch ----------------------------------------------------
+
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "predict_batch":
+            graphs = decode_graphs(request)
+            with obs.span("serve.request", op=op, graphs=len(graphs)):
+                probas = self.backend.predict_proba_batch(graphs)
+            return {
+                "ok": True,
+                "version": self.backend.version,
+                "probas": [proba.tolist() for proba in probas],
+            }
+        if op == "status":
+            status = self.backend.stats()
+            status["socket"] = self.config.socket_path
+            status["vocab_size"] = int(
+                getattr(
+                    getattr(self.backend._model, "config", None), "vocab_size", 0
+                )
+            )
+            return {"ok": True, "status": status}
+        if op == "ping":
+            return {"ok": True}
+        if op == "shutdown":
+            # shutdown() must come from outside the serve_forever loop and
+            # only after this response is written; a helper thread does both.
+            threading.Thread(target=self._server.shutdown, daemon=True).start()
+            return {"ok": True, "stopping": True}
+        raise ProtocolError(f"unknown op {op!r}")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`stop` or a shutdown op."""
+        obs.point("serve.listen", socket=self.config.socket_path)
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._cleanup()
+
+    def start(self) -> "PredictionServer":
+        """Serve on a background thread (tests and in-process embedding)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-socket", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _cleanup(self) -> None:
+        self._server.server_close()
+        self.backend.close()
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+
+
+def serve_forever(model, config: ServerConfig, version: str = "v0") -> None:
+    """Host ``model`` on ``config.socket_path`` until interrupted."""
+    server = PredictionServer(model, config, version=version)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+
+
+# -- the client --------------------------------------------------------------
+
+
+class SocketBackend(PredictionBackend):
+    """Client half of the pair: the predictor surface over a socket.
+
+    One connection, guarded by a lock (requests from concurrent threads
+    serialise client-side; the server batches across *connections*, so
+    parallelism should come from multiple workers each owning a
+    backend). Model identity (threshold, version, vocab size) is
+    fetched once from ``status`` and cached.
+    """
+
+    def __init__(self, socket_path: str, timeout: float = 60.0) -> None:
+        self.socket_path = socket_path
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        self._timeout = timeout
+        self._identity: Optional[dict] = None
+
+    # -- connection management ----------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self._timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as error:
+            sock.close()
+            raise ServeError(
+                f"cannot reach prediction server at {self.socket_path}: {error}"
+            ) from None
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+
+    def _request(self, payload: dict) -> dict:
+        with self._lock:
+            self._connect()
+            try:
+                write_frame(self._wfile, payload)
+                response = read_frame(self._rfile)
+            except (OSError, EOFError) as error:
+                self._teardown()
+                raise ServeError(
+                    f"prediction server connection failed: {error}"
+                ) from None
+        if not response.get("ok"):
+            raise ServeError(
+                f"server error ({response.get('kind', 'unknown')}): "
+                f"{response.get('error', 'no detail')}"
+            )
+        return response
+
+    def _teardown(self) -> None:
+        for handle in (self._rfile, self._wfile, self._sock):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()
+
+    # -- the predictor surface -----------------------------------------------
+
+    def _fetch_identity(self) -> dict:
+        if self._identity is None:
+            self._identity = self._request({"op": "status"})["status"]
+        return self._identity
+
+    @property
+    def threshold(self) -> float:
+        return float(self._fetch_identity()["threshold"])
+
+    @property
+    def version(self) -> str:
+        return str(self._fetch_identity()["version"])
+
+    def predict_proba_batch(self, graphs: Sequence[CTGraph]) -> List[np.ndarray]:
+        graphs = list(graphs)
+        if not graphs:
+            return []
+        payload = encode_graphs(graphs)
+        payload["op"] = "predict_batch"
+        response = self._request(payload)
+        probas = response["probas"]
+        if len(probas) != len(graphs):
+            raise ProtocolError(
+                f"server returned {len(probas)} predictions for {len(graphs)} graphs"
+            )
+        return [np.asarray(proba, dtype=np.float64) for proba in probas]
+
+    # -- service management --------------------------------------------------
+
+    def ping(self) -> bool:
+        try:
+            return bool(self._request({"op": "ping"})["ok"])
+        except ServeError:
+            return False
+
+    def status(self) -> dict:
+        """Live server stats (never the cached identity)."""
+        status = self._request({"op": "status"})["status"]
+        self._identity = status
+        return status
+
+    def shutdown(self) -> None:
+        self._request({"op": "shutdown"})
+        self.close()
+
+    def stats(self) -> dict:
+        return {"backend": "socket", "socket": self.socket_path}

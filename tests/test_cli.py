@@ -24,7 +24,11 @@ class TestParser:
     def test_all_commands_registered(self):
         from repro.cli import _COMMANDS
 
-        extra_args = {"train": ["--epochs", "1"], "report": ["trace.jsonl"]}
+        extra_args = {
+            "train": ["--epochs", "1"],
+            "report": ["trace.jsonl"],
+            "serve": ["status", "--socket", "/tmp/repro.sock"],
+        }
         parser = build_parser()
         for command in _COMMANDS:
             args = parser.parse_args([command] + extra_args.get(command, []))

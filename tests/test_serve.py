@@ -1,0 +1,734 @@
+"""Tests of :mod:`repro.serve`: digests, cache, batching, registry,
+backends, the socket server, and served-campaign equivalence.
+
+The load-bearing claims: (1) the cache key is *content*-addressed — any
+prediction-relevant difference changes it, nothing else does; (2) all
+serving layers return predictions byte-identical to calling the model
+directly; (3) a campaign scored through a backend (in-process or socket)
+is indistinguishable from one scored locally, field for field.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import rng as rngmod
+from repro.core.mlpct import ExplorationConfig, MLPCTExplorer, run_campaign
+from repro.core.scoring import CandidateScorer
+from repro.core.strategies import make_strategy
+from repro.errors import AdmissionError, CheckpointError, ServeError
+from repro.execution.pct import propose_hint_pairs
+from repro.ml.gnn import GNNConfig, RelationalGCN, prepare_adjacency
+from repro.oracle import DifferentialRunner, add_campaign_check
+from repro.serve import (
+    BatcherConfig,
+    InProcessServer,
+    LocalBackend,
+    MicroBatcher,
+    ModelRegistry,
+    PredictionCache,
+    PredictionServer,
+    ServerConfig,
+    SocketBackend,
+    graph_digest,
+    prediction_key,
+)
+from repro.serve.cache import _ENTRY_OVERHEAD
+from repro.serve.digest import clear_digest_memo
+
+
+@pytest.fixture(scope="module")
+def cti(dataset_builder):
+    return dataset_builder.corpus.sample_pairs(rngmod.make_rng(3), 1)[0]
+
+
+@pytest.fixture(scope="module")
+def candidate_graphs(dataset_builder, cti):
+    """A pool of candidate graphs of one CTI (shared template)."""
+    entry_a, entry_b = cti
+    rng = rngmod.make_rng(11)
+    pairs = propose_hint_pairs(rng, entry_a.trace, entry_b.trace, 7)
+    return [
+        dataset_builder.graph_for(entry_a, entry_b, list(pair)) for pair in pairs
+    ]
+
+
+# -- content digests ---------------------------------------------------------
+
+
+class TestGraphDigest:
+    def test_same_content_same_digest(self, dataset_builder, cti, candidate_graphs):
+        entry_a, entry_b = cti
+        rebuilt = dataset_builder.graph_for(
+            entry_a, entry_b, list(candidate_graphs[0].hints)
+        )
+        assert graph_digest(rebuilt) == graph_digest(candidate_graphs[0])
+
+    def test_hint_change_changes_digest(self, candidate_graphs):
+        digests = {graph_digest(graph) for graph in candidate_graphs}
+        assert len(digests) == len(candidate_graphs)
+
+    def test_digest_is_content_not_identity(self, candidate_graphs):
+        """A structurally equal graph with freshly copied arrays (a
+        different template object, as a second process would build)
+        digests identically — the memo is an optimisation, not the key."""
+        import dataclasses
+
+        graph = candidate_graphs[0]
+        clone = dataclasses.replace(
+            graph,
+            node_types=graph.node_types.copy(),
+            node_threads=graph.node_threads.copy(),
+            node_blocks=graph.node_blocks.copy(),
+            hint_flags=graph.hint_flags.copy(),
+            token_ids=graph.token_ids.copy(),
+            edges=graph.edges.copy(),
+            base_cache={},
+        )
+        assert graph_digest(clone) == graph_digest(graph)
+
+    def test_token_change_changes_digest(self, candidate_graphs):
+        import dataclasses
+
+        graph = candidate_graphs[0]
+        tokens = graph.token_ids.copy()
+        tokens[0, 0] += 1
+        mutated = dataclasses.replace(graph, token_ids=tokens, base_cache={})
+        assert graph_digest(mutated) != graph_digest(graph)
+
+    def test_memo_survives_clear(self, candidate_graphs):
+        before = graph_digest(candidate_graphs[0])
+        clear_digest_memo()
+        assert graph_digest(candidate_graphs[0]) == before
+
+    def test_prediction_key_embeds_version(self, candidate_graphs):
+        graph = candidate_graphs[0]
+        assert prediction_key("v1", graph) != prediction_key("v2", graph)
+        assert prediction_key("v1", graph).startswith("v1:")
+
+
+# -- the prediction cache ----------------------------------------------------
+
+
+def _entry(key: str, size: int) -> tuple:
+    value = np.zeros(size // 8, dtype=np.float64)
+    return key, value, value.nbytes + len(key) + _ENTRY_OVERHEAD
+
+
+class TestPredictionCache:
+    def test_hit_miss_accounting(self):
+        cache = PredictionCache(max_bytes=1 << 20)
+        key, value, _ = _entry("k1", 800)
+        assert cache.get(key) is None
+        cache.put(key, value)
+        hit = cache.get(key)
+        assert hit is not None and np.array_equal(hit, value)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_returned_arrays_are_readonly(self):
+        cache = PredictionCache(max_bytes=1 << 20)
+        cache.put("k", np.ones(4))
+        with pytest.raises(ValueError):
+            cache.get("k")[0] = 9.0
+
+    def test_lru_eviction_and_byte_accounting(self):
+        k1, v1, c1 = _entry("k1", 800)
+        k2, v2, c2 = _entry("k2", 800)
+        k3, v3, c3 = _entry("k3", 800)
+        cache = PredictionCache(max_bytes=c1 + c2)
+        cache.put(k1, v1)
+        cache.put(k2, v2)
+        assert cache.bytes_used == c1 + c2
+        cache.put(k3, v3)  # evicts k1 (least recently used)
+        assert k1 not in cache and k2 in cache and k3 in cache
+        assert cache.bytes_used == c2 + c3
+        assert cache.stats()["evictions"] == 1
+
+    def test_get_freshens_entry(self):
+        k1, v1, c1 = _entry("k1", 800)
+        k2, v2, c2 = _entry("k2", 800)
+        k3, v3, _ = _entry("k3", 800)
+        cache = PredictionCache(max_bytes=c1 + c2)
+        cache.put(k1, v1)
+        cache.put(k2, v2)
+        cache.get(k1)  # k1 becomes most recent; k2 is now the LRU victim
+        cache.put(k3, v3)
+        assert k1 in cache and k2 not in cache
+
+    def test_replacing_a_key_does_not_double_count(self):
+        cache = PredictionCache(max_bytes=1 << 20)
+        k, v, cost = _entry("k", 800)
+        cache.put(k, v)
+        cache.put(k, v)
+        assert cache.bytes_used == cost and len(cache) == 1
+
+    def test_value_larger_than_budget_is_not_cached(self):
+        cache = PredictionCache(max_bytes=512)
+        cache.put("big", np.zeros(1024, dtype=np.float64))
+        assert len(cache) == 0 and cache.bytes_used == 0
+
+
+# -- the micro-batcher -------------------------------------------------------
+
+
+class _FakeClock:
+    """Scripted monotonic clock: returns values in order, then repeats
+    the last one."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def __call__(self) -> float:
+        if len(self.values) > 1:
+            return self.values.pop(0)
+        return self.values[0]
+
+
+class TestMicroBatcher:
+    def _idle_batcher(self, config, clock=None) -> MicroBatcher:
+        """A batcher whose worker is stopped so ``_gather`` can be driven
+        synchronously and deterministically."""
+        import queue
+
+        batcher = MicroBatcher(
+            lambda payloads: payloads,
+            config,
+            clock=clock or (lambda: 0.0),
+        )
+        batcher._queue.put(None)
+        batcher._worker.join(timeout=5.0)
+        assert not batcher._worker.is_alive()
+        try:  # drop a sentinel the worker re-posted instead of consuming
+            batcher._queue.get_nowait()
+        except queue.Empty:
+            pass
+        return batcher
+
+    def test_deadline_flush_under_fake_clock(self):
+        # Window opens at t=0 (deadline 0.002); two more requests are
+        # already queued and are gathered at t=0; the clock then jumps
+        # past the deadline, flushing a partial batch of 3.
+        clock = _FakeClock([0.0, 0.0, 0.0, 10.0])
+        batcher = self._idle_batcher(
+            BatcherConfig(max_batch=8, max_wait_ms=2.0), clock
+        )
+        pendings = [batcher.submit(i) for i in range(3)]
+        first = batcher._queue.get()
+        batch = batcher._gather(first)
+        assert [pending.payload for pending in batch] == [0, 1, 2]
+        stats = batcher.stats()
+        assert stats["flush_deadline"] == 1 and stats["flush_full"] == 0
+        assert pendings[0] is batch[0]
+
+    def test_full_flush_before_deadline(self):
+        batcher = self._idle_batcher(BatcherConfig(max_batch=4, max_wait_ms=60_000))
+        for i in range(6):
+            batcher.submit(i)
+        batch = batcher._gather(batcher._queue.get())
+        assert [pending.payload for pending in batch] == [0, 1, 2, 3]
+        stats = batcher.stats()
+        assert stats["flush_full"] == 1 and stats["flush_deadline"] == 0
+        assert batcher._queue.qsize() == 2  # the rest await the next window
+
+    def test_threaded_end_to_end(self):
+        batcher = MicroBatcher(
+            lambda payloads: [payload * 2 for payload in payloads],
+            BatcherConfig(max_batch=4, max_wait_ms=1.0),
+        )
+        try:
+            pendings = batcher.submit_many(list(range(10)))
+            assert [pending.result(timeout=10.0) for pending in pendings] == [
+                2 * i for i in range(10)
+            ]
+            stats = batcher.stats()
+            assert stats["submitted"] == 10 and stats["batches"] >= 3
+        finally:
+            batcher.close()
+
+    def test_admission_control_rejects_when_full(self):
+        gate = threading.Event()
+
+        def blocked(payloads):
+            gate.wait(10.0)
+            return payloads
+
+        batcher = MicroBatcher(
+            blocked,
+            BatcherConfig(max_batch=1, max_queue=1, block_on_full=False),
+        )
+        try:
+            first = batcher.submit("a")  # taken by the worker, blocks
+            import time
+
+            deadline = time.monotonic() + 5.0
+            queued = None
+            while time.monotonic() < deadline:  # fill the 1-slot queue
+                try:
+                    queued = batcher.submit("b")
+                    break
+                except AdmissionError:
+                    continue
+            assert queued is not None
+            with pytest.raises(AdmissionError):
+                # Queue now holds "b" while the worker blocks on "a".
+                batcher.submit("c")
+            assert batcher.stats()["rejected"] >= 1
+            gate.set()
+            assert first.result(timeout=10.0) == "a"
+        finally:
+            gate.set()
+            batcher.close()
+
+    def test_compute_errors_propagate_to_requesters(self):
+        def broken(payloads):
+            raise RuntimeError("model exploded")
+
+        batcher = MicroBatcher(broken, BatcherConfig(max_batch=4, max_wait_ms=1.0))
+        try:
+            pending = batcher.submit("x")
+            with pytest.raises(RuntimeError, match="model exploded"):
+                pending.result(timeout=10.0)
+        finally:
+            batcher.close()
+
+    def test_closed_batcher_rejects_submissions(self):
+        batcher = MicroBatcher(lambda payloads: payloads)
+        batcher.close()
+        with pytest.raises(ServeError):
+            batcher.submit("x")
+
+
+# -- the model registry ------------------------------------------------------
+
+
+class TestModelRegistry:
+    def test_publish_load_roundtrip_is_exact(
+        self, tmp_path, tiny_model, candidate_graphs
+    ):
+        registry = ModelRegistry(str(tmp_path))
+        record = registry.publish(tiny_model)
+        assert record.version == "v1" and registry.active_version == "v1"
+        loaded = registry.load()
+        for graph in candidate_graphs[:2]:
+            np.testing.assert_array_equal(
+                loaded.predict_proba(graph), tiny_model.predict_proba(graph)
+            )
+
+    def test_versions_are_immutable(self, tmp_path, tiny_model):
+        registry = ModelRegistry(str(tmp_path))
+        registry.publish(tiny_model, version="gold")
+        with pytest.raises(ServeError, match="immutable"):
+            registry.publish(tiny_model, version="gold")
+        with pytest.raises(ServeError, match="invalid"):
+            registry.publish(tiny_model, version="a:b")
+
+    def test_activate_and_rollback(self, tmp_path, tiny_model):
+        registry = ModelRegistry(str(tmp_path))
+        registry.publish(tiny_model)  # v1, active
+        registry.publish(tiny_model)  # v2, active, previous=v1
+        assert registry.active_version == "v2"
+        assert registry.rollback().version == "v1"
+        assert registry.active_version == "v1"
+        # The manifest is durable: a fresh registry sees the same state.
+        reloaded = ModelRegistry(str(tmp_path))
+        assert reloaded.active_version == "v1"
+        assert [record.version for record in reloaded.versions()] == ["v1", "v2"]
+        reloaded.activate("v2")
+        assert reloaded.active_version == "v2"
+
+    def test_rollback_without_previous_fails(self, tmp_path, tiny_model):
+        registry = ModelRegistry(str(tmp_path))
+        registry.publish(tiny_model)
+        with pytest.raises(ServeError, match="roll back"):
+            registry.rollback()
+
+    def test_corrupt_checkpoint_is_detected(self, tmp_path, tiny_model):
+        registry = ModelRegistry(str(tmp_path))
+        registry.publish(tiny_model)
+        path = registry.checkpoint_path("v1")
+        blob = bytearray(open(path, "rb").read())
+        blob[100] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            registry.load("v1")
+
+    def test_unknown_version_fails(self, tmp_path, tiny_model):
+        registry = ModelRegistry(str(tmp_path))
+        with pytest.raises(ServeError, match="unknown model version"):
+            registry.record("nope")
+
+
+# -- the in-process server ---------------------------------------------------
+
+
+class TestInProcessServer:
+    def _server(self, model, **kwargs) -> InProcessServer:
+        kwargs.setdefault(
+            "batcher_config", BatcherConfig(max_batch=1, max_wait_ms=0.5)
+        )
+        return InProcessServer(model, version="v1", **kwargs)
+
+    def test_served_predictions_are_byte_identical(
+        self, tiny_model, candidate_graphs
+    ):
+        # max_batch=1 makes every compute a single-graph batch, which the
+        # model defines as exactly predict_proba — so equality here is
+        # bitwise, not approximate.
+        server = self._server(tiny_model)
+        try:
+            served = server.predict_proba_batch(candidate_graphs)
+            for graph, proba in zip(candidate_graphs, served):
+                np.testing.assert_array_equal(
+                    proba, tiny_model.predict_proba(graph)
+                )
+            assert np.array_equal(
+                server.predict_proba(candidate_graphs[0]), served[0]
+            )
+            assert server.threshold == tiny_model.threshold
+        finally:
+            server.close()
+
+    def test_repeat_requests_hit_the_cache(self, tiny_model, candidate_graphs):
+        server = self._server(tiny_model)
+        try:
+            cold = server.predict_proba_batch(candidate_graphs)
+            warm = server.predict_proba_batch(candidate_graphs)
+            for a, b in zip(cold, warm):
+                np.testing.assert_array_equal(a, b)
+            stats = server.stats()
+            assert stats["cache"]["hits"] == len(candidate_graphs)
+            assert stats["cache"]["misses"] == len(candidate_graphs)
+        finally:
+            server.close()
+
+    def test_swap_model_changes_served_version(
+        self, tiny_model, candidate_graphs
+    ):
+        from repro.ml.pic import PICModel
+
+        other = PICModel(tiny_model.config, seed=99)  # untrained: differs
+        server = self._server(tiny_model)
+        try:
+            before = server.predict_proba_batch(candidate_graphs[:1])[0]
+            server.swap_model(other, "v2")
+            assert server.version == "v2"
+            after = server.predict_proba_batch(candidate_graphs[:1])[0]
+            np.testing.assert_array_equal(
+                after, other.predict_proba(candidate_graphs[0])
+            )
+            assert not np.array_equal(before, after)
+            # Old-version cache lines are no longer addressed: the same
+            # graph was a miss again under the new version's key space.
+            assert server.stats()["cache"]["misses"] == 2
+        finally:
+            server.close()
+
+    def test_concurrent_clients_get_correct_results(
+        self, tiny_model, candidate_graphs
+    ):
+        reference = [
+            tiny_model.predict_proba(graph) for graph in candidate_graphs
+        ]
+        server = self._server(tiny_model, batcher_config=BatcherConfig(max_batch=1))
+        failures = []
+
+        def client(worker: int) -> None:
+            order = list(range(len(candidate_graphs)))
+            if worker % 2:
+                order.reverse()
+            for index in order:
+                proba = server.predict_proba(candidate_graphs[index])
+                if not np.array_equal(proba, reference[index]):
+                    failures.append((worker, index))
+
+        try:
+            threads = [
+                threading.Thread(target=client, args=(worker,))
+                for worker in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not failures
+        finally:
+            server.close()
+
+
+class TestLocalBackend:
+    def test_local_backend_is_transparent(self, tiny_model, candidate_graphs):
+        backend = LocalBackend(tiny_model)
+        direct = tiny_model.predict_proba_batch(candidate_graphs)
+        for a, b in zip(direct, backend.predict_proba_batch(candidate_graphs)):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            backend.predict(candidate_graphs[0]),
+            tiny_model.predict(candidate_graphs[0]),
+        )
+        assert backend.threshold == tiny_model.threshold
+
+
+# -- the socket server -------------------------------------------------------
+
+
+@pytest.fixture()
+def socket_server(tiny_model, tmp_path):
+    server = PredictionServer(
+        tiny_model,
+        ServerConfig(
+            socket_path=str(tmp_path / "pic.sock"), max_batch=1, max_wait_ms=0.5
+        ),
+        version="v1",
+    ).start()
+    yield server
+    server.stop()
+
+
+class TestSocketServer:
+    def test_socket_predictions_are_byte_identical(
+        self, socket_server, tiny_model, candidate_graphs
+    ):
+        client = SocketBackend(socket_server.config.socket_path)
+        try:
+            served = client.predict_proba_batch(candidate_graphs)
+            for graph, proba in zip(candidate_graphs, served):
+                np.testing.assert_array_equal(
+                    proba, tiny_model.predict_proba(graph)
+                )
+            assert client.threshold == tiny_model.threshold
+            assert client.version == "v1"
+        finally:
+            client.close()
+
+    def test_status_and_ping(self, socket_server, tiny_model, candidate_graphs):
+        client = SocketBackend(socket_server.config.socket_path)
+        try:
+            assert client.ping()
+            client.predict_proba_batch(candidate_graphs)
+            status = client.status()
+            assert status["model_name"] == tiny_model.config.name
+            assert status["vocab_size"] == tiny_model.config.vocab_size
+            assert status["cache"]["misses"] == len(candidate_graphs)
+            assert status["batcher"]["batches"] >= 1
+        finally:
+            client.close()
+
+    def test_server_survives_bad_requests(self, socket_server):
+        client = SocketBackend(socket_server.config.socket_path)
+        try:
+            with pytest.raises(ServeError, match="unknown op"):
+                client._request({"op": "bogus"})
+            with pytest.raises(ServeError, match="malformed"):
+                client._request({"op": "predict_batch", "graphs": "nope"})
+            assert client.ping()  # the connection and server still work
+        finally:
+            client.close()
+
+    def test_unreachable_server_raises(self, tmp_path):
+        client = SocketBackend(str(tmp_path / "absent.sock"))
+        with pytest.raises(ServeError, match="cannot reach"):
+            client.predict_proba_batch([])  # empty short-circuits...
+            client.status()  # ...but a real request fails
+        client.close()
+
+    def test_shutdown_op_stops_server(self, tiny_model, tmp_path):
+        server = PredictionServer(
+            tiny_model,
+            ServerConfig(socket_path=str(tmp_path / "stop.sock")),
+            version="v1",
+        ).start()
+        client = SocketBackend(server.config.socket_path)
+        client.shutdown()
+        server._thread.join(timeout=10.0)
+        assert not server._thread.is_alive()
+
+
+# -- GNN concurrency regression ----------------------------------------------
+
+
+class TestGNNConcurrentReaders:
+    def test_published_adjacency_is_readonly(self, candidate_graphs):
+        from repro.graphs.ctgraph import EDGE_SCHEDULE
+
+        adjacency = prepare_adjacency(candidate_graphs[0])
+        checked = 0
+        for edge_type, (forward, reverse) in adjacency.items():
+            if edge_type == EDGE_SCHEDULE:
+                continue  # per-graph, never published into the template
+            for matrix in (forward, reverse):
+                assert not matrix.data.flags.writeable
+                assert not matrix.indices.flags.writeable
+                assert not matrix.indptr.flags.writeable
+            checked += 1
+        assert checked > 0
+
+    def test_concurrent_batched_forward_matches_serial(self, candidate_graphs):
+        """Regression: the cached ``_BatchPlan``'s layer buffers used to
+        be shared mutable state, so two threads scoring the same
+        template's candidate pool corrupted each other's activations.
+        Buffers are per-thread now; concurrent results must be bitwise
+        equal to serial ones."""
+        gnn = RelationalGCN(GNNConfig(hidden_dim=16, num_layers=2), seed=7)
+        graphs = list(candidate_graphs)
+        n_total = sum(graph.num_nodes for graph in graphs)
+        rng = np.random.default_rng(0)
+        inputs = [rng.normal(size=(n_total, 16)) for _ in range(6)]
+        expected = [gnn.forward_numpy_batch(h.copy(), graphs) for h in inputs]
+        mismatches = []
+        barrier = threading.Barrier(len(inputs))
+
+        def worker(index: int) -> None:
+            barrier.wait(timeout=30.0)
+            for _ in range(5):
+                got = gnn.forward_numpy_batch(inputs[index].copy(), graphs)
+                if not np.array_equal(got, expected[index]):
+                    mismatches.append(index)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(len(inputs))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not mismatches
+
+
+# -- served campaigns are indistinguishable from local ones ------------------
+
+
+def _campaign(dataset_builder, predictor, ctis, backend=None):
+    explorer = MLPCTExplorer(
+        dataset_builder,
+        predictor=predictor,
+        strategy=make_strategy("S1"),
+        backend=backend,
+        config=ExplorationConfig(
+            execution_budget=5,
+            inference_cap=24,
+            proposal_pool=24,
+            score_batch_size=32,
+        ),
+        seed=0,
+    )
+    return run_campaign(explorer, ctis)
+
+
+def _assert_campaigns_identical(left, right):
+    runner = DifferentialRunner("served-equivalence")
+    add_campaign_check(runner, "campaign", lambda: left, lambda: right)
+    runner.run().raise_if_failed()
+
+
+class TestServedCampaignEquivalence:
+    @pytest.fixture(scope="class")
+    def ctis(self, dataset_builder):
+        return dataset_builder.corpus.sample_pairs(rngmod.make_rng(3), 3)
+
+    @pytest.fixture(scope="class")
+    def local_campaign(self, dataset_builder, tiny_model, ctis):
+        return _campaign(dataset_builder, tiny_model, ctis)
+
+    def test_local_backend_campaign_is_identical(
+        self, dataset_builder, tiny_model, ctis, local_campaign
+    ):
+        backend = LocalBackend(tiny_model)
+        served = _campaign(dataset_builder, tiny_model, ctis, backend=backend)
+        _assert_campaigns_identical(local_campaign, served)
+
+    def test_inprocess_campaign_is_identical(
+        self, dataset_builder, tiny_model, ctis, local_campaign
+    ):
+        backend = InProcessServer(tiny_model, version="v1")
+        try:
+            served = _campaign(
+                dataset_builder, tiny_model, ctis, backend=backend
+            )
+        finally:
+            backend.close()
+        _assert_campaigns_identical(local_campaign, served)
+
+    def test_socket_campaign_is_identical(
+        self, dataset_builder, tiny_model, ctis, local_campaign, tmp_path_factory
+    ):
+        socket_path = str(
+            tmp_path_factory.mktemp("serve") / "campaign.sock"
+        )
+        server = PredictionServer(
+            tiny_model, ServerConfig(socket_path=socket_path), version="v1"
+        ).start()
+        backend = SocketBackend(socket_path)
+        try:
+            # predictor=None: the campaign side has no local model at all.
+            served = _campaign(dataset_builder, None, ctis, backend=backend)
+        finally:
+            backend.close()
+            server.stop()
+        _assert_campaigns_identical(local_campaign, served)
+
+
+# -- scorer seam + CLI surface ----------------------------------------------
+
+
+class TestScorerSeam:
+    def test_scorer_requires_predictor_or_backend(self):
+        with pytest.raises(ValueError):
+            CandidateScorer(None)
+
+    def test_backend_is_the_scoring_target(self, tiny_model, candidate_graphs):
+        backend = LocalBackend(tiny_model)
+        scorer = CandidateScorer(None, batch_size=4, backend=backend)
+        assert scorer.target is backend and scorer.batched
+        direct = tiny_model.predict_proba_batch(candidate_graphs)
+        for a, b in zip(direct, scorer.score_proba(candidate_graphs)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_no_backend_keeps_direct_path(self, tiny_model):
+        scorer = CandidateScorer(tiny_model, batch_size=4)
+        assert scorer.target is tiny_model and scorer.backend is None
+
+
+class TestServeCli:
+    def test_serve_and_campaign_flags_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "serve",
+                "start",
+                "--socket",
+                "/tmp/x.sock",
+                "--max-batch",
+                "16",
+                "--max-wait-ms",
+                "5",
+                "--cache-mb",
+                "8",
+            ]
+        )
+        assert args.command == "serve" and args.action == "start"
+        assert args.max_batch == 16 and args.cache_mb == 8
+        for action in ("stop", "status"):
+            args = parser.parse_args(["serve", action, "--socket", "/tmp/x.sock"])
+            assert args.action == action
+        args = parser.parse_args(
+            ["campaign", "--serve-socket", "/tmp/x.sock", "--ctis", "1"]
+        )
+        assert args.serve_socket == "/tmp/x.sock" and not args.serve
+        assert parser.parse_args(["campaign", "--serve"]).serve
+
+    def test_campaign_rejects_conflicting_serve_flags(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["campaign", "--serve", "--serve-socket", "/tmp/x.sock", "--ctis", "1"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
