@@ -67,6 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the telemetry metrics summary after the command",
     )
+    parser.add_argument(
+        "--proc",
+        metavar="NAME",
+        default=None,
+        help="process name stamped on telemetry events (default: p<pid>); "
+        "name client and server distinctly for 'repro report --merge'",
+    )
+    parser.add_argument(
+        "--flight",
+        metavar="FILE",
+        default=None,
+        help="arm the flight recorder: keep a ring of recent telemetry "
+        "events and dump them atomically to FILE on crash, SIGUSR1, or "
+        "admission-control rejection",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("info", help="build a kernel and print its inventory")
@@ -156,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="route candidate scoring through a running 'repro serve' "
         "server on this Unix socket (no local model is trained)",
     )
+    campaign.add_argument(
+        "--heartbeat",
+        metavar="FILE",
+        default=None,
+        help="publish throttled campaign progress snapshots (CTIs done, "
+        "races, rate, ETA) to FILE for 'repro top'",
+    )
 
     razzer = commands.add_parser("razzer", help="directed race reproduction")
     razzer.add_argument("--schedules", type=int, default=400)
@@ -240,6 +262,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="prediction-cache budget in MiB",
     )
+    serve_start.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=None,
+        help="log serve calls slower than this to the flight recorder's "
+        "slow-request log (requires --flight)",
+    )
     serve_stop = serve_actions.add_parser(
         "stop", help="shut down the server on a socket"
     )
@@ -248,16 +277,71 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="print a running server's model identity and stats"
     )
     serve_status.add_argument("--socket", required=True, metavar="PATH")
+    serve_status.add_argument(
+        "--watch",
+        action="store_true",
+        help="live view: one line per refresh with qps, p50/p99 latency, "
+        "cache hit rate, queue depth, and model version",
+    )
+    serve_status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch refreshes",
+    )
+    serve_status.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop --watch after this many refreshes (0 = until Ctrl-C)",
+    )
+    serve_metrics = serve_actions.add_parser(
+        "metrics",
+        help="print the server's metrics in Prometheus text exposition",
+    )
+    serve_metrics.add_argument("--socket", required=True, metavar="PATH")
 
     report = commands.add_parser(
         "report", help="render a recorded telemetry trace (--trace output)"
     )
-    report.add_argument("trace_file", help="JSON-lines trace to render")
+    report.add_argument(
+        "trace_file",
+        nargs="+",
+        help="JSON-lines trace(s) to render; multiple files (e.g. campaign "
+        "client + serve server) are merged into one cross-process tree",
+    )
+    report.add_argument(
+        "--merge",
+        action="store_true",
+        help="merge the given traces into one cross-process report "
+        "(implied when more than one file is given)",
+    )
     report.add_argument(
         "--timeline-rows",
         type=int,
         default=60,
         help="maximum spans shown in the timeline",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="campaign fleet progress from heartbeat files "
+        "(campaign --heartbeat FILE)",
+    )
+    top.add_argument(
+        "heartbeat_file", nargs="+", help="heartbeat JSON file(s) to watch"
+    )
+    top.add_argument(
+        "--watch", action="store_true", help="refresh until Ctrl-C"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop --watch after this many refreshes (0 = until Ctrl-C)",
     )
 
     return parser
@@ -514,6 +598,12 @@ def _cmd_campaign(args) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
 
+    heartbeat = None
+    if args.heartbeat:
+        from repro.obs.export import HeartbeatWriter
+
+        heartbeat = HeartbeatWriter(args.heartbeat)
+
     explorers = [snowcat.pct_explorer()]
     if not degraded:
         explorers.append(
@@ -524,7 +614,9 @@ def _cmd_campaign(args) -> int:
     try:
         for explorer in explorers:
             try:
-                result = run_campaign(explorer, ctis, journal=journal)
+                result = run_campaign(
+                    explorer, ctis, journal=journal, heartbeat=heartbeat
+                )
             except (JournalError, CheckpointError) as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
@@ -560,6 +652,13 @@ def _cmd_campaign(args) -> int:
                     f"(hit rate {cache.get('hit_rate', 0.0):.1%}, "
                     f"{cache.get('entries', 0):.0f} entries)"
                 )
+                # Mirror the printed line as real counters in this
+                # process's metrics snapshot. Socket backends only: an
+                # in-process server already counted its hits/misses live
+                # on this registry, and double-counting would lie.
+                if backend.stats().get("backend") == "socket":
+                    obs.add("serve.cache.hits", int(cache.get("hits", 0)))
+                    obs.add("serve.cache.misses", int(cache.get("misses", 0)))
             except Exception:
                 pass
             backend.close()
@@ -698,6 +797,54 @@ def _cmd_serve(args) -> int:
     from repro.errors import CheckpointError, ServeError
     from repro.serve import ServerConfig, SocketBackend, serve_forever
 
+    if args.action == "status" and args.watch:
+        import time as _time
+
+        from repro.obs.export import render_serve_watch
+
+        backend = SocketBackend(args.socket)
+        previous = None
+        refreshes = 0
+        try:
+            while True:
+                try:
+                    current = (
+                        backend.status(),
+                        backend.metrics()["snapshot"],
+                    )
+                except ServeError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 2
+                print(
+                    render_serve_watch(
+                        current,
+                        previous,
+                        elapsed=args.interval if previous else None,
+                    ),
+                    flush=True,
+                )
+                previous = current
+                refreshes += 1
+                if args.count and refreshes >= args.count:
+                    return 0
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        finally:
+            backend.close()
+
+    if args.action == "metrics":
+        backend = SocketBackend(args.socket)
+        try:
+            exposition = backend.metrics()["exposition"]
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        finally:
+            backend.close()
+        print(exposition, end="")
+        return 0
+
     if args.action == "status":
         backend = SocketBackend(args.socket)
         try:
@@ -776,7 +923,14 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         cache_bytes=args.cache_mb * 1024 * 1024,
+        slow_request_ms=args.slow_request_ms,
     )
+    if obs.active() is None:
+        # A sink-less registry so the 'metrics' op and 'status --watch'
+        # have live instruments (latency histogram, counters) even when
+        # the operator didn't ask for a trace file. No sink, no events
+        # on disk — and the wire protocol is unaffected either way.
+        obs.set_registry(obs.MetricsRegistry(process="server"))
     print(
         f"serving {model.config.name} version {version} on {args.socket} "
         f"(max batch {config.max_batch}, window {config.max_wait_ms} ms, "
@@ -794,28 +948,76 @@ def _cmd_serve(args) -> int:
 def _cmd_report(args) -> int:
     import json
 
-    from repro.obs.report import load_trace, render_trace_report
+    from repro.obs.report import (
+        merge_traces,
+        render_merged_report,
+        render_trace_report,
+    )
+    from repro.obs.sink import read_events_tolerant
 
-    try:
-        events = load_trace(args.trace_file)
-    except OSError as error:
-        print(f"error: cannot read trace file: {error}", file=sys.stderr)
-        return 2
-    except json.JSONDecodeError as error:
-        print(
-            f"error: {args.trace_file} is not a JSON-lines telemetry trace "
-            f"({error})",
-            file=sys.stderr,
+    event_sets = []
+    truncated_total = 0
+    for path in args.trace_file:
+        try:
+            events, truncated = read_events_tolerant(path)
+        except OSError as error:
+            print(f"error: cannot read trace file: {error}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as error:
+            print(
+                f"error: {path} is not a JSON-lines telemetry trace "
+                f"({error})",
+                file=sys.stderr,
+            )
+            return 2
+        if truncated:
+            print(
+                f"warning: {path}: skipped {truncated} truncated trailing "
+                "record (crash mid-write?)",
+                file=sys.stderr,
+            )
+            truncated_total += truncated
+        event_sets.append(events)
+
+    if args.merge or len(event_sets) > 1:
+        merged = merge_traces(
+            event_sets,
+            labels=[os.path.basename(path) for path in args.trace_file],
         )
-        return 2
+        print(
+            render_merged_report(
+                merged,
+                title="merged telemetry report — "
+                + ", ".join(args.trace_file),
+                timeline_rows=args.timeline_rows,
+            )
+        )
+        return 0
     print(
         render_trace_report(
-            events,
-            title=f"telemetry run report — {args.trace_file}",
+            event_sets[0],
+            title=f"telemetry run report — {args.trace_file[0]}",
             timeline_rows=args.timeline_rows,
         )
     )
     return 0
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from repro.obs.export import render_top
+
+    refreshes = 0
+    try:
+        while True:
+            print(render_top(args.heartbeat_file), flush=True)
+            refreshes += 1
+            if not args.watch or (args.count and refreshes >= args.count):
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 _COMMANDS = {
@@ -829,7 +1031,28 @@ _COMMANDS = {
     "quality": _cmd_quality,
     "serve": _cmd_serve,
     "report": _cmd_report,
+    "top": _cmd_top,
 }
+
+
+def _install_sigterm_flush() -> None:
+    """Turn SIGTERM into ``SystemExit`` so ``finally`` blocks run.
+
+    A supervised kill (``kill <pid>``, container stop) otherwise
+    terminates the process without unwinding, losing the final metrics
+    snapshot and leaving the trace's temp file unrenamed. Main thread
+    only; inability to install (not main thread, exotic platform) is
+    non-fatal.
+    """
+    import signal
+
+    def _on_sigterm(signum, frame):
+        raise SystemExit(143)
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):
+        pass
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -841,7 +1064,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError as error:
             print(f"error: cannot open trace file: {error}", file=sys.stderr)
             return 2
-        registry = obs.set_registry(obs.MetricsRegistry(sink=sink))
+        registry = obs.set_registry(
+            obs.MetricsRegistry(sink=sink, process=args.proc)
+        )
+        _install_sigterm_flush()
+    if args.flight:
+        from repro.obs.flight import install as install_flight
+
+        install_flight(args.flight)
+        if registry is None:
+            _install_sigterm_flush()
     try:
         with obs.span(f"cli.{args.command}", seed=args.seed):
             return _COMMANDS[args.command](args)

@@ -481,6 +481,7 @@ def run_campaign(
     explorer: _ExplorerBase,
     ctis: Sequence[Tuple[CorpusEntry, CorpusEntry]],
     journal: Optional["CampaignJournal"] = None,
+    heartbeat=None,
 ) -> CampaignResult:
     """Explore a stream of CTIs; returns the cumulative campaign curve.
 
@@ -490,12 +491,23 @@ def run_campaign(
     already holds progress for this campaign, completed CTIs are skipped
     and exploration resumes mid-stream, producing a result byte-identical
     to an uninterrupted run (see ``docs/ROBUSTNESS.md``).
+
+    With ``heartbeat`` (a :class:`repro.obs.export.HeartbeatWriter`)
+    the loop additionally publishes throttled progress snapshots —
+    CTIs done, races found, executions, rate, ETA — for ``repro top``,
+    mirroring each written snapshot as a ``campaign.heartbeat`` trace
+    point. Progress reporting reads counters only; it cannot perturb
+    campaign results.
     """
     ctis = list(ctis)
     result_stats: List[ExplorationStats] = []
     start_index = 0
     if journal is not None:
         result_stats, start_index = journal.prepare(explorer, ctis)
+    races_so_far = sum(stats.new_races for stats in result_stats)
+    executions_so_far = sum(stats.executions for stats in result_stats)
+    if heartbeat is not None:
+        heartbeat.begin(explorer.label, len(ctis), done=start_index)
     try:
         with obs.span(
             "campaign.run", label=explorer.label, ctis=len(ctis)
@@ -514,8 +526,22 @@ def run_campaign(
                         new_blocks=stats.new_blocks,
                     )
                 result_stats.append(stats)
+                races_so_far += stats.new_races
+                executions_so_far += stats.executions
                 if journal is not None:
                     journal.record_cti(explorer, index, stats)
+                if heartbeat is not None and heartbeat.update(
+                    done=index + 1,
+                    races=races_so_far,
+                    executions=executions_so_far,
+                ):
+                    obs.point(
+                        "campaign.heartbeat",
+                        done=index + 1,
+                        total=len(ctis),
+                        races=races_so_far,
+                        executions=executions_so_far,
+                    )
             campaign = explorer.result()
             campaign_span.set(
                 races=campaign.total_races,

@@ -245,9 +245,15 @@ class Snowcat:
         return self.graphs.corpus.sample_pairs(rng, count)
 
     def run_campaign(
-        self, explorer, num_ctis: int, seed_label: str = "campaign"
+        self,
+        explorer,
+        num_ctis: int,
+        seed_label: str = "campaign",
+        heartbeat=None,
     ) -> CampaignResult:
-        return run_campaign(explorer, self.cti_stream(num_ctis, seed_label))
+        return run_campaign(
+            explorer, self.cti_stream(num_ctis, seed_label), heartbeat=heartbeat
+        )
 
     # -- generalisation across versions (§5.4) ---------------------------------
 

@@ -39,8 +39,15 @@ import time
 from typing import Iterator, Optional, Union
 
 from repro.obs.metrics import Counter, Gauge, Histogram, default_duration_buckets
+from repro.obs.propagation import TraceContext, current_context, new_trace_id
 from repro.obs.registry import MetricsRegistry
-from repro.obs.sink import JsonLinesSink, MemorySink, TelemetrySink, read_events
+from repro.obs.sink import (
+    JsonLinesSink,
+    MemorySink,
+    TelemetrySink,
+    read_events,
+    read_events_tolerant,
+)
 from repro.obs.tracing import NOOP_SPAN, NoopSpan, Span
 
 __all__ = [
@@ -53,7 +60,11 @@ __all__ = [
     "MemorySink",
     "Span",
     "NoopSpan",
+    "TraceContext",
+    "current_context",
+    "new_trace_id",
     "read_events",
+    "read_events_tolerant",
     "default_duration_buckets",
     "active",
     "is_enabled",

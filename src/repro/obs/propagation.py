@@ -1,0 +1,120 @@
+"""Trace-context propagation across process boundaries.
+
+Since the serve stack split campaigns across processes (campaign client
+→ Unix-socket server), a span tree recorded in one process stops at the
+socket: the client sees one opaque ``serve.call``, the server sees
+disconnected ``serve.request`` roots. A :class:`TraceContext` is the
+bridge — a ``traceparent``-style token carried on every serve request
+naming the caller's trace id and its currently-open span, so the server
+can parent its own spans under the caller's and
+:func:`repro.obs.report.merge_traces` can stitch the two JSON-lines
+files back into one tree.
+
+Wire format (one string field, ``trace``, on each request frame)::
+
+    00-<trace_id>-<process>:<span_id>-01
+
+mirroring W3C ``traceparent`` (version - trace-id - parent-id - flags).
+The parent-id half is ``process:span_id`` because span ids are only
+unique per process: each :class:`~repro.obs.MetricsRegistry` numbers
+its spans from 1, and the merge resolves the pair back to the right
+file. Parsing is deliberately forgiving — a malformed token degrades to
+"no context" rather than failing the request, so an old client can talk
+to a new server and vice versa.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "default_process_name",
+    "sanitize_process_name",
+    "current_context",
+    "parse_span_ref",
+]
+
+#: Wire-format shape; process names are sanitised to ``[A-Za-z0-9_.]``
+#: so the ``-`` separators stay unambiguous.
+_WIRE_PATTERN = re.compile(
+    r"^00-(?P<trace>[0-9a-f]{8,32})-(?P<ref>[A-Za-z0-9_.]+:\d+)-01$"
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id.
+
+    Drawn from ``os.urandom`` — never from the seeded experiment RNG
+    streams — so generating one cannot perturb any result (the
+    telemetry determinism contract of PR 1).
+    """
+    return os.urandom(8).hex()
+
+
+def sanitize_process_name(name: str) -> str:
+    """Restrict a process name to wire-safe characters."""
+    cleaned = re.sub(r"[^A-Za-z0-9_.]", "_", str(name))
+    return cleaned or "proc"
+
+
+def default_process_name() -> str:
+    """The per-process default registry name (``p<pid>``)."""
+    return f"p{os.getpid()}"
+
+
+def parse_span_ref(ref: str) -> Optional[tuple]:
+    """Split ``"process:span_id"`` into ``(process, span_id)`` or None."""
+    process, _, span = str(ref).rpartition(":")
+    if not process or not span.isdigit():
+        return None
+    return process, int(span)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One caller's identity: its trace and the span making the call."""
+
+    trace_id: str
+    #: ``"process:span_id"`` of the caller's open span (``:0`` = root).
+    span_ref: str
+
+    def to_wire(self) -> str:
+        return f"00-{self.trace_id}-{self.span_ref}-01"
+
+    @classmethod
+    def from_wire(cls, value: object) -> Optional["TraceContext"]:
+        """Parse a wire token; ``None`` for anything malformed or absent."""
+        if not isinstance(value, str):
+            return None
+        match = _WIRE_PATTERN.match(value)
+        if match is None:
+            return None
+        return cls(trace_id=match.group("trace"), span_ref=match.group("ref"))
+
+
+def current_context(registry=None) -> Optional[TraceContext]:
+    """The calling thread's context on ``registry`` (default: the active
+    registry), or ``None`` when telemetry is off.
+
+    Inside a :meth:`~repro.obs.MetricsRegistry.remote_context` block the
+    *remote* trace id is propagated onward, so a server making its own
+    downstream calls extends the original caller's trace rather than
+    starting a new one.
+    """
+    if registry is None:
+        from repro import obs
+
+        registry = obs.active()
+    if registry is None:
+        return None
+    span = registry.current_span()
+    span_id = span.span_id if span is not None else 0
+    return TraceContext(
+        trace_id=registry.current_trace_id(),
+        span_ref=f"{registry.process}:{span_id}",
+    )

@@ -1,16 +1,30 @@
-"""The metrics registry: one telemetry domain for one run.
+"""The metrics registry: one telemetry domain for one process.
 
-Owns every instrument (counters, gauges, histograms), the open-span
-stack, and the optional event sink. All timestamps are seconds relative
-to the registry's creation (``perf_counter`` based), so traces from
-different runs line up at zero.
+Owns every instrument (counters, gauges, histograms), the per-thread
+open-span stacks, and the optional event sink. All timestamps are
+seconds relative to the registry's creation (``perf_counter`` based),
+so traces from different runs line up at zero.
+
+Each registry carries a **process name** and a **trace id** (see
+:mod:`repro.obs.propagation`): every emitted event is stamped with
+``proc``, spans additionally with ``trace``, which is what lets
+``repro report --merge`` stitch the JSON-lines files of a campaign
+client and a serve server into one tree. Span stacks are *thread-local*
+— the socket server handles concurrent requests on handler threads, and
+each thread's spans nest independently instead of corrupting a shared
+stack — while seq numbers, span ids, and sink writes are serialised
+under one lock so file ordering stays well-defined.
 
 Event schema (JSON-lines, one object per line, ``seq``-ordered):
 
 - ``{"event": "span", "seq": n, "name": ..., "id": i, "parent": j|null,
-  "depth": d, "start": s, "dur": s, "attrs": {...}}`` — emitted when a
-  span exits (children therefore appear before their parents; the tree
-  is reconstructed from ``id``/``parent``).
+  "depth": d, "start": s, "dur": s, "attrs": {...}, "proc": ...,
+  "trace": ...}`` — emitted when a span exits (children therefore appear
+  before their parents; the tree is reconstructed from ``id``/``parent``).
+  A span opened while a remote caller's context is active (see
+  :meth:`MetricsRegistry.remote_context`) carries the caller's trace id
+  and, at the root, ``"remote": "process:span_id"`` naming its
+  cross-process parent.
 - ``{"event": "point", "seq": n, "name": ..., "t": s, "fields": {...}}``
   — a one-off observation (e.g. per-epoch training stats).
 - ``{"event": "metrics", "seq": n, "counters": ..., "gauges": ...,
@@ -20,13 +34,29 @@ Event schema (JSON-lines, one object per line, ``seq``-ordered):
 
 from __future__ import annotations
 
+import contextlib
+import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.propagation import (
+    TraceContext,
+    default_process_name,
+    new_trace_id,
+    sanitize_process_name,
+)
 from repro.obs.tracing import Span
 
 __all__ = ["MetricsRegistry"]
+
+
+class _ThreadState(threading.local):
+    """Per-thread span stack and remote caller context."""
+
+    def __init__(self) -> None:
+        self.stack: List[Span] = []
+        self.remote: Optional[TraceContext] = None
 
 
 class MetricsRegistry:
@@ -36,13 +66,18 @@ class MetricsRegistry:
         self,
         sink=None,
         clock: Callable[[], float] = time.perf_counter,
+        process: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.sink = sink
         self._clock = clock
         self._t0 = clock()
         self._seq = 0
         self._next_span_id = 1
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._state = _ThreadState()
+        self.process = sanitize_process_name(process or default_process_name())
+        self.trace_id = trace_id or new_trace_id()
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
@@ -84,33 +119,60 @@ class MetricsRegistry:
         return Span(self, name, dict(attrs))
 
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._state.stack
+        return stack[-1] if stack else None
+
+    def current_trace_id(self) -> str:
+        """This thread's effective trace id (a remote caller's wins)."""
+        remote = self._state.remote
+        if remote is not None and remote.trace_id:
+            return remote.trace_id
+        return self.trace_id
+
+    @contextlib.contextmanager
+    def remote_context(self, context: Optional[TraceContext]) -> Iterator[None]:
+        """Adopt a remote caller's trace for this thread's scope.
+
+        While active, spans ending on this thread carry the caller's
+        trace id, and a root span (no local parent) records
+        ``"remote": context.span_ref`` — the cross-process parent link
+        the trace merge resolves. Nests and restores on exit; a ``None``
+        context is a no-op so call sites need no branching.
+        """
+        state = self._state
+        previous, state.remote = state.remote, context
+        try:
+            yield
+        finally:
+            state.remote = previous
+
+    def _allocate_span_id(self) -> int:
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+            return span_id
 
     def _enter_span(self, span: Span) -> None:
-        span.span_id = self._next_span_id
-        self._next_span_id += 1
-        span.parent_id = self._stack[-1].span_id if self._stack else None
-        span.depth = len(self._stack)
+        stack = self._state.stack
+        span.span_id = self._allocate_span_id()
+        span.parent_id = stack[-1].span_id if stack else None
+        span.depth = len(stack)
         span.child_seconds = 0.0
-        self._stack.append(span)
+        stack.append(span)
         span.start = self.now()
 
     def _exit_span(self, span: Span, failed: bool = False) -> None:
         span.duration = self.now() - span.start
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        elif span in self._stack:  # mis-nested exit: unwind to the span
-            while self._stack and self._stack[-1] is not span:
-                self._stack.pop()
-            self._stack.pop()
-        if self._stack:
-            self._stack[-1].child_seconds += span.duration
-        stats = self.span_stats.setdefault(
-            span.name, {"count": 0, "total": 0.0, "exclusive": 0.0}
-        )
-        stats["count"] += 1
-        stats["total"] += span.duration
-        stats["exclusive"] += max(span.duration - span.child_seconds, 0.0)
+        stack = self._state.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mis-nested exit: unwind to the span
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        if stack:
+            stack[-1].child_seconds += span.duration
+        self._fold_span_stats(span.name, span.duration, span.child_seconds)
         event: Dict[str, object] = {
             "event": "span",
             "name": span.name,
@@ -120,20 +182,87 @@ class MetricsRegistry:
             "start": round(span.start, 6),
             "dur": round(span.duration, 6),
             "attrs": span.attrs,
+            "trace": self.current_trace_id(),
         }
+        remote = self._state.remote
+        if span.parent_id is None and remote is not None:
+            event["remote"] = remote.span_ref
         if failed:
             event["failed"] = True
         self.emit(event)
 
+    def _fold_span_stats(
+        self, name: str, duration: float, child_seconds: float
+    ) -> None:
+        with self._lock:
+            stats = self.span_stats.setdefault(
+                name, {"count": 0, "total": 0.0, "exclusive": 0.0}
+            )
+            stats["count"] += 1
+            stats["total"] += duration
+            stats["exclusive"] += max(duration - child_seconds, 0.0)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        attrs: Optional[Dict[str, object]] = None,
+        parent: Optional[int] = None,
+        depth: Optional[int] = None,
+        child_seconds: float = 0.0,
+    ) -> int:
+        """Emit a span with explicit timing; returns its span id.
+
+        The escape hatch for work measured *outside* a ``with`` block —
+        e.g. queue wait and batched model time observed from timestamps
+        the micro-batcher recorded on another thread. With ``parent``
+        unset the span parents under the calling thread's open span
+        (charging its ``child_seconds`` like a real child would); pass
+        an explicit ``parent`` id (+ ``depth``) to build synthetic
+        sub-trees under a span returned by a previous call.
+        """
+        if parent is None:
+            stack = self._state.stack
+            open_span = stack[-1] if stack else None
+            parent_id = open_span.span_id if open_span is not None else None
+            span_depth = open_span.depth + 1 if open_span is not None else 0
+            if open_span is not None:
+                open_span.child_seconds += duration
+        else:
+            parent_id = parent
+            span_depth = depth if depth is not None else 1
+        span_id = self._allocate_span_id()
+        self._fold_span_stats(name, duration, child_seconds)
+        event: Dict[str, object] = {
+            "event": "span",
+            "name": name,
+            "id": span_id,
+            "parent": parent_id,
+            "depth": span_depth,
+            "start": round(start, 6),
+            "dur": round(duration, 6),
+            "attrs": dict(attrs or {}),
+            "trace": self.current_trace_id(),
+        }
+        remote = self._state.remote
+        if parent_id is None and remote is not None:
+            event["remote"] = remote.span_ref
+        self.emit(event)
+        return span_id
+
     # -- events --------------------------------------------------------------
 
     def emit(self, event: Dict[str, object]) -> None:
-        """Stamp ``seq`` and forward to the sink (dropped when sink-less)."""
+        """Stamp ``proc``/``seq`` and forward to the sink (dropped when
+        sink-less)."""
         event = dict(event)
-        event["seq"] = self._seq
-        self._seq += 1
-        if self.sink is not None:
-            self.sink.write(event)
+        event.setdefault("proc", self.process)
+        with self._lock:
+            event["seq"] = self._seq
+            self._seq += 1
+            if self.sink is not None:
+                self.sink.write(event)
 
     def point(self, name: str, /, **fields: object) -> None:
         """A one-off named observation (per-epoch stats and the like)."""

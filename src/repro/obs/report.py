@@ -19,8 +19,10 @@ file) and renders:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.propagation import parse_span_ref
 from repro.obs.sink import read_events
 from repro.reporting import format_span_timeline, format_table
 
@@ -28,7 +30,10 @@ __all__ = [
     "collect_spans",
     "final_metrics",
     "stage_rows",
+    "serve_rows",
+    "merge_traces",
     "render_trace_report",
+    "render_merged_report",
     "render_metrics_summary",
     "load_trace",
 ]
@@ -121,6 +126,248 @@ def stage_rows(spans: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
     ]
 
 
+#: Request-path order for the serve attribution table.
+SERVE_ORDER = (
+    "serve.call",
+    "serve.request",
+    "serve.cache",
+    "serve.batch",
+    "serve.queue_wait",
+    "serve.model",
+    "serve.compute",
+)
+
+
+def serve_rows(spans: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """One row per serve-path span name: where a served request's time
+    goes (client call → server request → cache → queue wait → model)."""
+    groups: Dict[str, Dict[str, object]] = {}
+    for span in spans:
+        name = str(span.get("name", ""))
+        if not name.startswith("serve."):
+            continue
+        group = groups.setdefault(
+            name, {"count": 0, "total": 0.0, "batch": [], "queue_wait": []}
+        )
+        group["count"] += 1
+        group["total"] += float(span.get("dur", 0.0))
+        attrs = span.get("attrs") or {}
+        if "batch" in attrs:
+            group["batch"].append(float(attrs["batch"]))
+        if "queue_wait" in attrs:
+            group["queue_wait"].append(float(attrs["queue_wait"]))
+
+    def order(name: str) -> tuple:
+        try:
+            return (SERVE_ORDER.index(name), name)
+        except ValueError:
+            return (len(SERVE_ORDER), name)
+
+    rows = []
+    for name, group in sorted(groups.items(), key=lambda kv: order(kv[0])):
+        count = int(group["count"])
+        total = float(group["total"])
+        batches = group["batch"]
+        waits = group["queue_wait"]
+        rows.append(
+            {
+                "span": name,
+                "count": count,
+                "total s": total,
+                "mean ms": (total / count) * 1000.0 if count else 0.0,
+                "mean batch": (
+                    f"{sum(batches) / len(batches):.1f}" if batches else "-"
+                ),
+                "queue wait s": f"{sum(waits):.4f}" if waits else "-",
+            }
+        )
+    return rows
+
+
+def merge_traces(
+    event_sets: Sequence[Sequence[Dict[str, object]]],
+    labels: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Stitch per-process traces into one cross-process span forest.
+
+    Each input is one file's events (client campaign, serve server, ...).
+    Spans are re-numbered into a global id space; a root span whose
+    ``remote`` field names a span in another file (the trace-context
+    link written by :meth:`MetricsRegistry.remote_context`) is re-parented
+    under it. Because every registry's clock starts at its own zero, each
+    process is shifted onto the timeline of the processes it called into:
+    the per-pair offset is the median of ``parent.start - child.start``
+    over all resolved links, which cancels the unknown clock epoch while
+    staying robust to per-request jitter.
+
+    Returns ``{"spans", "metrics", "procs", "trace_ids", "links"}``:
+    merged span dicts (global ``id``/``parent``/``depth``, aligned
+    ``start``), the final metrics snapshot per process, the process
+    names, the distinct trace ids seen, and how many cross-process links
+    resolved.
+    """
+    per_span: List[Tuple[str, Dict[str, object]]] = []
+    metrics: Dict[str, Dict[str, object]] = {}
+    procs: List[str] = []
+    for index, events in enumerate(event_sets):
+        default_proc = (
+            str(labels[index])
+            if labels is not None and index < len(labels)
+            else f"file{index}"
+        )
+        file_procs: List[str] = []
+        for span in collect_spans(events):
+            proc = str(span.get("proc") or default_proc)
+            if proc not in file_procs:
+                file_procs.append(proc)
+            per_span.append((proc, span))
+        if not file_procs:
+            file_procs = [default_proc]
+        for proc in file_procs:
+            if proc not in procs:
+                procs.append(proc)
+        snapshot = final_metrics(events)
+        if snapshot is not None:
+            metrics[file_procs[0]] = snapshot
+
+    id_map: Dict[Tuple[str, int], int] = {}
+    new_ids: List[int] = []
+    for new_id, (proc, span) in enumerate(per_span, start=1):
+        # First occurrence wins for reference resolution; duplicates
+        # (same-named processes) still get distinct merged ids.
+        id_map.setdefault((proc, int(span.get("id", 0))), new_id)
+        new_ids.append(new_id)
+
+    # Parent resolution + cross-process link collection.
+    links = 0
+    pair_deltas: Dict[Tuple[str, str], List[float]] = {}
+    resolved: List[Dict[str, object]] = []
+    for (proc, span), new_id in zip(per_span, new_ids):
+        parent = span.get("parent")
+        if parent is not None:
+            new_parent = id_map.get((proc, int(parent)))
+        else:
+            new_parent = None
+            ref = parse_span_ref(span.get("remote") or "")
+            if ref is not None:
+                new_parent = id_map.get(ref)
+                if new_parent is not None:
+                    links += 1
+                    parent_proc, parent_old = ref
+                    parent_span = next(
+                        s
+                        for p, s in per_span
+                        if p == parent_proc and int(s.get("id", 0)) == parent_old
+                    )
+                    pair_deltas.setdefault((proc, parent_proc), []).append(
+                        float(parent_span.get("start", 0.0))
+                        - float(span.get("start", 0.0))
+                    )
+        resolved.append(
+            {
+                "event": "span",
+                "name": span.get("name", "?"),
+                "id": new_id,
+                "parent": new_parent,
+                "depth": 0,  # recomputed below
+                "start": float(span.get("start", 0.0)),
+                "dur": float(span.get("dur", 0.0)),
+                "attrs": span.get("attrs") or {},
+                "proc": proc,
+                "trace": span.get("trace"),
+                "seq": span.get("seq", 0),
+            }
+        )
+
+    # Per-process time-base alignment: anchor processes nobody links out
+    # of at zero, then propagate median offsets along the link graph.
+    offsets: Dict[str, Optional[float]] = {proc: None for proc in procs}
+    child_procs = {pair[0] for pair in pair_deltas}
+    for proc in procs:
+        if proc not in child_procs:
+            offsets[proc] = 0.0
+    if procs and all(offset is None for offset in offsets.values()):
+        offsets[procs[0]] = 0.0  # pure cycle: arbitrary anchor
+    changed = True
+    while changed:
+        changed = False
+        for (child, parent), deltas in pair_deltas.items():
+            if offsets[child] is None and offsets.get(parent) is not None:
+                offsets[child] = offsets[parent] + statistics.median(deltas)
+                changed = True
+    for span in resolved:
+        offset = offsets.get(span["proc"]) or 0.0
+        span["start"] = round(span["start"] + offset, 6)
+
+    # Depth recomputation over the merged forest.
+    by_id = {span["id"]: span for span in resolved}
+    children: Dict[Optional[int], List[int]] = {}
+    for span in resolved:
+        children.setdefault(span["parent"], []).append(span["id"])
+    frontier = list(children.get(None, []))
+    while frontier:
+        span_id = frontier.pop()
+        span = by_id[span_id]
+        parent = span["parent"]
+        span["depth"] = by_id[parent]["depth"] + 1 if parent in by_id else 0
+        frontier.extend(children.get(span_id, []))
+
+    resolved.sort(key=lambda span: (span["start"], span["id"]))
+    trace_ids = sorted(
+        {str(span["trace"]) for span in resolved if span.get("trace")}
+    )
+    return {
+        "spans": resolved,
+        "metrics": metrics,
+        "procs": procs,
+        "trace_ids": trace_ids,
+        "links": links,
+    }
+
+
+def render_merged_report(
+    merged: Dict[str, object],
+    title: str = "merged telemetry report",
+    timeline_rows: int = 80,
+) -> str:
+    """The cross-process report for :func:`merge_traces` output."""
+    spans: List[Dict[str, object]] = list(merged.get("spans") or [])
+    procs = merged.get("procs") or []
+    trace_ids = merged.get("trace_ids") or []
+    sections: List[str] = [
+        f"{title}\n"
+        f"processes: {', '.join(procs) or '(none)'} | "
+        f"trace ids: {', '.join(trace_ids) or '(none)'} | "
+        f"cross-process links resolved: {merged.get('links', 0)}"
+    ]
+    if spans:
+        sections.append(
+            format_table(stage_rows(spans), title="stage breakdown (wall clock)")
+        )
+        serving = serve_rows(spans)
+        if serving:
+            sections.append(
+                format_table(
+                    serving, title="serve attribution", float_digits=4
+                )
+            )
+    else:
+        sections.append("stage breakdown: (no spans recorded)")
+    for proc, snapshot in sorted((merged.get("metrics") or {}).items()):
+        counter_rows = _counter_rows(snapshot)
+        if counter_rows:
+            sections.append(
+                format_table(
+                    counter_rows, title=f"work breakdown [{proc}]", float_digits=3
+                )
+            )
+    timeline_spans = [
+        dict(span, name=f"{span['proc']}:{span['name']}") for span in spans
+    ]
+    sections.append(format_span_timeline(timeline_spans, max_rows=timeline_rows))
+    return "\n\n".join(sections)
+
+
 def _counter_rows(snapshot: Dict[str, object]) -> List[Dict[str, object]]:
     counters = snapshot.get("counters") or {}
     gauges = snapshot.get("gauges") or {}
@@ -163,6 +410,11 @@ def render_trace_report(
         sections.append(
             format_table(stage_rows(spans), title="stage breakdown (wall clock)")
         )
+        serving = serve_rows(spans)
+        if serving:
+            sections.append(
+                format_table(serving, title="serve attribution", float_digits=4)
+            )
     else:
         sections.append("stage breakdown: (no spans recorded)")
     counter_rows = _counter_rows(snapshot)

@@ -15,7 +15,13 @@ import os
 import tempfile
 from typing import IO, Dict, Iterator, List, Optional, Union
 
-__all__ = ["TelemetrySink", "JsonLinesSink", "MemorySink", "read_events"]
+__all__ = [
+    "TelemetrySink",
+    "JsonLinesSink",
+    "MemorySink",
+    "read_events",
+    "read_events_tolerant",
+]
 
 
 class TelemetrySink:
@@ -89,13 +95,52 @@ class JsonLinesSink(TelemetrySink):
 
 
 def read_events(path: str) -> List[Dict[str, object]]:
-    """Load a JSON-lines trace back into event dicts (blank lines skipped)."""
-    return list(iter_events(path))
+    """Load a JSON-lines trace back into event dicts (blank lines skipped).
+
+    A truncated *final* line — the signature a crash mid-write leaves on
+    an append-mode trace — is silently dropped rather than raised, so a
+    post-mortem ``repro report`` can always read what did land. Garbage
+    anywhere else (including a file whose only line is unparseable — a
+    non-trace, not a casualty) still raises ``json.JSONDecodeError``.
+    Use :func:`read_events_tolerant` to learn how many records were
+    dropped.
+    """
+    events, _ = read_events_tolerant(path)
+    return events
+
+
+def read_events_tolerant(path: str):
+    """Like :func:`read_events`, returning ``(events, truncated_count)``.
+
+    ``truncated_count`` is how many trailing partial records were
+    skipped (0 or 1 — only the final line can be a mid-write casualty).
+    """
+    events: List[Dict[str, object]] = []
+    truncated = 0
+    with open(path) as handle:
+        lines = handle.readlines()
+    last_content = -1
+    for index in range(len(lines) - 1, -1, -1):
+        if lines[index].strip():
+            last_content = index
+            break
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            # Tail tolerance needs evidence the file IS a trace: at
+            # least one well-formed record before the broken tail.
+            if index == last_content and events:
+                truncated += 1
+            else:
+                raise
+    return events, truncated
 
 
 def iter_events(path: str) -> Iterator[Dict[str, object]]:
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield json.loads(line)
+    """Iterate a trace's events (same tail tolerance as
+    :func:`read_events`)."""
+    return iter(read_events(path))

@@ -122,11 +122,17 @@ class InProcessServer(PredictionBackend):
         cache_bytes: Optional[int] = None,
         batcher_config: Optional[BatcherConfig] = None,
         clock=None,
+        registry=None,
     ) -> None:
         if cache is not None and cache_bytes is not None:
             raise ValueError("pass either cache or cache_bytes, not both")
         self._model = model
         self._version = version
+        #: Explicit telemetry registry; ``None`` falls back to the
+        #: process-global one. Injection exists so a server sharing a
+        #: process with its client (tests, embedded serving) can keep
+        #: its span tree in a separate trace file.
+        self._obs_registry = registry
         self._model_lock = threading.Lock()
         self.cache = cache if cache is not None else PredictionCache(
             **({"max_bytes": cache_bytes} if cache_bytes is not None else {})
@@ -138,6 +144,62 @@ class InProcessServer(PredictionBackend):
         self._requests = 0
         self._stats_lock = threading.Lock()
 
+    # -- telemetry plumbing --------------------------------------------------
+
+    def _obs(self):
+        """The effective registry: injected one, else the global one."""
+        registry = self._obs_registry
+        return registry if registry is not None else obs.active()
+
+    def _emit_batch_spans(
+        self, registry, pendings, anchor_registry: float, anchor_batcher: float
+    ) -> None:
+        """Synthetic serve.batch/serve.queue_wait/serve.model spans.
+
+        The batcher stamps its lifecycle timestamps in *its* clock on
+        another thread; this maps them into the registry's timeline via
+        a pair of anchors sampled at request entry and emits one
+        aggregate sub-tree per request (under the thread's open span,
+        e.g. the server's ``serve.request``).
+        """
+        done = [p for p in pendings if p.compute_end is not None]
+        if not done:
+            return
+
+        def rel(stamp: float) -> float:
+            return anchor_registry + (stamp - anchor_batcher)
+
+        enqueued = min(p.enqueued_at for p in done)
+        model_start = min(p.compute_start for p in done)
+        model_end = max(p.compute_end for p in done)
+        queue_wait = max(model_start - enqueued, 0.0)
+        model_seconds = max(model_end - model_start, 0.0)
+        batch_size = max(p.batch_size for p in done)
+        open_span = registry.current_span()
+        base_depth = open_span.depth + 1 if open_span is not None else 0
+        batch_id = registry.record_span(
+            "serve.batch",
+            start=rel(enqueued),
+            duration=max(model_end - enqueued, 0.0),
+            attrs={"batch": batch_size, "queue_wait": round(queue_wait, 6)},
+            child_seconds=queue_wait + model_seconds,
+        )
+        registry.record_span(
+            "serve.queue_wait",
+            start=rel(enqueued),
+            duration=queue_wait,
+            parent=batch_id,
+            depth=base_depth + 1,
+        )
+        registry.record_span(
+            "serve.model",
+            start=rel(model_start),
+            duration=model_seconds,
+            attrs={"batch": batch_size},
+            parent=batch_id,
+            depth=base_depth + 1,
+        )
+
     # -- the single compute path ---------------------------------------------
 
     def _compute(self, graphs: List[object]) -> List[tuple]:
@@ -146,10 +208,14 @@ class InProcessServer(PredictionBackend):
         Tags each result with the version that produced it so the
         requesting side can detect a hot-swap that raced its request.
         """
+        registry = self._obs()
         with self._model_lock:
             model = self._model
             version = self._version
-            with obs.span("serve.compute", batch=len(graphs)):
+            if registry is not None:
+                with registry.span("serve.compute", batch=len(graphs)):
+                    probas = model.predict_proba_batch(list(graphs))
+            else:
                 probas = model.predict_proba_batch(list(graphs))
         return [(version, proba) for proba in probas]
 
@@ -171,11 +237,26 @@ class InProcessServer(PredictionBackend):
             return []
         with self._stats_lock:
             self._requests += 1
-        obs.add("serve.requests")
+        registry = self._obs()
+        if registry is not None:
+            registry.counter("serve.requests").add(1)
+            # Anchor pair: same instant in the registry's timeline and
+            # the batcher's clock, for mapping worker-side stamps.
+            anchor_registry = registry.now()
+            anchor_batcher = self._batcher._clock()
         with self._model_lock:
             version = self._version
         keys = [prediction_key(version, graph) for graph in graphs]
+        cache_started = registry.now() if registry is not None else 0.0
         results: List[Optional[np.ndarray]] = [self.cache.get(key) for key in keys]
+        if registry is not None:
+            hits = sum(1 for cached in results if cached is not None)
+            registry.record_span(
+                "serve.cache",
+                start=cache_started,
+                duration=max(registry.now() - cache_started, 0.0),
+                attrs={"hits": hits, "misses": len(results) - hits},
+            )
 
         # For each distinct missing key, either adopt the in-flight
         # computation another thread already submitted or submit one.
@@ -192,6 +273,7 @@ class InProcessServer(PredictionBackend):
                     submitted[key] = pending
             pending_by_key[key] = pending
 
+        waited = list(pending_by_key.values())
         filled = dict(submitted)
         try:
             for key, pending in pending_by_key.items():
@@ -213,6 +295,10 @@ class InProcessServer(PredictionBackend):
                         if self._inflight.get(key) is pending:
                             del self._inflight[key]
 
+        if registry is not None and waited:
+            self._emit_batch_spans(
+                registry, waited, anchor_registry, anchor_batcher
+            )
         return [
             cached if cached is not None else pending_by_key[key]
             for key, cached in zip(keys, results)
@@ -231,7 +317,9 @@ class InProcessServer(PredictionBackend):
             old = self._version
             self._model = model
             self._version = version
-        obs.point("serve.swap", previous=old, version=version)
+        registry = self._obs()
+        if registry is not None:
+            registry.point("serve.swap", previous=old, version=version)
 
     def stats(self) -> dict:
         with self._stats_lock:

@@ -38,6 +38,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro import obs
 from repro.errors import AdmissionError, ServeError
+from repro.obs.flight import active_recorder
 
 __all__ = ["BatcherConfig", "PendingResult", "MicroBatcher"]
 
@@ -60,15 +61,37 @@ class BatcherConfig:
 
 
 class PendingResult:
-    """A single request's future result (set once by the worker)."""
+    """A single request's future result (set once by the worker).
 
-    __slots__ = ("payload", "_event", "_value", "_error")
+    Carries the lifecycle timestamps of its trip through the batcher
+    (all in the batcher's clock): ``enqueued_at`` stamped by
+    :meth:`MicroBatcher.submit`, ``compute_start``/``compute_end`` and
+    ``batch_size`` stamped by the worker before resolving. The waiting
+    thread may read them after :meth:`result` returns (the event wait
+    orders the stamps); the serving backend turns them into synthetic
+    ``serve.batch`` / ``serve.queue_wait`` / ``serve.model`` spans.
+    """
+
+    __slots__ = (
+        "payload",
+        "_event",
+        "_value",
+        "_error",
+        "enqueued_at",
+        "compute_start",
+        "compute_end",
+        "batch_size",
+    )
 
     def __init__(self, payload: object) -> None:
         self.payload = payload
         self._event = threading.Event()
         self._value: object = None
         self._error: Optional[BaseException] = None
+        self.enqueued_at: float = 0.0
+        self.compute_start: float = 0.0
+        self.compute_end: Optional[float] = None
+        self.batch_size: int = 0
 
     def _resolve(self, value: object) -> None:
         self._value = value
@@ -130,6 +153,7 @@ class MicroBatcher:
         if self._closed:
             raise ServeError("micro-batcher is closed")
         pending = PendingResult(payload)
+        pending.enqueued_at = self._clock()
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
@@ -137,6 +161,12 @@ class MicroBatcher:
                 with self._lock:
                     self._rejected += 1
                 obs.add("serve.queue.rejected")
+                recorder = active_recorder()
+                if recorder is not None:  # load shedding is a post-mortem trigger
+                    recorder.dump_now(
+                        "admission_error",
+                        detail=f"queue full at {self.config.max_queue} pending",
+                    )
                 raise AdmissionError(
                     f"serving queue full ({self.config.max_queue} pending); "
                     "request rejected by admission control"
@@ -193,6 +223,10 @@ class MicroBatcher:
             if first is None:
                 return
             batch = self._gather(first)
+            started = self._clock()
+            for pending in batch:
+                pending.batch_size = len(batch)
+                pending.compute_start = started
             try:
                 results = self._compute([pending.payload for pending in batch])
                 if len(results) != len(batch):
@@ -201,10 +235,14 @@ class MicroBatcher:
                         f"for a batch of {len(batch)}"
                     )
             except BaseException as error:  # propagate to every requester
+                finished = self._clock()
                 for pending in batch:
+                    pending.compute_end = finished
                     pending._reject(error)
                 continue
+            finished = self._clock()
             for pending, value in zip(batch, results):
+                pending.compute_end = finished
                 pending._resolve(value)
 
     # -- lifecycle / stats ---------------------------------------------------

@@ -39,6 +39,7 @@ import socket
 import socketserver
 import struct
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -48,6 +49,9 @@ from repro import obs
 from repro.errors import ProtocolError, ServeError
 from repro.execution.concurrent import ScheduleHint
 from repro.graphs.ctgraph import CTGraph
+from repro.obs.export import render_prometheus, snapshot_from_stats
+from repro.obs.flight import active_recorder
+from repro.obs.propagation import TraceContext, current_context
 from repro.serve.backend import InProcessServer, PredictionBackend
 from repro.serve.batching import BatcherConfig
 from repro.serve.cache import DEFAULT_CACHE_BYTES
@@ -209,6 +213,9 @@ class ServerConfig:
     max_wait_ms: float = 2.0
     cache_bytes: int = DEFAULT_CACHE_BYTES
     max_queue: int = 256
+    #: Serve calls slower than this land in the flight recorder's
+    #: slow-request log (``None`` disables; CLI: ``--slow-request-ms``).
+    slow_request_ms: Optional[float] = None
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -256,8 +263,15 @@ class PredictionServer:
         config: ServerConfig,
         version: str = "v0",
         backend: Optional[InProcessServer] = None,
+        registry=None,
     ) -> None:
         self.config = config
+        #: Explicit registry for the server's own spans; ``None`` uses
+        #: the process-global one (separate-process deployment). Tests
+        #: that host client and server in one process inject distinct
+        #: registries to get distinct trace files.
+        self._registry = registry
+        self._started_monotonic = time.monotonic()
         self.backend = backend or InProcessServer(
             model,
             version=version,
@@ -267,6 +281,7 @@ class PredictionServer:
                 max_wait_ms=config.max_wait_ms,
                 max_queue=config.max_queue,
             ),
+            registry=registry,
         )
         path = config.socket_path
         if os.path.exists(path):
@@ -278,12 +293,56 @@ class PredictionServer:
 
     # -- request dispatch ----------------------------------------------------
 
+    def _obs(self):
+        registry = self._registry
+        return registry if registry is not None else obs.active()
+
     def dispatch(self, request: dict) -> dict:
+        """One request → one response, under the caller's trace context.
+
+        A ``trace`` field on the frame (see
+        :mod:`repro.obs.propagation`) makes every server-side span of
+        this request carry the caller's trace id, with the root span
+        recording its cross-process parent — the hook ``repro report
+        --merge`` uses to stitch the two files. Malformed or absent
+        context degrades to an independent server-side trace.
+        """
+        registry = self._obs()
+        context = (
+            TraceContext.from_wire(request.get("trace"))
+            if registry is not None
+            else None
+        )
+        if context is not None:
+            with registry.remote_context(context):
+                return self._dispatch(request, registry)
+        return self._dispatch(request, registry)
+
+    def _dispatch(self, request: dict, registry) -> dict:
         op = request.get("op")
         if op == "predict_batch":
             graphs = decode_graphs(request)
-            with obs.span("serve.request", op=op, graphs=len(graphs)):
+            recorder = active_recorder()
+            slow_ms = self.config.slow_request_ms
+            timing = registry is not None or (
+                recorder is not None and slow_ms is not None
+            )
+            started = time.monotonic() if timing else 0.0
+            if registry is not None:
+                with registry.span("serve.request", op=op, graphs=len(graphs)):
+                    probas = self.backend.predict_proba_batch(graphs)
+            else:
                 probas = self.backend.predict_proba_batch(graphs)
+            if timing:
+                elapsed = time.monotonic() - started
+                if registry is not None:
+                    registry.histogram("serve.request.seconds").observe(elapsed)
+                if (
+                    recorder is not None
+                    and slow_ms is not None
+                    and elapsed * 1000.0 >= slow_ms
+                ):
+                    recorder.note_slow(op, elapsed, graphs=len(graphs))
             return {
                 "ok": True,
                 "version": self.backend.version,
@@ -292,12 +351,26 @@ class PredictionServer:
         if op == "status":
             status = self.backend.stats()
             status["socket"] = self.config.socket_path
+            status["uptime_seconds"] = round(
+                time.monotonic() - self._started_monotonic, 3
+            )
             status["vocab_size"] = int(
                 getattr(
                     getattr(self.backend._model, "config", None), "vocab_size", 0
                 )
             )
             return {"ok": True, "status": status}
+        if op == "metrics":
+            snapshot = (
+                registry.snapshot()
+                if registry is not None
+                else snapshot_from_stats(self.backend.stats())
+            )
+            return {
+                "ok": True,
+                "snapshot": snapshot,
+                "exposition": render_prometheus(snapshot),
+            }
         if op == "ping":
             return {"ok": True}
         if op == "shutdown":
@@ -311,7 +384,9 @@ class PredictionServer:
 
     def serve_forever(self) -> None:
         """Block serving requests until :meth:`stop` or a shutdown op."""
-        obs.point("serve.listen", socket=self.config.socket_path)
+        registry = self._obs()
+        if registry is not None:
+            registry.point("serve.listen", socket=self.config.socket_path)
         try:
             self._server.serve_forever(poll_interval=0.1)
         finally:
@@ -390,6 +465,12 @@ class SocketBackend(PredictionBackend):
         self._wfile = sock.makefile("wb")
 
     def _request(self, payload: dict) -> dict:
+        # Attach the caller's trace context only when telemetry is on —
+        # with it off the frame (and therefore the wire) is byte-for-byte
+        # what a telemetry-free build sends.
+        context = current_context()
+        if context is not None:
+            payload["trace"] = context.to_wire()
         with self._lock:
             self._connect()
             try:
@@ -441,7 +522,10 @@ class SocketBackend(PredictionBackend):
             return []
         payload = encode_graphs(graphs)
         payload["op"] = "predict_batch"
-        response = self._request(payload)
+        # The serve.call span is open while _request reads the current
+        # context, so the server parents its spans under this exact call.
+        with obs.span("serve.call", op="predict_batch", graphs=len(graphs)):
+            response = self._request(payload)
         probas = response["probas"]
         if len(probas) != len(graphs):
             raise ProtocolError(
@@ -462,6 +546,14 @@ class SocketBackend(PredictionBackend):
         status = self._request({"op": "status"})["status"]
         self._identity = status
         return status
+
+    def metrics(self) -> dict:
+        """The server's metrics snapshot + Prometheus exposition text."""
+        response = self._request({"op": "metrics"})
+        return {
+            "snapshot": response.get("snapshot") or {},
+            "exposition": response.get("exposition") or "",
+        }
 
     def shutdown(self) -> None:
         self._request({"op": "shutdown"})

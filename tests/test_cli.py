@@ -28,6 +28,7 @@ class TestParser:
             "train": ["--epochs", "1"],
             "report": ["trace.jsonl"],
             "serve": ["status", "--socket", "/tmp/repro.sock"],
+            "top": ["heartbeat.json"],
         }
         parser = build_parser()
         for command in _COMMANDS:
