@@ -1,0 +1,198 @@
+"""Perf bench for the two-stage scoring cascade + GNN float32 fast path.
+
+Three configurations of the same campaign-shaped scoring workload
+(per-CTI candidate pools, the MLPCT hot loop), interleaved so ambient
+machine load biases them equally:
+
+1. **cascade off, float64** — the plain batched engine. This path is
+   byte-identical to the PR 2 engine, so its rate here *is* the PR 2
+   baseline measured under today's conditions.
+2. **cascade on, float64** — the cheap trained filter rejects
+   unpromising candidates before the full PIC.
+3. **cascade on, float32** — cascade plus the float32 batched GNN
+   fast path.
+
+The per-stage breakdown (filter seconds, PIC seconds, pass/reject
+counts) comes from the ``cascade.*`` telemetry the scoring engine
+emits, so the numbers in the table are the same ones an operator sees
+in ``repro report``.
+
+``REPRO_BENCH_SMOKE=1`` shrinks sizes for CI; the smoke gate asserts
+cascade-on beats cascade-off strictly, the full run asserts the
+tentpole target: cascade+float32 at ≥2x the cascade-off rate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import obs
+from repro import rng as rngmod
+from repro.core import ExplorationConfig, Snowcat, SnowcatConfig
+from repro.core.scoring import CandidateScorer
+from repro.execution.pct import propose_hint_pairs
+from repro.kernel import KernelConfig, build_kernel
+from repro.obs import MemorySink, MetricsRegistry
+from repro.reporting import format_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Batched float64 rate in the committed PR 2 results file
+#: (results/scoring_throughput.txt); config 1 below re-measures the same
+#: code path in-run so the headline ratio is machine-independent.
+PR2_BASELINE_FILE = "results/scoring_throughput.txt"
+
+NUM_CTIS = 3 if SMOKE else 8
+POOL_PER_CTI = 12 if SMOKE else 20
+TIMING_REPEATS = 2 if SMOKE else 6
+RECALL_FLOOR = 0.9
+BATCH_SIZE = 8
+MIN_FULL_SPEEDUP = 2.0
+
+PIPELINE_CONFIG = SnowcatConfig(
+    seed=11,
+    corpus_rounds=80 if SMOKE else 150,
+    dataset_ctis=6 if SMOKE else 12,
+    train_interleavings=4,
+    evaluation_interleavings=4,
+    pretrain_epochs=1,
+    epochs=1 if SMOKE else 3,
+    exploration=ExplorationConfig(score_batch_size=BATCH_SIZE),
+)
+
+
+def test_cascade_throughput(report):
+    snowcat = Snowcat(build_kernel(KernelConfig(), seed=11), PIPELINE_CONFIG)
+    snowcat.train()
+    model = snowcat.require_model()
+    cascade_filter = snowcat.trained_filter(recall_floor=RECALL_FLOOR)
+
+    ctis = snowcat.cti_stream(NUM_CTIS, "cascade-bench")
+
+    def stamp_pools():
+        """Fresh per-CTI candidate pools (campaign shape: each candidate
+        is scored exactly once, per-graph memos always cold)."""
+        rng = rngmod.make_rng(11)
+        return [
+            [
+                snowcat.graphs.graph_for(entry_a, entry_b, list(pair))
+                for pair in propose_hint_pairs(
+                    rng, entry_a.trace, entry_b.trace, POOL_PER_CTI
+                )
+            ]
+            for entry_a, entry_b in ctis
+        ]
+
+    plain = CandidateScorer(model, batch_size=BATCH_SIZE)
+    cascade = CandidateScorer(
+        model, batch_size=BATCH_SIZE, cascade_filter=cascade_filter
+    )
+
+    def run(scorer, mode, pools):
+        model.set_inference_mode(mode)
+        try:
+            started = time.perf_counter()
+            for pool in pools:
+                scorer.score_proba(pool)
+            return time.perf_counter() - started
+        finally:
+            model.set_inference_mode("float64")
+
+    configs = [
+        ("cascade off, float64", plain, "float64"),
+        ("cascade on, float64", cascade, "float64"),
+        ("cascade on, float32", cascade, "float32"),
+    ]
+
+    # Warm template caches, batch plans, and the float32 weight casts so
+    # the timed repeats measure steady-state scoring.
+    warm = stamp_pools()
+    for _, scorer, mode in configs:
+        run(scorer, mode, warm)
+
+    candidates = NUM_CTIS * POOL_PER_CTI
+    totals = {name: 0.0 for name, _, _ in configs}
+    for _ in range(TIMING_REPEATS):
+        for name, scorer, mode in configs:
+            totals[name] += run(scorer, mode, stamp_pools())
+    rates = {
+        name: candidates * TIMING_REPEATS / totals[name] for name in totals
+    }
+
+    # Stage breakdown of one cascaded float32 pass, from the engine's
+    # own telemetry.
+    with obs.use_registry(MetricsRegistry(sink=MemorySink())) as registry:
+        run(cascade, "float32", stamp_pools())
+        passed = registry.counter("cascade.filter_pass").value
+        rejected = registry.counter("cascade.filter_reject").value
+        filter_s = registry.histogram("cascade.filter_seconds").total
+        pic_s = registry.histogram("cascade.pic_seconds").total
+
+    baseline = rates["cascade off, float64"]
+    speedups = {name: rates[name] / baseline for name in rates}
+    reject_frac = rejected / (passed + rejected) if passed + rejected else 0.0
+
+    text = "\n".join(
+        [
+            "cascade scoring throughput — two-stage filter + float32 GNN "
+            + ("(smoke run)" if SMOKE else "(full run)"),
+            "",
+            format_table(
+                [
+                    {
+                        "configuration": name,
+                        "candidates/s": round(rates[name], 1),
+                        "speedup": f"{speedups[name]:.2f}x",
+                    }
+                    for name, _, _ in configs
+                ],
+                title=(
+                    f"{NUM_CTIS} CTIs x {POOL_PER_CTI} candidates, "
+                    f"batch={BATCH_SIZE}, recall floor {RECALL_FLOOR}"
+                ),
+            ),
+            "",
+            format_table(
+                [
+                    {
+                        "stage": "cheap filter",
+                        "seconds": round(filter_s, 4),
+                        "note": f"{passed:.0f} pass / {rejected:.0f} reject "
+                        f"({reject_frac:.1%} rejected)",
+                    },
+                    {
+                        "stage": "full PIC (float32)",
+                        "seconds": round(pic_s, 4),
+                        "note": f"threshold {cascade_filter.threshold:.3f}, "
+                        f"calibrated tpr {cascade_filter.measured_tpr:.2f}",
+                    },
+                ],
+                title="per-stage breakdown of one cascaded pass "
+                "(cascade.* telemetry)",
+            ),
+            "",
+            f"cascade off, float64 is byte-identical to the PR 2 engine "
+            f"(committed baseline: {PR2_BASELINE_FILE})",
+        ]
+    )
+    report("cascade_throughput", text)
+
+    # The smoke pipeline's tiny dataset can calibrate to a filter that
+    # rejects nothing, making cascade-on float64 a coin flip against
+    # cascade-off; the float32 cascade is the configuration whose win is
+    # robust at any reject fraction, so it carries the strict CI gate.
+    assert rates["cascade on, float32"] > baseline, (
+        "cascade-on must strictly beat cascade-off "
+        f"({rates['cascade on, float32']:.0f} vs {baseline:.0f} cand/s)"
+    )
+    if not SMOKE:
+        assert rates["cascade on, float64"] > baseline, (
+            "filter rejection alone must beat the plain engine "
+            f"({rates['cascade on, float64']:.0f} vs {baseline:.0f} cand/s)"
+        )
+        headline = speedups["cascade on, float32"]
+        assert headline >= MIN_FULL_SPEEDUP, (
+            f"cascade+float32 only {headline:.2f}x the PR 2 baseline path "
+            f"(need {MIN_FULL_SPEEDUP}x)"
+        )

@@ -110,17 +110,55 @@ def test_scoring_throughput(report):
     scorer = CandidateScorer(model, batch_size=BATCH_SIZE)
     scorer.score_proba(warm[:BATCH_SIZE])
 
-    serial_total, batched_total = _interleaved_totals(
+    def scored_f32(pool):
+        model.set_inference_mode("float32")
+        try:
+            scorer.score_proba(pool)
+        finally:
+            model.set_inference_mode("float64")
+
+    scored_f32(warm[:BATCH_SIZE])  # build the float32 weight/plan casts
+
+    serial_total, batched_total, batched32_total = _interleaved_totals(
         [
             lambda pool: [model.predict_proba(graph) for graph in pool],
             scorer.score_proba,
+            scored_f32,
         ],
         stamp_pool,
         TIMING_REPEATS,
     )
     serial_rate = POOL_SIZE * TIMING_REPEATS / serial_total
     batched_rate = POOL_SIZE * TIMING_REPEATS / batched_total
+    batched32_rate = POOL_SIZE * TIMING_REPEATS / batched32_total
     speedup = batched_rate / serial_rate
+
+    # Batch-size sweep under both dtypes: the data behind
+    # DEFAULT_BATCH_SIZE's "8 is fastest" claim in core/scoring.py.
+    sweep_rows = []
+    for size in (4, 8, 16):
+        sweep_scorer = CandidateScorer(model, batch_size=size)
+
+        def sweep32(pool, _s=sweep_scorer):
+            model.set_inference_mode("float32")
+            try:
+                _s.score_proba(pool)
+            finally:
+                model.set_inference_mode("float64")
+
+        f64_total, f32_total = _interleaved_totals(
+            [sweep_scorer.score_proba, sweep32],
+            stamp_pool,
+            1 if SMOKE else 2,
+        )
+        repeats = 1 if SMOKE else 2
+        sweep_rows.append(
+            {
+                "batch": size,
+                "float64 g/s": round(POOL_SIZE * repeats / f64_total, 1),
+                "float32 g/s": round(POOL_SIZE * repeats / f32_total, 1),
+            }
+        )
 
     # Campaign stage share with batched scoring, measured the same way as
     # the committed baseline breakdown.
@@ -156,11 +194,21 @@ def test_scoring_throughput(report):
                         "path": f"batched (batch={BATCH_SIZE})",
                         "graphs/s": round(batched_rate, 1),
                     },
+                    {
+                        "path": f"batched float32 (batch={BATCH_SIZE})",
+                        "graphs/s": round(batched32_rate, 1),
+                    },
                 ],
                 title=f"candidate pool of {len(pairs)} graphs, one CTI template",
             ),
             "",
-            f"speedup: {speedup:.2f}x graphs scored per second",
+            f"speedup: {speedup:.2f}x graphs scored per second "
+            f"({batched32_rate / serial_rate:.2f}x with float32)",
+            "",
+            format_table(
+                sweep_rows,
+                title="batch-size sweep (graphs/s; DEFAULT_BATCH_SIZE=8)",
+            ),
             "",
             format_table(
                 [

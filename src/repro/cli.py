@@ -178,6 +178,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="publish throttled campaign progress snapshots (CTIs done, "
         "races, rate, ETA) to FILE for 'repro top'",
     )
+    campaign.add_argument(
+        "--cascade",
+        action="store_true",
+        help="two-stage scoring cascade: a cheap trained filter rejects "
+        "unpromising candidates before the full PIC runs "
+        "(see docs/PERFORMANCE.md)",
+    )
+    campaign.add_argument(
+        "--filter-recall",
+        type=float,
+        default=0.95,
+        metavar="FLOOR",
+        help="cascade recall floor, calibrated on a campaign-style "
+        "candidate pool; 1.0 accepts everything (behaviour-preserving)",
+    )
+    campaign.add_argument(
+        "--infer-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="GNN precision for batched scoring; float32 is ~1.7x faster "
+        "and covered by the quality gate (single-graph scoring stays "
+        "float64 either way)",
+    )
 
     razzer = commands.add_parser("razzer", help="directed race reproduction")
     razzer.add_argument("--schedules", type=int, default=400)
@@ -268,6 +291,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="log serve calls slower than this to the flight recorder's "
         "slow-request log (requires --flight)",
+    )
+    serve_start.add_argument(
+        "--infer-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="GNN precision for batched scoring on the server",
+    )
+    serve_start.add_argument(
+        "--score-threads",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker threads sharding large scoring batches "
+        "(0 = single-threaded)",
     )
     serve_stop = serve_actions.add_parser(
         "stop", help="shut down the server on a socket"
@@ -586,6 +623,19 @@ def _cmd_campaign(args) -> int:
     snowcat, degraded, backend = _campaign_backend(args, exploration)
     if snowcat is None:
         return 2
+    if args.infer_dtype != "float64" and snowcat.model is not None:
+        snowcat.model.set_inference_mode(args.infer_dtype)
+    cascade_filter = None
+    if args.cascade and not degraded:
+        cascade_filter = snowcat.trained_filter(recall_floor=args.filter_recall)
+        op = cascade_filter.operating_point(snowcat.config.costs)
+        print(
+            f"cascade filter: threshold {cascade_filter.threshold:.3f} "
+            f"(recall floor {args.filter_recall:.2f}, calibrated "
+            f"tpr {cascade_filter.measured_tpr:.2f} / "
+            f"fpr {cascade_filter.measured_fpr:.2f}, "
+            f"projected speedup {op.speedup:.2f}x)"
+        )
 
     if journal_path:
         from repro.resilience.journal import CampaignJournal, reset_journal
@@ -607,7 +657,9 @@ def _cmd_campaign(args) -> int:
     explorers = [snowcat.pct_explorer()]
     if not degraded:
         explorers.append(
-            snowcat.mlpct_explorer(args.strategy, backend=backend)
+            snowcat.mlpct_explorer(
+                args.strategy, backend=backend, cascade_filter=cascade_filter
+            )
         )
     ctis = snowcat.cti_stream(args.ctis)
     curves = {}
@@ -924,6 +976,8 @@ def _cmd_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         cache_bytes=args.cache_mb * 1024 * 1024,
         slow_request_ms=args.slow_request_ms,
+        infer_dtype=args.infer_dtype,
+        score_threads=args.score_threads,
     )
     if obs.active() is None:
         # A sink-less registry so the 'metrics' op and 'status --watch'

@@ -17,9 +17,23 @@ predictors that advertise it, which must be RNG-free at inference — it
 may score up to ``batch_size - 1`` candidates ahead of the consumer, and
 results match the per-graph path to floating-point accuracy.
 
+The opt-in *cascade* (``cascade_filter``) puts a
+:class:`repro.core.filtermodel.TrainedFilter` in front of the full
+predictor: every candidate is scored by the cheap filter first and only
+predicted-positives pay for a GNN forward pass. Rejected candidates
+still get a total order — their per-node "probability" is the filter's
+sigmoid score scaled *below* the decision threshold, so ranking
+consumers sort them beneath every PIC-scored candidate and boolean
+consumers see all-``False`` predictions. The cascade requires a
+batch-capable RNG-free predictor (it reorders and skips predictor
+calls); with ``cascade_filter=None`` every code path is byte-identical
+to the uncascaded engine.
+
 Telemetry: the engine counts ``inference.batched`` / ``inference.single``
 and records an ``inference.batch_size`` histogram, so a trace shows how
-well a campaign amortises its scoring.
+well a campaign amortises its scoring. The cascade adds
+``cascade.filter_pass`` / ``cascade.filter_reject`` counters and
+``cascade.filter_seconds`` / ``cascade.pic_seconds`` stage timers.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import obs
+from repro.core.filtermodel import TrainedFilter
 from repro.execution.concurrent import ScheduleHint
 from repro.fuzz.corpus import CorpusEntry
 from repro.graphs.ctgraph import CTGraph
@@ -46,9 +61,13 @@ __all__ = [
 ]
 
 #: Default candidate-pool chunk; large enough to amortise per-call
-#: overhead, small enough that the batch stays cache-resident (measured
-#: fastest in benchmarks/test_scoring_throughput.py) and look-ahead
-#: scoring stays cheap when a consumer stops early (budget exhausted).
+#: overhead, small enough that the batch stays cache-resident and
+#: look-ahead scoring stays cheap when a consumer stops early (budget
+#: exhausted). Re-measured with benchmarks/test_scoring_throughput.py's
+#: batch-size sweep (committed in results/scoring_throughput.txt): 8 is
+#: fastest under both float64 and float32; 16 is a few percent slower
+#: and much larger batches collapse once the scratch buffers outgrow
+#: cache.
 DEFAULT_BATCH_SIZE = 8
 
 
@@ -78,6 +97,12 @@ class CandidateScorer:
     backend so consumers that inspect the model (threshold tuning,
     reporting) keep working, but it may be ``None`` for socket backends
     where no local model exists.
+
+    ``cascade_filter`` (a :class:`repro.core.filtermodel.TrainedFilter`)
+    enables the two-stage cascade: candidates the filter rejects never
+    reach the predictor. Requires a batch-capable target — the cascade
+    reorders and skips predictor calls, which is only sound for RNG-free
+    predictors (the same contract the batch path already demands).
     """
 
     def __init__(
@@ -85,12 +110,20 @@ class CandidateScorer:
         predictor: Optional[CoveragePredictor],
         batch_size: int = DEFAULT_BATCH_SIZE,
         backend: Optional[object] = None,
+        cascade_filter: Optional[TrainedFilter] = None,
     ) -> None:
         if predictor is None and backend is None:
             raise ValueError("CandidateScorer needs a predictor or a backend")
         self.predictor = predictor
         self.backend = backend
         self.batch_size = max(1, int(batch_size))
+        self.cascade_filter = cascade_filter
+        if cascade_filter is not None and not hasattr(
+            self.target, "predict_proba_batch"
+        ):
+            raise ValueError(
+                "cascade filtering needs a batch-capable (RNG-free) predictor"
+            )
 
     @property
     def target(self) -> object:
@@ -101,6 +134,8 @@ class CandidateScorer:
     @property
     def batched(self) -> bool:
         """Whether the block-diagonal batch path is in use."""
+        if self.cascade_filter is not None:
+            return True
         return self.batch_size > 1 and hasattr(
             self.target, "predict_proba_batch"
         )
@@ -108,13 +143,10 @@ class CandidateScorer:
     def _threshold(self) -> float:
         return float(getattr(self.target, "threshold", 0.5))
 
-    # -- eager scoring ---------------------------------------------------------
+    # -- the cascade -----------------------------------------------------------
 
-    def score_proba(self, graphs: Sequence[CTGraph]) -> List[np.ndarray]:
-        """Coverage probabilities per graph, batched when possible."""
-        if not self.batched:
-            obs.add("inference.single", len(graphs))
-            return [self.target.predict_proba(graph) for graph in graphs]
+    def _pic_proba(self, graphs: Sequence[CTGraph]) -> List[np.ndarray]:
+        """Full-predictor probabilities, chunked to ``batch_size``."""
         probas: List[np.ndarray] = []
         for start in range(0, len(graphs), self.batch_size):
             chunk = graphs[start : start + self.batch_size]
@@ -123,8 +155,60 @@ class CandidateScorer:
             obs.observe("inference.batch_size", len(chunk))
         return probas
 
+    def _cascade_scores(
+        self, graphs: Sequence[CTGraph], want: str
+    ) -> List[np.ndarray]:
+        """Two-stage scoring: cheap filter, then the predictor on survivors.
+
+        Rejected candidates fall back to ``filter_score × threshold`` per
+        node (``want="proba"``) — strictly below the decision threshold
+        because the sigmoid score is strictly below 1 — or all-``False``
+        (``want="predicted"``), so consumers see a total order in which
+        every rejected candidate ranks beneath every scored one.
+        """
+        assert self.cascade_filter is not None
+        threshold = self._threshold()
+        started = obs.tick()
+        filter_scores = self.cascade_filter.score_graphs(graphs)
+        accepted = filter_scores >= self.cascade_filter.threshold
+        obs.tock("cascade.filter_seconds", started)
+        kept = [i for i in range(len(graphs)) if accepted[i]]
+        obs.add("cascade.filter_pass", len(kept))
+        obs.add("cascade.filter_reject", len(graphs) - len(kept))
+        results: List[Optional[np.ndarray]] = [None] * len(graphs)
+        if kept:
+            started = obs.tick()
+            probas = self._pic_proba([graphs[i] for i in kept])
+            obs.tock("cascade.pic_seconds", started)
+            for index, proba in zip(kept, probas):
+                results[index] = (
+                    proba if want == "proba" else proba >= threshold
+                )
+        for index, graph in enumerate(graphs):
+            if results[index] is None:
+                if want == "proba":
+                    results[index] = np.full(
+                        graph.num_nodes, filter_scores[index] * threshold
+                    )
+                else:
+                    results[index] = np.zeros(graph.num_nodes, dtype=bool)
+        return results  # type: ignore[return-value]
+
+    # -- eager scoring ---------------------------------------------------------
+
+    def score_proba(self, graphs: Sequence[CTGraph]) -> List[np.ndarray]:
+        """Coverage probabilities per graph, batched when possible."""
+        if self.cascade_filter is not None:
+            return self._cascade_scores(graphs, want="proba")
+        if not self.batched:
+            obs.add("inference.single", len(graphs))
+            return [self.target.predict_proba(graph) for graph in graphs]
+        return self._pic_proba(graphs)
+
     def predict_graphs(self, graphs: Sequence[CTGraph]) -> List[np.ndarray]:
         """Boolean predictions per graph, batched when possible."""
+        if self.cascade_filter is not None:
+            return self._cascade_scores(graphs, want="predicted")
         if not self.batched:
             obs.add("inference.single", len(graphs))
             return [self.target.predict(graph) for graph in graphs]
@@ -146,6 +230,15 @@ class CandidateScorer:
             for graph in graphs:
                 obs.add("inference.single")
                 yield graph, self.target.predict(graph)
+            return
+        if self.cascade_filter is not None:
+            iterator = iter(graphs)
+            while True:
+                chunk = list(itertools.islice(iterator, self.batch_size))
+                if not chunk:
+                    return
+                for pair in zip(chunk, self._cascade_scores(chunk, "predicted")):
+                    yield pair
             return
         threshold = self._threshold()
         iterator = iter(graphs)

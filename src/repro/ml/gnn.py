@@ -244,12 +244,38 @@ class _BatchPlan:
     cols: np.ndarray
     slices: np.ndarray
     matrix: sp.csr_matrix
+    #: Lazily built float32 view of ``matrix`` (shared indices/indptr,
+    #: cast data), for the ``inference_mode="float32"`` fast path. Built
+    #: at most once per plan; a concurrent double-build is idempotent.
+    matrix32: Optional[sp.csr_matrix] = None
 
     def freeze(self) -> "_BatchPlan":
         self.cols.setflags(write=False)
         self.slices.setflags(write=False)
         _freeze_csr(self.matrix)
         return self
+
+    def matrix_for(self, dtype: np.dtype) -> sp.csr_matrix:
+        """The plan matrix with CSR data in ``dtype``.
+
+        ``csr_matvecs`` is dtype-templated — data, input and output must
+        agree — so the float32 path needs float32 matrix data. The cast
+        happens once per plan (plans are template-cached), not per call.
+        """
+        if dtype != np.float32:
+            return self.matrix
+        cast = self.matrix32
+        if cast is None:
+            cast = sp.csr_matrix(
+                (
+                    self.matrix.data.astype(np.float32),
+                    self.matrix.indices,
+                    self.matrix.indptr,
+                ),
+                shape=self.matrix.shape,
+            )
+            self.matrix32 = _freeze_csr(cast)
+        return cast
 
 
 #: Per-thread reusable (out, scratch) layer buffers, keyed by shape; a
@@ -259,19 +285,19 @@ _LAYER_BUFFER_CAP = 16
 
 
 def _layer_buffers(
-    n_total: int, n_cols: int, width: int
+    n_total: int, n_cols: int, width: int, dtype: np.dtype = np.float64
 ) -> Tuple[np.ndarray, np.ndarray]:
     store = getattr(_LAYER_BUFFERS, "store", None)
     if store is None:
         store = _LAYER_BUFFERS.store = {}
-    key = (n_total, n_cols, width)
+    key = (n_total, n_cols, width, np.dtype(dtype).name)
     buffers = store.get(key)
     if buffers is None:
         if len(store) >= _LAYER_BUFFER_CAP:
             del store[next(iter(store))]
         buffers = (
-            np.empty((n_total, width)),
-            np.empty((n_cols, width)),
+            np.empty((n_total, width), dtype=dtype),
+            np.empty((n_cols, width), dtype=dtype),
         )
         store[key] = buffers
     return buffers
@@ -306,6 +332,46 @@ class RelationalGCN:
                 ]
                 per_type.append(per_direction)
             self.w_edge.append(per_type)
+        # Cast-once float32 weight copies for inference_mode="float32";
+        # built lazily, dropped whenever parameters change.
+        self._cast32: Optional[Tuple[list, list, list]] = None
+
+    def invalidate_casts(self) -> None:
+        """Drop cached float32 weight copies (call after any parameter
+        update — the PIC model hooks this into its dirty-flag path)."""
+        self._cast32 = None
+
+    def _weight_views(self, dtype: np.dtype) -> Tuple[list, list, list]:
+        """(w_self, bias, w_edge) raw arrays in ``dtype``.
+
+        float64 returns the live parameter arrays (no copies); float32
+        returns cached casts, built once at first use after load/update
+        rather than per forward pass.
+        """
+        if dtype != np.float32:
+            return (
+                [p.data for p in self.w_self],
+                [p.data for p in self.bias],
+                [
+                    [[p.data for p in per_direction] for per_direction in per_type]
+                    for per_type in self.w_edge
+                ],
+            )
+        cast = self._cast32
+        if cast is None:
+            cast = (
+                [p.data.astype(np.float32) for p in self.w_self],
+                [p.data.astype(np.float32) for p in self.bias],
+                [
+                    [
+                        [p.data.astype(np.float32) for p in per_direction]
+                        for per_direction in per_type
+                    ]
+                    for per_type in self.w_edge
+                ],
+            )
+            self._cast32 = cast
+        return cast
 
     def parameters(self) -> List[Parameter]:
         flat: List[Parameter] = []
@@ -449,19 +515,33 @@ class RelationalGCN:
         paths to floating-point accuracy; the per-type GEMMs run only on
         the nodes that send messages of that type, and the sparse
         propagation accumulates straight into the layer output buffer.
+
+        The loop runs entirely in ``h.dtype``: float64 uses the live
+        parameter arrays, float32 (``inference_mode="float32"``) uses
+        cast-once weight copies, a cast-once plan matrix and float32
+        scratch buffers — no per-call casting anywhere in the loop.
         """
-        matrix = plan.matrix
+        dtype = h.dtype
+        matrix = plan.matrix_for(dtype)
+        w_self, bias, w_edge = self._weight_views(dtype)
         width = h.shape[1]
-        out, scratch = _layer_buffers(matrix.shape[0], len(plan.cols), width)
+        out, scratch = _layer_buffers(
+            matrix.shape[0], len(plan.cols), width, dtype
+        )
+        if schedule_terms and dtype == np.float32:
+            schedule_terms = [
+                (direction, rows_out, rows_in, coeff.astype(np.float32))
+                for direction, rows_out, rows_in, coeff in schedule_terms
+            ]
         for layer in range(self.config.num_layers):
-            np.dot(h, self.w_self[layer].data, out=out)
-            out += self.bias[layer].data
+            np.dot(h, w_self[layer], out=out)
+            out += bias[layer]
             if len(plan.cols):
                 # note: h.take() beats np.take(..., out=) — numpy's buffered
                 # out-path is several times slower than a fresh gather
                 gather = h.take(plan.cols, axis=0)
                 for i, (edge_type, direction) in enumerate(plan.terms):
-                    weight = self.w_edge[layer][edge_type][direction].data
+                    weight = w_edge[layer][edge_type][direction]
                     segment = slice(plan.slices[i], plan.slices[i + 1])
                     np.dot(gather[segment], weight, out=scratch[segment])
                 if _sptools is not None:
@@ -478,7 +558,7 @@ class RelationalGCN:
                 else:
                     out += matrix @ scratch
             for direction, rows_out, rows_in, coeff in schedule_terms:
-                weight = self.w_edge[layer][EDGE_SCHEDULE][direction].data
+                weight = w_edge[layer][EDGE_SCHEDULE][direction]
                 contrib = (h[rows_in] * coeff[:, None]) @ weight
                 np.add.at(out, rows_out, contrib)
             np.maximum(out, 0.0, out=h)

@@ -175,10 +175,50 @@ class PICModel:
         # not depend on the schedule. Invalidated on any training step.
         self._inference_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         # Per-template schedule-independent node features (code + node-type
-        # + zero-hint-flag embeddings); hinted rows are patched per graph.
-        self._base_features_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        # + zero-hint-flag embeddings) per inference dtype; hinted rows are
+        # patched per graph.
+        self._base_features_cache: Dict[int, Tuple[np.ndarray, Dict[str, np.ndarray]]] = {}
         self._inference_cache_cap = 32
         self._params_dirty = False
+        #: "float64" (default, exact) or "float32" — the reduced-precision
+        #: fast path for same-template batched inference. Training and the
+        #: per-graph path always run float64.
+        self.inference_mode: str = "float64"
+        # Cast-once float32 copies of the head + hint tables; rebuilt only
+        # after a parameter change.
+        self._head32: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def set_inference_mode(self, mode: str) -> "PICModel":
+        """Select the batched-inference dtype: ``"float64"`` (exact,
+        default) or ``"float32"`` (cast-once weights + plans; probabilities
+        match float64 to ~1e-6 — see docs/PERFORMANCE.md for when that is
+        safe). Returns ``self`` for chaining."""
+        if mode not in ("float64", "float32"):
+            raise ModelError(f"unknown inference mode {mode!r}")
+        self.inference_mode = mode
+        return self
+
+    def _invalidate_casts(self) -> None:
+        self._head32 = None
+        self.gnn.invalidate_casts()
+
+    def _head_views(self, dtype: np.dtype) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(hint_flag_table, w_out, b_out) in ``dtype`` (cast once)."""
+        if dtype != np.float32:
+            return (
+                self.hint_flag_table.data,
+                self.w_out.data,
+                self.b_out.data,
+            )
+        views = self._head32
+        if views is None:
+            views = (
+                self.hint_flag_table.data.astype(np.float32),
+                self.w_out.data.astype(np.float32),
+                self.b_out.data.astype(np.float32),
+            )
+            self._head32 = views
+        return views
 
     # -- parameters ------------------------------------------------------------
 
@@ -206,6 +246,7 @@ class PICModel:
         if self._params_dirty:
             self._inference_cache.clear()
             self._base_features_cache.clear()
+            self._invalidate_casts()
             self._params_dirty = False
         key = id(graph.token_ids)
         cached = self._inference_cache.get(key)
@@ -214,7 +255,9 @@ class PICModel:
             encoded = self.encoder.encode(graph.token_ids, self.config.pad_id).data
             if len(self._inference_cache) >= self._inference_cache_cap:
                 oldest = next(iter(self._inference_cache))
-                del self._inference_cache[oldest]
+                # pop(): concurrent server worker threads may race on
+                # eviction; losing the race must not raise.
+                self._inference_cache.pop(oldest, None)
             cached = (graph.token_ids, encoded)
             self._inference_cache[key] = cached
         return Tensor(cached[1])
@@ -271,13 +314,17 @@ class PICModel:
         )
         return self.gnn.forward_numpy(h, graph)
 
-    def _base_node_features(self, graph: CTGraph) -> np.ndarray:
+    def _base_node_features(
+        self, graph: CTGraph, dtype: np.dtype = np.float64
+    ) -> np.ndarray:
         """Schedule-independent input features of one template's graphs.
 
         Code embeddings, node-type embeddings, and the zero hint-flag
         embedding are all identical across a CTI's candidate schedules, so
         the sum is cached per template (keyed like the encoder cache);
-        only the handful of hinted rows differ per candidate.
+        only the handful of hinted rows differ per candidate. The cache
+        holds one variant per inference dtype — the float32 cast happens
+        once per template, not per batch.
         """
         key = id(graph.token_ids)
         cached = self._base_features_cache.get(key)
@@ -289,10 +336,16 @@ class PICModel:
             )
             if len(self._base_features_cache) >= self._inference_cache_cap:
                 oldest = next(iter(self._base_features_cache))
-                del self._base_features_cache[oldest]
-            cached = (graph.token_ids, base)
+                self._base_features_cache.pop(oldest, None)
+            cached = (graph.token_ids, {"float64": base})
             self._base_features_cache[key] = cached
-        return cached[1]
+        variants = cached[1]
+        name = np.dtype(dtype).name
+        variant = variants.get(name)
+        if variant is None:
+            variant = variants["float64"].astype(dtype)
+            variants[name] = variant
+        return variant
 
     def _hidden_numpy_batch(self, graphs: Sequence[CTGraph]) -> np.ndarray:
         """Gradient-free node representations of a disjoint-union batch.
@@ -304,6 +357,11 @@ class PICModel:
         candidate's scheduling-hint edges are prepared fresh. Uniform
         same-template batches broadcast the cached base features and patch
         just the hinted rows; mixed batches build features per graph.
+
+        ``inference_mode="float32"`` applies to the uniform fast path
+        only — mixed batches and the per-graph path always run float64
+        (they are rare in campaigns, and keeping them exact preserves
+        the single-graph determinism contract).
         """
         first = graphs[0]
         base_cache = first.base_cache
@@ -313,11 +371,16 @@ class PICModel:
             for graph in graphs[1:]
         )
         if uniform:
-            base = self._base_node_features(first)
+            dtype = (
+                np.float32
+                if self.inference_mode == "float32"
+                else np.float64
+            )
+            base = self._base_node_features(first, dtype)
             k = len(graphs)
-            h = np.empty((k * n, base.shape[1]))
+            h = np.empty((k * n, base.shape[1]), dtype=dtype)
             np.copyto(h.reshape(k, n, -1), base)
-            flags = self.hint_flag_table.data
+            flags = self._head_views(dtype)[0]
             for j, graph in enumerate(graphs):
                 hinted = np.flatnonzero(graph.hint_flags)
                 if len(hinted):
@@ -354,7 +417,10 @@ class PICModel:
         if len(graphs) == 1:
             return [self.predict_proba(graphs[0])]
         h = self._hidden_numpy_batch(graphs)
-        z = (h @ self.w_out.data + self.b_out.data)[:, 0]
+        _, w_out, b_out = self._head_views(h.dtype)
+        # stable_sigmoid upcasts float32 logits, so probabilities are
+        # float64 downstream regardless of inference mode.
+        z = (h @ w_out + b_out)[:, 0]
         proba = stable_sigmoid(z)
         offsets = np.cumsum([0] + [graph.num_nodes for graph in graphs])
         return [
@@ -364,6 +430,25 @@ class PICModel:
     def predict_batch(self, graphs: Sequence[CTGraph]) -> List[np.ndarray]:
         """Boolean coverage predictions of many graphs (tuned threshold)."""
         return [proba >= self.threshold for proba in self.predict_proba_batch(graphs)]
+
+    def warm_inference_caches(self, graphs: Sequence[CTGraph]) -> None:
+        """Populate the per-template caches for ``graphs`` on this thread.
+
+        The thread-parallel batch scorer calls this on the dispatching
+        thread before sharding, so worker threads only *read* the shared
+        encoder/base-feature caches and cast-once weight views instead of
+        racing to fill them.
+        """
+        dtype = np.float32 if self.inference_mode == "float32" else np.float64
+        seen: Dict[int, bool] = {}
+        for graph in graphs:
+            key = id(graph.token_ids)
+            if key in seen:
+                continue
+            seen[key] = True
+            self._base_node_features(graph, dtype)
+        self._head_views(dtype)
+        self.gnn._weight_views(dtype)
 
     def predict_dataflow_proba_batch(
         self,
@@ -464,6 +549,7 @@ class PICModel:
             self.threshold = float(np.asarray(state["__threshold__"]).ravel()[0])
         self._inference_cache.clear()
         self._base_features_cache.clear()
+        self._invalidate_casts()
         self._params_dirty = False
 
     def save(self, path: str) -> None:

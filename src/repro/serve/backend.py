@@ -123,11 +123,17 @@ class InProcessServer(PredictionBackend):
         batcher_config: Optional[BatcherConfig] = None,
         clock=None,
         registry=None,
+        score_threads: int = 0,
     ) -> None:
         if cache is not None and cache_bytes is not None:
             raise ValueError("pass either cache or cache_bytes, not both")
         self._model = model
         self._version = version
+        #: >1 shards large gathered batches across a thread pool inside
+        #: :meth:`_compute` (still under ``_model_lock``); 0/1 keeps the
+        #: historical single-threaded forward pass.
+        self._score_threads = max(0, int(score_threads))
+        self._score_pool = None
         #: Explicit telemetry registry; ``None`` falls back to the
         #: process-global one. Injection exists so a server sharing a
         #: process with its client (tests, embedded serving) can keep
@@ -214,10 +220,51 @@ class InProcessServer(PredictionBackend):
             version = self._version
             if registry is not None:
                 with registry.span("serve.compute", batch=len(graphs)):
-                    probas = model.predict_proba_batch(list(graphs))
+                    probas = self._forward(model, list(graphs))
             else:
-                probas = model.predict_proba_batch(list(graphs))
+                probas = self._forward(model, list(graphs))
         return [(version, proba) for proba in probas]
+
+    def _forward(self, model: object, graphs: List[object]) -> List[np.ndarray]:
+        """One gathered batch through the model, optionally sharded.
+
+        With ``score_threads > 1`` and a batch big enough for every
+        worker to get at least two graphs, the batch is split into
+        contiguous shards scored concurrently (the PR 5 thread-safety
+        groundwork — frozen template caches, per-thread layer buffers —
+        makes concurrent same-model scoring sound). The per-template
+        caches are pre-warmed on this thread first so workers only read
+        shared state. Shard boundaries don't change results: batched
+        scoring is per-graph exact regardless of chunking.
+        """
+        threads = self._score_threads
+        if (
+            threads <= 1
+            or len(graphs) < 2 * threads
+            or not hasattr(model, "predict_proba_batch")
+        ):
+            return model.predict_proba_batch(graphs)
+        warm = getattr(model, "warm_inference_caches", None)
+        if warm is not None:
+            warm(graphs)
+        pool = self._score_pool
+        if pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="serve-score"
+            )
+            self._score_pool = pool
+        stride = (len(graphs) + threads - 1) // threads
+        shards = [
+            graphs[start : start + stride]
+            for start in range(0, len(graphs), stride)
+        ]
+        futures = [pool.submit(model.predict_proba_batch, shard) for shard in shards]
+        results: List[np.ndarray] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
 
     # -- the predictor surface -----------------------------------------------
 
@@ -340,3 +387,7 @@ class InProcessServer(PredictionBackend):
 
     def close(self) -> None:
         self._batcher.close()
+        pool = self._score_pool
+        if pool is not None:
+            self._score_pool = None
+            pool.shutdown(wait=True)

@@ -216,6 +216,12 @@ class ServerConfig:
     #: Serve calls slower than this land in the flight recorder's
     #: slow-request log (``None`` disables; CLI: ``--slow-request-ms``).
     slow_request_ms: Optional[float] = None
+    #: >1 shards large gathered batches across this many scorer threads
+    #: (CLI: ``--score-threads``); 0/1 keeps single-threaded scoring.
+    score_threads: int = 0
+    #: Batched-inference dtype for the hosted model: "float64" (exact,
+    #: default) or "float32" (CLI: ``--infer-dtype``).
+    infer_dtype: str = "float64"
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -272,6 +278,13 @@ class PredictionServer:
         #: registries to get distinct trace files.
         self._registry = registry
         self._started_monotonic = time.monotonic()
+        if (
+            backend is None
+            and model is not None
+            and config.infer_dtype != "float64"
+            and hasattr(model, "set_inference_mode")
+        ):
+            model.set_inference_mode(config.infer_dtype)
         self.backend = backend or InProcessServer(
             model,
             version=version,
@@ -282,6 +295,7 @@ class PredictionServer:
                 max_queue=config.max_queue,
             ),
             registry=registry,
+            score_threads=config.score_threads,
         )
         path = config.socket_path
         if os.path.exists(path):
