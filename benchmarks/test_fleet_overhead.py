@@ -1,0 +1,185 @@
+"""Perf bench for the fault-tolerant campaign fleet.
+
+Times one MLPCT campaign run single-process (the reference
+``run_campaign`` path) and through :func:`~repro.fleet.run_fleet` at
+several fleet widths, plus one fleet run with an injected worker crash
+so the results file records what a lease-expiry-and-reassign recovery
+costs. On this simulated substrate per-job work is cheap, so the fleet
+numbers mostly expose coordination overhead (fork, pipe round trips,
+lease bookkeeping) rather than parallel speedup — the bench exists to
+keep that overhead visible and bounded, not to chase a speedup.
+
+The gate is the fleet's actual contract: every fleet run — any width,
+crashed worker or not — must aggregate to a ``CampaignResult``
+byte-identical to the single-process campaign, and the crash run must
+show at least one reassignment (the fault actually exercised recovery).
+
+``REPRO_BENCH_SMOKE=1`` shrinks sizes so CI can run this as a quick
+regression gate; the committed results file comes from a full run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import rng as rngmod
+from repro.core.mlpct import ExplorationConfig, MLPCTExplorer, run_campaign
+from repro.core.strategies import make_strategy
+from repro.fleet import FleetConfig, run_fleet
+from repro.graphs.dataset import GraphDatasetBuilder
+from repro.kernel import KernelConfig, build_kernel
+from repro.ml.pic import PICConfig, PICModel
+from repro.reporting import format_table
+from repro.resilience.journal import campaign_result_to_dict
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SEED = 7
+NUM_CTIS = 4 if SMOKE else 12
+FLEET_WIDTHS = (1, 2) if SMOKE else (1, 2, 4)
+EXECUTION_BUDGET = 3
+INFERENCE_CAP = 8
+
+KERNEL_CONFIG = KernelConfig(
+    num_subsystems=2,
+    functions_per_subsystem=3,
+    syscalls_per_subsystem=3,
+    vars_per_subsystem=6,
+    segments_per_function=(2, 3),
+    num_atomicity_bugs=1,
+    num_order_bugs=1,
+    num_data_races=1,
+    version="v5.12",
+)
+
+
+def _result_json(result) -> str:
+    return json.dumps(campaign_result_to_dict(result), sort_keys=True)
+
+
+def _build_substrate():
+    kernel = build_kernel(KERNEL_CONFIG, seed=SEED)
+    graphs = GraphDatasetBuilder(kernel, seed=SEED)
+    graphs.grow_corpus(rounds=60)
+    model = PICModel(
+        PICConfig(
+            vocab_size=len(graphs.vocabulary),
+            pad_id=graphs.vocabulary.pad_id,
+            token_dim=8,
+            hidden_dim=12,
+            num_layers=2,
+        ),
+        seed=SEED,
+    )
+    ctis = graphs.corpus.sample_pairs(
+        rngmod.split(SEED, "ctis:fleet-bench"), NUM_CTIS
+    )
+    return graphs, model, ctis
+
+
+def _explorer(graphs, model):
+    # Fresh explorer per run: campaign state (visit counts, ledger,
+    # strategy) mutates, and each timed run must start from the same
+    # seeded origin for the byte-identity gate to mean anything.
+    return MLPCTExplorer(
+        graphs,
+        predictor=model,
+        strategy=make_strategy("S1"),
+        config=ExplorationConfig(
+            execution_budget=EXECUTION_BUDGET,
+            proposal_pool=6,
+            inference_cap=INFERENCE_CAP,
+        ),
+        seed=SEED,
+    )
+
+
+def test_fleet_overhead(report):
+    graphs, model, ctis = _build_substrate()
+
+    started = time.perf_counter()
+    reference = run_campaign(_explorer(graphs, model), ctis)
+    single_seconds = time.perf_counter() - started
+    reference_json = _result_json(reference)
+
+    rows = [
+        {
+            "path": "single process",
+            "workers": "-",
+            "seconds": round(single_seconds, 2),
+            "jobs": "-",
+            "reassigned": "-",
+            "identical": "-",
+        }
+    ]
+
+    for width in FLEET_WIDTHS:
+        config = FleetConfig(
+            workers=width, lease_seconds=30.0, heartbeat_interval=0.2
+        )
+        started = time.perf_counter()
+        campaign, fleet_report = run_fleet(
+            _explorer(graphs, model), ctis, config=config
+        )
+        seconds = time.perf_counter() - started
+        identical = _result_json(campaign) == reference_json
+        rows.append(
+            {
+                "path": "fleet",
+                "workers": width,
+                "seconds": round(seconds, 2),
+                "jobs": fleet_report.jobs_total,
+                "reassigned": fleet_report.reassignments,
+                "identical": identical,
+            }
+        )
+        assert identical, f"fleet({width}) diverged from single process"
+
+    crash_config = FleetConfig(
+        workers=2,
+        lease_seconds=2.0,
+        heartbeat_interval=0.1,
+        fault_spec="crash@1",
+    )
+    started = time.perf_counter()
+    campaign, fleet_report = run_fleet(
+        _explorer(graphs, model), ctis, config=crash_config
+    )
+    crash_seconds = time.perf_counter() - started
+    crash_identical = _result_json(campaign) == reference_json
+    rows.append(
+        {
+            "path": "fleet, crash@1",
+            "workers": 2,
+            "seconds": round(crash_seconds, 2),
+            "jobs": fleet_report.jobs_total,
+            "reassigned": fleet_report.reassignments,
+            "identical": crash_identical,
+        }
+    )
+    assert crash_identical, "crash-recovery fleet diverged from single process"
+    assert fleet_report.reassignments >= 1, (
+        "injected crash produced no reassignment — recovery path not exercised"
+    )
+
+    text = "\n".join(
+        [
+            "campaign fleet — coordination overhead and crash recovery "
+            + ("(smoke run)" if SMOKE else "(full run)"),
+            "",
+            format_table(
+                rows,
+                title=(
+                    f"MLPCT campaign, {NUM_CTIS} CTIs, "
+                    f"budget {EXECUTION_BUDGET}/CTI"
+                ),
+            ),
+            "",
+            "every fleet row is byte-identical to the single-process "
+            "aggregate; the crash row includes one lease expiry + "
+            "reassignment.",
+        ]
+    )
+    report("fleet_overhead", text)

@@ -22,6 +22,11 @@ Runs the pipeline stages a downstream user needs without writing code:
   ``campaign --serve-socket PATH``, or use ``campaign --serve`` for an
   in-process service (shared cache + micro-batching; see
   ``docs/SERVING.md``)
+- ``fleet``     — fault-tolerant distributed campaign
+  (``run``/``status``): a coordinator leases score/execute jobs to N
+  worker processes, survives worker crashes/hangs and its own SIGKILL
+  (``--resume``), and aggregates byte-identically to the
+  single-process campaign (see ``docs/FLEET.md``)
 
 Every command accepts ``--seed`` and prints deterministic results. The
 global ``--trace FILE`` flag records a JSON-lines telemetry trace of the
@@ -338,6 +343,116 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_metrics.add_argument("--socket", required=True, metavar="PATH")
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="fault-tolerant distributed campaign fleet: coordinator + "
+        "leased workers with crash-exact aggregation (see docs/FLEET.md)",
+    )
+    fleet_actions = fleet.add_subparsers(dest="action", required=True)
+    fleet_run = fleet_actions.add_parser(
+        "run", help="run a campaign sharded across N leased worker processes"
+    )
+    fleet_run.add_argument("--ctis", type=int, default=6)
+    fleet_run.add_argument(
+        "--strategy", choices=("S1", "S2", "S3"), default="S1"
+    )
+    fleet_run.add_argument(
+        "--pct-only",
+        action="store_true",
+        help="run only the PCT baseline (no model is trained or served)",
+    )
+    fleet_run.add_argument(
+        "--workers", type=int, default=3, help="fleet worker processes"
+    )
+    fleet_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=ExplorationConfig.score_batch_size,
+        help="candidate graphs scored per batched inference call",
+    )
+    fleet_run.add_argument(
+        "--model",
+        metavar="CKPT",
+        default=None,
+        help="use a saved PIC checkpoint instead of training",
+    )
+    fleet_run.add_argument(
+        "--serve-socket",
+        metavar="PATH",
+        default=None,
+        help="score through a running 'repro serve' server; every worker "
+        "opens its own resilient connection (reconnect + backoff)",
+    )
+    fleet_run.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="journal fleet progress durably to FILE (any previous "
+        "journal state at FILE is reset first)",
+    )
+    fleet_run.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume an interrupted journaled fleet campaign from FILE",
+    )
+    fleet_run.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="fleet fault plan keyed by job id, e.g. 'crash@2,hang:0.1'; "
+        "'die@j' kills the coordinator at dispatch of job j "
+        "(see docs/FLEET.md)",
+    )
+    fleet_run.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="silence (no pipe traffic, no heartbeat) after which a "
+        "worker's lease is revoked and its job reassigned",
+    )
+    fleet_run.add_argument(
+        "--max-job-attempts",
+        type=int,
+        default=4,
+        help="total attempts one job may consume before the fleet fails",
+    )
+    fleet_run.add_argument(
+        "--heartbeat-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for coordinator + worker heartbeat files "
+        "(watch with 'repro fleet status --dir DIR' or "
+        "'repro top --fleet DIR')",
+    )
+    fleet_run.add_argument(
+        "--receipts",
+        metavar="DIR",
+        default=None,
+        help="write a checksummed provenance receipt per job to DIR and "
+        "verify coverage at the end",
+    )
+    fleet_status = fleet_actions.add_parser(
+        "status",
+        help="render coordinator + worker heartbeats from a fleet "
+        "heartbeat directory",
+    )
+    fleet_status.add_argument(
+        "--dir", required=True, metavar="DIR", help="fleet heartbeat dir"
+    )
+    fleet_status.add_argument(
+        "--watch", action="store_true", help="refresh until Ctrl-C"
+    )
+    fleet_status.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    fleet_status.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop --watch after this many refreshes (0 = until Ctrl-C)",
+    )
+
     report = commands.add_parser(
         "report", help="render a recorded telemetry trace (--trace output)"
     )
@@ -366,7 +481,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(campaign --heartbeat FILE)",
     )
     top.add_argument(
-        "heartbeat_file", nargs="+", help="heartbeat JSON file(s) to watch"
+        "heartbeat_file", nargs="*", help="heartbeat JSON file(s) to watch"
+    )
+    top.add_argument(
+        "--fleet",
+        metavar="DIR",
+        default=None,
+        help="also render coordinator + worker rows from a fleet "
+        "heartbeat directory (fleet run --heartbeat-dir DIR)",
     )
     top.add_argument(
         "--watch", action="store_true", help="refresh until Ctrl-C"
@@ -929,12 +1051,33 @@ def _cmd_serve(args) -> int:
         return 0
 
     if args.action == "stop":
+        # Idempotent: stopping a server that is already gone (clean
+        # shutdown, SIGKILL leaving a stale socket, never started) is a
+        # success, not an error — operators script this in cleanup paths.
+        from repro.serve import probe_socket
+
+        state = probe_socket(args.socket)
+        if state == "absent":
+            print(f"no server on {args.socket}; nothing to stop")
+            return 0
+        if state == "dead":
+            try:
+                os.unlink(args.socket)
+            except OSError:
+                pass
+            print(
+                f"server on {args.socket} already gone; "
+                "removed stale socket"
+            )
+            return 0
         backend = SocketBackend(args.socket)
         try:
             backend.shutdown()
         except ServeError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        finally:
+            backend.close()
         print(f"server on {args.socket} stopped")
         return 0
 
@@ -993,7 +1136,7 @@ def _cmd_serve(args) -> int:
     )
     try:
         serve_forever(model, config, version=version)
-    except OSError as error:
+    except (ServeError, OSError) as error:
         print(f"error: cannot serve on {args.socket}: {error}", file=sys.stderr)
         return 2
     return 0
@@ -1060,18 +1203,159 @@ def _cmd_report(args) -> int:
 def _cmd_top(args) -> int:
     import time as _time
 
-    from repro.obs.export import render_top
+    from repro.obs.export import render_fleet_top, render_top
 
+    if not args.heartbeat_file and not args.fleet:
+        print(
+            "error: give heartbeat file(s) and/or --fleet DIR",
+            file=sys.stderr,
+        )
+        return 2
     refreshes = 0
     try:
         while True:
-            print(render_top(args.heartbeat_file), flush=True)
+            frames = []
+            if args.heartbeat_file:
+                frames.append(render_top(args.heartbeat_file))
+            if args.fleet:
+                frames.append(render_fleet_top(args.fleet))
+            print("\n".join(frames), flush=True)
             refreshes += 1
             if not args.watch or (args.count and refreshes >= args.count):
                 return 0
             _time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+
+
+def _cmd_fleet(args) -> int:
+    if args.action == "status":
+        import time as _time
+
+        from repro.obs.export import render_fleet_top
+
+        refreshes = 0
+        try:
+            while True:
+                print(render_fleet_top(args.dir), flush=True)
+                refreshes += 1
+                if not args.watch or (
+                    args.count and refreshes >= args.count
+                ):
+                    return 0
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+    # -- run -----------------------------------------------------------------
+    from repro.errors import (
+        CheckpointError,
+        FaultSpecError,
+        FleetError,
+        JournalError,
+    )
+    from repro.fleet import FleetConfig, render_fleet_report, run_fleet
+    from repro.resilience.faults import FaultPlan
+
+    if args.inject_faults is not None:
+        try:  # validate the spec before any expensive work
+            FaultPlan.parse(args.inject_faults, seed=args.seed)
+        except FaultSpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.journal and args.resume:
+        print(
+            "error: --journal and --resume are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    journal_path = args.journal or args.resume
+    if args.resume and not os.path.exists(args.resume):
+        print(
+            f"error: cannot resume: journal {args.resume} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+
+    exploration = ExplorationConfig(score_batch_size=args.batch_size)
+    if args.pct_only:
+        kernel = build_kernel(KernelConfig(), seed=args.seed)
+        snowcat = Snowcat(
+            kernel,
+            SnowcatConfig(
+                seed=args.seed, corpus_rounds=200, exploration=exploration
+            ),
+        )
+        snowcat.prepare_corpus()
+        backend = None
+    else:
+        # Reuse the campaign serving seam; fleets never use the
+        # in-process --serve path (each worker process needs its own
+        # connection), so pin that flag off before delegating.
+        setattr(args, "serve", False)
+        snowcat, degraded, backend = _campaign_backend(args, exploration)
+        if snowcat is None:
+            return 2
+        if degraded:
+            print(
+                "error: model checkpoint unusable; rerun with --pct-only "
+                "for the baseline",
+                file=sys.stderr,
+            )
+            return 2
+
+    journal = None
+    if journal_path:
+        from repro.resilience.journal import CampaignJournal, reset_journal
+
+        if args.journal:
+            reset_journal(args.journal)
+        try:
+            journal = CampaignJournal(journal_path)
+        except (JournalError, CheckpointError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    config = FleetConfig(
+        workers=args.workers,
+        lease_seconds=args.lease_seconds,
+        heartbeat_dir=args.heartbeat_dir,
+        receipts_dir=args.receipts,
+        max_job_attempts=args.max_job_attempts,
+        fault_spec=args.inject_faults,
+        serve_socket=args.serve_socket,
+    )
+    explorers = [snowcat.pct_explorer()]
+    if not args.pct_only:
+        explorers.append(
+            snowcat.mlpct_explorer(args.strategy, backend=backend)
+        )
+    ctis = snowcat.cti_stream(args.ctis)
+    reports = []
+    try:
+        for explorer in explorers:
+            try:
+                result, fleet_report = run_fleet(
+                    explorer, ctis, config=config, journal=journal
+                )
+            except (FleetError, JournalError, CheckpointError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            reports.append(fleet_report)
+            print(
+                f"{explorer.label}: {result.total_races} races, "
+                f"{result.ledger.executions} executions, "
+                f"{result.ledger.total_hours:.2f} simulated hours"
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+        if backend is not None:
+            backend.close()
+    print(render_fleet_report(reports))
+    if args.receipts:
+        print(f"provenance receipts verified in {args.receipts}")
+    return 0
 
 
 _COMMANDS = {
@@ -1084,6 +1368,7 @@ _COMMANDS = {
     "filter-model": _cmd_filter_model,
     "quality": _cmd_quality,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "report": _cmd_report,
     "top": _cmd_top,
 }

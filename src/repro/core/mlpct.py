@@ -246,23 +246,18 @@ class _ExplorerBase:
             )
         )
 
-    def _execute_selected(
+    def build_tasks(
         self,
         entry_a: CorpusEntry,
         entry_b: CorpusEntry,
         hints_list: Sequence[Sequence[ScheduleHint]],
-        stats: ExplorationStats,
-        inferences_before: Optional[Sequence[int]] = None,
-    ) -> List[ConcurrentResult]:
-        """Run the selected CTs (serially or in the worker pool) and
-        account for them in selection order.
+    ) -> List[CTTask]:
+        """Freeze the selected candidates into executable tasks.
 
-        ``inferences_before[j]`` is how many of this CTI's inferences had
-        happened when candidate ``j`` was selected. Inference charges are
-        replayed against the ledger just before each execution's charge —
-        with any tail inferences charged after the last — so every history
-        checkpoint carries the exact simulated hours an interleaved
-        predict-then-execute loop would have recorded.
+        Advances the campaign-global task-seed counter, so tasks must be
+        built in selection order; each task is then a pure function of
+        its own fields and may execute anywhere (worker pool, fleet
+        worker) without affecting results.
         """
         programs = (entry_a.sti.as_pairs(), entry_b.sti.as_pairs())
         tasks = []
@@ -271,11 +266,36 @@ class _ExplorerBase:
                 CTTask.build(programs, hints, seed=self.seed, index=self._task_index)
             )
             self._task_index += 1
-        results = self.runner.run_many(self.kernel, tasks)
-        if self._audit is not None:
+        return tasks
+
+    def account_results(
+        self,
+        entry_a: CorpusEntry,
+        entry_b: CorpusEntry,
+        results: Sequence[ConcurrentResult],
+        stats: ExplorationStats,
+        inferences_before: Optional[Sequence[int]] = None,
+        audit: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Fold executed results into campaign state, in selection order.
+
+        ``inferences_before[j]`` is how many of this CTI's inferences had
+        happened when candidate ``j`` was selected. Inference charges are
+        replayed against the ledger just before each execution's charge —
+        with any tail inferences charged after the last — so every history
+        checkpoint carries the exact simulated hours an interleaved
+        predict-then-execute loop would have recorded.
+
+        ``audit`` overrides the explorer's own audit slot — the fleet
+        coordinator interleaves several CTIs' accounting and keeps one
+        audit record per CTI.
+        """
+        if audit is None:
+            audit = self._audit
+        if audit is not None:
             from repro.resilience.journal import result_digest
 
-            self._audit["results"].extend(result_digest(r) for r in results)
+            audit["results"].extend(result_digest(r) for r in results)
         charged = 0
         for index, result in enumerate(results):
             if inferences_before is not None:
@@ -286,6 +306,22 @@ class _ExplorerBase:
             self._account(entry_a, entry_b, result, stats)
         if inferences_before is not None and stats.inferences > charged:
             self.ledger.charge_inference(stats.inferences - charged)
+
+    def _execute_selected(
+        self,
+        entry_a: CorpusEntry,
+        entry_b: CorpusEntry,
+        hints_list: Sequence[Sequence[ScheduleHint]],
+        stats: ExplorationStats,
+        inferences_before: Optional[Sequence[int]] = None,
+    ) -> List[ConcurrentResult]:
+        """Run the selected CTs (serially or in the worker pool) and
+        account for them in selection order."""
+        tasks = self.build_tasks(entry_a, entry_b, hints_list)
+        results = self.runner.run_many(self.kernel, tasks)
+        self.account_results(
+            entry_a, entry_b, results, stats, inferences_before
+        )
         return results
 
     def close(self) -> None:

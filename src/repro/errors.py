@@ -99,3 +99,9 @@ class ProtocolError(ServeError):
 
 class CheckpointError(ModelError):
     """Raised when a model checkpoint cannot be saved or restored."""
+
+
+class FleetError(ReproError):
+    """Raised when a distributed campaign fleet cannot make progress
+    (a job exhausted its attempt budget, every worker is quarantined,
+    or a provenance receipt fails verification)."""

@@ -1,0 +1,779 @@
+"""Fleet coordinator: shard a campaign across leased workers, aggregate
+crash-exactly.
+
+The coordinator is the only process that holds campaign *state* — the
+explorer object with its cost ledger, race dedup, coverage sets,
+selection strategy, and journal. Workers (:mod:`repro.fleet.worker`)
+hold none: they score candidate pools and execute pre-seeded tasks,
+both pure functions of their inputs. That split is what lets a fleet of
+N processes, with jobs landing in any order and any job retried on any
+worker, fold down to a :class:`CampaignResult` byte-identical to the
+single-process campaign.
+
+How byte-identity survives the fan-out, per explorer kind:
+
+- **Planning (both)** walks the CTI stream in order on the coordinator,
+  drawing each CTI's candidate pool from the explorer's own
+  ``proposals_for`` — the visit-count RNG advances exactly as the
+  sequential loop would have advanced it.
+- **PCT** needs no predictions: the first ``execution_budget``
+  candidates are frozen into :class:`CTTask`s at planning time (the
+  task-seed counter advances in stream order), and one *execute job*
+  per CTI fans out to the workers.
+- **MLPCT** fans each CTI's pool out as a *score job* (workers return
+  one boolean bitmap per candidate — RNG-free, per-graph exact across
+  batching and serving substrates). Score results can land in any
+  order, but the coordinator replays *selection* strictly in CTI order:
+  the budget/cap loop, the strategy's ``is_interesting``/``commit``
+  calls, the audit digest folds, and task building are a line-for-line
+  mirror of :meth:`MLPCTExplorer.explore_cti`. Selected tasks then fan
+  out as execute jobs.
+- **Accounting (both)** is replayed strictly in CTI order via
+  :meth:`account_results`, no matter when execute jobs complete — so
+  every ledger charge, race-dedup decision, and history checkpoint
+  lands exactly where the sequential campaign put it.
+
+Crash-exact resume: the coordinator reuses the campaign journal
+(:mod:`repro.resilience.journal`) — one record per *folded* CTI plus an
+atomic checkpoint. Because the selection pipeline runs ahead of the
+fold, the checkpoint for CTI *k* composes the live fold-side state
+(ledger, races, coverage, history) with a *selection-side snapshot*
+captured when CTI *k* was selected (task counter, visit counts,
+strategy state); a coordinator SIGKILLed at any instant resumes from
+its last fold and reproduces the identical aggregate.
+
+Fault injection reuses :class:`repro.resilience.faults.FaultPlan`,
+keyed by fleet job id (score job for CTI ``k`` is ``2k``, execute job
+is ``2k+1`` — stable across resume): ``crash`` kills the worker,
+``hang`` wedges it until its lease expires, ``transient`` fails one
+attempt, ``die@j`` kills the *coordinator* at dispatch (for
+crash-resume tests). Every accepted job writes a provenance receipt
+(:mod:`repro.fleet.receipts`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.mlpct import (
+    CampaignResult,
+    ExplorationStats,
+    MLPCTExplorer,
+)
+from repro.errors import FleetError
+from repro.fleet.leases import LeaseTable
+from repro.fleet.receipts import (
+    execute_inputs_digest,
+    execute_result_digest,
+    score_inputs_digest,
+    score_result_digest,
+    verify_receipts,
+    write_receipt,
+)
+from repro.fleet.report import FleetReport
+from repro.fleet.worker import FleetWorkerHandle, WorkerSpec
+from repro.obs.export import HeartbeatWriter, read_heartbeat
+from repro.resilience.faults import FaultPlan
+from repro.resilience.journal import CampaignJournal, fold_prediction_digest
+from repro.resilience.supervisor import DIE_EXIT_STATUS
+
+__all__ = ["FleetConfig", "FleetCoordinator", "run_fleet"]
+
+
+def _fork_context():
+    # fork shares the kernel/model pages copy-on-write; fall back where
+    # the platform does not offer it (e.g. Windows spawn-only).
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        return multiprocessing.get_context()
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of a fleet campaign."""
+
+    #: Worker processes (each forked, one job at a time).
+    workers: int = 2
+    #: Seconds of silence (no pipe traffic, no heartbeat-file write)
+    #: after which a worker's lease is revoked and its job reassigned.
+    lease_seconds: float = 30.0
+    #: Worker heartbeat-file rewrite interval.
+    heartbeat_interval: float = 0.2
+    #: Directory for coordinator + worker heartbeat files (``repro top
+    #: --fleet`` reads it). ``None`` uses a private temp dir, deleted at
+    #: exit — leases still work, nothing is observable.
+    heartbeat_dir: Optional[str] = None
+    #: Directory for per-job provenance receipts; ``None`` disables them.
+    receipts_dir: Optional[str] = None
+    #: Total attempts a single job may consume before the fleet gives up
+    #: (jobs are never silently dropped).
+    max_job_attempts: int = 4
+    #: Deaths a worker slot survives before it is quarantined (not
+    #: respawned) — mirrors the supervisor's ``max_worker_deaths``.
+    max_worker_deaths: int = 3
+    #: Fleet-level fault-injection spec (``crash@2,hang:0.1,...``),
+    #: keyed by job id. ``die@j`` kills the *coordinator* at dispatch of
+    #: job ``j`` (attempt 0 only), for crash-resume tests.
+    fault_spec: Optional[str] = None
+    #: Socket path of a shared ``repro serve`` server; workers then score
+    #: through their own resilient :class:`SocketBackend` connections.
+    #: ``None`` scores against the fork-shared in-process model.
+    serve_socket: Optional[str] = None
+    #: Worker-side socket retry budget (generous: a fleet should ride out
+    #: a serve-server restart, not fail the job).
+    serve_retries: int = 8
+    serve_backoff_seconds: float = 0.25
+    #: Event-loop poll interval.
+    poll_seconds: float = 0.05
+
+
+@dataclass
+class _Job:
+    """One leased unit of work. Job ids are a stable function of the CTI
+    (score = ``2k``, execute = ``2k+1``) so fault plans and receipts
+    mean the same thing before and after a coordinator resume."""
+
+    job_id: int
+    kind: str  # "score" | "execute"
+    cti_index: int
+    attempt: int = 0
+
+
+@dataclass
+class _CTIPlan:
+    """Everything the coordinator tracks for one CTI in flight."""
+
+    index: int
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+    audit: Dict[str, object] = field(
+        default_factory=lambda: {"results": [], "scored": 0, "scored_digest": ""}
+    )
+    #: Visit-count snapshot (state-dict format) after this CTI's
+    #: ``proposals_for`` call — the selection-side half of its checkpoint.
+    visit_counts: List[object] = field(default_factory=list)
+    #: Candidate pool (MLPCT: kept for selection replay; PCT: dropped).
+    proposals: Optional[List[object]] = None
+    #: Score-job result (MLPCT): one bool bitmap per candidate.
+    predicted: Optional[List[np.ndarray]] = None
+    tasks: List[object] = field(default_factory=list)
+    inferences_before: Optional[List[int]] = None
+    results: Optional[List[object]] = None
+    selection_done: bool = False
+    #: Selection-side snapshot after this CTI's selection (checkpoint
+    #: composition): task counter and (MLPCT) strategy state.
+    task_index_after: int = 0
+    strategy_state: Optional[Dict[str, object]] = None
+
+    @property
+    def ready_to_fold(self) -> bool:
+        return self.selection_done and self.results is not None
+
+
+class FleetCoordinator:
+    """Drives one fleet campaign to completion (or a precise failure)."""
+
+    def __init__(
+        self,
+        explorer,
+        ctis: Sequence[Tuple[object, object]],
+        config: Optional[FleetConfig] = None,
+        journal: Optional[CampaignJournal] = None,
+    ) -> None:
+        self.explorer = explorer
+        self.ctis = list(ctis)
+        self.config = config or FleetConfig()
+        self.journal = journal
+        self._validate()
+        self.is_mlpct = isinstance(explorer, MLPCTExplorer)
+        self.fault_plan = (
+            FaultPlan.parse(self.config.fault_spec, seed=explorer.seed)
+            if self.config.fault_spec
+            else None
+        )
+        self.leases = LeaseTable(self.config.lease_seconds)
+        self.report = FleetReport(
+            campaign=explorer.label,
+            workers=self.config.workers,
+            ctis=len(self.ctis),
+            receipts_dir=self.config.receipts_dir,
+        )
+        self._plans: Dict[int, _CTIPlan] = {}
+        self._pending: Deque[_Job] = deque()
+        self._workers: List[Optional[FleetWorkerHandle]] = []
+        self._deaths: Dict[int, int] = {}
+        self._quarantined: set = set()
+        self._beat_seen: Dict[int, float] = {}
+        self._next_select = 0
+        self._next_fold = 0
+        self._result_stats: List[ExplorationStats] = []
+        self._outstanding = 0  # jobs dispatched or pending, not yet accepted
+        self._heartbeat_dir = self.config.heartbeat_dir
+        self._own_heartbeat_dir = False
+        self._coordinator_beat: Optional[HeartbeatWriter] = None
+        self._last_liveness = 0.0
+        self._context = _fork_context()
+
+    def _validate(self) -> None:
+        config = self.explorer.config
+        if config.supervision is not None or config.fault_spec:
+            raise FleetError(
+                "fleet campaigns own their fault handling; build the "
+                "explorer without supervision or a runner fault spec "
+                "(use FleetConfig.fault_spec to inject fleet faults)"
+            )
+        if config.parallel_workers:
+            raise FleetError(
+                "fleet campaigns own their parallelism; build the "
+                "explorer with parallel_workers=0"
+            )
+        if self.config.workers < 1:
+            raise FleetError("a fleet needs at least one worker")
+        scorer = getattr(self.explorer, "scorer", None)
+        if scorer is not None and scorer.cascade_filter is not None:
+            raise FleetError(
+                "the scoring cascade's fallback scores are position-"
+                "dependent and cannot be sharded; build the fleet "
+                "explorer without a cascade filter"
+            )
+
+    # -- planning (strict CTI order; advances explorer RNG state) ------------
+
+    def _plan(self, start_index: int) -> None:
+        for index in range(start_index, len(self.ctis)):
+            entry_a, entry_b = self.ctis[index]
+            plan = _CTIPlan(index=index)
+            proposals = self.explorer.proposals_for(entry_a, entry_b)
+            plan.visit_counts = sorted(
+                [list(key), visits]
+                for key, visits in self.explorer._visit_counts.items()
+            )
+            if self.is_mlpct:
+                # Workers score at most what the sequential cap would
+                # ever consider.
+                plan.proposals = [
+                    tuple(pair)
+                    for pair in proposals[: self.explorer.config.inference_cap]
+                ]
+                if plan.proposals:
+                    self._enqueue(_Job(2 * index, "score", index))
+                    self.report.score_jobs += 1
+                else:
+                    plan.predicted = []
+            else:
+                selected = [
+                    list(pair)
+                    for pair in proposals[: self.explorer.config.execution_budget]
+                ]
+                plan.tasks = self.explorer.build_tasks(entry_a, entry_b, selected)
+                plan.selection_done = True
+                plan.task_index_after = self.explorer._task_index
+                if plan.tasks:
+                    self._enqueue(_Job(2 * index + 1, "execute", index))
+                    self.report.execute_jobs += 1
+                else:
+                    plan.results = []
+            self._plans[index] = plan
+
+    def _enqueue(self, job: _Job) -> None:
+        self._pending.append(job)
+        self._outstanding += 1
+
+    # -- selection replay (MLPCT, strict CTI order) --------------------------
+
+    def _replay_selection(self, plan: _CTIPlan) -> None:
+        """Mirror of :meth:`MLPCTExplorer.explore_cti`'s selection loop,
+        fed by worker-scored bitmaps instead of an inline scorer."""
+        entry_a, entry_b = self.ctis[plan.index]
+        explorer = self.explorer
+        stats, audit = plan.stats, plan.audit
+        selected: List[Tuple[object, ...]] = []
+        inferences_before: List[int] = []
+        position = 0
+        while True:
+            if len(selected) >= explorer.config.execution_budget:
+                break
+            if stats.inferences >= explorer.config.inference_cap:
+                break
+            if position >= len(plan.predicted):
+                break
+            hints = plan.proposals[position]
+            predicted = plan.predicted[position]
+            position += 1
+            stats.inferences += 1
+            obs.add("campaign.inferences")
+            audit["scored"] += 1
+            audit["scored_digest"] = fold_prediction_digest(
+                audit["scored_digest"], None, predicted
+            )
+            graph = explorer.graphs.graph_for(entry_a, entry_b, list(hints))
+            if not explorer.strategy.is_interesting(graph, predicted):
+                obs.add("campaign.executions_saved")
+                continue
+            explorer.strategy.commit(graph, predicted)
+            selected.append(hints)
+            inferences_before.append(stats.inferences)
+        plan.inferences_before = inferences_before
+        plan.tasks = explorer.build_tasks(entry_a, entry_b, selected)
+        plan.task_index_after = explorer._task_index
+        plan.strategy_state = explorer.strategy.state_dict()
+        plan.selection_done = True
+        plan.predicted = None  # bitmaps are folded into the digest; free them
+        if plan.tasks:
+            self._enqueue(_Job(2 * plan.index + 1, "execute", plan.index))
+            self.report.execute_jobs += 1
+        else:
+            plan.results = []
+
+    # -- accounting fold (strict CTI order) ----------------------------------
+
+    def _composed_state(self, plan: _CTIPlan) -> Dict[str, object]:
+        """Checkpoint state as-of CTI ``plan.index``: live fold-side
+        fields + the selection-side snapshot taken when this CTI was
+        selected (the pipeline has usually selected further ahead)."""
+        state = self.explorer.state_dict()
+        state["task_index"] = plan.task_index_after
+        state["visit_counts"] = plan.visit_counts
+        if plan.strategy_state is not None:
+            state["strategy"] = plan.strategy_state
+        return state
+
+    def _fold(self, plan: _CTIPlan) -> None:
+        entry_a, entry_b = self.ctis[plan.index]
+        self.explorer.account_results(
+            entry_a,
+            entry_b,
+            plan.results,
+            plan.stats,
+            plan.inferences_before,
+            audit=plan.audit,
+        )
+        self._result_stats.append(plan.stats)
+        if self.journal is not None:
+            self.journal.record_cti(
+                self.explorer,
+                plan.index,
+                plan.stats,
+                audit=plan.audit,
+                state=self._composed_state(plan),
+            )
+        del self._plans[plan.index]
+
+    def _advance_pipeline(self) -> None:
+        while self._next_select < len(self.ctis):
+            plan = self._plans.get(self._next_select)
+            if plan is None or plan.selection_done:
+                self._next_select += 1
+                continue
+            if plan.predicted is None:
+                break  # score job still in flight
+            self._replay_selection(plan)
+            self._next_select += 1
+        while self._next_fold < len(self.ctis):
+            plan = self._plans.get(self._next_fold)
+            if plan is None or not plan.ready_to_fold:
+                break
+            self._fold(plan)
+            self._next_fold += 1
+
+    # -- workers, dispatch, liveness -----------------------------------------
+
+    def _spawn_worker(self, slot: int) -> FleetWorkerHandle:
+        spec = WorkerSpec(
+            worker_id=slot,
+            kernel=self.explorer.kernel,
+            graphs=self.explorer.graphs,
+            ctis=self.ctis,
+            batch_size=self.explorer.config.score_batch_size,
+            predictor=getattr(self.explorer, "predictor", None),
+            serve_socket=self.config.serve_socket,
+            serve_retries=self.config.serve_retries,
+            serve_backoff_seconds=self.config.serve_backoff_seconds,
+            heartbeat_path=os.path.join(
+                self._heartbeat_dir, f"worker-{slot}.json"
+            ),
+            heartbeat_interval=self.config.heartbeat_interval,
+        )
+        return FleetWorkerHandle(spec=spec, context=self._context)
+
+    def _job_message(self, job: _Job) -> Dict[str, object]:
+        fault = None
+        if self.fault_plan is not None:
+            injected = self.fault_plan.fault_for(job.job_id, job.attempt)
+            fault = injected.kind if injected is not None else None
+        message: Dict[str, object] = {
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "cti_index": job.cti_index,
+            "attempt": job.attempt,
+            "fault": fault,
+        }
+        plan = self._plans[job.cti_index]
+        if job.kind == "score":
+            message["proposals"] = plan.proposals
+        else:
+            message["tasks"] = plan.tasks
+        return message
+
+    def _dispatch_ready(self, now: float) -> None:
+        for slot, worker in enumerate(self._workers):
+            if not self._pending:
+                return
+            if worker is None or worker.busy:
+                continue
+            job = self._pending.popleft()
+            if (
+                self.fault_plan is not None
+                and job.attempt == 0
+                and self.fault_plan.should_die(job.job_id)
+            ):
+                # Injected coordinator death: exactly what SIGKILL at
+                # dispatch time looks like to the fleet journal.
+                os._exit(DIE_EXIT_STATUS)
+            try:
+                worker.dispatch(job, self._job_message(job))
+            except (BrokenPipeError, OSError):
+                # The worker died between loops; its pipe is gone.
+                self._bury_worker(slot, worker.take_job())
+                continue
+            self.leases.grant(job.job_id, slot, job.attempt, now)
+            obs.add("fleet.dispatched")
+
+    def _reassign(self, job: _Job) -> None:
+        attempt = job.attempt + 1
+        if attempt >= self.config.max_job_attempts:
+            raise FleetError(
+                f"fleet job {job.job_id} ({job.kind} for CTI "
+                f"{job.cti_index}) failed {self.config.max_job_attempts} "
+                "attempts; refusing to drop it"
+            )
+        self._pending.appendleft(
+            _Job(job.job_id, job.kind, job.cti_index, attempt)
+        )
+        self.report.reassignments += 1
+        obs.add("fleet.reassignments")
+
+    def _bury_worker(self, slot: int, job: Optional[_Job]) -> None:
+        """Kill a dead/expired worker's process, reassign its job, and
+        respawn or quarantine the slot."""
+        worker = self._workers[slot]
+        worker.kill()
+        self.leases.release(slot)
+        self._beat_seen.pop(slot, None)
+        self.report.worker_deaths += 1
+        obs.add("fleet.worker_deaths")
+        deaths = self._deaths.get(slot, 0) + 1
+        self._deaths[slot] = deaths
+        if job is not None:
+            self._reassign(job)
+        if deaths > self.config.max_worker_deaths:
+            self._workers[slot] = None
+            self._quarantined.add(slot)
+            self.report.quarantined_workers = len(self._quarantined)
+            obs.add("fleet.quarantined_workers")
+            if all(w is None for w in self._workers):
+                raise FleetError(
+                    "every fleet worker is quarantined with "
+                    f"{self._outstanding} jobs outstanding"
+                )
+        else:
+            self._workers[slot] = self._spawn_worker(slot)
+
+    def _accept(self, slot: int, worker: FleetWorkerHandle, reply) -> None:
+        kind_tag, job_id, payload, meta = reply
+        job = worker.take_job()
+        self.leases.release(slot)
+        if job is None or job.job_id != job_id:
+            return  # stale reply from a lease we already revoked
+        reconnects = int(meta.get("reconnects", 0)) if meta else 0
+        if reconnects:
+            self.report.serve_reconnects += reconnects
+            obs.add("serve.reconnects", reconnects)
+        if kind_tag == "error":
+            self.report.transient_errors += 1
+            obs.add("fleet.transient_errors")
+            self._reassign(job)
+            return
+        plan = self._plans[job.cti_index]
+        if job.kind == "score":
+            plan.predicted = payload
+        else:
+            plan.results = payload
+            self._reemit_execution_counters(payload)
+        self._outstanding -= 1
+        self.report.jobs_completed += 1
+        self.report.per_worker_jobs[slot] = (
+            self.report.per_worker_jobs.get(slot, 0) + 1
+        )
+        obs.add("fleet.jobs_completed")
+        self._write_receipt(job, plan, payload, worker)
+
+    def _reemit_execution_counters(self, results) -> None:
+        # Execution counters were emitted inside the worker, whose
+        # registry is detached; mirror them here so fleet metrics match
+        # in-process runs.
+        obs.add("execution.runs", len(results))
+        for result in results:
+            if result.failure == "hang":
+                obs.add("execution.hangs")
+            elif result.failure == "deadlock":
+                obs.add("execution.deadlocks")
+
+    def _write_receipt(self, job: _Job, plan: _CTIPlan, payload, worker) -> None:
+        if self.config.receipts_dir is None:
+            return
+        entry_a, entry_b = self.ctis[job.cti_index]
+        if job.kind == "score":
+            inputs = score_inputs_digest(plan.proposals)
+            result = score_result_digest(payload)
+        else:
+            inputs = execute_inputs_digest(plan.tasks)
+            result = execute_result_digest(payload)
+        write_receipt(
+            self.config.receipts_dir,
+            {
+                "campaign": self.explorer.label,
+                "job": job.job_id,
+                "kind": job.kind,
+                "cti_index": job.cti_index,
+                "cti": [entry_a.sti.sti_id, entry_b.sti.sti_id],
+                "seed": self.explorer.seed,
+                "worker": worker.worker_id,
+                "pid": worker.process.pid,
+                "attempt": job.attempt,
+                "attempts": job.attempt + 1,
+                "inputs": inputs,
+                "result": result,
+            },
+        )
+        self.report.receipts += 1
+
+    def _drain_messages(self) -> None:
+        busy = [
+            (slot, worker)
+            for slot, worker in enumerate(self._workers)
+            if worker is not None and worker.busy
+        ]
+        if not busy:
+            if self._pending:
+                return
+            time.sleep(self.config.poll_seconds)
+            return
+        ready = mp_connection.wait(
+            [worker.conn for _, worker in busy],
+            timeout=self.config.poll_seconds,
+        )
+        if not ready:
+            return
+        ready_set = set(ready)
+        now = time.monotonic()
+        for slot, worker in busy:
+            if worker.conn not in ready_set:
+                continue
+            try:
+                reply = worker.conn.recv()
+            except (EOFError, OSError):
+                # Pipe gone: the worker process died mid-job.
+                self._bury_worker(slot, worker.take_job())
+                continue
+            self.leases.renew(slot, now)
+            self._accept(slot, worker, reply)
+
+    def _check_liveness(self, now: float) -> None:
+        if now - self._last_liveness < min(
+            1.0, max(self.config.lease_seconds / 4.0, self.config.poll_seconds)
+        ):
+            return
+        self._last_liveness = now
+        # Heartbeat-file writes renew leases (a busy worker mid-job sends
+        # nothing on the pipe, but its beat thread keeps writing).
+        for slot, worker in enumerate(self._workers):
+            if worker is None or not worker.busy:
+                continue
+            beat = read_heartbeat(
+                os.path.join(self._heartbeat_dir, f"worker-{slot}.json")
+            )
+            if beat is None:
+                continue
+            stamp = float(beat.get("updated_unix", 0.0))
+            if stamp > self._beat_seen.get(slot, 0.0):
+                self._beat_seen[slot] = stamp
+                self.leases.renew(slot, now)
+        for lease in self.leases.expired(now):
+            worker = self._workers[lease.worker]
+            if worker is None:
+                continue
+            self.report.lease_expirations += 1
+            obs.add("fleet.lease_expirations")
+            self._bury_worker(lease.worker, worker.take_job())
+
+    def _beat(self, force: bool = False) -> None:
+        if self._coordinator_beat is None:
+            return
+        now = time.monotonic()
+        leases = {
+            f"w{lease.worker}": {
+                "job": lease.job_id,
+                "attempt": lease.attempt,
+                "age_seconds": round(lease.age(now), 3),
+            }
+            for lease in self.leases.active()
+        }
+        self._coordinator_beat.update(
+            done=self._next_fold,
+            races=sum(stats.new_races for stats in self._result_stats),
+            executions=sum(stats.executions for stats in self._result_stats),
+            force=force,
+            role="coordinator",
+            workers=sum(1 for w in self._workers if w is not None),
+            pending=len(self._pending),
+            reassignments=self.report.reassignments,
+            worker_deaths=self.report.worker_deaths,
+            leases=leases,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _setup(self) -> int:
+        start_stats: List[ExplorationStats] = []
+        start_index = 0
+        if self.journal is not None:
+            start_stats, start_index = self.journal.prepare(
+                self.explorer, self.ctis
+            )
+        self._result_stats = start_stats
+        self._next_select = start_index
+        self._next_fold = start_index
+        self.report.resumed_ctis = start_index
+        if self._heartbeat_dir is None:
+            self._heartbeat_dir = tempfile.mkdtemp(prefix="repro-fleet-hb-")
+            self._own_heartbeat_dir = True
+        else:
+            os.makedirs(self._heartbeat_dir, exist_ok=True)
+        if self.config.receipts_dir is not None:
+            os.makedirs(self.config.receipts_dir, exist_ok=True)
+        self._coordinator_beat = HeartbeatWriter(
+            os.path.join(self._heartbeat_dir, "coordinator.json"),
+            interval=max(self.config.heartbeat_interval, 0.2),
+        )
+        self._coordinator_beat.begin(
+            f"fleet:{self.explorer.label}", len(self.ctis), done=start_index
+        )
+        self._plan(start_index)
+        self._workers = [
+            self._spawn_worker(slot) for slot in range(self.config.workers)
+        ]
+        return start_index
+
+    def _teardown(self) -> None:
+        for worker in self._workers:
+            if worker is not None:
+                worker.stop()
+        self._workers = []
+        if self._own_heartbeat_dir and self._heartbeat_dir:
+            shutil.rmtree(self._heartbeat_dir, ignore_errors=True)
+
+    def _finish(self) -> Tuple[CampaignResult, FleetReport]:
+        campaign = self.explorer.result()
+        campaign.per_cti = self._result_stats
+        if self.config.receipts_dir is not None:
+            self._verify_receipt_coverage()
+        return campaign, self.report
+
+    def _verify_receipt_coverage(self) -> None:
+        """Every executed job must be covered by a verified receipt.
+
+        Derivable even across a resume: CTI ``k`` consumed inferences
+        iff a score job ran for it, and executed CTs iff an execute job
+        ran — both visible in the per-CTI stats the journal restored.
+        """
+        receipts = verify_receipts(
+            self.config.receipts_dir, self.explorer.label
+        )
+        by_job = {int(receipt["job"]): receipt for receipt in receipts}
+        for index, stats in enumerate(self._result_stats):
+            if self.is_mlpct and stats.inferences > 0 and 2 * index not in by_job:
+                raise FleetError(
+                    f"CTI {index} consumed predictions but has no score-"
+                    "job receipt"
+                )
+            if stats.executions > 0 and 2 * index + 1 not in by_job:
+                raise FleetError(
+                    f"CTI {index} executed CTs but has no execute-job "
+                    "receipt"
+                )
+        self.report.receipts = len(receipts)
+
+    def run(self) -> Tuple[CampaignResult, FleetReport]:
+        started = time.monotonic()
+        with obs.span(
+            "fleet.run",
+            label=self.explorer.label,
+            workers=self.config.workers,
+            ctis=len(self.ctis),
+        ):
+            self._setup()
+            try:
+                while self._next_fold < len(self.ctis):
+                    now = time.monotonic()
+                    self._dispatch_ready(now)
+                    self._drain_messages()
+                    self._check_liveness(time.monotonic())
+                    self._advance_pipeline()
+                    self._beat()
+                    self._check_stall()
+                self._beat(force=True)
+            finally:
+                self._teardown()
+                self.explorer.close()
+        self.report.elapsed_seconds = time.monotonic() - started
+        return self._finish()
+
+    def _check_stall(self) -> None:
+        if self._next_fold >= len(self.ctis):
+            return
+        if self._pending:
+            return
+        if any(w is not None and w.busy for w in self._workers):
+            return
+        # Nothing pending, nothing in flight, campaign incomplete: a
+        # selection replay must be waiting on the pipeline — advance on
+        # the next loop. If the pipeline is also quiet, jobs were lost.
+        plan = self._plans.get(self._next_select)
+        if plan is not None and not plan.selection_done and plan.predicted is None:
+            raise FleetError(
+                f"fleet stalled: CTI {self._next_select} is waiting for a "
+                "score job that is neither pending nor leased"
+            )
+        if self._next_fold in self._plans and not self._plans[
+            self._next_fold
+        ].ready_to_fold and self._plans[self._next_fold].selection_done:
+            raise FleetError(
+                f"fleet stalled: CTI {self._next_fold} is waiting for an "
+                "execute job that is neither pending nor leased"
+            )
+
+
+def run_fleet(
+    explorer,
+    ctis: Sequence[Tuple[object, object]],
+    config: Optional[FleetConfig] = None,
+    journal: Optional[CampaignJournal] = None,
+) -> Tuple[CampaignResult, FleetReport]:
+    """Run a campaign across a worker fleet; returns ``(campaign,
+    fleet_report)`` with ``campaign`` byte-identical to
+    :func:`repro.core.mlpct.run_campaign` on the same explorer config.
+    """
+    coordinator = FleetCoordinator(explorer, ctis, config=config, journal=journal)
+    return coordinator.run()

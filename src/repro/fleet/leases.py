@@ -1,0 +1,94 @@
+"""Lease-based job ownership for the campaign fleet.
+
+A fleet job is never *given* to a worker — it is *leased*: the worker
+owns it only while it keeps renewing, and the coordinator reclaims the
+lease the moment renewals stop. Renewals arrive on two channels: any
+message on the worker's pipe, and a fresh write of the worker's
+heartbeat file (the same ``--heartbeat`` JSON shape campaigns already
+emit, so ``repro top`` reads fleet workers for free). A worker that is
+wedged hard enough to stop both channels loses its lease after
+``lease_seconds``; the coordinator kills it and reassigns the job to a
+live worker with the attempt count bumped.
+
+All timing here uses a monotonic clock passed in by the coordinator —
+wall-clock jumps must never expire a healthy lease.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One worker's ownership of one job, valid while renewed."""
+
+    job_id: int
+    worker: int
+    attempt: int
+    granted: float  # monotonic time of the grant
+    renewed: float  # monotonic time of the last renewal
+
+    def age(self, now: float) -> float:
+        """Seconds since the lease was granted."""
+        return max(0.0, now - self.granted)
+
+    def idle(self, now: float) -> float:
+        """Seconds since the worker last proved it was alive."""
+        return max(0.0, now - self.renewed)
+
+
+@dataclass
+class LeaseTable:
+    """The coordinator's view of which worker owns which job.
+
+    One lease per worker at most (fleet workers run one job at a time);
+    ``expired`` is the liveness verdict the coordinator acts on.
+    """
+
+    lease_seconds: float
+    _leases: Dict[int, Lease] = field(default_factory=dict)
+    grants: int = 0
+    renewals: int = 0
+    expirations: int = 0
+
+    def grant(self, job_id: int, worker: int, attempt: int, now: float) -> Lease:
+        lease = Lease(job_id=job_id, worker=worker, attempt=attempt,
+                      granted=now, renewed=now)
+        self._leases[worker] = lease
+        self.grants += 1
+        return lease
+
+    def lease_of(self, worker: int) -> Optional[Lease]:
+        return self._leases.get(worker)
+
+    def renew(self, worker: int, now: float) -> bool:
+        """Record proof of life for ``worker``; True if it held a lease."""
+        lease = self._leases.get(worker)
+        if lease is None:
+            return False
+        lease.renewed = max(lease.renewed, now)
+        self.renewals += 1
+        return True
+
+    def release(self, worker: int) -> Optional[Lease]:
+        """Drop ``worker``'s lease (job finished or worker died)."""
+        return self._leases.pop(worker, None)
+
+    def expired(self, now: float) -> List[Lease]:
+        """Reclaim and return leases whose workers have been silent past
+        the deadline. The caller must reassign each returned job —
+        reclaimed leases are already gone from the table, so polling
+        again never double-counts an expiry."""
+        stale = [lease for lease in self._leases.values()
+                 if lease.idle(now) > self.lease_seconds]
+        for lease in stale:
+            del self._leases[lease.worker]
+        self.expirations += len(stale)
+        return stale
+
+    def active(self) -> List[Lease]:
+        return sorted(self._leases.values(), key=lambda lease: lease.worker)

@@ -1,0 +1,317 @@
+"""Fleet worker processes: leased executors for score and execute jobs.
+
+A fleet worker is a forked child that sits in a recv loop on a pipe to
+the coordinator, runs one job at a time, and replies with the raw
+result. Workers do only *pure* work — scoring a candidate pool with the
+RNG-free predictor, or executing pre-seeded :class:`CTTask`s — so a job
+produces bit-identical output no matter which worker runs it, on which
+attempt, in which order. All campaign state (selection strategy, cost
+ledger, race dedup, journal) lives in the coordinator; that split is
+what makes fleet aggregation byte-identical to the single-process
+campaign.
+
+Liveness is proven two ways: every pipe message renews the worker's
+lease, and a daemon heartbeat thread rewrites the worker's heartbeat
+file (the standard ``--heartbeat`` JSON shape) every interval. Injected
+hangs pause the heartbeat thread first — a hung worker must *look*
+hung, or lease expiry could never be tested.
+
+Wire protocol (pickled over a multiprocessing pipe):
+
+- coordinator -> worker: a job dict (``job_id``, ``kind``,
+  ``cti_index``, ``attempt``, ``fault``, plus ``proposals`` for score
+  jobs or ``tasks`` for execute jobs), or ``None`` to shut down.
+- worker -> coordinator: ``("done", job_id, payload, meta)`` or
+  ``("error", job_id, message, meta)``. ``meta`` carries operational
+  counters (serve reconnects since the last reply) that the coordinator
+  folds into the fleet report.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.scoring import CandidateScorer, iter_score_candidates
+from repro.errors import ReproError
+from repro.execution.parallel import _run_task
+from repro.obs.export import HeartbeatWriter
+
+__all__ = ["WorkerSpec", "FleetWorkerHandle"]
+
+#: Exit status for an injected worker crash (mirrors the supervisor's
+#: crash-fault exit so post-mortems read the same).
+CRASH_EXIT_STATUS = 13
+
+#: How long an injected hang sleeps. Long enough that the coordinator's
+#: lease always expires first; the worker is killed before waking.
+_HANG_SLEEP_SECONDS = 600.0
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs, passed through ``fork`` by memory.
+
+    ``predictor`` is the in-process PIC model (shared copy-on-write with
+    the coordinator); when ``serve_socket`` is set the worker ignores it
+    and scores through its own :class:`SocketBackend` connection
+    instead — one connection per process, never a shared descriptor.
+    """
+
+    worker_id: int
+    kernel: object
+    graphs: object
+    ctis: Sequence[Tuple[object, object]]
+    batch_size: int = 8
+    predictor: Optional[object] = None
+    serve_socket: Optional[str] = None
+    serve_retries: int = 8
+    serve_backoff_seconds: float = 0.25
+    heartbeat_path: Optional[str] = None
+    heartbeat_interval: float = 0.2
+    hang_sleep_seconds: float = _HANG_SLEEP_SECONDS
+
+
+class _WorkerBeat:
+    """Heartbeat file writer running on a daemon thread.
+
+    Writes immediately on job transitions and every ``interval`` seconds
+    in between. ``pause`` stops the thread's writes without stopping the
+    thread — used by injected hangs so the worker goes silent exactly
+    like a wedged process would.
+    """
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self._writer = HeartbeatWriter(spec.heartbeat_path, interval=0.0)
+        self._interval = spec.heartbeat_interval
+        self._worker_id = spec.worker_id
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._paused = False
+        self._jobs_done = 0
+        self._state = {"job": None, "kind": None, "cti": None, "attempt": None}
+        self._writer.begin(f"fleet-worker-{spec.worker_id}", total=0)
+        self._write()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._write()
+
+    def _write(self) -> None:
+        with self._lock:
+            if self._paused:
+                return
+            self._writer.update(
+                done=self._jobs_done,
+                force=True,
+                role="worker",
+                worker=self._worker_id,
+                **self._state,
+            )
+
+    def begin_job(self, job: dict) -> None:
+        with self._lock:
+            self._state = {
+                "job": job["job_id"],
+                "kind": job["kind"],
+                "cti": job["cti_index"],
+                "attempt": job["attempt"],
+            }
+        self._write()
+
+    def finish_job(self) -> None:
+        with self._lock:
+            self._jobs_done += 1
+            self._state = {"job": None, "kind": None, "cti": None,
+                           "attempt": None}
+        self._write()
+
+    def pause(self) -> None:
+        with self._lock:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._lock:
+            self._paused = False
+
+    def close(self) -> None:
+        self._stop.set()
+
+
+def _score_job(spec: WorkerSpec, scorer: CandidateScorer, job: dict) -> List[np.ndarray]:
+    """Score a candidate pool; returns one bool bitmap per candidate.
+
+    Scoring is RNG-free and per-graph exact across batching and serving
+    substrates, so these bitmaps equal what the sequential campaign
+    would have computed inline.
+    """
+    entry_a, entry_b = spec.ctis[job["cti_index"]]
+    predicted = []
+    for candidate in iter_score_candidates(
+        scorer, spec.graphs, entry_a, entry_b, job["proposals"]
+    ):
+        predicted.append(np.asarray(candidate.predicted, dtype=bool))
+    return predicted
+
+
+def _fleet_worker_main(conn, spec: WorkerSpec) -> None:
+    """Entry point of a forked fleet worker."""
+    # The fork inherited the coordinator's metrics registry; drop it so
+    # worker-side counters never double-count into the parent's export.
+    obs.clear_registry()
+    beat = _WorkerBeat(spec) if spec.heartbeat_path else None
+    backend = None
+    scorer: Optional[CandidateScorer] = None
+    reconnects_sent = 0
+    try:
+        if spec.serve_socket:
+            from repro.serve.server import SocketBackend
+
+            backend = SocketBackend(
+                spec.serve_socket,
+                retries=spec.serve_retries,
+                backoff_seconds=spec.serve_backoff_seconds,
+            )
+        parent_pid = os.getppid()
+        while True:
+            # Poll instead of blocking in recv: a sibling worker forked
+            # later inherits our pipe's coordinator end, so a dead
+            # coordinator (SIGKILL, injected die) never EOFs us — but it
+            # does re-parent us, which getppid exposes.
+            while not conn.poll(0.5):
+                if os.getppid() != parent_pid:
+                    return
+            try:
+                job = conn.recv()
+            except (EOFError, OSError):
+                return
+            if job is None:
+                return
+            if beat is not None:
+                beat.begin_job(job)
+            fault = job.get("fault")
+            if fault == "crash":
+                os._exit(CRASH_EXIT_STATUS)
+            if fault == "hang":
+                # Go silent: the heartbeat stops, the lease expires, the
+                # coordinator kills us. The sleep only ever ends early
+                # in that kill.
+                if beat is not None:
+                    beat.pause()
+                time.sleep(spec.hang_sleep_seconds)
+                if beat is not None:
+                    beat.resume()
+                reply = ("error", job["job_id"],
+                         "injected hang outlived its sleep", {})
+                conn.send(reply)
+                continue
+            meta = {}
+            if fault == "transient":
+                reply = ("error", job["job_id"], "injected transient fault",
+                         meta)
+            else:
+                try:
+                    if job["kind"] == "score":
+                        if scorer is None:
+                            scorer = CandidateScorer(
+                                spec.predictor,
+                                batch_size=spec.batch_size,
+                                backend=backend,
+                            )
+                        payload = _score_job(spec, scorer, job)
+                    else:
+                        payload = [
+                            _run_task(spec.kernel, task)
+                            for task in job["tasks"]
+                        ]
+                except ReproError as error:
+                    reply = ("error", job["job_id"],
+                             f"{type(error).__name__}: {error}", meta)
+                else:
+                    reply = ("done", job["job_id"], payload, meta)
+            if backend is not None:
+                meta["reconnects"] = backend.reconnects - reconnects_sent
+                reconnects_sent = backend.reconnects
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+            if beat is not None:
+                beat.finish_job()
+    finally:
+        if backend is not None:
+            backend.close()
+        if beat is not None:
+            beat.close()
+
+
+@dataclass
+class FleetWorkerHandle:
+    """Coordinator-side handle to one worker slot's live process."""
+
+    spec: WorkerSpec
+    process: object = field(init=False)
+    conn: object = field(init=False)
+    job: Optional[object] = field(init=False, default=None)  # current _Job
+    context: object = None
+
+    def __post_init__(self) -> None:
+        context = self.context
+        parent_conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_fleet_worker_main,
+            args=(child_conn, self.spec),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    @property
+    def worker_id(self) -> int:
+        return self.spec.worker_id
+
+    @property
+    def busy(self) -> bool:
+        return self.job is not None
+
+    def dispatch(self, job, message: dict) -> None:
+        self.job = job
+        self.conn.send(message)
+
+    def take_job(self):
+        job, self.job = self.job, None
+        return job
+
+    def kill(self) -> None:
+        """Hard-stop the worker (lease expiry, fleet teardown)."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """Polite shutdown: send the sentinel, then reap."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass

@@ -37,6 +37,7 @@ __all__ = [
     "HeartbeatWriter",
     "read_heartbeat",
     "render_top",
+    "render_fleet_top",
     "render_serve_watch",
 ]
 
@@ -283,6 +284,86 @@ def render_top(
                 "executions": beat.get("executions", 0),
                 "rate/s": f"{float(beat.get('rate_per_second', 0.0)):.2f}",
                 "eta": _format_eta(beat.get("eta_seconds")),
+                "age": f"{age:.0f}s",
+            }
+        )
+    return format_table(rows, title=title)
+
+
+def render_fleet_top(
+    directory: str,
+    now: Optional[float] = None,
+    title: str = "fleet",
+) -> str:
+    """Render a fleet heartbeat directory: one coordinator row plus one
+    row per worker (current job, lease age, attempt), for ``repro top
+    --fleet DIR`` and ``repro fleet status``.
+
+    The coordinator's heartbeat carries the lease table (job id, attempt,
+    lease age per worker); each worker's own heartbeat proves liveness
+    (the ``age`` column) and names the job it believes it is running.
+    """
+    now = time.time() if now is None else now
+    coordinator = read_heartbeat(os.path.join(directory, "coordinator.json"))
+    rows: List[Dict[str, object]] = []
+    leases: Dict[str, Dict[str, object]] = {}
+    if coordinator is None:
+        rows.append(
+            {
+                "role": "coordinator",
+                "campaign": "(no heartbeat)",
+                "progress": "-",
+                "job": "-",
+                "attempt": "-",
+                "lease age": "-",
+                "age": "-",
+            }
+        )
+    else:
+        leases = coordinator.get("leases") or {}
+        done = int(coordinator.get("done", 0))
+        total = int(coordinator.get("total", 0))
+        fraction = f" ({done / total:.0%})" if total else ""
+        age = max(now - float(coordinator.get("updated_unix", now)), 0.0)
+        rows.append(
+            {
+                "role": "coordinator",
+                "campaign": str(coordinator.get("label", "?")),
+                "progress": f"{done}/{total}{fraction}",
+                "job": f"pending {coordinator.get('pending', 0)}",
+                "attempt": f"reassigned {coordinator.get('reassignments', 0)}",
+                "lease age": "-",
+                "age": f"{age:.0f}s",
+            }
+        )
+    worker_files = sorted(
+        name
+        for name in (os.listdir(directory) if os.path.isdir(directory) else [])
+        if name.startswith("worker-") and name.endswith(".json")
+    )
+    for name in worker_files:
+        beat = read_heartbeat(os.path.join(directory, name))
+        if beat is None:
+            continue
+        worker = beat.get("worker")
+        lease = leases.get(f"w{worker}") or {}
+        job = beat.get("job")
+        kind = beat.get("kind")
+        cti = beat.get("cti")
+        job_text = f"{kind}:{job} (cti {cti})" if job is not None else "idle"
+        age = max(now - float(beat.get("updated_unix", now)), 0.0)
+        rows.append(
+            {
+                "role": f"worker {worker}",
+                "campaign": str(beat.get("label", name)),
+                "progress": f"{int(beat.get('done', 0))} jobs",
+                "job": job_text,
+                "attempt": beat.get("attempt", lease.get("attempt", "-")),
+                "lease age": (
+                    f"{float(lease.get('age_seconds', 0.0)):.1f}s"
+                    if lease
+                    else "-"
+                ),
                 "age": f"{age:.0f}s",
             }
         )

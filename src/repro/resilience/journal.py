@@ -472,10 +472,26 @@ class CampaignJournal:
             kept.append(record)
         self._file.rewrite(kept)
 
-    def record_cti(self, explorer, index: int, stats) -> None:
-        """Commit one completed CTI: journal record, then checkpoint."""
+    def record_cti(
+        self,
+        explorer,
+        index: int,
+        stats,
+        audit: Optional[Dict[str, object]] = None,
+        state: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Commit one completed CTI: journal record, then checkpoint.
+
+        ``audit`` and ``state`` override the explorer's own audit slot
+        and live ``state_dict()``. The fleet coordinator needs both: it
+        keeps one audit record per in-flight CTI, and its selection
+        pipeline may run ahead of the accounting fold, so the
+        checkpointed state is composed to be exactly what a sequential
+        run would have snapshot after this CTI.
+        """
         label = explorer.label
-        audit = explorer.end_audit()
+        if audit is None:
+            audit = explorer.end_audit()
         results = audit["results"]
         self._file.append(
             {
@@ -497,7 +513,7 @@ class CampaignJournal:
                 "schema": JOURNAL_SCHEMA,
                 "label": label,
                 "cti_index": index,
-                "state": explorer.state_dict(),
+                "state": explorer.state_dict() if state is None else state,
             },
         )
 

@@ -48,6 +48,7 @@ from repro.serve.server import (
     PredictionServer,
     ServerConfig,
     SocketBackend,
+    probe_socket,
     serve_forever,
 )
 
@@ -65,5 +66,6 @@ __all__ = [
     "PredictionServer",
     "ServerConfig",
     "SocketBackend",
+    "probe_socket",
     "serve_forever",
 ]

@@ -61,6 +61,7 @@ __all__ = [
     "PredictionServer",
     "SocketBackend",
     "serve_forever",
+    "probe_socket",
     "encode_graphs",
     "decode_graphs",
 ]
@@ -227,6 +228,13 @@ class ServerConfig:
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         prediction_server: "PredictionServer" = self.server.prediction_server
+        prediction_server._track(self.connection)
+        try:
+            self._serve_connection(prediction_server)
+        finally:
+            prediction_server._untrack(self.connection)
+
+    def _serve_connection(self, prediction_server: "PredictionServer") -> None:
         while True:
             try:
                 request = read_frame(self.rfile)
@@ -253,6 +261,32 @@ class _Handler(socketserver.StreamRequestHandler):
                 write_frame(self.wfile, response)
             except OSError:
                 return
+
+
+def probe_socket(path: str, timeout: float = 1.0) -> str:
+    """Classify a serving socket path without sending a request.
+
+    Returns ``"live"`` (something accepted a connection), ``"dead"``
+    (the file exists but nothing is listening — a SIGKILLed server's
+    leftover), or ``"absent"``. The distinction is what lets ``serve
+    start`` reclaim a stale socket without ever stealing a live one,
+    and ``serve stop`` succeed when there is nothing left to stop.
+    """
+    if not os.path.exists(path):
+        return "absent"
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(timeout)
+    try:
+        probe.connect(path)
+    except OSError:
+        return "dead"
+    else:
+        return "live"
+    finally:
+        try:
+            probe.close()
+        except OSError:
+            pass
 
 
 class _UnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
@@ -298,12 +332,28 @@ class PredictionServer:
             score_threads=config.score_threads,
         )
         path = config.socket_path
-        if os.path.exists(path):
-            os.unlink(path)  # stale socket from a dead server
+        state = probe_socket(path)
+        if state == "live":
+            raise ServeError(
+                f"a prediction server is already listening on {path}; "
+                "stop it first or choose another socket"
+            )
+        if state == "dead":
+            os.unlink(path)  # leftover socket from a SIGKILLed server
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         self._server = _UnixServer(path, _Handler)
         self._server.prediction_server = self
         self._thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    def _track(self, connection) -> None:
+        with self._connections_lock:
+            self._connections.add(connection)
+
+    def _untrack(self, connection) -> None:
+        with self._connections_lock:
+            self._connections.discard(connection)
 
     # -- request dispatch ----------------------------------------------------
 
@@ -422,6 +472,21 @@ class PredictionServer:
 
     def _cleanup(self) -> None:
         self._server.server_close()
+        # Sever established connections too: handler threads otherwise
+        # outlive the server, and clients would keep talking to a ghost
+        # instead of reconnecting to a replacement.
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
         self.backend.close()
         try:
             os.unlink(self.config.socket_path)
@@ -449,9 +514,29 @@ class SocketBackend(PredictionBackend):
     parallelism should come from multiple workers each owning a
     backend). Model identity (threshold, version, vocab size) is
     fetched once from ``status`` and cached.
+
+    Transport failures are classified: a connect refusal, a mid-request
+    drop, or an EOF is *transient* — every request is idempotent, so the
+    whole request is resent after exponential backoff, reconnecting as
+    needed (``retries`` attempts beyond the first; ``serve.reconnects``
+    counts successful reconnections). A server-side ``ok: false``
+    response or a malformed frame is *fatal* and raises immediately.
+    ``circuit_threshold`` consecutive transport failures open a circuit
+    breaker: until ``circuit_cooldown_seconds`` elapse, requests fail
+    fast (``serve.circuit_open`` counts openings) instead of hammering a
+    server that is clearly down; the first request after the cooldown is
+    the half-open probe that closes the circuit on success.
     """
 
-    def __init__(self, socket_path: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        socket_path: str,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff_seconds: float = 0.05,
+        circuit_threshold: int = 5,
+        circuit_cooldown_seconds: float = 1.0,
+    ) -> None:
         self.socket_path = socket_path
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
@@ -459,24 +544,85 @@ class SocketBackend(PredictionBackend):
         self._wfile = None
         self._timeout = timeout
         self._identity: Optional[dict] = None
+        self._retries = max(0, int(retries))
+        self._backoff = max(0.0, float(backoff_seconds))
+        self._circuit_threshold = max(1, int(circuit_threshold))
+        self._circuit_cooldown = max(0.0, float(circuit_cooldown_seconds))
+        self._consecutive_failures = 0
+        self._circuit_open_until: Optional[float] = None
+        self._ever_connected = False
+        #: Successful reconnections after a lost connection (operational
+        #: counter, mirrored to ``serve.reconnects``).
+        self.reconnects = 0
+        #: Circuit-breaker openings (mirrored to ``serve.circuit_open``).
+        self.circuit_opens = 0
 
     # -- connection management ----------------------------------------------
 
     def _connect(self) -> None:
+        """Ensure a live connection; raises ``OSError`` (transient)."""
         if self._sock is not None:
             return
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(self._timeout)
         try:
             sock.connect(self.socket_path)
-        except OSError as error:
+        except OSError:
             sock.close()
-            raise ServeError(
-                f"cannot reach prediction server at {self.socket_path}: {error}"
-            ) from None
+            raise
         self._sock = sock
         self._rfile = sock.makefile("rb")
         self._wfile = sock.makefile("wb")
+        # A reconnect is any successful connect that had to recover:
+        # the connection existed before and was lost, or earlier
+        # attempts failed (server down at first contact, then back).
+        if self._ever_connected or self._consecutive_failures > 0:
+            self.reconnects += 1
+            obs.add("serve.reconnects")
+        self._ever_connected = True
+
+    def _record_transport_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self._circuit_threshold:
+            self._circuit_open_until = (
+                time.monotonic() + self._circuit_cooldown
+            )
+            self.circuit_opens += 1
+            obs.add("serve.circuit_open")
+
+    def _exchange(self, payload: dict) -> dict:
+        """One request/response over the socket, retrying transient
+        transport failures; caller holds the lock."""
+        now = time.monotonic()
+        if self._circuit_open_until is not None and now < self._circuit_open_until:
+            obs.add("serve.circuit_rejected")
+            raise ServeError(
+                f"cannot reach prediction server at {self.socket_path}: "
+                f"circuit open after {self._consecutive_failures} "
+                "consecutive connection failures (cooling down)"
+            )
+        last_error: Optional[BaseException] = None
+        for attempt in range(self._retries + 1):
+            if attempt:
+                time.sleep(self._backoff * (2 ** (attempt - 1)))
+            try:
+                self._connect()
+                write_frame(self._wfile, payload)
+                response = read_frame(self._rfile)
+            except (OSError, EOFError) as error:
+                self._teardown()
+                last_error = error
+                self._record_transport_failure()
+                continue
+            # Success closes the circuit (this was the half-open probe
+            # if one was pending).
+            self._consecutive_failures = 0
+            self._circuit_open_until = None
+            return response
+        raise ServeError(
+            f"cannot reach prediction server at {self.socket_path} after "
+            f"{self._retries + 1} attempts: {last_error}"
+        ) from None
 
     def _request(self, payload: dict) -> dict:
         # Attach the caller's trace context only when telemetry is on —
@@ -486,16 +632,10 @@ class SocketBackend(PredictionBackend):
         if context is not None:
             payload["trace"] = context.to_wire()
         with self._lock:
-            self._connect()
-            try:
-                write_frame(self._wfile, payload)
-                response = read_frame(self._rfile)
-            except (OSError, EOFError) as error:
-                self._teardown()
-                raise ServeError(
-                    f"prediction server connection failed: {error}"
-                ) from None
+            response = self._exchange(payload)
         if not response.get("ok"):
+            # Fatal: the server answered, and the answer is an error —
+            # retrying would re-earn the same refusal.
             raise ServeError(
                 f"server error ({response.get('kind', 'unknown')}): "
                 f"{response.get('error', 'no detail')}"
@@ -570,8 +710,17 @@ class SocketBackend(PredictionBackend):
         }
 
     def shutdown(self) -> None:
-        self._request({"op": "shutdown"})
-        self.close()
+        try:
+            self._request({"op": "shutdown"})
+        except ServeError:
+            # The server tears down established connections as part of
+            # stopping, and that teardown can race the shutdown reply —
+            # the ack is lost but the stop happened. If nothing is
+            # listening any more, the request did its job.
+            if probe_socket(self.socket_path) == "live":
+                raise
+        finally:
+            self.close()
 
     def stats(self) -> dict:
         return {"backend": "socket", "socket": self.socket_path}

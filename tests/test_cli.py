@@ -28,6 +28,7 @@ class TestParser:
             "train": ["--epochs", "1"],
             "report": ["trace.jsonl"],
             "serve": ["status", "--socket", "/tmp/repro.sock"],
+            "fleet": ["status", "--dir", "/tmp/fleet-heartbeats"],
             "top": ["heartbeat.json"],
         }
         parser = build_parser()
