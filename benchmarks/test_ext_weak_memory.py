@@ -107,3 +107,49 @@ def test_weak_memory_behaviour_space(benchmark, snowcat512, report):
         row["TSO-only races"] > 0 or row["TSO footprints"] != row["SC footprints"]
         for row in rows
     )
+
+
+def test_weak_memory_campaign_axis(benchmark, snowcat512, report):
+    """The supported-workload version: ``campaign --memory-model tso``.
+
+    Instead of hand-rolled schedule loops, the memory model rides the
+    ordinary explorer/campaign machinery — the same PCT campaign run
+    under SC and under TSO (identical seeds, CTIs, and proposal
+    streams; the axis is the only difference)."""
+    from dataclasses import replace
+
+    from repro.core.mlpct import PCTExplorer, run_campaign
+
+    def run():
+        outcomes = {}
+        for model in ("sc", "tso"):
+            explorer = PCTExplorer(
+                snowcat512.graphs,
+                config=replace(
+                    snowcat512.config.exploration, memory_model=model
+                ),
+                seed=snowcat512.config.seed,
+                label=f"PCT-{model}",
+            )
+            ctis = snowcat512.cti_stream(6, seed_label="tso-axis")
+            outcomes[model] = run_campaign(explorer, ctis)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "model": model,
+            "races": result.total_races,
+            "blocks": result.total_blocks,
+            "executions": result.ledger.executions,
+        }
+        for model, result in outcomes.items()
+    ]
+    report(
+        "ext_weak_memory_campaign",
+        format_table(rows, title="campaign --memory-model: SC vs TSO"),
+    )
+    # Same seeds, same budgets: the campaigns did identical amounts of
+    # work; only the memory model differed.
+    assert outcomes["sc"].ledger.executions == outcomes["tso"].ledger.executions
+    assert all(result.total_races > 0 for result in outcomes.values())

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""§6 frontier features: weak memory and interrupt injection.
+"""Scenario axes: weak memory, interrupt injection, N-thread campaigns.
 
-Demonstrates the two execution-engine extensions the paper's discussion
-section flags as open directions:
+The features §6 of the paper flags as open directions are supported
+campaign axes here, equivalent to ``repro campaign --threads N --irq
+--memory-model tso``:
 
 1. **TSO store buffers** — the same concurrent test, run under sequential
    consistency and under TSO, can take different control-flow paths: a
@@ -10,12 +11,16 @@ section flags as open directions:
    it. The demo finds a schedule whose coverage differs between models.
 2. **Interrupt injection** — an IRQ handler fired mid-run adds its own
    coverage and its memory traffic races with the other thread.
+3. **A full campaign with every axis on** — three-thread CTIs with
+   seed-derived interrupt plans under TSO, through the ordinary
+   explorer/campaign machinery.
 
 Runtime: well under a minute.
 """
 
 from repro import rng as rngmod
 from repro.core import Snowcat, SnowcatConfig
+from repro.core.mlpct import ExplorationConfig
 from repro.execution import find_potential_races, run_concurrent
 from repro.execution.pct import propose_hint_pairs
 from repro.kernel import build_kernel
@@ -71,6 +76,32 @@ def main() -> None:
         f"\ninterrupts: fired {with_irq.irqs_fired}x {handler}; "
         f"{len(irq_blocks)} extra blocks covered; "
         f"potential races {len(plain_races)} -> {len(irq_races)}"
+    )
+
+    # --- every axis on, as a campaign --------------------------------------
+    # The CLI equivalent:
+    #   repro campaign --threads 3 --irq --memory-model tso
+    print("\nrunning a 3-thread IRQ+TSO campaign...")
+    axes = Snowcat(
+        kernel,
+        SnowcatConfig(
+            seed=7,
+            corpus_rounds=200,
+            exploration=ExplorationConfig(
+                execution_budget=4,
+                proposal_pool=12,
+                num_threads=3,
+                irq=True,
+                memory_model="tso",
+            ),
+        ),
+    )
+    axes.prepare_corpus()
+    result = axes.run_campaign(axes.pct_explorer("PCT-axes"), 5, threads=3)
+    print(
+        f"  5 CTIs x 3 threads under TSO with IRQ injection: "
+        f"{result.total_races} potential races, "
+        f"{result.total_blocks} schedule-dependent blocks"
     )
 
 

@@ -51,6 +51,34 @@ from repro.reporting import format_series, format_table
 __all__ = ["main", "build_parser"]
 
 
+def _add_axis_flags(parser: argparse.ArgumentParser) -> None:
+    """Scenario-axis flags shared by ``campaign`` and ``fleet run``.
+
+    Defaults reproduce the historical two-thread SC campaign
+    byte-for-byte (see docs/TESTING.md, "Scenario axes").
+    """
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=2,
+        help="threads per CT (corpus entries per CTI); 2 is the paper's "
+        "configuration and the byte-identical default",
+    )
+    parser.add_argument(
+        "--irq",
+        action="store_true",
+        help="inject one interrupt per executed CT at a seed-derived "
+        "arrival step, drawn from the kernel's IRQ handler pool",
+    )
+    parser.add_argument(
+        "--memory-model",
+        choices=("sc", "tso"),
+        default="sc",
+        help="memory model for dynamic executions: sequential "
+        "consistency (default) or TSO per-thread store buffers",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -206,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
         "and covered by the quality gate (single-graph scoring stays "
         "float64 either way)",
     )
+    _add_axis_flags(campaign)
 
     razzer = commands.add_parser("razzer", help="directed race reproduction")
     razzer.add_argument("--schedules", type=int, default=400)
@@ -432,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a checksummed provenance receipt per job to DIR and "
         "verify coverage at the end",
     )
+    _add_axis_flags(fleet_run)
     fleet_status = fleet_actions.add_parser(
         "status",
         help="render coordinator + worker heartbeats from a fleet "
@@ -714,11 +744,17 @@ def _cmd_campaign(args) -> int:
         except FaultSpecError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.threads < 2:
+        print("error: --threads must be at least 2", file=sys.stderr)
+        return 2
     exploration = ExplorationConfig(
         score_batch_size=args.batch_size,
         parallel_workers=args.workers,
         supervision=supervision,
         fault_spec=args.inject_faults,
+        num_threads=args.threads,
+        irq=args.irq,
+        memory_model=args.memory_model,
     )
 
     journal = None
@@ -783,7 +819,7 @@ def _cmd_campaign(args) -> int:
                 args.strategy, backend=backend, cascade_filter=cascade_filter
             )
         )
-    ctis = snowcat.cti_stream(args.ctis)
+    ctis = snowcat.cti_stream(args.ctis, threads=args.threads)
     curves = {}
     try:
         for explorer in explorers:
@@ -1277,7 +1313,15 @@ def _cmd_fleet(args) -> int:
         )
         return 2
 
-    exploration = ExplorationConfig(score_batch_size=args.batch_size)
+    if args.threads < 2:
+        print("error: --threads must be at least 2", file=sys.stderr)
+        return 2
+    exploration = ExplorationConfig(
+        score_batch_size=args.batch_size,
+        num_threads=args.threads,
+        irq=args.irq,
+        memory_model=args.memory_model,
+    )
     if args.pct_only:
         kernel = build_kernel(KernelConfig(), seed=args.seed)
         snowcat = Snowcat(
@@ -1330,7 +1374,7 @@ def _cmd_fleet(args) -> int:
         explorers.append(
             snowcat.mlpct_explorer(args.strategy, backend=backend)
         )
-    ctis = snowcat.cti_stream(args.ctis)
+    ctis = snowcat.cti_stream(args.ctis, threads=args.threads)
     reports = []
     try:
         for explorer in explorers:

@@ -34,7 +34,7 @@ from repro.core.scoring import (
 from repro.core.strategies import SelectionStrategy
 from repro.execution.concurrent import ScheduleHint
 from repro.execution.parallel import CTTask, make_runner
-from repro.execution.pct import propose_hint_pairs
+from repro.execution.pct import propose_hint_tuples
 from repro.execution.races import RaceDetector
 from repro.execution.trace import ConcurrentResult
 from repro.fuzz.corpus import CorpusEntry
@@ -81,6 +81,16 @@ class ExplorationConfig:
     #: :mod:`repro.resilience.faults`); setting one implies supervised
     #: execution.
     fault_spec: Optional[str] = None
+    #: Threads per CT. The campaign's CTI stream must supply one corpus
+    #: entry per thread; 2 is the paper's configuration.
+    num_threads: int = 2
+    #: Inject one interrupt per executed CT at a seed-derived step, using
+    #: the kernel's IRQ handler pool (no-op for kernels without handlers).
+    irq: bool = False
+    #: Memory model dynamic executions run under: ``"sc"`` (the default,
+    #: byte-identical to the historical path) or ``"tso"`` (per-thread
+    #: store buffers).
+    memory_model: str = "sc"
 
 
 @dataclass
@@ -179,20 +189,24 @@ class _ExplorerBase:
     # -- shared plumbing -----------------------------------------------------
 
     def proposals_for(
-        self, entry_a: CorpusEntry, entry_b: CorpusEntry
-    ) -> List[Tuple[ScheduleHint, ScheduleHint]]:
+        self, *entries: CorpusEntry
+    ) -> List[Tuple[ScheduleHint, ...]]:
         """Deterministic per-CTI candidate stream (shared across explorers).
 
-        Revisiting the same CTI yields a *fresh* candidate pool (visit
-        count is folded into the seed), matching how SKI keeps sampling
-        new PCT schedules over a long campaign.
+        Accepts one corpus entry per thread. Revisiting the same CTI
+        yields a *fresh* candidate pool (visit count is folded into the
+        seed), matching how SKI keeps sampling new PCT schedules over a
+        long campaign.
         """
-        key = (entry_a.sti.sti_id, entry_b.sti.sti_id)
+        key = tuple(entry.sti.sti_id for entry in entries)
         visit = self._visit_counts.get(key, 0)
         self._visit_counts[key] = visit + 1
-        rng = rngmod.split(self.seed, f"proposals:{key[0]}:{key[1]}:{visit}")
-        return propose_hint_pairs(
-            rng, entry_a.trace, entry_b.trace, self.config.proposal_pool
+        label = "proposals:" + ":".join(str(sti_id) for sti_id in key)
+        rng = rngmod.split(self.seed, f"{label}:{visit}")
+        return propose_hint_tuples(
+            rng,
+            tuple(entry.trace for entry in entries),
+            self.config.proposal_pool,
         )
 
     def _record_bug(self, bug_id: int, stats: ExplorationStats) -> None:
@@ -215,8 +229,7 @@ class _ExplorerBase:
 
     def _account(
         self,
-        entry_a: CorpusEntry,
-        entry_b: CorpusEntry,
+        entries: Sequence[CorpusEntry],
         result: ConcurrentResult,
         stats: ExplorationStats,
     ) -> None:
@@ -231,7 +244,7 @@ class _ExplorerBase:
         obs.add("campaign.executions")
         new_races = self.race_detector.observe(result)
         stats.new_races += len(new_races)
-        scbs = entry_a.trace.covered_blocks | entry_b.trace.covered_blocks
+        scbs = set().union(*(entry.trace.covered_blocks for entry in entries))
         fresh_blocks = (
             result.schedule_dependent_blocks(scbs) - self.covered_schedule_blocks
         )
@@ -246,50 +259,79 @@ class _ExplorerBase:
             )
         )
 
-    def build_tasks(
-        self,
-        entry_a: CorpusEntry,
-        entry_b: CorpusEntry,
-        hints_list: Sequence[Sequence[ScheduleHint]],
-    ) -> List[CTTask]:
+    def _irq_plan_for(
+        self, entries: Sequence[CorpusEntry], task_index: int
+    ) -> Tuple[Tuple[int, str], ...]:
+        """Seed-derived one-interrupt plan for one task (IRQ axis).
+
+        The arrival step is drawn uniformly over the CTI's combined
+        sequential step count, the handler uniformly from the kernel's
+        IRQ handler pool. Pure function of ``(seed, task_index)``, so a
+        task replays identically anywhere. Empty when the axis is off or
+        the kernel has no handlers — and the RNG split only happens with
+        the axis on, keeping axis-off campaigns byte-identical.
+        """
+        if not self.config.irq or not self.kernel.irq_handlers:
+            return ()
+        rng = rngmod.split(self.seed, f"irq:{task_index}")
+        horizon = max(
+            1, sum(len(entry.trace.iid_trace) for entry in entries)
+        )
+        step = int(rng.integers(1, horizon + 1))
+        handler = self.kernel.irq_handlers[
+            int(rng.integers(len(self.kernel.irq_handlers)))
+        ]
+        return ((step, handler),)
+
+    def build_tasks(self, *args) -> List[CTTask]:
         """Freeze the selected candidates into executable tasks.
 
-        Advances the campaign-global task-seed counter, so tasks must be
-        built in selection order; each task is then a pure function of
-        its own fields and may execute anywhere (worker pool, fleet
-        worker) without affecting results.
+        Positional arguments are one corpus entry per thread followed by
+        the list of hint sequences. Advances the campaign-global
+        task-seed counter, so tasks must be built in selection order;
+        each task is then a pure function of its own fields and may
+        execute anywhere (worker pool, fleet worker) without affecting
+        results.
         """
-        programs = (entry_a.sti.as_pairs(), entry_b.sti.as_pairs())
+        *entries, hints_list = args
+        programs = tuple(entry.sti.as_pairs() for entry in entries)
         tasks = []
         for hints in hints_list:
             tasks.append(
-                CTTask.build(programs, hints, seed=self.seed, index=self._task_index)
+                CTTask.build(
+                    programs,
+                    hints,
+                    seed=self.seed,
+                    index=self._task_index,
+                    memory_model=self.config.memory_model,
+                    irq_plan=self._irq_plan_for(entries, self._task_index),
+                )
             )
             self._task_index += 1
         return tasks
 
     def account_results(
         self,
-        entry_a: CorpusEntry,
-        entry_b: CorpusEntry,
-        results: Sequence[ConcurrentResult],
-        stats: ExplorationStats,
+        *args,
         inferences_before: Optional[Sequence[int]] = None,
         audit: Optional[Dict[str, object]] = None,
     ) -> None:
         """Fold executed results into campaign state, in selection order.
 
-        ``inferences_before[j]`` is how many of this CTI's inferences had
-        happened when candidate ``j`` was selected. Inference charges are
-        replayed against the ledger just before each execution's charge —
-        with any tail inferences charged after the last — so every history
-        checkpoint carries the exact simulated hours an interleaved
-        predict-then-execute loop would have recorded.
+        Positional arguments are one corpus entry per thread, the results
+        sequence, and the per-CTI stats. ``inferences_before[j]`` is how
+        many of this CTI's inferences had happened when candidate ``j``
+        was selected. Inference charges are replayed against the ledger
+        just before each execution's charge — with any tail inferences
+        charged after the last — so every history checkpoint carries the
+        exact simulated hours an interleaved predict-then-execute loop
+        would have recorded.
 
         ``audit`` overrides the explorer's own audit slot — the fleet
         coordinator interleaves several CTIs' accounting and keeps one
         audit record per CTI.
         """
+        *entries, results, stats = args
         if audit is None:
             audit = self._audit
         if audit is not None:
@@ -303,24 +345,26 @@ class _ExplorerBase:
                 if owed:
                     self.ledger.charge_inference(owed)
                     charged = inferences_before[index]
-            self._account(entry_a, entry_b, result, stats)
+            self._account(entries, result, stats)
         if inferences_before is not None and stats.inferences > charged:
             self.ledger.charge_inference(stats.inferences - charged)
 
     def _execute_selected(
         self,
-        entry_a: CorpusEntry,
-        entry_b: CorpusEntry,
-        hints_list: Sequence[Sequence[ScheduleHint]],
-        stats: ExplorationStats,
+        *args,
         inferences_before: Optional[Sequence[int]] = None,
     ) -> List[ConcurrentResult]:
         """Run the selected CTs (serially or in the worker pool) and
-        account for them in selection order."""
-        tasks = self.build_tasks(entry_a, entry_b, hints_list)
+        account for them in selection order.
+
+        Positional arguments are one corpus entry per thread, the list of
+        hint sequences, and the per-CTI stats.
+        """
+        *entries, hints_list, stats = args
+        tasks = self.build_tasks(*entries, hints_list)
         results = self.runner.run_many(self.kernel, tasks)
         self.account_results(
-            entry_a, entry_b, results, stats, inferences_before
+            *entries, results, stats, inferences_before=inferences_before
         )
         return results
 
@@ -328,9 +372,7 @@ class _ExplorerBase:
         """Release the execution runner (a no-op for the serial one)."""
         self.runner.close()
 
-    def explore_cti(
-        self, entry_a: CorpusEntry, entry_b: CorpusEntry
-    ) -> ExplorationStats:
+    def explore_cti(self, *entries: CorpusEntry) -> ExplorationStats:
         raise NotImplementedError
 
     # -- crash-safe campaigns (see repro.resilience.journal) -----------------
@@ -416,13 +458,11 @@ class PCTExplorer(_ExplorerBase):
         kwargs.setdefault("label", "PCT")
         super().__init__(graphs, **kwargs)
 
-    def explore_cti(
-        self, entry_a: CorpusEntry, entry_b: CorpusEntry
-    ) -> ExplorationStats:
+    def explore_cti(self, *entries: CorpusEntry) -> ExplorationStats:
         stats = ExplorationStats()
-        proposals = self.proposals_for(entry_a, entry_b)
+        proposals = self.proposals_for(*entries)
         selected = [list(pair) for pair in proposals[: self.config.execution_budget]]
-        self._execute_selected(entry_a, entry_b, selected, stats)
+        self._execute_selected(*entries, selected, stats)
         return stats
 
 
@@ -468,16 +508,13 @@ class MLPCTExplorer(_ExplorerBase):
         super().load_state(state)
         self.strategy.load_state(state["strategy"])
 
-    def explore_cti(
-        self, entry_a: CorpusEntry, entry_b: CorpusEntry
-    ) -> ExplorationStats:
+    def explore_cti(self, *entries: CorpusEntry) -> ExplorationStats:
         stats = ExplorationStats()
         scored = iter_score_candidates(
             self.scorer,
             self.graphs,
-            entry_a,
-            entry_b,
-            self.proposals_for(entry_a, entry_b),
+            *entries,
+            self.proposals_for(*entries),
         )
         selected: List[Tuple[ScheduleHint, ...]] = []
         inferences_before: List[int] = []
@@ -514,14 +551,14 @@ class MLPCTExplorer(_ExplorerBase):
             selected.append(candidate.hints)
             inferences_before.append(stats.inferences)
         self._execute_selected(
-            entry_a, entry_b, selected, stats, inferences_before
+            *entries, selected, stats, inferences_before=inferences_before
         )
         return stats
 
 
 def run_campaign(
     explorer: _ExplorerBase,
-    ctis: Sequence[Tuple[CorpusEntry, CorpusEntry]],
+    ctis: Sequence[Tuple[CorpusEntry, ...]],
     journal: Optional["CampaignJournal"] = None,
     heartbeat=None,
 ) -> CampaignResult:
@@ -554,13 +591,13 @@ def run_campaign(
         with obs.span(
             "campaign.run", label=explorer.label, ctis=len(ctis)
         ) as campaign_span:
-            for index, (entry_a, entry_b) in enumerate(ctis):
+            for index, entries in enumerate(ctis):
                 if index < start_index:
                     continue
                 with obs.span("campaign.cti", index=index) as cti_span:
                     if journal is not None:
                         explorer.begin_audit()
-                    stats = explorer.explore_cti(entry_a, entry_b)
+                    stats = explorer.explore_cti(*entries)
                     cti_span.set(
                         executions=stats.executions,
                         inferences=stats.inferences,

@@ -268,20 +268,23 @@ def _as_scorer(
 def iter_score_candidates(
     predictor: Union[CoveragePredictor, CandidateScorer],
     graphs: GraphDatasetBuilder,
-    entry_a: CorpusEntry,
-    entry_b: CorpusEntry,
-    schedules: Iterable[Sequence[ScheduleHint]],
+    *args,
     mode: str = "predicted",
     batch_size: Optional[int] = None,
 ) -> Iterator[ScoredCandidate]:
     """Lazily score a CTI's candidate schedules through the engine.
 
-    Graphs are stamped from the CTI's cached template, so each candidate
-    costs O(#hints) construction; scoring is chunked per the scorer's
-    batch size. ``mode`` is ``"predicted"`` (boolean per-node predictions,
-    what the selection strategies consume) or ``"proba"`` (probabilities,
-    what ranking consumers need).
+    Positional arguments after ``graphs`` are one corpus entry per thread
+    followed by the schedules iterable (the historical two-entry call is
+    the N=2 case). Graphs are stamped from the CTI's cached template, so
+    each candidate costs O(#hints) construction; scoring is chunked per
+    the scorer's batch size. ``mode`` is ``"predicted"`` (boolean
+    per-node predictions, what the selection strategies consume) or
+    ``"proba"`` (probabilities, what ranking consumers need).
     """
+    *entries, schedules = args
+    if not entries:
+        raise ValueError("iter_score_candidates needs at least one corpus entry")
     if mode not in ("predicted", "proba"):
         raise ValueError(f"unknown scoring mode {mode!r}")
     scorer = _as_scorer(predictor, batch_size)
@@ -292,7 +295,7 @@ def iter_score_candidates(
             yield ScoredCandidate(
                 index=index,
                 hints=hints,
-                graph=graphs.graph_for(entry_a, entry_b, list(hints)),
+                graph=graphs.graph_for(*entries, list(hints)),
             )
 
     if mode == "predicted":
@@ -334,9 +337,7 @@ def iter_score_candidates(
 def score_candidates(
     predictor: Union[CoveragePredictor, CandidateScorer],
     graphs: GraphDatasetBuilder,
-    entry_a: CorpusEntry,
-    entry_b: CorpusEntry,
-    schedules: Sequence[Sequence[ScheduleHint]],
+    *args,
     mode: str = "predicted",
     batch_size: Optional[int] = None,
 ) -> List[ScoredCandidate]:
@@ -344,6 +345,6 @@ def score_candidates(
     :func:`iter_score_candidates`)."""
     return list(
         iter_score_candidates(
-            predictor, graphs, entry_a, entry_b, schedules, mode, batch_size
+            predictor, graphs, *args, mode=mode, batch_size=batch_size
         )
     )

@@ -283,12 +283,19 @@ class Snowcat:
             label=label,
         )
 
-    def cti_stream(self, count: int, seed_label: str = "campaign") -> List[
-        Tuple[CorpusEntry, CorpusEntry]
-    ]:
-        """A deterministic stream of CTIs for campaigns."""
+    def cti_stream(
+        self, count: int, seed_label: str = "campaign", threads: int = 2
+    ) -> List[Tuple[CorpusEntry, ...]]:
+        """A deterministic stream of CTIs for campaigns.
+
+        ``threads`` entries per CTI; the default keeps the historical
+        two-thread stream bit-for-bit (``sample_pairs`` and the same RNG
+        label).
+        """
         rng = rngmod.split(self.config.seed, f"ctis:{seed_label}")
-        return self.graphs.corpus.sample_pairs(rng, count)
+        if threads == 2:
+            return self.graphs.corpus.sample_pairs(rng, count)
+        return self.graphs.corpus.sample_groups(rng, count, threads)
 
     def run_campaign(
         self,
@@ -296,9 +303,12 @@ class Snowcat:
         num_ctis: int,
         seed_label: str = "campaign",
         heartbeat=None,
+        threads: int = 2,
     ) -> CampaignResult:
         return run_campaign(
-            explorer, self.cti_stream(num_ctis, seed_label), heartbeat=heartbeat
+            explorer,
+            self.cti_stream(num_ctis, seed_label, threads=threads),
+            heartbeat=heartbeat,
         )
 
     # -- generalisation across versions (§5.4) ---------------------------------

@@ -57,13 +57,23 @@ class OracleError(ReproError):
 
 
 class OracleLimitError(OracleError):
-    """Raised when exhaustive exploration exceeds its schedule/step budget.
+    """Raised when exhaustive exploration exceeds one of its bounds.
 
-    Exceeding the budget means the derived sets would be *partial* ground
+    Exceeding a budget means the derived sets would be *partial* ground
     truth, which is worse than no ground truth — conformance checks against
     them could pass vacuously or fail spuriously — so the explorer refuses
     to return them.
+
+    ``limit`` names the bound that was hit (``"threads"``, ``"steps"``,
+    ``"schedules"``, ...) and ``observed`` carries the offending value, so
+    callers can distinguish "CT too large for this oracle configuration"
+    from "exploration blew its budget" programmatically.
     """
+
+    def __init__(self, message, *, limit=None, observed=None):
+        super().__init__(message)
+        self.limit = limit
+        self.observed = observed
 
 
 class QualityGateError(OracleError):

@@ -1,9 +1,11 @@
 """Concurrent test execution under scheduling hints.
 
-Implements the SKI-style serializing scheduler of §3.1: given two threads
+Implements the SKI-style serializing scheduler of §3.1: given threads
 A and B and hints ``A.x`` / ``B.y``, run A up to (and including) instruction
 ``x``, yield to B, run B up to ``y``, yield back, then let threads run to
-completion. Faithfully reproduces SKI's deviations:
+completion. N-thread CTs generalize this with blind round-robin hand-offs
+(the two-thread schedule is unchanged). Faithfully reproduces SKI's
+deviations:
 
 - a hint whose instruction is never reached is *skipped* (the thread runs
   to completion and the scheduler moves on);
@@ -35,8 +37,8 @@ class ScheduleHint:
 
 
 class ConcurrentSink(TraceSink):
-    def __init__(self) -> None:
-        self.covered: Tuple[set, set] = (set(), set())
+    def __init__(self, num_threads: int = 2) -> None:
+        self.covered: Tuple[set, ...] = tuple(set() for _ in range(num_threads))
         self.accesses: List[MemoryAccess] = []
         self.bug_events: List[BugEvent] = []
         self.step = 0
@@ -88,30 +90,32 @@ class ConcurrentSink(TraceSink):
 
 def run_concurrent(
     kernel: Kernel,
-    stis: Tuple[Sequence[Tuple[str, Sequence[int]]], Sequence[Tuple[str, Sequence[int]]]],
+    stis: Sequence[Sequence[Tuple[str, Sequence[int]]]],
     hints: Sequence[ScheduleHint] = (),
     max_steps: int = DEFAULT_MAX_STEPS,
     memory_model: str = "sc",
     irq_plan: Sequence[Tuple[int, str]] = (),
 ) -> ConcurrentResult:
-    """Execute two STIs concurrently under ``hints``.
+    """Execute N STIs concurrently under ``hints``.
 
-    ``hints`` is an ordered sequence of switch points; two hints per CT is
-    the paper's configuration, but any number (including zero) is accepted.
+    ``hints`` is an ordered sequence of switch points; two threads with two
+    hints per CT is the paper's configuration, but any thread count and any
+    number of hints (including zero) is accepted.
     ``memory_model="tso"`` runs with per-thread store buffers (§6).
     ``irq_plan`` is a step-ordered sequence of ``(global step, handler
     name)`` interrupt injections; each fires atomically on whichever
     thread is running when the step count passes the mark (§6's
     interrupt-handler coverage).
     """
+    num_threads = len(stis)
     for hint in hints:
-        if hint.thread not in (0, 1):
+        if not 0 <= hint.thread < num_threads:
             raise ScheduleError(f"hint references unknown thread {hint.thread}")
 
     started = obs.tick()
-    sink = ConcurrentSink()
+    sink = ConcurrentSink(num_threads)
     machine = Machine(kernel, sink, max_steps=max_steps, memory_model=memory_model)
-    threads = [machine.create_thread(stis[0]), machine.create_thread(stis[1])]
+    threads = [machine.create_thread(sti) for sti in stis]
 
     pending_hints = list(hints)
     pending_irqs = sorted(irq_plan, key=lambda entry: entry[0])
@@ -123,12 +127,16 @@ def run_concurrent(
     limit_hit = False
     forced_away_from: Optional[int] = None
 
-    def switch_away() -> None:
+    def switch_to(target: int) -> None:
         nonlocal current, num_switches
-        other = 1 - current
-        current = other
+        current = target
         num_switches += 1
         sink.epoch += 1
+
+    def switch_away() -> None:
+        # Blind round-robin hand-off: the next thread in tid order. At two
+        # threads this is exactly "the other thread".
+        switch_to((current + 1) % num_threads)
 
     try:
         while not machine.all_done():
@@ -141,17 +149,25 @@ def run_concurrent(
             ):
                 # The thread we force-preempted (lock contention) can run
                 # again: hand control back so its hints stay meaningful.
-                switch_away()
+                switch_to(forced_away_from)
                 forced_away_from = None
                 continue
             thread = threads[current]
             if not machine.runnable(thread):
-                other = threads[1 - current]
-                if machine.runnable(other):
-                    # Forced switch (SKI's deadlock-avoidance switch).
-                    # A pending hint for the blocked thread stays pending.
+                runnable_offset = next(
+                    (
+                        offset
+                        for offset in range(1, num_threads)
+                        if machine.runnable(threads[(current + offset) % num_threads])
+                    ),
+                    None,
+                )
+                if runnable_offset is not None:
+                    # Forced switch (SKI's deadlock-avoidance switch) to the
+                    # next runnable thread in round-robin order. A pending
+                    # hint for the blocked thread stays pending.
                     forced_away_from = current
-                    switch_away()
+                    switch_to((current + runnable_offset) % num_threads)
                     continue
                 deadlocked = True
                 break

@@ -137,6 +137,22 @@ class Machine:
         buffer.clear()
         return count
 
+    def drain_oldest(self, thread: ThreadContext) -> bool:
+        """Flush only the *oldest* buffered store of ``thread`` to memory.
+
+        Returns whether anything was drained. This is the oracle's
+        voluntary-drain scheduling choice under TSO: hardware may commit a
+        buffered store at any point, so the explorer models each single
+        commit as a distinct branch (draining oldest-first preserves TSO's
+        per-thread store order).
+        """
+        buffer = self.store_buffers.get(thread.tid)
+        if not buffer:
+            return False
+        address, value = buffer.pop(0)
+        self.memory.store(address, value)
+        return True
+
     def _store(self, thread: ThreadContext, address: int, value: int) -> None:
         if self.memory_model == "sc":
             self.memory.store(address, value)

@@ -52,9 +52,9 @@ def _freeze_program(program: Sequence[Tuple[str, Sequence[int]]]) -> Program:
 
 @dataclass(frozen=True)
 class CTTask:
-    """One concurrent test to execute: two STI programs plus hints."""
+    """One concurrent test to execute: N STI programs plus hints."""
 
-    programs: Tuple[Program, Program]
+    programs: Tuple[Program, ...]
     hints: Tuple[ScheduleHint, ...] = ()
     #: Deterministic per-CT token (see the module docstring); results for
     #: a task depend only on the task's own fields, never on which worker
@@ -67,23 +67,21 @@ class CTTask:
     @classmethod
     def build(
         cls,
-        programs: Tuple[
-            Sequence[Tuple[str, Sequence[int]]],
-            Sequence[Tuple[str, Sequence[int]]],
-        ],
+        programs: Sequence[Sequence[Tuple[str, Sequence[int]]]],
         hints: Sequence[ScheduleHint],
         seed: int = 0,
         index: int = 0,
+        memory_model: str = "sc",
+        irq_plan: Sequence[Tuple[int, str]] = (),
     ) -> "CTTask":
         """Freeze programs/hints and derive the per-CT seed from
         ``(seed, index)``."""
         return cls(
-            programs=(
-                _freeze_program(programs[0]),
-                _freeze_program(programs[1]),
-            ),
+            programs=tuple(_freeze_program(program) for program in programs),
             hints=tuple(hints),
             seed=rngmod.derive_seed(seed, f"ct-task:{index}"),
+            memory_model=memory_model,
+            irq_plan=tuple(irq_plan),
         )
 
 
@@ -107,7 +105,7 @@ def _run_task(kernel: Kernel, task: CTTask) -> ConcurrentResult:
         )
     except ExecutionLimitExceeded:
         return ConcurrentResult(
-            covered_blocks=(set(), set()),
+            covered_blocks=tuple(set() for _ in task.programs),
             steps=task.max_steps,
             completed=False,
             failure="hang",

@@ -32,7 +32,12 @@ from repro.execution.machine import DEFAULT_MAX_STEPS, Machine
 from repro.execution.trace import ConcurrentResult, SequentialTrace
 from repro.kernel.code import Kernel
 
-__all__ = ["PctScheduler", "run_concurrent_pct", "propose_hint_pairs"]
+__all__ = [
+    "PctScheduler",
+    "run_concurrent_pct",
+    "propose_hint_pairs",
+    "propose_hint_tuples",
+]
 
 
 @dataclass
@@ -85,14 +90,15 @@ class PctScheduler:
 
 def run_concurrent_pct(
     kernel: Kernel,
-    stis: Tuple[Sequence, Sequence],
+    stis: Sequence[Sequence],
     scheduler: PctScheduler,
     max_steps: int = DEFAULT_MAX_STEPS,
+    memory_model: str = "sc",
 ) -> ConcurrentResult:
-    """Execute two STIs under a sampled PCT schedule."""
-    sink = ConcurrentSink()
-    machine = Machine(kernel, sink, max_steps=max_steps)
-    threads = [machine.create_thread(stis[0]), machine.create_thread(stis[1])]
+    """Execute N STIs under a sampled PCT schedule."""
+    sink = ConcurrentSink(len(stis))
+    machine = Machine(kernel, sink, max_steps=max_steps, memory_model=memory_model)
+    threads = [machine.create_thread(sti) for sti in stis]
     num_switches = 0
     previous: Optional[int] = None
     deadlocked = False
@@ -139,19 +145,41 @@ def propose_hint_pairs(
     Duplicates are dropped; fewer than ``count`` pairs may be returned when
     the trace product is small.
     """
-    if not trace_a.iid_trace or not trace_b.iid_trace:
+    return propose_hint_tuples(  # type: ignore[return-value]
+        rng, (trace_a, trace_b), count, max_attempts_factor=max_attempts_factor
+    )
+
+
+def propose_hint_tuples(
+    rng: np.random.Generator,
+    traces: Sequence[SequentialTrace],
+    count: int,
+    max_attempts_factor: int = 5,
+) -> List[Tuple[ScheduleHint, ...]]:
+    """Propose up to ``count`` distinct per-thread hint vectors.
+
+    The N-thread generalization of :func:`propose_hint_pairs`: each
+    proposal holds one hint per thread, drawn uniformly from that thread's
+    sequential instruction stream, in thread order. At two threads the
+    consumed RNG stream and the returned pairs are exactly those of the
+    original pair proposer.
+    """
+    if any(not trace.iid_trace for trace in traces):
         return []
-    proposals: List[Tuple[ScheduleHint, ScheduleHint]] = []
-    seen: Set[Tuple[int, int]] = set()
+    proposals: List[Tuple[ScheduleHint, ...]] = []
+    seen: Set[Tuple[int, ...]] = set()
     attempts = 0
     limit = count * max_attempts_factor
     while len(proposals) < count and attempts < limit:
         attempts += 1
-        x = int(trace_a.iid_trace[int(rng.integers(len(trace_a.iid_trace)))])
-        y = int(trace_b.iid_trace[int(rng.integers(len(trace_b.iid_trace)))])
-        key = (x, y)
+        key = tuple(
+            int(trace.iid_trace[int(rng.integers(len(trace.iid_trace)))])
+            for trace in traces
+        )
         if key in seen:
             continue
         seen.add(key)
-        proposals.append((ScheduleHint(thread=0, iid=x), ScheduleHint(thread=1, iid=y)))
+        proposals.append(
+            tuple(ScheduleHint(thread=tid, iid=iid) for tid, iid in enumerate(key))
+        )
     return proposals

@@ -95,8 +95,10 @@ class SequentialTrace:
 class ConcurrentResult:
     """Everything recorded from one concurrent test execution."""
 
-    #: Blocks covered per thread during the concurrent run.
-    covered_blocks: Tuple[Set[int], Set[int]]
+    #: Blocks covered per thread during the concurrent run (one set per
+    #: thread; two-thread CTs are the paper's configuration but campaigns
+    #: may run any N).
+    covered_blocks: Tuple[Set[int], ...]
     accesses: List[MemoryAccess] = field(default_factory=list)
     bug_events: List[BugEvent] = field(default_factory=list)
     #: Number of context switches that actually happened.
@@ -121,7 +123,7 @@ class ConcurrentResult:
         return self.failure == "hang"
 
     def all_covered(self) -> Set[int]:
-        return self.covered_blocks[0] | self.covered_blocks[1]
+        return set().union(*self.covered_blocks)
 
     def schedule_dependent_blocks(self, scbs: Set[int]) -> Set[int]:
         """Concurrently covered blocks outside the sequential coverage.

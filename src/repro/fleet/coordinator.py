@@ -187,7 +187,7 @@ class FleetCoordinator:
     def __init__(
         self,
         explorer,
-        ctis: Sequence[Tuple[object, object]],
+        ctis: Sequence[Tuple[object, ...]],
         config: Optional[FleetConfig] = None,
         journal: Optional[CampaignJournal] = None,
     ) -> None:
@@ -252,9 +252,9 @@ class FleetCoordinator:
 
     def _plan(self, start_index: int) -> None:
         for index in range(start_index, len(self.ctis)):
-            entry_a, entry_b = self.ctis[index]
+            entries = self.ctis[index]
             plan = _CTIPlan(index=index)
-            proposals = self.explorer.proposals_for(entry_a, entry_b)
+            proposals = self.explorer.proposals_for(*entries)
             plan.visit_counts = sorted(
                 [list(key), visits]
                 for key, visits in self.explorer._visit_counts.items()
@@ -276,7 +276,7 @@ class FleetCoordinator:
                     list(pair)
                     for pair in proposals[: self.explorer.config.execution_budget]
                 ]
-                plan.tasks = self.explorer.build_tasks(entry_a, entry_b, selected)
+                plan.tasks = self.explorer.build_tasks(*entries, selected)
                 plan.selection_done = True
                 plan.task_index_after = self.explorer._task_index
                 if plan.tasks:
@@ -295,7 +295,7 @@ class FleetCoordinator:
     def _replay_selection(self, plan: _CTIPlan) -> None:
         """Mirror of :meth:`MLPCTExplorer.explore_cti`'s selection loop,
         fed by worker-scored bitmaps instead of an inline scorer."""
-        entry_a, entry_b = self.ctis[plan.index]
+        entries = self.ctis[plan.index]
         explorer = self.explorer
         stats, audit = plan.stats, plan.audit
         selected: List[Tuple[object, ...]] = []
@@ -317,7 +317,7 @@ class FleetCoordinator:
             audit["scored_digest"] = fold_prediction_digest(
                 audit["scored_digest"], None, predicted
             )
-            graph = explorer.graphs.graph_for(entry_a, entry_b, list(hints))
+            graph = explorer.graphs.graph_for(*entries, list(hints))
             if not explorer.strategy.is_interesting(graph, predicted):
                 obs.add("campaign.executions_saved")
                 continue
@@ -325,7 +325,7 @@ class FleetCoordinator:
             selected.append(hints)
             inferences_before.append(stats.inferences)
         plan.inferences_before = inferences_before
-        plan.tasks = explorer.build_tasks(entry_a, entry_b, selected)
+        plan.tasks = explorer.build_tasks(*entries, selected)
         plan.task_index_after = explorer._task_index
         plan.strategy_state = explorer.strategy.state_dict()
         plan.selection_done = True
@@ -350,13 +350,12 @@ class FleetCoordinator:
         return state
 
     def _fold(self, plan: _CTIPlan) -> None:
-        entry_a, entry_b = self.ctis[plan.index]
+        entries = self.ctis[plan.index]
         self.explorer.account_results(
-            entry_a,
-            entry_b,
+            *entries,
             plan.results,
             plan.stats,
-            plan.inferences_before,
+            inferences_before=plan.inferences_before,
             audit=plan.audit,
         )
         self._result_stats.append(plan.stats)
@@ -533,7 +532,7 @@ class FleetCoordinator:
     def _write_receipt(self, job: _Job, plan: _CTIPlan, payload, worker) -> None:
         if self.config.receipts_dir is None:
             return
-        entry_a, entry_b = self.ctis[job.cti_index]
+        entries = self.ctis[job.cti_index]
         if job.kind == "score":
             inputs = score_inputs_digest(plan.proposals)
             result = score_result_digest(payload)
@@ -547,7 +546,7 @@ class FleetCoordinator:
                 "job": job.job_id,
                 "kind": job.kind,
                 "cti_index": job.cti_index,
-                "cti": [entry_a.sti.sti_id, entry_b.sti.sti_id],
+                "cti": [entry.sti.sti_id for entry in entries],
                 "seed": self.explorer.seed,
                 "worker": worker.worker_id,
                 "pid": worker.process.pid,
@@ -767,7 +766,7 @@ class FleetCoordinator:
 
 def run_fleet(
     explorer,
-    ctis: Sequence[Tuple[object, object]],
+    ctis: Sequence[Tuple[object, ...]],
     config: Optional[FleetConfig] = None,
     journal: Optional[CampaignJournal] = None,
 ) -> Tuple[CampaignResult, FleetReport]:

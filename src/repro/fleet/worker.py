@@ -153,10 +153,10 @@ def _score_job(spec: WorkerSpec, scorer: CandidateScorer, job: dict) -> List[np.
     substrates, so these bitmaps equal what the sequential campaign
     would have computed inline.
     """
-    entry_a, entry_b = spec.ctis[job["cti_index"]]
+    entries = spec.ctis[job["cti_index"]]
     predicted = []
     for candidate in iter_score_candidates(
-        scorer, spec.graphs, entry_a, entry_b, job["proposals"]
+        scorer, spec.graphs, *entries, job["proposals"]
     ):
         predicted.append(np.asarray(candidate.predicted, dtype=bool))
     return predicted

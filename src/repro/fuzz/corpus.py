@@ -102,6 +102,25 @@ class Corpus:
             pairs.append((self.entries[int(i)], self.entries[int(j)]))
         return pairs
 
+    def sample_groups(
+        self, rng: np.random.Generator, count: int, size: int
+    ) -> List[Tuple[CorpusEntry, ...]]:
+        """Random N-thread CTI candidates: ``size`` distinct entries each.
+
+        The two-thread stream stays on :meth:`sample_pairs` (identical
+        RNG consumption to the historical path); this is the N>2
+        generalisation for ``repro campaign --threads N``.
+        """
+        if len(self.entries) < size:
+            return []
+        groups = []
+        for _ in range(count):
+            chosen = rng.choice(len(self.entries), size=size, replace=False)
+            groups.append(
+                tuple(self.entries[int(index)] for index in chosen)
+            )
+        return groups
+
     def coverage_fraction(self) -> float:
         """Cumulative sequential block coverage over the whole kernel."""
         if self.kernel.num_blocks == 0:

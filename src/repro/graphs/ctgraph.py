@@ -103,7 +103,7 @@ class CTGraph:
     """
 
     kernel_version: str
-    cti_key: Tuple[int, int]
+    cti_key: Tuple[int, ...]
     hints: Tuple[ScheduleHint, ...]
     node_types: np.ndarray
     node_threads: np.ndarray
@@ -149,7 +149,7 @@ class CTIGraphTemplate:
     """Everything about a CTI's graph that does not depend on hints."""
 
     kernel_version: str
-    cti_key: Tuple[int, int]
+    cti_key: Tuple[int, ...]
     node_types: np.ndarray
     node_threads: np.ndarray
     node_blocks: np.ndarray
@@ -158,7 +158,7 @@ class CTIGraphTemplate:
     base_edges: np.ndarray
     node_index: Dict[Tuple[int, int], int]
     #: First covered block per thread (hint-edge resume targets).
-    first_blocks: Tuple[Optional[int], Optional[int]]
+    first_blocks: Tuple[Optional[int], ...]
     #: Lazily filled by the GNN with prepared base adjacency.
     sparse_cache: Dict = field(default_factory=dict)
 
@@ -210,7 +210,9 @@ class CTIGraphTemplate:
             if src_index is None:
                 continue  # hint inside a block the trace never reached
             hint_flags[src_index] = HINT_SOURCE
-            target_thread = 1 - hint.thread
+            # The next thread in the scheduler's round-robin order (the
+            # other thread, in the two-thread configuration).
+            target_thread = (hint.thread + 1) % len(self.first_blocks)
             if (
                 previous_hint_key is not None
                 and previous_hint_key[0] == target_thread
@@ -234,15 +236,22 @@ class CTIGraphTemplate:
 def build_ct_template(
     kernel: Kernel,
     cfg: KernelCFG,
-    trace_a: SequentialTrace,
-    trace_b: SequentialTrace,
-    vocabulary: Vocabulary,
+    *args,
     urb_hops: int = 1,
     shortcut_span: int = DEFAULT_SHORTCUT_SPAN,
     max_tokens: int = DEFAULT_MAX_TOKENS,
 ) -> CTIGraphTemplate:
-    """Build the hint-independent part of a CTI's graph."""
-    traces = (trace_a, trace_b)
+    """Build the hint-independent part of a CTI's graph.
+
+    Positional arguments after ``cfg`` are one :class:`SequentialTrace`
+    per thread followed by the :class:`Vocabulary` — the historical
+    two-thread call ``build_ct_template(kernel, cfg, trace_a, trace_b,
+    vocabulary)`` is the N=2 case.
+    """
+    *trace_args, vocabulary = args
+    traces = tuple(trace_args)
+    if not traces:
+        raise ValueError("build_ct_template needs at least one trace")
 
     # -- vertices ----------------------------------------------------------
     node_index: Dict[Tuple[int, int], int] = {}
@@ -323,16 +332,16 @@ def build_ct_template(
     )
     return CTIGraphTemplate(
         kernel_version=kernel.version,
-        cti_key=(trace_a.sti_id, trace_b.sti_id),
+        cti_key=tuple(trace.sti_id for trace in traces),
         node_types=np.asarray(node_types, dtype=np.int64),
         node_threads=np.asarray(node_threads, dtype=np.int64),
         node_blocks=np.asarray(node_blocks, dtype=np.int64),
         token_ids=token_matrix,
         base_edges=base_edges,
         node_index=node_index,
-        first_blocks=(
-            trace_a.block_sequence[0] if trace_a.block_sequence else None,
-            trace_b.block_sequence[0] if trace_b.block_sequence else None,
+        first_blocks=tuple(
+            trace.block_sequence[0] if trace.block_sequence else None
+            for trace in traces
         ),
     )
 
@@ -340,20 +349,22 @@ def build_ct_template(
 def build_ct_graph(
     kernel: Kernel,
     cfg: KernelCFG,
-    trace_a: SequentialTrace,
-    trace_b: SequentialTrace,
-    hints: Sequence[ScheduleHint],
-    vocabulary: Vocabulary,
+    *args,
     urb_hops: int = 1,
     shortcut_span: int = DEFAULT_SHORTCUT_SPAN,
     max_tokens: int = DEFAULT_MAX_TOKENS,
 ) -> CTGraph:
-    """One-shot CT graph assembly (template + instantiate)."""
+    """One-shot CT graph assembly (template + instantiate).
+
+    Positional arguments after ``cfg`` are one trace per thread, then the
+    hints sequence, then the :class:`Vocabulary` (matching the historical
+    two-thread signature at N=2).
+    """
+    *trace_args, hints, vocabulary = args
     template = build_ct_template(
         kernel,
         cfg,
-        trace_a,
-        trace_b,
+        *trace_args,
         vocabulary,
         urb_hops=urb_hops,
         shortcut_span=shortcut_span,
@@ -364,25 +375,32 @@ def build_ct_graph(
 
 def _add_inter_thread_dataflow(traces, node_index, add_edge) -> None:
     """Potential inter-thread dataflow: writes in one thread paired with
-    reads of an overlapping address in the other (§3.1, edge type 4)."""
-    for writer_thread in (0, 1):
-        reader_thread = 1 - writer_thread
+    reads of an overlapping address in another (§3.1, edge type 4).
+
+    Ordered writer/reader pairs are visited writer-major, so the
+    two-thread order ``(0, 1), (1, 0)`` — and hence edge-row order — is
+    unchanged."""
+    num_threads = len(traces)
+    for writer_thread in range(num_threads):
         writes: Dict[int, Set[int]] = {}
         for access in traces[writer_thread].accesses:
             if access.is_write:
                 writes.setdefault(access.address, set()).add(access.block_id)
-        for access in traces[reader_thread].accesses:
-            if access.is_write:
+        for reader_thread in range(num_threads):
+            if reader_thread == writer_thread:
                 continue
-            for writer_block in writes.get(access.address, ()):
-                src_key = (writer_thread, writer_block)
-                dst_key = (reader_thread, access.block_id)
-                if src_key in node_index and dst_key in node_index:
-                    add_edge(
-                        node_index[src_key],
-                        node_index[dst_key],
-                        EDGE_INTER_DATAFLOW,
-                    )
+            for access in traces[reader_thread].accesses:
+                if access.is_write:
+                    continue
+                for writer_block in writes.get(access.address, ()):
+                    src_key = (writer_thread, writer_block)
+                    dst_key = (reader_thread, access.block_id)
+                    if src_key in node_index and dst_key in node_index:
+                        add_edge(
+                            node_index[src_key],
+                            node_index[dst_key],
+                            EDGE_INTER_DATAFLOW,
+                        )
 
 
 def _add_shortcut_edges(traces, node_index, add_edge, span: int) -> None:

@@ -159,8 +159,8 @@ class GraphDatasetBuilder:
         self.rng = rngmod.split(seed, f"dataset:{kernel.version}")
         self.generator = StiGenerator(kernel, seed=rngmod.derive_seed(seed, "fuzz"))
         self.corpus = Corpus(kernel)
-        #: LRU-ish cache of CTI graph templates keyed by STI-id pair.
-        self._template_cache: Dict[Tuple[int, int], CTIGraphTemplate] = {}
+        #: LRU-ish cache of CTI graph templates keyed by STI-id tuple.
+        self._template_cache: Dict[Tuple[int, ...], CTIGraphTemplate] = {}
         self._template_cache_cap = 128
 
     # -- corpus ------------------------------------------------------------
@@ -182,22 +182,21 @@ class GraphDatasetBuilder:
 
     # -- single-example construction ------------------------------------------
 
-    def template_for(
-        self, entry_a: CorpusEntry, entry_b: CorpusEntry
-    ) -> CTIGraphTemplate:
+    def template_for(self, *entries: CorpusEntry) -> CTIGraphTemplate:
         """Hint-independent graph template for one CTI, cached.
 
-        Exploring one CTI scores many schedules; the template makes each
-        additional schedule's graph construction O(#hints).
+        Accepts one corpus entry per thread (two is the paper's
+        configuration). Exploring one CTI scores many schedules; the
+        template makes each additional schedule's graph construction
+        O(#hints).
         """
-        key = (entry_a.sti.sti_id, entry_b.sti.sti_id)
+        key = tuple(entry.sti.sti_id for entry in entries)
         template = self._template_cache.get(key)
         if template is None:
             template = build_ct_template(
                 self.kernel,
                 self.cfg,
-                entry_a.trace,
-                entry_b.trace,
+                *(entry.trace for entry in entries),
                 self.vocabulary,
                 urb_hops=self.urb_hops,
                 shortcut_span=self.shortcut_span,
@@ -208,28 +207,29 @@ class GraphDatasetBuilder:
             self._template_cache[key] = template
         return template
 
-    def graph_for(
-        self,
-        entry_a: CorpusEntry,
-        entry_b: CorpusEntry,
-        hints: Sequence[ScheduleHint],
-    ) -> CTGraph:
-        return self.template_for(entry_a, entry_b).instantiate(self.kernel, hints)
+    def graph_for(self, *args) -> CTGraph:
+        """Graph for one (CTI, hints) candidate.
 
-    def label_ct(
-        self,
-        entry_a: CorpusEntry,
-        entry_b: CorpusEntry,
-        hints: Sequence[ScheduleHint],
-        keep_result: bool = True,
-    ) -> CTExample:
+        Positional arguments are one corpus entry per thread followed by
+        the hints sequence (the historical two-entry call is the N=2
+        case).
+        """
+        *entries, hints = args
+        return self.template_for(*entries).instantiate(self.kernel, hints)
+
+    def label_ct(self, *args, keep_result: bool = True) -> CTExample:
         """Dynamically execute the CT and label its graph's vertices
-        (coverage) and inter-thread dataflow edges (realised or not)."""
+        (coverage) and inter-thread dataflow edges (realised or not).
+
+        Positional arguments are one corpus entry per thread followed by
+        the hints sequence.
+        """
+        *entries, hints = args
         started = obs.tick()
-        graph = self.graph_for(entry_a, entry_b, hints)
+        graph = self.graph_for(*entries, hints)
         result = run_concurrent(
             self.kernel,
-            (entry_a.sti.as_pairs(), entry_b.sti.as_pairs()),
+            tuple(entry.sti.as_pairs() for entry in entries),
             hints=hints,
         )
         labels = np.zeros(graph.num_nodes, dtype=np.float64)

@@ -6,10 +6,11 @@ runner.  This package provides *independent* references to test
 against:
 
 - :mod:`repro.oracle.explorer` — a bounded exhaustive interleaving
-  explorer for tiny two-thread CTs.  Enumerating every schedule (with
-  optional partial-order / sleep-set pruning) yields ground-truth
-  coverage sets, race universes, and bug-manifestation verdicts that
-  any single observed execution must be contained in.
+  explorer for tiny N-thread CTs (thread count, IRQ injection, and the
+  TSO weak-memory model are all explorable axes).  Enumerating every
+  schedule (with optional partial-order / sleep-set pruning) yields
+  ground-truth coverage sets, race universes, and bug-manifestation
+  verdicts that any single observed execution must be contained in.
 - :mod:`repro.oracle.differential` — a declarative conformance harness
   (:class:`DifferentialRunner`) unifying the repo's scattered
   "fast path == slow path" equivalence checks into structured,
@@ -34,6 +35,7 @@ from repro.oracle.differential import (
     compare_equal,
 )
 from repro.oracle.explorer import (
+    DEFAULT_MAX_THREADS,
     PRUNING_MODES,
     ExhaustiveExplorer,
     GroundTruth,
@@ -62,6 +64,7 @@ from repro.oracle.quality import (
 __all__ = [
     # explorer
     "PRUNING_MODES",
+    "DEFAULT_MAX_THREADS",
     "ExhaustiveExplorer",
     "GroundTruth",
     "explore_interleavings",

@@ -3,11 +3,12 @@
 Everything else in this repository compares the system against itself —
 PCT against MLPCT, serial against parallel, batched against per-graph.
 This module provides the independent reference: for a *tiny* concurrent
-test (two threads, a handful of shared accesses each) it enumerates every
-schedule the serializing machine can produce and derives the complete
-ground truth — every reachable block, every cross-thread conflicting
-access pair, every bug manifestation, whether a deadlock is reachable —
-against which any single observed execution must be *subsumed*.
+test (a bounded number of threads, a handful of shared accesses each) it
+enumerates every schedule the serializing machine can produce and derives
+the complete ground truth — every reachable block, every cross-thread
+conflicting access pair, every bug manifestation, whether a deadlock is
+reachable — against which any single observed execution must be
+*subsumed*.
 
 Enumeration is stateless-model-checking style: schedules are replayed
 from scratch along a DFS over scheduler choice points, so no machine
@@ -18,7 +19,7 @@ snapshotting is needed. Three pruning modes are offered:
   validate the pruned modes).
 - ``"por"``: partial-order reduction by *visible-operation chunking*.
   Thread-local instructions (register arithmetic, local branches,
-  syscall dispatch) commute with everything the other thread can do, so
+  syscall dispatch) commute with everything other threads can do, so
   they are glued to the preceding visible operation and scheduler
   choices happen only between shared-memory/lock operations. Every
   Mazurkiewicz trace keeps a representative, so all derived *sets* are
@@ -27,6 +28,23 @@ snapshotting is needed. Three pruning modes are offered:
   thread ``t`` at a choice node, the sibling branch keeps ``t`` asleep
   until an operation *dependent* with ``t``'s next operation executes,
   pruning commuted duplicates of independent operations.
+
+Scenario axes beyond plain SC thread interleaving appear as additional
+scheduler choices (``docs/TESTING.md`` "Scenario axes"):
+
+- **IRQ injection** (``irq_handlers``/``max_irqs``): before every
+  decision the explorer may fire any configured handler on any live
+  thread. These *special* choices are computed before invisible
+  advancement — a handler can fire on a thread whose remaining work is
+  entirely thread-local — and are never sleep-pruned; executing one
+  conservatively wakes all sleepers (a handler may touch anything).
+- **TSO weak memory** (``memory_model="tso"``): stores sit in per-thread
+  FIFO buffers; besides the machine's own fence/overflow drains, the
+  explorer may voluntarily commit a thread's oldest buffered store at
+  any decision, modelling hardware draining at arbitrary points. Under
+  TSO sleep-set injection is disabled (store visibility is deferred, so
+  parked-operation independence no longer implies commutation) and
+  ``"sleep"`` degenerates to ``"por"`` — fewer prunes, still sound.
 
 The soundness claims above are not taken on faith: the property suite
 asserts pruned and unpruned ground truths are equal on known shapes
@@ -50,7 +68,7 @@ from repro import rng as rngmod
 from repro.errors import ExecutionLimitExceeded, OracleError, OracleLimitError
 from repro.execution.alias import AliasPair, alias_coverage
 from repro.execution.concurrent import ConcurrentSink
-from repro.execution.machine import Machine, ThreadContext
+from repro.execution.machine import Machine, ThreadContext, ThreadStatus
 from repro.execution.races import (
     DEFAULT_PROXIMITY_WINDOW,
     PotentialRace,
@@ -62,6 +80,7 @@ from repro.kernel.isa import Opcode
 
 __all__ = [
     "PRUNING_MODES",
+    "DEFAULT_MAX_THREADS",
     "GroundTruth",
     "ExhaustiveExplorer",
     "explore_interleavings",
@@ -81,6 +100,9 @@ DEFAULT_MAX_STEPS = 5_000
 
 #: Default bound on enumerated schedules before the explorer refuses.
 DEFAULT_MAX_SCHEDULES = 20_000
+
+#: Default thread-count bound; exploration is exponential in it.
+DEFAULT_MAX_THREADS = 4
 
 
 # -- reference (naive) trace scans --------------------------------------------
@@ -169,9 +191,11 @@ class GroundTruth:
 
     num_schedules: int
     pruning: str
-    #: Union of blocks covered by either thread in any schedule.
+    #: Union of blocks covered by any thread in any schedule.
     covered_blocks: FrozenSet[int]
-    per_thread_covered: Tuple[FrozenSet[int], FrozenSet[int]]
+    #: One frozenset per thread (IRQ-handler coverage is attributed to the
+    #: interrupted thread, matching the machine's accounting).
+    per_thread_covered: Tuple[FrozenSet[int], ...]
     #: Window-free conflicting-pair universe over all schedules.
     race_universe: FrozenSet[PotentialRace]
     #: Cross-thread aliasing-pair universe over all schedules.
@@ -207,7 +231,7 @@ class GroundTruth:
         and deadlock verdict are all contained in the ground-truth sets.
         """
         violations: List[str] = []
-        for tid in (0, 1):
+        for tid in range(len(self.per_thread_covered)):
             extra = frozenset(result.covered_blocks[tid]) - self.per_thread_covered[tid]
             if extra:
                 violations.append(
@@ -251,9 +275,11 @@ class GroundTruth:
 class _Accumulator:
     """Folds per-schedule outcomes into the ground-truth sets."""
 
-    def __init__(self) -> None:
+    def __init__(self, num_threads: int = 2) -> None:
         self.num_schedules = 0
-        self.covered: Tuple[Set[int], Set[int]] = (set(), set())
+        self.covered: Tuple[Set[int], ...] = tuple(
+            set() for _ in range(num_threads)
+        )
         self.races: Set[PotentialRace] = set()
         self.aliases: Set[AliasPair] = set()
         self.bug_iids: Set[int] = set()
@@ -269,8 +295,8 @@ class _Accumulator:
         deadlocked: bool,
     ) -> None:
         self.num_schedules += 1
-        self.covered[0].update(sink.covered[0])
-        self.covered[1].update(sink.covered[1])
+        for tid, covered in enumerate(sink.covered):
+            self.covered[tid].update(covered)
         self.races |= conflicting_pairs(sink.accesses)
         self.aliases |= reference_alias_pairs(sink.accesses)
         for event in sink.bug_events:
@@ -296,10 +322,9 @@ class _Accumulator:
         return GroundTruth(
             num_schedules=self.num_schedules,
             pruning=pruning,
-            covered_blocks=frozenset(self.covered[0] | self.covered[1]),
-            per_thread_covered=(
-                frozenset(self.covered[0]),
-                frozenset(self.covered[1]),
+            covered_blocks=frozenset(set().union(*self.covered)),
+            per_thread_covered=tuple(
+                frozenset(covered) for covered in self.covered
             ),
             race_universe=frozenset(self.races),
             alias_universe=frozenset(self.aliases),
@@ -313,9 +338,17 @@ class _Accumulator:
 
 # -- the explorer --------------------------------------------------------------
 
+#: One scheduler choice: a thread id (step that thread), or a *special* —
+#: ``("irq", tid, handler)`` fires an interrupt handler on a live thread,
+#: ``("drain", tid)`` commits a thread's oldest buffered store (TSO), and
+#: ``("pass",)`` declines every currently offered special.
+_Choice = object  # int | Tuple
+
 #: A frontier entry: forced scheduler choices, plus (for ``"sleep"``) the
 #: sleep set to install at each forced decision index.
-_Branch = Tuple[Tuple[int, ...], Tuple[Tuple[int, FrozenSet[int]], ...]]
+_Branch = Tuple[Tuple[_Choice, ...], Tuple[Tuple[int, FrozenSet[int]], ...]]
+
+_PASS = ("pass",)
 
 #: Visible-operation signature: ("mem", address, is_write) or ("lock", name).
 _OpSig = Tuple
@@ -353,35 +386,66 @@ def _independent(first: _OpSig, second: _OpSig) -> bool:
 
 
 class ExhaustiveExplorer:
-    """Enumerates every schedule of a two-thread CT and derives ground truth.
+    """Enumerates every schedule of an N-thread CT and derives ground truth.
 
     ``shuffle_seed`` randomises only the *order* in which branches are
     explored (and therefore which child is the in-line continuation); the
     set of enumerated behaviours — and hence the returned
     :class:`GroundTruth` — is identical for every seed, a property the
     test suite asserts.
+
+    ``max_threads`` bounds the CT size this oracle accepts (exploration is
+    exponential in it); exceeding it raises a structured
+    :class:`OracleLimitError` with ``limit="threads"``. ``irq_handlers``
+    and ``memory_model="tso"`` enable the IRQ and weak-memory scenario
+    axes (see the module docstring).
     """
 
     def __init__(
         self,
         kernel: Kernel,
-        programs: Tuple[Sequence[Tuple[str, Sequence[int]]], Sequence[Tuple[str, Sequence[int]]]],
+        programs: Sequence[Sequence[Tuple[str, Sequence[int]]]],
         pruning: str = "sleep",
         max_steps: int = DEFAULT_MAX_STEPS,
         max_schedules: int = DEFAULT_MAX_SCHEDULES,
         shuffle_seed: Optional[int] = None,
+        max_threads: int = DEFAULT_MAX_THREADS,
+        memory_model: str = "sc",
+        irq_handlers: Sequence[str] = (),
+        max_irqs: int = 1,
     ) -> None:
         if pruning not in PRUNING_MODES:
             raise OracleError(
                 f"unknown pruning mode {pruning!r}; expected one of {PRUNING_MODES}"
             )
-        if len(programs) != 2:
-            raise OracleError("exhaustive exploration handles exactly two threads")
+        if not programs:
+            raise OracleError("exhaustive exploration needs at least one thread")
+        if len(programs) > max_threads:
+            raise OracleLimitError(
+                f"exhaustive exploration is bounded to {max_threads} threads "
+                f"but was given {len(programs)}; raise max_threads only for "
+                f"very small programs",
+                limit="threads",
+                observed=len(programs),
+            )
+        if memory_model not in ("sc", "tso"):
+            raise OracleError(f"unknown memory model {memory_model!r}")
+        for handler in irq_handlers:
+            if handler not in kernel.functions:
+                raise OracleError(f"unknown IRQ handler {handler!r}")
         self.kernel = kernel
-        self.programs = programs
+        self.programs = tuple(programs)
         self.pruning = pruning
         self.max_steps = max_steps
         self.max_schedules = max_schedules
+        self.max_threads = max_threads
+        self.memory_model = memory_model
+        self.irq_handlers = tuple(irq_handlers)
+        self.max_irqs = max_irqs
+        # Deferred store visibility under TSO breaks the parked-operation
+        # independence argument behind sleep sets, so "sleep" runs as
+        # "por" there (strictly more exploration — still sound).
+        self._sleep_injection = pruning == "sleep" and memory_model == "sc"
         self._rng = (
             rngmod.make_rng(shuffle_seed) if shuffle_seed is not None else None
         )
@@ -425,36 +489,101 @@ class ExhaustiveExplorer:
             return owner is None or owner == thread.tid
         return True
 
-    def _ordered(self, candidates: List[int]) -> List[int]:
+    def _ordered(self, candidates: List) -> List:
         if self._rng is not None and len(candidates) > 1:
             return rngmod.shuffled(self._rng, candidates)
         return candidates
 
+    def _specials(
+        self, machine: Machine, threads: List[ThreadContext], irqs_left: int
+    ) -> List[Tuple]:
+        """Special choices available *now*, from pre-advance thread state.
+
+        Computed before :meth:`_advance_invisible` so a handler can fire on
+        a thread whose remaining work is entirely invisible (the machine
+        fires planned IRQs before any step, including invisible ones;
+        invisible operations are register-local, so pre-tail firing covers
+        every mid-tail placement).
+        """
+        tokens: List[Tuple] = []
+        if irqs_left > 0:
+            for thread in threads:
+                if thread.status is not ThreadStatus.DONE:
+                    for handler in self.irq_handlers:
+                        tokens.append(("irq", thread.tid, handler))
+        if self.memory_model == "tso":
+            for thread in threads:
+                if machine.store_buffers.get(thread.tid):
+                    tokens.append(("drain", thread.tid))
+        return tokens
+
+    def _execute_special(
+        self, machine: Machine, threads: List[ThreadContext], token: Tuple
+    ) -> None:
+        if token[0] == "irq":
+            machine.fire_irq(threads[token[1]], token[2])
+        else:
+            machine.drain_oldest(threads[token[1]])
+
     def _replay(
         self, branch: _Branch
-    ) -> Tuple[Optional[Tuple[ConcurrentSink, Machine, bool]], List[Tuple[int, List[int], Dict[int, _OpSig], FrozenSet[int]]]]:
+    ) -> Tuple[Optional[Tuple[ConcurrentSink, Machine, bool]], List[Tuple[_Choice, List, Dict[int, _OpSig], FrozenSet[int]]]]:
         """Execute one schedule, following the branch's forced choices.
 
         Returns ``(outcome, decisions)``. ``outcome`` is ``None`` when the
         run was sleep-blocked (every continuation is covered by a sibling
         branch); otherwise it is ``(sink, machine, deadlocked)``.
         ``decisions[i]`` records, for the i-th choice point:
-        ``(chosen tid, untried sibling tids in exploration order, visible-op
-        signatures per enabled tid, sleep set at the node)``.
+        ``(chosen token, untried sibling tokens in exploration order,
+        visible-op signatures per enabled tid, sleep set at the node)``.
         """
         prefix, injection_items = branch
         injections = dict(injection_items)
         chunked = self.pruning != "none"
-        sink = ConcurrentSink()
-        machine = Machine(self.kernel, sink, max_steps=self.max_steps)
-        threads = [
-            machine.create_thread(self.programs[0]),
-            machine.create_thread(self.programs[1]),
-        ]
-        decisions: List[Tuple[int, List[int], Dict[int, _OpSig], FrozenSet[int]]] = []
+        num_threads = len(self.programs)
+        sink = ConcurrentSink(num_threads)
+        machine = Machine(
+            self.kernel, sink, max_steps=self.max_steps,
+            memory_model=self.memory_model,
+        )
+        threads = [machine.create_thread(program) for program in self.programs]
+        irqs_left = self.max_irqs if self.irq_handlers else 0
+        decisions: List[Tuple[_Choice, List, Dict[int, _OpSig], FrozenSet[int]]] = []
         sleep: Set[int] = set()
         deadlocked = False
         while not machine.all_done():
+            # Phase A: specials (IRQ firings, voluntary TSO drains) are a
+            # decision of their own whenever any is available; choosing
+            # one re-enters phase A (more specials may fire back-to-back,
+            # as the machine's plan-driven loop does), choosing _PASS
+            # falls through to the thread-step decision below.
+            specials = self._specials(machine, threads, irqs_left)
+            if specials:
+                index = len(decisions)
+                if index < len(prefix):
+                    token = prefix[index]
+                    if token != _PASS and token not in specials:
+                        raise OracleError(
+                            "exploration branch diverged from its prefix"
+                        )
+                    special_alternatives: List = []
+                else:
+                    order = self._ordered([_PASS] + specials)
+                    token = order[0]
+                    special_alternatives = order[1:]
+                decisions.append(
+                    (token, special_alternatives, {}, frozenset(sleep))
+                )
+                if index in injections:
+                    sleep = set(injections[index])
+                if token != _PASS:
+                    self._execute_special(machine, threads, token)
+                    if token[0] == "irq":
+                        irqs_left -= 1
+                    # A handler (or a newly visible store) may touch
+                    # anything: conservatively wake every sleeper.
+                    sleep = set()
+                    continue
             if chunked:
                 self._advance_invisible(machine, threads)
                 if machine.all_done():
@@ -529,7 +658,7 @@ class ExhaustiveExplorer:
         """Enumerate all schedules; raises :class:`OracleLimitError` when
         the schedule budget would be exceeded (partial ground truth is
         never returned)."""
-        accumulator = _Accumulator()
+        accumulator = _Accumulator(len(self.programs))
         frontier: List[_Branch] = [((), ())]
         while frontier:
             prefix, injections = frontier.pop()
@@ -538,7 +667,9 @@ class ExhaustiveExplorer:
             except ExecutionLimitExceeded as error:
                 raise OracleLimitError(
                     f"a schedule exceeded the {self.max_steps}-step replay "
-                    f"budget; ground truth would be partial"
+                    f"budget; ground truth would be partial",
+                    limit="steps",
+                    observed=self.max_steps,
                 ) from error
             if outcome is not None:
                 if accumulator.num_schedules >= self.max_schedules:
@@ -546,7 +677,9 @@ class ExhaustiveExplorer:
                         f"exhaustive exploration exceeded "
                         f"{self.max_schedules} schedules "
                         f"(pruning={self.pruning!r}); shrink the programs "
-                        f"or raise max_schedules"
+                        f"or raise max_schedules",
+                        limit="schedules",
+                        observed=self.max_schedules,
                     )
                 sink, machine, deadlocked = outcome
                 accumulator.fold(sink, machine, deadlocked)
@@ -564,7 +697,10 @@ class ExhaustiveExplorer:
                 explored = [chosen]
                 for alternative in alternatives:
                     branch_injections = kept
-                    if self.pruning == "sleep":
+                    # Sleep sets apply only to thread-step siblings (a
+                    # special commutes with nothing we can prove) and
+                    # only under SC (see __init__).
+                    if self._sleep_injection and isinstance(alternative, int):
                         asleep = frozenset(
                             tid
                             for tid in set(node_sleep) | set(explored)
@@ -583,11 +719,15 @@ class ExhaustiveExplorer:
 
 def explore_interleavings(
     kernel: Kernel,
-    programs: Tuple[Sequence[Tuple[str, Sequence[int]]], Sequence[Tuple[str, Sequence[int]]]],
+    programs: Sequence[Sequence[Tuple[str, Sequence[int]]]],
     pruning: str = "sleep",
     max_steps: int = DEFAULT_MAX_STEPS,
     max_schedules: int = DEFAULT_MAX_SCHEDULES,
     shuffle_seed: Optional[int] = None,
+    max_threads: int = DEFAULT_MAX_THREADS,
+    memory_model: str = "sc",
+    irq_handlers: Sequence[str] = (),
+    max_irqs: int = 1,
 ) -> GroundTruth:
     """One-shot API: enumerate all schedules of ``programs`` on ``kernel``."""
     return ExhaustiveExplorer(
@@ -597,4 +737,8 @@ def explore_interleavings(
         max_steps=max_steps,
         max_schedules=max_schedules,
         shuffle_seed=shuffle_seed,
+        max_threads=max_threads,
+        memory_model=memory_model,
+        irq_handlers=irq_handlers,
+        max_irqs=max_irqs,
     ).explore()

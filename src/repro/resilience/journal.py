@@ -337,8 +337,12 @@ def _sanitize(label: str) -> str:
 
 
 def _cti_stream_digest(ctis) -> str:
+    # ":".join over the entries keeps two-thread digests byte-identical
+    # to the historical "a:b" format while covering N-entry CTIs.
     return sha256_hex(
-        ",".join(f"{a.sti.sti_id}:{b.sti.sti_id}" for a, b in ctis)
+        ",".join(
+            ":".join(str(entry.sti.sti_id) for entry in cti) for cti in ctis
+        )
     )
 
 

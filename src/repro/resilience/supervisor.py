@@ -97,7 +97,7 @@ class _Job:
 def _quarantined_result(task: CTTask) -> ConcurrentResult:
     """The failed-but-counted result recorded for a poison CT."""
     return ConcurrentResult(
-        covered_blocks=(set(), set()),
+        covered_blocks=tuple(set() for _ in task.programs),
         completed=False,
         failure="quarantined",
     )

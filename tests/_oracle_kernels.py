@@ -1,10 +1,12 @@
-"""Tiny hand-rolled two-thread kernels for the oracle test suite.
+"""Tiny hand-rolled kernels for the oracle test suite.
 
 The exhaustive explorer only tractably enumerates *small* schedule
 spaces, so these builders produce kernels far below the synthetic
-builder's floor: two single-block syscalls, a couple of shared
-variables, optionally a lock and a data-dependent CHECK bug.  Shared by
-``test_oracle_explorer.py`` and ``test_oracle_conformance.py`` (the
+builder's floor: single-block syscalls, a couple of shared variables,
+optionally a lock and a data-dependent CHECK bug.  Besides the original
+two-thread shapes there are N-thread, IRQ-handler, and store-buffering
+(TSO litmus) kernels for the scenario-axis conformance suites.  Shared
+by ``test_oracle_explorer.py`` and ``test_oracle_conformance.py`` (the
 same pattern as ``tests/_journal_driver.py``).
 """
 
@@ -127,6 +129,166 @@ def _thread_body(
         body.append(instr(Opcode.UNLOCK, Operand.make_lock(lock)))
     body.append(instr(Opcode.RET))
     return body
+
+
+def n_thread_kernel(
+    bodies: Sequence[Sequence[Instruction]],
+    memory: Optional[MemoryImage] = None,
+    locks: Sequence[str] = (),
+    irq_bodies: Sequence[Sequence[Instruction]] = (),
+) -> Tuple[Kernel, List[List[Tuple[str, List[int]]]]]:
+    """One kernel with one single-block syscall ``s{i}`` per body.
+
+    ``irq_bodies`` adds lock-free single-block IRQ handler functions
+    named ``irq{j}`` (callable via ``Machine.fire_irq`` / the explorer's
+    ``irq_handlers`` axis, not reachable from any syscall).
+    """
+    blocks = {}
+    functions = {}
+    syscalls = {}
+    for tid, body in enumerate(bodies):
+        blocks[tid] = BasicBlock(
+            block_id=tid, function=f"f{tid}", instructions=list(body)
+        )
+        functions[f"f{tid}"] = Function(
+            name=f"f{tid}", subsystem="s", entry_block=tid, block_ids=[tid]
+        )
+        syscalls[f"s{tid}"] = SyscallSpec(
+            name=f"s{tid}", handler=f"f{tid}", subsystem="s", arg_ranges=((0, 7),)
+        )
+    for j, body in enumerate(irq_bodies):
+        block_id = len(bodies) + j
+        blocks[block_id] = BasicBlock(
+            block_id=block_id, function=f"irq{j}", instructions=list(body)
+        )
+        functions[f"irq{j}"] = Function(
+            name=f"irq{j}", subsystem="s", entry_block=block_id,
+            block_ids=[block_id],
+        )
+    kernel = Kernel(
+        version="tiny",
+        blocks=blocks,
+        functions=functions,
+        syscalls=syscalls,
+        memory=memory or MemoryImage(),
+        locks=list(locks),
+        bugs=[],
+        irq_handlers=[f"irq{j}" for j in range(len(irq_bodies))],
+    )
+    programs = [[(f"s{tid}", [1])] for tid in range(len(bodies))]
+    return kernel, programs
+
+
+def straightline_nops_n(nop_counts: Sequence[int]) -> Tuple[Kernel, List]:
+    """N straight-line threads of ``nop_counts[i]`` NOPs each (plus RET).
+
+    The unpruned schedule space has the multinomial closed form
+    ``(sum steps)! / prod(steps_i!)`` with ``steps_i = nops_i + 2``
+    (syscall dispatch and RET are machine steps too), which pins the
+    N-thread enumeration against combinatorics.
+    """
+    bodies = [
+        [instr(Opcode.NOP)] * count + [instr(Opcode.RET)]
+        for count in nop_counts
+    ]
+    return n_thread_kernel(bodies)
+
+
+def three_thread_racy_kernel() -> Tuple[Kernel, List, MemoryImage]:
+    """Three threads sharing one variable: store / store / load+CHECK.
+
+    Small enough for exhaustive three-thread enumeration, racy enough
+    that coverage and bug manifestation are schedule-dependent.
+    """
+    image = MemoryImage()
+    g = image.allocate("g", 0)
+    bodies = [
+        [instr(Opcode.STOREI, Operand.make_addr(g), Operand.make_imm(1)),
+         instr(Opcode.RET)],
+        [instr(Opcode.STOREI, Operand.make_addr(g), Operand.make_imm(2)),
+         instr(Opcode.RET)],
+        [instr(Opcode.LOAD, Operand.make_reg(2), Operand.make_addr(g)),
+         instr(Opcode.CHECK, Operand.make_reg(2), Operand.make_imm(2)),
+         instr(Opcode.RET)],
+    ]
+    kernel, programs = n_thread_kernel(bodies, memory=image)
+    return kernel, programs, image
+
+
+def irq_kernel() -> Tuple[Kernel, List, str]:
+    """Two threads plus an IRQ handler racing on a shared flag.
+
+    Thread 0 stores ``flag=1``; thread 1 loads it and CHECKs for ``2``;
+    the handler stores ``flag=2`` — so the CHECK can only fire through
+    an interrupt landing between thread 1's dispatch and its load.
+    Returns ``(kernel, programs, handler_name)``.
+    """
+    image = MemoryImage()
+    flag = image.allocate("flag", 0)
+    bodies = [
+        [instr(Opcode.STOREI, Operand.make_addr(flag), Operand.make_imm(1)),
+         instr(Opcode.RET)],
+        [instr(Opcode.LOAD, Operand.make_reg(2), Operand.make_addr(flag)),
+         instr(Opcode.CHECK, Operand.make_reg(2), Operand.make_imm(2)),
+         instr(Opcode.RET)],
+    ]
+    irq_body = [
+        instr(Opcode.STOREI, Operand.make_addr(flag), Operand.make_imm(2)),
+        instr(Opcode.RET),
+    ]
+    kernel, programs = n_thread_kernel(
+        bodies, memory=image, irq_bodies=[irq_body]
+    )
+    return kernel, programs, "irq0"
+
+
+def store_buffering_kernel() -> Tuple[Kernel, List]:
+    """The classic TSO store-buffering litmus (SB), made set-observable.
+
+    Thread 0: ``x := 1; r := load y; z := r``;
+    thread 1: ``y := 1; r := load x; w := r``.
+    Each thread records its loaded value in a private out-cell, so the
+    relaxed outcome — both loads reading 0 — shows up as the final
+    state ``z = w = 0``, which no SC interleaving produces. The
+    weak-memory axis therefore *strictly* grows
+    ``final_memory_states``.
+    """
+    image = MemoryImage()
+    x = image.allocate("x", 0)
+    y = image.allocate("y", 0)
+    z = image.allocate("z", 0)
+    w = image.allocate("w", 0)
+    bodies = [
+        [instr(Opcode.STOREI, Operand.make_addr(x), Operand.make_imm(1)),
+         instr(Opcode.LOAD, Operand.make_reg(2), Operand.make_addr(y)),
+         instr(Opcode.STORE, Operand.make_addr(z), Operand.make_reg(2)),
+         instr(Opcode.RET)],
+        [instr(Opcode.STOREI, Operand.make_addr(y), Operand.make_imm(1)),
+         instr(Opcode.LOAD, Operand.make_reg(2), Operand.make_addr(x)),
+         instr(Opcode.STORE, Operand.make_addr(w), Operand.make_reg(2)),
+         instr(Opcode.RET)],
+    ]
+    return n_thread_kernel(bodies, memory=image)
+
+
+def random_tiny_kernel_n(
+    seed: int, num_threads: int = 3
+) -> Tuple[Kernel, List[List[Tuple[str, List[int]]]]]:
+    """A random N-thread kernel small enough to enumerate exhaustively.
+
+    One visible op per thread plus optional invisible work, so the
+    sleep-set schedule space stays enumerable even at three threads.
+    """
+    rng = np.random.default_rng(seed)
+    image = MemoryImage()
+    addresses = [
+        image.allocate(f"g{i}", 0) for i in range(int(rng.integers(1, 3)))
+    ]
+    bodies = [
+        _thread_body(rng, addresses, None, max_visible=1)
+        for _ in range(num_threads)
+    ]
+    return n_thread_kernel(bodies, memory=image)
 
 
 def random_tiny_kernel(seed: int) -> Tuple[Kernel, Programs]:

@@ -19,7 +19,12 @@ from repro import rng as rngmod
 from repro.errors import OracleLimitError
 from repro.execution.alias import alias_coverage
 from repro.execution.concurrent import ScheduleHint, run_concurrent
-from repro.execution.pct import PctScheduler, run_concurrent_pct
+from repro.execution.pct import (
+    PctScheduler,
+    propose_hint_pairs,
+    propose_hint_tuples,
+    run_concurrent_pct,
+)
 from repro.execution.races import find_potential_races
 from repro.oracle import (
     explore_interleavings,
@@ -27,7 +32,12 @@ from repro.oracle import (
     reference_potential_races,
 )
 
-from tests._oracle_kernels import random_tiny_kernel
+from tests._oracle_kernels import (
+    irq_kernel,
+    random_tiny_kernel,
+    store_buffering_kernel,
+    three_thread_racy_kernel,
+)
 
 pytestmark = pytest.mark.oracle
 
@@ -122,3 +132,179 @@ class TestDetectorDifferentials:
             assert alias_coverage(result.accesses) == reference_alias_pairs(
                 result.accesses
             )
+
+
+class TestThreeThreadAxisContainment:
+    """Exhaustive-vs-observed on the N-thread axis (--threads 3)."""
+
+    @pytest.fixture(scope="class")
+    def truth_and_runs(self):
+        kernel, programs, _ = three_thread_racy_kernel()
+        truth = explore_interleavings(kernel, programs, pruning="sleep")
+        results = []
+        rng = rngmod.make_rng(333)
+        for _ in range(6):
+            schedule = PctScheduler.sample(rng, 3, 10)
+            results.append(run_concurrent_pct(kernel, programs, schedule))
+        for hints in (
+            [ScheduleHint(0, 0), ScheduleHint(1, 2), ScheduleHint(2, 4)],
+            [ScheduleHint(2, 4), ScheduleHint(0, 0), ScheduleHint(1, 2)],
+            [],
+        ):
+            results.append(run_concurrent(kernel, programs, hints=hints))
+        return truth, results
+
+    def test_observed_contained(self, truth_and_runs):
+        truth, results = truth_and_runs
+        for index, result in enumerate(results):
+            violations = truth.check_result(result)
+            assert not violations, f"execution {index}: {violations}"
+
+    def test_per_thread_coverage_shape(self, truth_and_runs):
+        truth, results = truth_and_runs
+        assert len(truth.per_thread_covered) == 3
+        for result in results:
+            assert len(result.covered_blocks) == 3
+
+
+class TestIrqAxisContainment:
+    """Exhaustive-vs-observed on the IRQ axis (--irq)."""
+
+    @pytest.fixture(scope="class")
+    def truth_and_runs(self):
+        kernel, programs, handler = irq_kernel()
+        truth = explore_interleavings(
+            kernel, programs, pruning="sleep", irq_handlers=[handler]
+        )
+        results = []
+        for step in range(1, 8):
+            results.append(
+                run_concurrent(kernel, programs, irq_plan=[(step, handler)])
+            )
+            results.append(
+                run_concurrent(
+                    kernel,
+                    programs,
+                    hints=[ScheduleHint(1, 2)],
+                    irq_plan=[(step, handler)],
+                )
+            )
+        return truth, results
+
+    def test_observed_contained(self, truth_and_runs):
+        truth, results = truth_and_runs
+        for index, result in enumerate(results):
+            violations = truth.check_result(result)
+            assert not violations, f"execution {index}: {violations}"
+
+    def test_some_run_fires_the_irq_bug(self, truth_and_runs):
+        """The axis is exercised for real: the handler-only CHECK bug
+        manifests in at least one observed run and is in the truth."""
+        truth, results = truth_and_runs
+        assert truth.bug_iids
+        assert any(result.bug_events for result in results)
+
+
+class TestTsoAxisContainment:
+    """Exhaustive-vs-observed on the weak-memory axis (--memory-model tso)."""
+
+    @pytest.fixture(scope="class")
+    def truth_and_runs(self):
+        kernel, programs = store_buffering_kernel()
+        truth = explore_interleavings(
+            kernel, programs, pruning="sleep", memory_model="tso"
+        )
+        results = []
+        rng = rngmod.make_rng(777)
+        for _ in range(6):
+            schedule = PctScheduler.sample(rng, 2, 10)
+            results.append(
+                run_concurrent_pct(
+                    kernel, programs, schedule, memory_model="tso"
+                )
+            )
+        for hint_a, hint_b in ((0, 4), (1, 5), (2, 6)):
+            results.append(
+                run_concurrent(
+                    kernel,
+                    programs,
+                    hints=[ScheduleHint(0, hint_a), ScheduleHint(1, hint_b)],
+                    memory_model="tso",
+                )
+            )
+        return truth, results
+
+    def test_observed_contained(self, truth_and_runs):
+        truth, results = truth_and_runs
+        for index, result in enumerate(results):
+            violations = truth.check_result(result)
+            assert not violations, f"execution {index}: {violations}"
+
+    def test_sc_truth_also_contains_sc_runs(self):
+        """Sanity: the same kernel under SC conforms to the SC truth
+        (the axis flag, not the kernel, is what changes behaviour)."""
+        kernel, programs = store_buffering_kernel()
+        truth = explore_interleavings(kernel, programs, pruning="sleep")
+        result = run_concurrent(kernel, programs)
+        assert truth.check_result(result) == []
+
+
+class TestTwoThreadByteIdentity:
+    """The generalised pipeline must reproduce the historical two-thread
+    SC behaviour exactly when every axis is at its default."""
+
+    def test_hint_tuples_reproduce_hint_pairs_stream(self, dataset_builder):
+        entry_a, entry_b = dataset_builder.corpus.entries[:2]
+        pairs = propose_hint_pairs(
+            rngmod.make_rng(9), entry_a.trace, entry_b.trace, 20
+        )
+        tuples = propose_hint_tuples(
+            rngmod.make_rng(9), (entry_a.trace, entry_b.trace), 20
+        )
+        assert pairs == tuples
+
+    def test_axes_off_config_equals_default_config(self, dataset_builder):
+        """A campaign with the axes spelled out at their defaults is
+        byte-identical to one with the historical config."""
+        from repro.core.mlpct import (
+            ExplorationConfig,
+            PCTExplorer,
+            run_campaign,
+        )
+
+        ctis = dataset_builder.corpus.sample_pairs(rngmod.make_rng(5), 3)
+        small = dict(execution_budget=5, proposal_pool=12)
+        default = run_campaign(
+            PCTExplorer(
+                dataset_builder, config=ExplorationConfig(**small), seed=3
+            ),
+            ctis,
+        )
+        explicit = run_campaign(
+            PCTExplorer(
+                dataset_builder,
+                config=ExplorationConfig(
+                    num_threads=2, irq=False, memory_model="sc", **small
+                ),
+                seed=3,
+            ),
+            ctis,
+        )
+        assert default.history == explicit.history
+        assert default.bug_history == explicit.bug_history
+        assert default.manifested_bugs == explicit.manifested_bugs
+
+    def test_two_thread_truth_unchanged_by_axis_defaults(self):
+        """explore_interleavings with axis parameters spelled out at
+        defaults equals the plain historical call."""
+        kernel, programs = random_tiny_kernel(42)
+        plain = explore_interleavings(kernel, programs)
+        spelled = explore_interleavings(
+            kernel,
+            programs,
+            memory_model="sc",
+            irq_handlers=(),
+            max_irqs=1,
+            max_threads=4,
+        )
+        assert plain == spelled

@@ -6,7 +6,7 @@ closed-form schedule counts on straight-line shapes, pruning soundness
 (every pruning mode derives the same ground truth), and determinism.
 """
 
-from math import comb
+from math import comb, factorial
 
 import pytest
 from hypothesis import given, settings
@@ -14,12 +14,27 @@ from hypothesis import strategies as st
 
 from repro.errors import OracleError, OracleLimitError
 from repro.oracle import (
+    DEFAULT_MAX_THREADS,
     PRUNING_MODES,
     ExhaustiveExplorer,
     explore_interleavings,
 )
 
-from tests._oracle_kernels import random_tiny_kernel, straightline_nops
+from tests._oracle_kernels import (
+    irq_kernel,
+    random_tiny_kernel,
+    store_buffering_kernel,
+    straightline_nops,
+    straightline_nops_n,
+    three_thread_racy_kernel,
+)
+
+
+def _multinomial(steps):
+    count = factorial(sum(steps))
+    for part in steps:
+        count //= factorial(part)
+    return count
 
 RELAXED = settings(deadline=None, max_examples=20)
 
@@ -111,13 +126,159 @@ class TestDeterminism:
         assert first == second
 
 
+class TestNThreadScheduleCounts:
+    @settings(deadline=None, max_examples=12)
+    @given(nop_counts=st.lists(st.integers(0, 1), min_size=3, max_size=3))
+    def test_unpruned_count_is_multinomial(self, nop_counts):
+        """N straight-line threads generalise the binomial count to the
+        multinomial ``(sum steps)! / prod(steps_i!)``."""
+        kernel, programs = straightline_nops_n(nop_counts)
+        truth = explore_interleavings(kernel, programs, pruning="none")
+        steps = [count + 2 for count in nop_counts]
+        assert truth.num_schedules == _multinomial(steps)
+
+    @pytest.mark.parametrize("nop_counts", [(1, 1, 1), (2, 1, 0)])
+    def test_known_multinomial_counts(self, nop_counts):
+        kernel, programs = straightline_nops_n(nop_counts)
+        truth = explore_interleavings(kernel, programs, pruning="none")
+        assert truth.num_schedules == _multinomial(
+            [count + 2 for count in nop_counts]
+        )
+
+    def test_three_nop_threads_fully_commute(self):
+        kernel, programs = straightline_nops_n([1, 1, 1])
+        truth = explore_interleavings(kernel, programs, pruning="sleep")
+        assert truth.num_schedules == 1
+
+
+class TestScenarioAxes:
+    """Pruning soundness and determinism on the new exploration axes."""
+
+    def test_three_thread_pruning_modes_agree(self):
+        kernel, programs, _ = three_thread_racy_kernel()
+        truths = {
+            mode: explore_interleavings(kernel, programs, pruning=mode)
+            for mode in PRUNING_MODES
+        }
+        for mode in ("por", "sleep"):
+            assert truths[mode].behavior_key() == truths["none"].behavior_key()
+        assert (
+            truths["sleep"].num_schedules
+            <= truths["por"].num_schedules
+            <= truths["none"].num_schedules
+        )
+
+    def test_irq_pruning_modes_agree(self):
+        kernel, programs, handler = irq_kernel()
+        truths = {
+            mode: explore_interleavings(
+                kernel, programs, pruning=mode, irq_handlers=[handler]
+            )
+            for mode in PRUNING_MODES
+        }
+        for mode in ("por", "sleep"):
+            assert truths[mode].behavior_key() == truths["none"].behavior_key()
+
+    def test_irq_axis_grows_ground_truth(self):
+        """The IRQ kernel's CHECK bug fires only via an interrupt."""
+        kernel, programs, handler = irq_kernel()
+        without = explore_interleavings(kernel, programs)
+        with_irq = explore_interleavings(
+            kernel, programs, irq_handlers=[handler]
+        )
+        assert not without.bug_iids
+        assert with_irq.bug_iids
+
+    def test_tso_pruning_modes_agree(self):
+        """A minimal store-buffering shape (no write-back, so the
+        unpruned space stays enumerable) yields the same ground truth
+        in every mode — sleep degenerates to por under TSO but must
+        stay sound."""
+        from repro.kernel.isa import Opcode, Operand
+        from repro.kernel.memory import MemoryImage
+
+        from tests._oracle_kernels import instr, n_thread_kernel
+
+        image = MemoryImage()
+        x = image.allocate("x", 0)
+        y = image.allocate("y", 0)
+        bodies = [
+            [instr(Opcode.STOREI, Operand.make_addr(x), Operand.make_imm(1)),
+             instr(Opcode.LOAD, Operand.make_reg(2), Operand.make_addr(y)),
+             instr(Opcode.RET)],
+            [instr(Opcode.STOREI, Operand.make_addr(y), Operand.make_imm(1)),
+             instr(Opcode.LOAD, Operand.make_reg(2), Operand.make_addr(x)),
+             instr(Opcode.RET)],
+        ]
+        kernel, programs = n_thread_kernel(bodies, memory=image)
+        truths = {
+            mode: explore_interleavings(
+                kernel,
+                programs,
+                pruning=mode,
+                memory_model="tso",
+                max_schedules=100_000,
+            )
+            for mode in PRUNING_MODES
+        }
+        for mode in ("por", "sleep"):
+            assert truths[mode].behavior_key() == truths["none"].behavior_key()
+
+    def test_tso_strictly_grows_final_states(self):
+        """The SB litmus's relaxed outcome exists under TSO only."""
+        kernel, programs = store_buffering_kernel()
+        sc = explore_interleavings(kernel, programs, pruning="sleep")
+        tso = explore_interleavings(
+            kernel, programs, pruning="sleep", memory_model="tso"
+        )
+        assert set(sc.final_memory_states) < set(tso.final_memory_states)
+
+    @pytest.mark.parametrize("shuffle", [0, 1, 5])
+    def test_three_thread_shuffle_determinism(self, shuffle):
+        kernel, programs, _ = three_thread_racy_kernel()
+        default = explore_interleavings(kernel, programs, pruning="sleep")
+        shuffled = explore_interleavings(
+            kernel, programs, pruning="sleep", shuffle_seed=shuffle
+        )
+        assert shuffled.num_schedules == default.num_schedules
+        assert shuffled.behavior_key() == default.behavior_key()
+
+    def test_unknown_memory_model_rejected(self):
+        kernel, programs = straightline_nops(1, 1)
+        with pytest.raises(OracleError):
+            ExhaustiveExplorer(kernel, programs, memory_model="ps5")
+
+    def test_unknown_irq_handler_rejected(self):
+        kernel, programs = straightline_nops(1, 1)
+        with pytest.raises(OracleError):
+            ExhaustiveExplorer(kernel, programs, irq_handlers=["nope"])
+
+
 class TestBudgets:
     def test_schedule_budget_refuses_partial_truth(self):
         kernel, programs = straightline_nops(3, 3)
-        with pytest.raises(OracleLimitError):
+        with pytest.raises(OracleLimitError) as excinfo:
             explore_interleavings(
                 kernel, programs, pruning="none", max_schedules=10
             )
+        assert excinfo.value.limit == "schedules"
+        assert excinfo.value.observed == 10
+
+    def test_thread_bound_is_configurable_and_structured(self):
+        """Over-wide CTs fail with a structured error naming the limit
+        kind and the observed thread count (explorer.py's old hard-coded
+        two-thread assertion)."""
+        too_many = DEFAULT_MAX_THREADS + 1
+        kernel, programs = straightline_nops_n([0] * too_many)
+        with pytest.raises(OracleLimitError) as excinfo:
+            explore_interleavings(kernel, programs)
+        assert excinfo.value.limit == "threads"
+        assert excinfo.value.observed == too_many
+        # Raising the bound makes the same CT explorable.
+        truth = explore_interleavings(
+            kernel, programs, max_threads=too_many, pruning="sleep"
+        )
+        assert truth.num_schedules >= 1
 
     def test_unknown_pruning_mode_rejected(self):
         kernel, programs = straightline_nops(1, 1)

@@ -132,6 +132,92 @@ class TestExplorationBudgets:
         assert stats.executions <= stats.inferences
 
 
+class TestScenarioAxisProperties:
+    """Property checks over the N-thread / IRQ / TSO campaign axes."""
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=3))
+    @settings(max_examples=10, deadline=None)
+    def test_n_thread_unpruned_count_is_multinomial(self, nop_counts):
+        from math import factorial
+
+        from repro.oracle import explore_interleavings
+
+        from tests._oracle_kernels import straightline_nops_n
+
+        kernel, programs = straightline_nops_n(nop_counts)
+        truth = explore_interleavings(kernel, programs, pruning="none")
+        steps = [count + 2 for count in nop_counts]
+        expected = factorial(sum(steps))
+        for part in steps:
+            expected //= factorial(part)
+        assert truth.num_schedules == expected
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=10, deadline=None)
+    def test_three_thread_pruning_preserves_behaviour(self, seed):
+        """POR and sleep-set pruning on random 3-thread kernels drop
+        schedules, never behaviours."""
+        from repro.oracle import explore_interleavings
+
+        from tests._oracle_kernels import random_tiny_kernel_n
+
+        kernel, programs = random_tiny_kernel_n(seed, num_threads=3)
+        por = explore_interleavings(kernel, programs, pruning="por")
+        sleep = explore_interleavings(kernel, programs, pruning="sleep")
+        assert sleep.behavior_key() == por.behavior_key()
+        assert sleep.num_schedules <= por.num_schedules
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_tso_execution_is_a_function_of_hints(
+        self, kernel, generator, seed
+    ):
+        """TSO runs are deterministic: store-buffer drains are driven by
+        the schedule, never by hidden state."""
+        sti_a = _random_sti(kernel, generator, seed)
+        sti_b = _random_sti(kernel, generator, seed + 99)
+        trace_a = run_sequential(kernel, sti_a)
+        if not trace_a.iid_trace:
+            return
+        hints = [ScheduleHint(0, trace_a.iid_trace[len(trace_a.iid_trace) // 2])]
+        r1 = run_concurrent(kernel, (sti_a, sti_b), hints=hints, memory_model="tso")
+        r2 = run_concurrent(kernel, (sti_a, sti_b), hints=hints, memory_model="tso")
+        assert r1.covered_blocks == r2.covered_blocks
+        assert [a.iid for a in r1.accesses] == [a.iid for a in r2.accesses]
+
+    @given(st.integers(min_value=1, max_value=80))
+    @settings(max_examples=10, deadline=None)
+    def test_irq_injection_is_deterministic(self, kernel, generator, step):
+        """The same irq_plan fires identically on repeated runs."""
+        sti_a = _random_sti(kernel, generator, step)
+        sti_b = _random_sti(kernel, generator, step + 7)
+        handler = kernel.irq_handlers[0]
+        plan = [(step, handler)]
+        r1 = run_concurrent(kernel, (sti_a, sti_b), irq_plan=plan)
+        r2 = run_concurrent(kernel, (sti_a, sti_b), irq_plan=plan)
+        assert r1.irqs_fired == r2.irqs_fired
+        assert r1.covered_blocks == r2.covered_blocks
+        assert [a.iid for a in r1.accesses] == [a.iid for a in r2.accesses]
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_hint_tuple_stream_matches_pair_stream(
+        self, dataset_builder, seed
+    ):
+        """The N-thread proposal generaliser reproduces the historical
+        two-thread RNG stream exactly."""
+        from repro.execution.pct import propose_hint_pairs, propose_hint_tuples
+
+        entry_a, entry_b = dataset_builder.corpus.entries[:2]
+        pairs = propose_hint_pairs(
+            rngmod.make_rng(seed), entry_a.trace, entry_b.trace, 12
+        )
+        tuples = propose_hint_tuples(
+            rngmod.make_rng(seed), (entry_a.trace, entry_b.trace), 12
+        )
+        assert pairs == tuples
+
+
 class TestKernelGenerationProperties:
     @given(st.integers(min_value=0, max_value=10))
     @settings(max_examples=5, deadline=None)

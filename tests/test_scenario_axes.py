@@ -1,0 +1,276 @@
+"""End-to-end campaigns on the scenario axes, checked against the oracle.
+
+The acceptance criterion for the N-thread / IRQ / weak-memory axes is
+that a *campaign* — not just a single execution — stays inside the
+exhaustive explorer's ground truth: every ``ConcurrentResult`` the
+explorer folds in must pass :meth:`GroundTruth.check_result` against a
+truth computed with the matching axis parameters.  A recording explorer
+subclass captures the results and tasks the campaign actually ran.
+
+Also covers the CLI surface for the axes (``--threads`` / ``--irq`` /
+``--memory-model`` on ``campaign`` and ``fleet run``).
+
+Marked ``oracle``: CI runs this suite standalone via ``-m oracle``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.mlpct import (
+    ExplorationConfig,
+    MLPCTExplorer,
+    PCTExplorer,
+    run_campaign,
+)
+from repro.core.strategies import make_strategy
+from repro.execution import run_sequential
+from repro.fuzz.corpus import CorpusEntry
+from repro.fuzz.sti import STI, SyscallCall
+from repro.graphs.dataset import GraphDatasetBuilder
+from repro.ml.baselines import AllPositive
+from repro.oracle import explore_interleavings
+
+from tests._oracle_kernels import (
+    irq_kernel,
+    store_buffering_kernel,
+    three_thread_racy_kernel,
+)
+
+pytestmark = pytest.mark.oracle
+
+
+def _entries(kernel, programs):
+    """Corpus entries for the tiny kernel's programs, in thread order.
+
+    ``GroundTruth.check_result`` compares coverage *per thread*, so the
+    CTI's entry order must match the oracle's program order exactly.
+    """
+    entries = []
+    for tid, program in enumerate(programs):
+        calls = tuple(
+            SyscallCall(name, tuple(args)) for name, args in program
+        )
+        sti = STI(sti_id=tid, calls=calls)
+        trace = run_sequential(kernel, sti.as_pairs(), sti_id=tid)
+        entries.append(CorpusEntry(sti=sti, trace=trace))
+    return entries
+
+
+class RecordingPCT(PCTExplorer):
+    """PCT explorer that keeps every task it built and result it folded."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.recorded_tasks = []
+        self.recorded_results = []
+
+    def build_tasks(self, *args):
+        tasks = super().build_tasks(*args)
+        self.recorded_tasks.extend(tasks)
+        return tasks
+
+    def account_results(self, *args, **kwargs):
+        *_, results, _stats = args
+        self.recorded_results.extend(results)
+        super().account_results(*args, **kwargs)
+
+
+def _run_axis_campaign(kernel, programs, config, seed=11, ctis=2):
+    """One small PCT campaign on a tiny kernel; returns the explorer."""
+    builder = GraphDatasetBuilder(kernel, seed=seed)
+    explorer = RecordingPCT(builder, config=config, seed=seed)
+    entries = tuple(_entries(kernel, programs))
+    run_campaign(explorer, [entries] * ctis)
+    return explorer
+
+
+class TestThreeThreadCampaignConformance:
+    """``repro campaign --threads 3`` semantics, oracle-checked."""
+
+    @pytest.fixture(scope="class")
+    def truth_and_explorer(self):
+        kernel, programs, _ = three_thread_racy_kernel()
+        truth = explore_interleavings(kernel, programs, pruning="sleep")
+        explorer = _run_axis_campaign(
+            kernel,
+            programs,
+            ExplorationConfig(
+                execution_budget=4, proposal_pool=8, num_threads=3
+            ),
+        )
+        return truth, explorer
+
+    def test_campaign_ran_three_thread_tasks(self, truth_and_explorer):
+        _, explorer = truth_and_explorer
+        assert explorer.recorded_results
+        for task in explorer.recorded_tasks:
+            assert len(task.programs) == 3
+        for result in explorer.recorded_results:
+            assert len(result.covered_blocks) == 3
+
+    def test_every_campaign_result_in_ground_truth(self, truth_and_explorer):
+        truth, explorer = truth_and_explorer
+        for index, result in enumerate(explorer.recorded_results):
+            violations = truth.check_result(result)
+            assert not violations, f"execution {index}: {violations}"
+
+    def test_mlpct_three_thread_campaign_conforms(self):
+        """The learned path (scoring included) also stays contained:
+        graph encoding and selection generalise to 3-entry CTIs."""
+        kernel, programs, _ = three_thread_racy_kernel()
+        truth = explore_interleavings(kernel, programs, pruning="sleep")
+        builder = GraphDatasetBuilder(kernel, seed=7)
+
+        class RecordingMLPCT(MLPCTExplorer):
+            recorded = []
+
+            def account_results(self, *args, **kwargs):
+                *_, results, _stats = args
+                RecordingMLPCT.recorded.extend(results)
+                super().account_results(*args, **kwargs)
+
+        explorer = RecordingMLPCT(
+            builder,
+            predictor=AllPositive(),
+            strategy=make_strategy("S1"),
+            config=ExplorationConfig(
+                execution_budget=3, proposal_pool=6, num_threads=3
+            ),
+            seed=7,
+        )
+        run_campaign(explorer, [tuple(_entries(kernel, programs))])
+        assert RecordingMLPCT.recorded
+        for result in RecordingMLPCT.recorded:
+            assert truth.check_result(result) == []
+
+
+class TestIrqCampaignConformance:
+    """``repro campaign --irq`` semantics, oracle-checked."""
+
+    @pytest.fixture(scope="class")
+    def truth_and_explorer(self):
+        kernel, programs, handler = irq_kernel()
+        truth = explore_interleavings(
+            kernel, programs, pruning="sleep", irq_handlers=[handler]
+        )
+        explorer = _run_axis_campaign(
+            kernel,
+            programs,
+            ExplorationConfig(execution_budget=4, proposal_pool=8, irq=True),
+            ctis=3,
+        )
+        return truth, explorer
+
+    def test_campaign_scheduled_interrupts(self, truth_and_explorer):
+        _, explorer = truth_and_explorer
+        assert explorer.recorded_tasks
+        assert all(task.irq_plan for task in explorer.recorded_tasks)
+        assert any(
+            result.irqs_fired for result in explorer.recorded_results
+        )
+
+    def test_every_campaign_result_in_ground_truth(self, truth_and_explorer):
+        truth, explorer = truth_and_explorer
+        assert explorer.recorded_results
+        for index, result in enumerate(explorer.recorded_results):
+            violations = truth.check_result(result)
+            assert not violations, f"execution {index}: {violations}"
+
+    def test_axis_off_builds_no_irq_plans(self):
+        """Without ``--irq`` the same kernel campaigns with empty plans
+        (the axis defaults genuinely change nothing)."""
+        kernel, programs, _ = irq_kernel()
+        explorer = _run_axis_campaign(
+            kernel,
+            programs,
+            ExplorationConfig(execution_budget=3, proposal_pool=6),
+            ctis=1,
+        )
+        assert explorer.recorded_tasks
+        assert all(not task.irq_plan for task in explorer.recorded_tasks)
+        assert all(
+            not result.irqs_fired for result in explorer.recorded_results
+        )
+
+
+class TestTsoCampaignConformance:
+    """``repro campaign --memory-model tso`` semantics, oracle-checked."""
+
+    @pytest.fixture(scope="class")
+    def truth_and_explorer(self):
+        kernel, programs = store_buffering_kernel()
+        truth = explore_interleavings(
+            kernel, programs, pruning="sleep", memory_model="tso"
+        )
+        explorer = _run_axis_campaign(
+            kernel,
+            programs,
+            ExplorationConfig(
+                execution_budget=5, proposal_pool=10, memory_model="tso"
+            ),
+            ctis=3,
+        )
+        return truth, explorer
+
+    def test_campaign_built_tso_tasks(self, truth_and_explorer):
+        _, explorer = truth_and_explorer
+        assert explorer.recorded_tasks
+        assert all(
+            task.memory_model == "tso" for task in explorer.recorded_tasks
+        )
+
+    def test_every_campaign_result_in_ground_truth(self, truth_and_explorer):
+        truth, explorer = truth_and_explorer
+        assert explorer.recorded_results
+        for index, result in enumerate(explorer.recorded_results):
+            violations = truth.check_result(result)
+            assert not violations, f"execution {index}: {violations}"
+
+
+class TestAxisCliSurface:
+    def test_campaign_parser_accepts_axis_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "campaign",
+                "--threads",
+                "3",
+                "--irq",
+                "--memory-model",
+                "tso",
+            ]
+        )
+        assert args.threads == 3
+        assert args.irq is True
+        assert args.memory_model == "tso"
+
+    def test_fleet_parser_accepts_axis_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fleet", "run", "--threads", "4", "--memory-model", "sc"]
+        )
+        assert args.threads == 4
+        assert args.irq is False
+        assert args.memory_model == "sc"
+
+    def test_axis_defaults_are_the_paper_configuration(self):
+        parser = build_parser()
+        args = parser.parse_args(["campaign"])
+        assert args.threads == 2
+        assert args.irq is False
+        assert args.memory_model == "sc"
+
+    def test_campaign_rejects_single_thread(self, capsys):
+        assert main(["campaign", "--threads", "1"]) == 2
+        assert "--threads" in capsys.readouterr().err
+
+    def test_fleet_rejects_single_thread(self, capsys):
+        assert main(["fleet", "run", "--threads", "1"]) == 2
+        assert "--threads" in capsys.readouterr().err
+
+    def test_unknown_memory_model_rejected_at_parse_time(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["campaign", "--memory-model", "psc"])
