@@ -27,6 +27,12 @@ Runs the pipeline stages a downstream user needs without writing code:
   worker processes, survives worker crashes/hangs and its own SIGKILL
   (``--resume``), and aggregates byte-identically to the
   single-process campaign (see ``docs/FLEET.md``)
+- ``learn``     — continuous-learning lifecycle
+  (``run``/``status``/``publish``): tail ``--capture-labels`` campaign
+  journals into a durable label store, fine-tune the registry's active
+  model on fresh labels, gate the candidate on a fresh-label holdout,
+  and promote (or quarantine) it; a live ``serve`` server hot-swaps to
+  the promoted version with ``serve swap`` (see ``docs/LIFECYCLE.md``)
 
 Every command accepts ``--seed`` and prints deterministic results. The
 global ``--trace FILE`` flag records a JSON-lines telemetry trace of the
@@ -234,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
         "and covered by the quality gate (single-graph scoring stays "
         "float64 either way)",
     )
+    campaign.add_argument(
+        "--capture-labels",
+        action="store_true",
+        help="record executed-CT coverage labels inside the campaign "
+        "journal for the continuous-learning tailer (requires "
+        "--journal/--resume; see docs/LIFECYCLE.md)",
+    )
     _add_axis_flags(campaign)
 
     razzer = commands.add_parser("razzer", help="directed race reproduction")
@@ -269,6 +282,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="measure the golden pipeline and write a fresh baseline to "
         "FILE instead of gating (use after an intentional quality change)",
+    )
+    quality.add_argument(
+        "--model",
+        metavar="VERSION",
+        default=None,
+        help="score a registry candidate version through the golden gate "
+        "instead of the golden pipeline's own model (requires --registry)",
+    )
+    quality.add_argument(
+        "--registry",
+        metavar="DIR",
+        default=None,
+        help="model registry holding the --model candidate",
     )
 
     serve = commands.add_parser(
@@ -344,6 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
         "stop", help="shut down the server on a socket"
     )
     serve_stop.add_argument("--socket", required=True, metavar="PATH")
+    serve_swap = serve_actions.add_parser(
+        "swap",
+        help="hot-swap a running server (started with --registry) to a "
+        "registry version without dropping clients",
+    )
+    serve_swap.add_argument("--socket", required=True, metavar="PATH")
+    serve_swap.add_argument(
+        "--model-version",
+        default=None,
+        help="registry version to swap to (default: the registry's "
+        "current active version, re-read from disk)",
+    )
     serve_status = serve_actions.add_parser(
         "status", help="print a running server's model identity and stats"
     )
@@ -461,6 +499,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a checksummed provenance receipt per job to DIR and "
         "verify coverage at the end",
     )
+    fleet_run.add_argument(
+        "--capture-labels",
+        action="store_true",
+        help="record executed-CT coverage labels inside the fleet "
+        "journal for the continuous-learning tailer (requires "
+        "--journal/--resume; see docs/LIFECYCLE.md)",
+    )
     _add_axis_flags(fleet_run)
     fleet_status = fleet_actions.add_parser(
         "status",
@@ -481,6 +526,102 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="stop --watch after this many refreshes (0 = until Ctrl-C)",
+    )
+
+    learn = commands.add_parser(
+        "learn",
+        help="continuous-learning lifecycle: tail labels, fine-tune, "
+        "gate, promote (see docs/LIFECYCLE.md)",
+    )
+    learn_actions = learn.add_subparsers(dest="action", required=True)
+    learn_run = learn_actions.add_parser(
+        "run",
+        help="one lifecycle pass: tail journals into the label store, "
+        "then fine-tune/gate/promote when enough fresh labels arrived",
+    )
+    learn_run.add_argument(
+        "--dir",
+        required=True,
+        metavar="DIR",
+        help="learn state directory (label store, worker journal, "
+        "candidates, quarantine, status heartbeat)",
+    )
+    learn_run.add_argument(
+        "--registry",
+        required=True,
+        metavar="DIR",
+        help="model registry: base models come from (and promoted "
+        "candidates go to) its active lineage",
+    )
+    learn_run.add_argument(
+        "--journals",
+        nargs="*",
+        metavar="FILE",
+        default=[],
+        help="campaign/fleet journal file(s) to tail for captured labels "
+        "(written by campaign --journal --capture-labels)",
+    )
+    learn_run.add_argument(
+        "--min-labels",
+        type=int,
+        default=8,
+        help="fresh labels since the last cycle that trigger fine-tuning",
+    )
+    learn_run.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        help="sliding training window: the most recent N labels",
+    )
+    learn_run.add_argument("--epochs", type=int, default=2)
+    learn_run.add_argument("--learning-rate", type=float, default=1e-3)
+    learn_run.add_argument(
+        "--holdout-every",
+        type=int,
+        default=4,
+        help="every k-th window example is held out for the gate",
+    )
+    learn_run.add_argument(
+        "--min-gain",
+        type=float,
+        default=-0.05,
+        help="gate rule: candidate holdout AP must be >= active AP + "
+        "MIN_GAIN (negative tolerates noise; large positive forces a "
+        "quarantine)",
+    )
+    learn_run.add_argument(
+        "--replay-ctis",
+        type=int,
+        default=2,
+        help="replay CTIs mixed into training against forgetting",
+    )
+    learn_run.add_argument(
+        "--golden-gate",
+        action="store_true",
+        help="also require the pinned golden quality gate "
+        "(vocabulary-compatible candidates only)",
+    )
+    learn_run.add_argument(
+        "--cycles",
+        type=int,
+        default=1,
+        help="maximum fine-tune cycles this invocation runs",
+    )
+    learn_status = learn_actions.add_parser(
+        "status", help="print the worker's status heartbeat"
+    )
+    learn_status.add_argument("--dir", required=True, metavar="DIR")
+    learn_publish = learn_actions.add_parser(
+        "publish",
+        help="publish a checkpoint into a registry as the active base "
+        "model (bootstraps the lifecycle)",
+    )
+    learn_publish.add_argument("--registry", required=True, metavar="DIR")
+    learn_publish.add_argument("--model", required=True, metavar="CKPT")
+    learn_publish.add_argument(
+        "--model-version",
+        default=None,
+        help="version label (default: auto-numbered v<N>)",
     )
 
     report = commands.add_parser(
@@ -519,6 +660,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also render coordinator + worker rows from a fleet "
         "heartbeat directory (fleet run --heartbeat-dir DIR)",
+    )
+    top.add_argument(
+        "--learn",
+        metavar="DIR",
+        default=None,
+        help="also render the continuous-learning worker's status from "
+        "its state directory (learn run --dir DIR)",
     )
     top.add_argument(
         "--watch", action="store_true", help="refresh until Ctrl-C"
@@ -633,12 +781,7 @@ def _campaign_snowcat(args, exploration: ExplorationConfig):
         return _trained_snowcat(args.seed, exploration=exploration), False
     from repro.ml.pic import PICModel
 
-    kernel = build_kernel(KernelConfig(), seed=args.seed)
-    snowcat = Snowcat(
-        kernel,
-        SnowcatConfig(seed=args.seed, corpus_rounds=200, exploration=exploration),
-    )
-    snowcat.prepare_corpus()
+    snowcat = Snowcat.standard(args.seed, exploration=exploration)
     try:
         model = PICModel.load(args.model, seed=args.seed)
         if len(snowcat.graphs.vocabulary) > model.config.vocab_size:
@@ -675,14 +818,7 @@ def _campaign_backend(args, exploration: ExplorationConfig):
         from repro.errors import ServeError
         from repro.serve import SocketBackend
 
-        kernel = build_kernel(KernelConfig(), seed=args.seed)
-        snowcat = Snowcat(
-            kernel,
-            SnowcatConfig(
-                seed=args.seed, corpus_rounds=200, exploration=exploration
-            ),
-        )
-        snowcat.prepare_corpus()
+        snowcat = Snowcat.standard(args.seed, exploration=exploration)
         backend = SocketBackend(args.serve_socket)
         try:
             status = backend.status()
@@ -777,6 +913,13 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.capture_labels and not journal_path:
+        print(
+            "error: --capture-labels needs a journal to write labels into "
+            "(add --journal FILE or --resume FILE)",
+            file=sys.stderr,
+        )
+        return 2
 
     snowcat, degraded, backend = _campaign_backend(args, exploration)
     if snowcat is None:
@@ -819,6 +962,9 @@ def _cmd_campaign(args) -> int:
                 args.strategy, backend=backend, cascade_filter=cascade_filter
             )
         )
+    if args.capture_labels:
+        for explorer in explorers:
+            explorer.capture_labels = True
     ctis = snowcat.cti_stream(args.ctis, threads=args.threads)
     curves = {}
     try:
@@ -836,6 +982,15 @@ def _cmd_campaign(args) -> int:
                 f"{result.ledger.executions} executions, "
                 f"{result.ledger.total_hours:.2f} simulated hours"
             )
+            for delta in result.swap_deltas():
+                print(
+                    f"  learn.swap {delta['previous']} -> "
+                    f"{delta['version']}: races/execution "
+                    f"{delta['before_rate']:.4f} before "
+                    f"({delta['before_executions']} exec), "
+                    f"{delta['after_rate']:.4f} after "
+                    f"({delta['after_executions']} exec)"
+                )
             if result.resilience is not None:
                 counters = result.resilience
                 print(
@@ -977,7 +1132,43 @@ def _cmd_quality(args) -> int:
         write_baseline,
     )
 
+    if bool(args.model) != bool(args.registry):
+        print(
+            "error: --model and --registry must be given together",
+            file=sys.stderr,
+        )
+        return 2
+    if args.model and args.write_baseline:
+        print(
+            "error: --write-baseline records the golden pipeline's own "
+            "model; it cannot be combined with --model",
+            file=sys.stderr,
+        )
+        return 2
     model, examples = build_golden(GOLDEN_CONFIG)
+    if args.model:
+        # Gate a registry candidate through the pinned golden pipeline:
+        # same golden examples and baseline, the candidate's predictions.
+        from repro.errors import CheckpointError, ServeError
+        from repro.serve import ModelRegistry
+
+        try:
+            registry = ModelRegistry(args.registry)
+            candidate = registry.load(args.model, seed=args.seed)
+        except (CheckpointError, ServeError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if candidate.config.vocab_size < model.config.vocab_size:
+            print(
+                f"error: candidate {args.model} vocabulary "
+                f"({candidate.config.vocab_size} tokens) is smaller than "
+                f"the golden kernel's ({model.config.vocab_size} tokens); "
+                "the golden gate only scores vocabulary-compatible models",
+                file=sys.stderr,
+            )
+            return 2
+        model = candidate
+        print(f"gating registry candidate {args.model} from {args.registry}")
     measured = measure_quality(model, examples, GOLDEN_CONFIG)
     if args.write_baseline:
         try:
@@ -1086,6 +1277,26 @@ def _cmd_serve(args) -> int:
         )
         return 0
 
+    if args.action == "swap":
+        backend = SocketBackend(args.socket)
+        try:
+            outcome = backend.swap(args.model_version)
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        finally:
+            backend.close()
+        if outcome.get("swapped"):
+            print(
+                f"swapped {outcome.get('previous')} -> "
+                f"{outcome.get('version')} on {args.socket}"
+            )
+        else:
+            print(
+                f"already serving {outcome.get('version')} on {args.socket}"
+            )
+        return 0
+
     if args.action == "stop":
         # Idempotent: stopping a server that is already gone (clean
         # shutdown, SIGKILL leaving a stale socket, never started) is a
@@ -1124,11 +1335,13 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    model_registry = None
     try:
         if args.registry:
             from repro.serve import ModelRegistry
 
             registry = ModelRegistry(args.registry)
+            model_registry = registry
             version = args.model_version or registry.active_version
             if version is None:
                 print(
@@ -1171,7 +1384,13 @@ def _cmd_serve(args) -> int:
         f"'repro serve stop --socket {args.socket}' to stop"
     )
     try:
-        serve_forever(model, config, version=version)
+        serve_forever(
+            model,
+            config,
+            version=version,
+            model_registry=model_registry,
+            model_seed=args.seed,
+        )
     except (ServeError, OSError) as error:
         print(f"error: cannot serve on {args.socket}: {error}", file=sys.stderr)
         return 2
@@ -1239,11 +1458,11 @@ def _cmd_report(args) -> int:
 def _cmd_top(args) -> int:
     import time as _time
 
-    from repro.obs.export import render_fleet_top, render_top
+    from repro.obs.export import render_fleet_top, render_learn_top, render_top
 
-    if not args.heartbeat_file and not args.fleet:
+    if not args.heartbeat_file and not args.fleet and not args.learn:
         print(
-            "error: give heartbeat file(s) and/or --fleet DIR",
+            "error: give heartbeat file(s), --fleet DIR, and/or --learn DIR",
             file=sys.stderr,
         )
         return 2
@@ -1255,6 +1474,8 @@ def _cmd_top(args) -> int:
                 frames.append(render_top(args.heartbeat_file))
             if args.fleet:
                 frames.append(render_fleet_top(args.fleet))
+            if args.learn:
+                frames.append(render_learn_top(args.learn))
             print("\n".join(frames), flush=True)
             refreshes += 1
             if not args.watch or (args.count and refreshes >= args.count):
@@ -1312,6 +1533,13 @@ def _cmd_fleet(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.capture_labels and not journal_path:
+        print(
+            "error: --capture-labels needs a journal to write labels into "
+            "(add --journal FILE or --resume FILE)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.threads < 2:
         print("error: --threads must be at least 2", file=sys.stderr)
@@ -1323,14 +1551,7 @@ def _cmd_fleet(args) -> int:
         memory_model=args.memory_model,
     )
     if args.pct_only:
-        kernel = build_kernel(KernelConfig(), seed=args.seed)
-        snowcat = Snowcat(
-            kernel,
-            SnowcatConfig(
-                seed=args.seed, corpus_rounds=200, exploration=exploration
-            ),
-        )
-        snowcat.prepare_corpus()
+        snowcat = Snowcat.standard(args.seed, exploration=exploration)
         backend = None
     else:
         # Reuse the campaign serving seam; fleets never use the
@@ -1374,6 +1595,9 @@ def _cmd_fleet(args) -> int:
         explorers.append(
             snowcat.mlpct_explorer(args.strategy, backend=backend)
         )
+    if args.capture_labels:
+        for explorer in explorers:
+            explorer.capture_labels = True
     ctis = snowcat.cti_stream(args.ctis, threads=args.threads)
     reports = []
     try:
@@ -1402,6 +1626,98 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_learn(args) -> int:
+    from repro.errors import CheckpointError, JournalError, ServeError
+    from repro.serve import ModelRegistry
+
+    if args.action == "publish":
+        from repro.ml.pic import PICModel
+
+        try:
+            registry = ModelRegistry(args.registry)
+            model = PICModel.load(args.model, seed=args.seed)
+            record = registry.publish(
+                model, version=args.model_version, activate=True
+            )
+        except (CheckpointError, ServeError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"published {record.model_name} as {record.version} "
+            f"(active) in {args.registry}"
+        )
+        return 0
+
+    if args.action == "status":
+        from repro.obs.export import render_learn_top
+
+        print(render_learn_top(args.dir))
+        return 0
+
+    # -- run -----------------------------------------------------------------
+    from repro.learn import FineTuneWorker, LabelStore, LabelTailer, LearnConfig
+
+    registry = ModelRegistry(args.registry)
+    store = LabelStore(args.dir)
+    tailer = LabelTailer(store, args.journals)
+    try:
+        ingested = tailer.poll()
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        store.close()
+        return 2
+    print(
+        f"tailed {len(args.journals)} journal(s): {ingested} new labels "
+        f"({store.count} total)"
+    )
+    snowcat = Snowcat.standard(args.seed)
+    worker = FineTuneWorker(
+        args.dir,
+        store,
+        registry,
+        snowcat,
+        config=LearnConfig(
+            min_labels=args.min_labels,
+            window=args.window,
+            epochs=args.epochs,
+            learning_rate=args.learning_rate,
+            holdout_every=args.holdout_every,
+            seed=args.seed,
+            min_gain=args.min_gain,
+            replay_ctis=args.replay_ctis,
+            golden_gate=args.golden_gate,
+        ),
+    )
+    exit_code = 0
+    try:
+        for _ in range(max(args.cycles, 1)):
+            try:
+                summary = worker.run_once()
+            except (ServeError, CheckpointError, JournalError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            if summary is None:
+                print(
+                    f"idle: {store.count} labels ingested; fine-tuning "
+                    f"triggers after {args.min_labels} fresh labels"
+                )
+                break
+            print(
+                f"cycle {summary['cycle']}: {summary['outcome']} "
+                f"{summary['candidate']} (base {summary['base']}, holdout "
+                f"AP {summary['candidate_ap']:.3f} vs "
+                f"{summary['active_ap']:.3f}, {summary['examples']} fresh + "
+                f"{summary['replay']} replay examples)"
+            )
+            if summary["outcome"] == "quarantined":
+                exit_code = 1
+                break
+    finally:
+        worker.close()
+        store.close()
+    return exit_code
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "fuzz": _cmd_fuzz,
@@ -1413,6 +1729,7 @@ _COMMANDS = {
     "quality": _cmd_quality,
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
+    "learn": _cmd_learn,
     "report": _cmd_report,
     "top": _cmd_top,
 }

@@ -112,6 +112,7 @@ def run_continuous(
     versions: Sequence[Kernel],
     config: Optional[ContinuousConfig] = None,
     journal: Optional["ContinuousJournal"] = None,
+    registry=None,
 ) -> ContinuousRun:
     """Simulate continuous testing of ``versions`` under one policy.
 
@@ -120,6 +121,12 @@ def run_continuous(
     trained deployment checkpointed — including the model itself — so an
     interrupted run resumes at the next version and finishes identical
     to an uninterrupted one (see ``docs/ROBUSTNESS.md``).
+
+    With ``registry`` (a :class:`repro.serve.registry.ModelRegistry`)
+    every version that produces a trained or fine-tuned model publishes
+    it as ``continuous-<kernel version>`` — the lineage the serving and
+    learn layers consume. Publishing is idempotent across journal
+    resumes (an already-published version is left as-is).
     """
     config = (config or ContinuousConfig()).validated()
     versions = list(versions)
@@ -192,6 +199,18 @@ def run_continuous(
             campaign=campaign,
         )
         run.outcomes.append(outcome)
+        if registry is not None and startup_hours > 0 and current is not None:
+            from repro.errors import ServeError
+
+            try:
+                registry.publish(
+                    current.require_model(),
+                    version=f"continuous-{kernel.version}",
+                )
+            except ServeError:
+                # Already published by a run this one resumed; records
+                # are immutable, so the existing checkpoint stands.
+                pass
         if journal is not None:
             journal.record_version(position, outcome, current)
     return run

@@ -121,6 +121,12 @@ class CampaignResult:
     #: worker deaths, fallbacks, accounted backoff seconds); ``None``
     #: when the campaign ran unsupervised.
     resilience: Optional[Dict[str, float]] = None
+    #: Served-model swap boundaries observed mid-campaign (continuous
+    #: learning, see ``docs/LIFECYCLE.md``): each entry records the
+    #: previous and new model version, the execution index at the
+    #: boundary, and the simulated hours. Empty for campaigns that never
+    #: saw a hot-swap.
+    swaps: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def total_races(self) -> int:
@@ -129,6 +135,41 @@ class CampaignResult:
     @property
     def total_blocks(self) -> int:
         return self.history[-1][2] if self.history else 0
+
+    def swap_deltas(self) -> List[Dict[str, float]]:
+        """Races-per-execution before vs after each recorded swap.
+
+        ``history`` holds one checkpoint per dynamic execution, so the
+        rate on either side of a swap boundary is the race delta over
+        that side's execution count. Sides with zero executions report a
+        rate of 0.0.
+        """
+        deltas: List[Dict[str, float]] = []
+        for swap in self.swaps:
+            boundary = int(swap["execution_index"])
+            before_n = boundary
+            after_n = len(self.history) - boundary
+            races_at_boundary = (
+                self.history[boundary - 1][1] if boundary >= 1 else 0
+            )
+            total_races = self.history[-1][1] if self.history else 0
+            deltas.append(
+                {
+                    "version": swap["version"],
+                    "previous": swap["previous"],
+                    "before_rate": (
+                        races_at_boundary / before_n if before_n else 0.0
+                    ),
+                    "after_rate": (
+                        (total_races - races_at_boundary) / after_n
+                        if after_n
+                        else 0.0
+                    ),
+                    "before_executions": float(before_n),
+                    "after_executions": float(after_n),
+                }
+            )
+        return deltas
 
     def hours_to_reach_races(self, target: int) -> Optional[float]:
         """First simulated hour at which the race count reached ``target``."""
@@ -152,12 +193,20 @@ class _ExplorerBase:
         seed: int = 0,
         ledger: Optional[CostLedger] = None,
         label: str = "explorer",
+        capture_labels: bool = False,
     ) -> None:
         self.graphs = graphs
         self.kernel: Kernel = graphs.kernel
         self.config = config or ExplorationConfig()
         self.seed = seed
         self.ledger = ledger or CostLedger()
+        #: Opt-in executed-CT coverage-label capture for the
+        #: continuous-learning tailer (read-only observation of results
+        #: already in hand — cannot perturb RNG streams or accounting).
+        self.capture_labels = capture_labels
+        self._captured_labels: List[Dict[str, object]] = []
+        self._swaps: List[Dict[str, object]] = []
+        self._served_version: Optional[str] = None
         self.race_detector = RaceDetector()
         self.covered_schedule_blocks: Set[int] = set()
         self.manifested_bugs: Set[int] = set()
@@ -315,6 +364,7 @@ class _ExplorerBase:
         *args,
         inferences_before: Optional[Sequence[int]] = None,
         audit: Optional[Dict[str, object]] = None,
+        tasks: Optional[Sequence[CTTask]] = None,
     ) -> None:
         """Fold executed results into campaign state, in selection order.
 
@@ -330,6 +380,11 @@ class _ExplorerBase:
         ``audit`` overrides the explorer's own audit slot — the fleet
         coordinator interleaves several CTIs' accounting and keeps one
         audit record per CTI.
+
+        ``tasks`` (the executed :class:`CTTask` objects, in the same
+        order as ``results``) enables label capture: with
+        ``capture_labels`` on, each (schedule, covered-blocks) pair is
+        buffered for the journal to drain (see ``repro.learn``).
         """
         *entries, results, stats = args
         if audit is None:
@@ -338,6 +393,21 @@ class _ExplorerBase:
             from repro.resilience.journal import result_digest
 
             audit["results"].extend(result_digest(r) for r in results)
+        if self.capture_labels and tasks is not None:
+            sti_ids = [int(entry.sti.sti_id) for entry in entries]
+            for task, result in zip(tasks, results):
+                self._captured_labels.append(
+                    {
+                        "sti": sti_ids,
+                        "hints": [
+                            [hint.thread, hint.iid] for hint in task.hints
+                        ],
+                        "covered": [
+                            sorted(blocks)
+                            for blocks in result.covered_blocks
+                        ],
+                    }
+                )
         charged = 0
         for index, result in enumerate(results):
             if inferences_before is not None:
@@ -364,9 +434,18 @@ class _ExplorerBase:
         tasks = self.build_tasks(*entries, hints_list)
         results = self.runner.run_many(self.kernel, tasks)
         self.account_results(
-            *entries, results, stats, inferences_before=inferences_before
+            *entries,
+            results,
+            stats,
+            inferences_before=inferences_before,
+            tasks=tasks,
         )
         return results
+
+    def drain_captured_labels(self) -> List[Dict[str, object]]:
+        """Return and clear the buffered coverage labels (label capture)."""
+        labels, self._captured_labels = self._captured_labels, []
+        return labels
 
     def close(self) -> None:
         """Release the execution runner (a no-op for the serial one)."""
@@ -419,6 +498,13 @@ class _ExplorerBase:
         runner_state = getattr(self.runner, "state_dict", None)
         if runner_state is not None:
             state["runner"] = runner_state()
+        # Swap-boundary bookkeeping is serialized only once a served
+        # model version has actually been observed, so campaigns that
+        # never hot-swap keep the historical state shape byte-for-byte.
+        if self._swaps:
+            state["swaps"] = [dict(swap) for swap in self._swaps]
+        if self._served_version is not None:
+            state["served_version"] = self._served_version
         return state
 
     def load_state(self, state: Dict[str, object]) -> None:
@@ -438,6 +524,9 @@ class _ExplorerBase:
             loader = getattr(self.runner, "load_state", None)
             if loader is not None:
                 loader(state["runner"])
+        self._swaps = [dict(swap) for swap in state.get("swaps", [])]
+        served = state.get("served_version")
+        self._served_version = str(served) if served is not None else None
 
     def result(self) -> CampaignResult:
         summary = getattr(self.runner, "summary", None)
@@ -448,6 +537,7 @@ class _ExplorerBase:
             manifested_bugs=set(self.manifested_bugs),
             bug_history=list(self.bug_history),
             resilience=summary() if summary is not None else None,
+            swaps=[dict(swap) for swap in self._swaps],
         )
 
 
@@ -508,7 +598,48 @@ class MLPCTExplorer(_ExplorerBase):
         super().load_state(state)
         self.strategy.load_state(state["strategy"])
 
+    def _note_swap_boundary(self) -> None:
+        """Record a served-model version change as a swap boundary.
+
+        Backends that serve predictions expose ``observed_version`` (the
+        version tag the server attached to the most recent batch). The
+        check runs at CTI granularity — at the start of each
+        ``explore_cti`` and once more in :meth:`result` — so a CTI whose
+        scoring straddled a swap is attributed to the *before* side (see
+        ``docs/LIFECYCLE.md``). With no backend, or a backend that never
+        reports a version, this is a no-op.
+        """
+        observed = getattr(self.backend, "observed_version", None)
+        if observed is None:
+            return
+        observed = str(observed)
+        if self._served_version is None:
+            self._served_version = observed
+            return
+        if observed == self._served_version:
+            return
+        swap = {
+            "previous": self._served_version,
+            "version": observed,
+            "execution_index": self.ledger.executions,
+            "hours": self.ledger.total_hours,
+        }
+        self._swaps.append(swap)
+        self._served_version = observed
+        obs.point(
+            "learn.swap",
+            label=self.label,
+            previous=swap["previous"],
+            version=swap["version"],
+            execution_index=swap["execution_index"],
+        )
+
+    def result(self) -> CampaignResult:
+        self._note_swap_boundary()
+        return super().result()
+
     def explore_cti(self, *entries: CorpusEntry) -> ExplorationStats:
+        self._note_swap_boundary()
         stats = ExplorationStats()
         scored = iter_score_candidates(
             self.scorer,

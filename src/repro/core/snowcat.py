@@ -88,6 +88,34 @@ class Snowcat:
         #: Simulated hours spent on data collection + training (§5.4).
         self.startup_hours: float = 0.0
 
+    @classmethod
+    def standard(
+        cls,
+        seed: int,
+        exploration: Optional[ExplorationConfig] = None,
+        corpus_rounds: int = 200,
+    ) -> "Snowcat":
+        """The CLI's canonical deployment: default kernel, 200-round corpus.
+
+        Campaigns, fleets, and the continuous-learning worker all build
+        their deployment through this one constructor, which is what
+        guarantees the learn worker maps journaled ``sti_id`` values onto
+        the *same* corpus entries the campaign executed.
+        """
+        from repro.kernel import KernelConfig, build_kernel
+
+        kernel = build_kernel(KernelConfig(), seed=seed)
+        deployment = cls(
+            kernel,
+            SnowcatConfig(
+                seed=seed,
+                corpus_rounds=corpus_rounds,
+                exploration=exploration or ExplorationConfig(),
+            ),
+        )
+        deployment.prepare_corpus()
+        return deployment
+
     # -- pipeline stages ------------------------------------------------------
 
     def prepare_corpus(self) -> int:

@@ -357,6 +357,7 @@ class FleetCoordinator:
             plan.stats,
             inferences_before=plan.inferences_before,
             audit=plan.audit,
+            tasks=plan.tasks,
         )
         self._result_stats.append(plan.stats)
         if self.journal is not None:

@@ -1,0 +1,35 @@
+"""repro.learn — the continuous-learning model lifecycle.
+
+Closes the loop the paper's §5.4 amortisation analysis argues for:
+campaigns journal the ground-truth coverage labels of every CT they
+execute; a tailer feeds them into a durable label store; a worker
+fine-tunes the active model on fresh labels; a quality gate decides
+promotion; the registry hot-swaps the new version into live campaigns.
+See ``docs/LIFECYCLE.md`` for the end-to-end story and the crash-safety
+argument.
+"""
+
+from repro.learn.labels import LabelRecord, LabelStore, LabelTailer, label_id
+from repro.learn.promote import (
+    GateReport,
+    evaluate_candidate,
+    maybe_rollback,
+    publish_candidate,
+    quarantine,
+)
+from repro.learn.worker import STATUS_NAME, FineTuneWorker, LearnConfig
+
+__all__ = [
+    "LabelRecord",
+    "LabelStore",
+    "LabelTailer",
+    "label_id",
+    "GateReport",
+    "evaluate_candidate",
+    "publish_candidate",
+    "quarantine",
+    "maybe_rollback",
+    "LearnConfig",
+    "FineTuneWorker",
+    "STATUS_NAME",
+]

@@ -1,0 +1,186 @@
+"""Quality-gated promotion of fine-tuned candidates (the lifecycle gate).
+
+A candidate produced by the fine-tune worker never reaches the
+:class:`~repro.serve.registry.ModelRegistry` on faith. It must first
+pass :func:`evaluate_candidate`:
+
+- **fresh-label holdout**: validation URB AP on labels the candidate was
+  *not* trained on, compared against the currently active model on the
+  same holdout. The candidate must not regress by more than
+  ``min_gain`` (negative values tolerate a small dip — fresh labels are
+  noisy; a large positive value is the CI lever for forcing a failure).
+- **golden pipeline** (optional): the pinned ``repro quality`` gate
+  (:func:`repro.oracle.quality.run_quality_gate`) scored with the
+  candidate model. Only meaningful when the candidate's vocabulary is
+  the golden kernel's — campaign-trained candidates usually are not, so
+  this check is opt-in.
+
+A failing candidate is quarantined — its checkpoint stays under the
+worker's ``candidates/`` directory and a structured failure report lands
+in ``quarantine/`` — and the registry is untouched. After a successful
+promotion and live hot-swap, :func:`maybe_rollback` watches the swap
+boundary the campaign recorded (races per execution before vs after)
+and rolls the registry back one step when the live signal regresses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.errors import ServeError
+from repro.ml.training import validation_urb_ap
+from repro.resilience.atomic import atomic_write_text
+
+__all__ = [
+    "GateReport",
+    "evaluate_candidate",
+    "publish_candidate",
+    "quarantine",
+    "maybe_rollback",
+]
+
+
+@dataclass
+class GateReport:
+    """Structured verdict of one promotion gate run."""
+
+    candidate: str
+    base: str
+    candidate_ap: float
+    active_ap: float
+    min_gain: float
+    holdout_size: int
+    passed: bool
+    #: Golden-pipeline verdict; ``None`` when the golden gate was skipped.
+    golden_passed: Optional[bool] = None
+    golden_failures: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "candidate": self.candidate,
+            "base": self.base,
+            "candidate_ap": self.candidate_ap,
+            "active_ap": self.active_ap,
+            "min_gain": self.min_gain,
+            "holdout_size": self.holdout_size,
+            "passed": self.passed,
+            "golden_passed": self.golden_passed,
+            "golden_failures": list(self.golden_failures),
+        }
+
+
+def evaluate_candidate(
+    candidate,
+    active,
+    holdout: Sequence[object],
+    base_version: str,
+    candidate_name: str,
+    min_gain: float = -0.05,
+    golden: bool = False,
+    baseline_path: Optional[str] = None,
+) -> GateReport:
+    """Run the promotion gate; never touches the registry.
+
+    ``holdout`` must be fresh-label examples excluded from the
+    candidate's training window. The rule is relative: the candidate
+    passes when ``candidate_ap >= active_ap + min_gain``. With
+    ``golden=True`` the pinned golden-pipeline gate must *also* pass
+    (requires a vocabulary-compatible candidate).
+    """
+    candidate_ap = validation_urb_ap(candidate, holdout)
+    active_ap = validation_urb_ap(active, holdout) if active is not None else 0.0
+    passed = candidate_ap >= active_ap + min_gain
+    report = GateReport(
+        candidate=candidate_name,
+        base=base_version,
+        candidate_ap=float(candidate_ap),
+        active_ap=float(active_ap),
+        min_gain=float(min_gain),
+        holdout_size=len(holdout),
+        passed=passed,
+    )
+    if golden and passed:
+        from repro.oracle.quality import run_quality_gate
+
+        golden_report = run_quality_gate(
+            baseline_path=baseline_path, model=candidate
+        )
+        report.golden_passed = golden_report.passed
+        report.golden_failures = [
+            check.name for check in golden_report.checks if not check.passed
+        ]
+        report.passed = passed and golden_report.passed
+    obs.point(
+        "learn.gate",
+        candidate=candidate_name,
+        base=base_version,
+        candidate_ap=round(candidate_ap, 6),
+        active_ap=round(active_ap, 6),
+        passed=report.passed,
+    )
+    return report
+
+
+def publish_candidate(registry, model, version: str):
+    """Publish-and-activate, idempotent across journal resumes.
+
+    A worker killed between publishing and journaling its terminal
+    record re-runs this on resume; the registry's immutable records
+    make the re-publish a :class:`~repro.errors.ServeError`, which we
+    resolve by (re-)activating the already-published version.
+    """
+    try:
+        return registry.publish(model, version=version, activate=True)
+    except ServeError:
+        return registry.activate(version)
+
+
+def quarantine(root: str, name: str, report: Dict[str, object]) -> str:
+    """Write a failed candidate's structured report; returns its path.
+
+    The candidate checkpoint itself is left in place under
+    ``candidates/`` for post-mortem; only the registry stays untouched.
+    """
+    directory = os.path.join(os.path.abspath(root), "quarantine")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
+    obs.point("learn.quarantine", candidate=name, report=path)
+    return path
+
+
+def maybe_rollback(registry, result, tolerance: float = 0.5):
+    """Auto-rollback when post-swap live metrics regress.
+
+    ``result`` is a :class:`~repro.core.mlpct.CampaignResult` whose
+    campaign lived through one or more hot-swaps. If the races-per-
+    execution rate *after* the last swap fell below ``tolerance`` times
+    the rate before it (with real work on both sides of the boundary),
+    the registry rolls back one step. Returns the re-activated
+    :class:`~repro.serve.registry.ModelRecord`, or ``None`` when no
+    rollback happened. The caller is responsible for swapping any live
+    server back to the restored version.
+    """
+    deltas = result.swap_deltas()
+    if not deltas:
+        return None
+    last = deltas[-1]
+    if last["before_executions"] <= 0 or last["after_executions"] <= 0:
+        return None
+    if last["before_rate"] <= 0:
+        return None
+    if last["after_rate"] >= tolerance * last["before_rate"]:
+        return None
+    record = registry.rollback()
+    obs.point(
+        "learn.rollback",
+        regressed=last["version"],
+        restored=record.version,
+        before_rate=round(float(last["before_rate"]), 6),
+        after_rate=round(float(last["after_rate"]), 6),
+    )
+    return record

@@ -37,6 +37,7 @@ __all__ = [
     "TrainingResult",
     "train_pic",
     "fine_tune_pic",
+    "fine_tune_with_replay",
     "hyperparameter_search",
     "validation_urb_ap",
 ]
@@ -202,6 +203,27 @@ def fine_tune_pic(
     with obs.span("train.fine_tune", base=base.config.name, model=name):
         clone = base.clone(name=name, seed=config.seed)
         return train_pic(clone, train, validation, config)
+
+
+def fine_tune_with_replay(
+    base: PICModel,
+    fresh: Sequence[CTExample],
+    replay: Sequence[CTExample],
+    validation: Sequence[CTExample],
+    config: Optional[TrainingConfig] = None,
+    name: str = "PIC.ft",
+) -> TrainingResult:
+    """Fine-tune on fresh campaign labels mixed with replay examples.
+
+    The continuous-learning worker's training recipe: ``fresh`` is the
+    sliding window of journal-tailed labels, ``replay`` a sample of the
+    original training distribution that anchors the model against
+    catastrophic forgetting. The two sets are concatenated and shuffled
+    together by :func:`train_pic`'s seeded epoch shuffle, so the mix is
+    a pure function of the inputs and ``config.seed``.
+    """
+    combined = list(fresh) + list(replay)
+    return fine_tune_pic(base, combined, validation, config=config, name=name)
 
 
 def hyperparameter_search(

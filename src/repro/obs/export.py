@@ -38,6 +38,7 @@ __all__ = [
     "read_heartbeat",
     "render_top",
     "render_fleet_top",
+    "render_learn_top",
     "render_serve_watch",
 ]
 
@@ -367,6 +368,41 @@ def render_fleet_top(
                 "age": f"{age:.0f}s",
             }
         )
+    return format_table(rows, title=title)
+
+
+def render_learn_top(
+    directory: str,
+    now: Optional[float] = None,
+    title: str = "continuous learning",
+) -> str:
+    """Render the learn worker's status heartbeat (``learn run --dir``)
+    for ``repro top --learn DIR`` and ``repro learn status``."""
+    now = time.time() if now is None else now
+    beat = read_heartbeat(os.path.join(directory, "learn.json"))
+    if beat is None:
+        rows = [
+            {
+                "stage": "(no status)",
+                "cycle": "-",
+                "candidate": "-",
+                "labels": "-",
+                "active": "-",
+                "age": "-",
+            }
+        ]
+        return format_table(rows, title=title)
+    age = max(now - float(beat.get("updated_unix", now)), 0.0)
+    rows = [
+        {
+            "stage": str(beat.get("stage", "?")),
+            "cycle": beat.get("cycle") if beat.get("cycle") is not None else "-",
+            "candidate": str(beat.get("candidate", "-")),
+            "labels": beat.get("total_labels", 0),
+            "active": str(beat.get("active_version", "-")),
+            "age": f"{age:.0f}s",
+        }
+    ]
     return format_table(rows, title=title)
 
 

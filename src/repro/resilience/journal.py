@@ -49,12 +49,14 @@ __all__ = [
     "JOURNAL_SCHEMA",
     "CampaignJournal",
     "ContinuousJournal",
+    "JournalFile",
     "campaign_result_to_dict",
     "campaign_result_from_dict",
     "stats_to_dict",
     "stats_from_dict",
     "result_digest",
     "fold_prediction_digest",
+    "read_journal_tolerant",
     "reset_journal",
 ]
 
@@ -142,7 +144,7 @@ def campaign_result_to_dict(result) -> Dict[str, object]:
     results are byte-identical iff their canonical JSON forms are.
     """
     ledger = result.ledger
-    return {
+    payload = {
         "label": result.label,
         "history": [list(point) for point in result.history],
         "ledger": {
@@ -160,6 +162,11 @@ def campaign_result_to_dict(result) -> Dict[str, object]:
         "per_cti": [stats_to_dict(stats) for stats in result.per_cti],
         "resilience": result.resilience,
     }
+    # Serialized only when present: results from campaigns that never saw
+    # a model swap stay byte-identical to the historical form.
+    if getattr(result, "swaps", None):
+        payload["swaps"] = [dict(swap) for swap in result.swaps]
+    return payload
 
 
 def campaign_result_from_dict(payload: Dict[str, object]):
@@ -181,6 +188,7 @@ def campaign_result_from_dict(payload: Dict[str, object]):
         bug_history=[tuple(point) for point in payload["bug_history"]],
         per_cti=[stats_from_dict(stats) for stats in payload["per_cti"]],
         resilience=payload.get("resilience"),
+        swaps=[dict(swap) for swap in payload.get("swaps", [])],
     )
 
 
@@ -302,6 +310,47 @@ class _JournalFile:
 
     def close(self) -> None:
         self._handle.close()
+
+
+#: Public alias — consumers outside this package (the learn label store)
+#: reuse the checksummed append-only file without reaching for a private
+#: name.
+JournalFile = _JournalFile
+
+
+def read_journal_tolerant(path: str) -> Tuple[List[Dict[str, object]], bool]:
+    """Read a journal's valid prefix **without mutating the file**.
+
+    Unlike opening a :class:`JournalFile` (which truncates a torn tail in
+    place), this is safe against a journal another process is actively
+    appending to: a half-written final line is simply not returned yet.
+    Returns ``(records, torn)`` where ``torn`` reports whether a torn or
+    corrupt final line was skipped. Corruption before the final line
+    still raises :class:`~repro.errors.JournalError`.
+    """
+    if not os.path.exists(path):
+        return [], False
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    records: List[Dict[str, object]] = []
+    torn = False
+    for position, line in enumerate(lines):
+        try:
+            body = _verify(json.loads(line.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError):
+            body = None
+        if body is None:
+            if position == len(lines) - 1:
+                torn = True
+                break
+            raise JournalError(
+                f"corrupt journal record at line {position + 1} of {path}"
+            )
+        records.append(body)
+    return records, torn
 
 
 # -- checkpoints --------------------------------------------------------------
@@ -497,20 +546,28 @@ class CampaignJournal:
         if audit is None:
             audit = explorer.end_audit()
         results = audit["results"]
-        self._file.append(
-            {
-                "c": label,
-                "kind": "cti",
-                "index": index,
-                "stats": stats_to_dict(stats),
-                "audit": {
-                    "executed": len(results),
-                    "results_digest": sha256_hex("".join(results)),
-                    "scored": audit["scored"],
-                    "scored_digest": audit["scored_digest"],
-                },
-            }
-        )
+        record: Dict[str, object] = {
+            "c": label,
+            "kind": "cti",
+            "index": index,
+            "stats": stats_to_dict(stats),
+            "audit": {
+                "executed": len(results),
+                "results_digest": sha256_hex("".join(results)),
+                "scored": audit["scored"],
+                "scored_digest": audit["scored_digest"],
+            },
+        }
+        # Opt-in label capture for the continuous-learning tailer: when
+        # the explorer buffered executed-CT coverage labels, drain them
+        # into this record. The field is omitted entirely when capture
+        # is off, keeping journal bytes unchanged.
+        drain = getattr(explorer, "drain_captured_labels", None)
+        if drain is not None:
+            labels = drain()
+            if labels:
+                record["labels"] = labels
+        self._file.append(record)
         _write_checkpoint(
             self.checkpoint_path(label),
             {

@@ -28,7 +28,7 @@ version that produced it and refusing to cache a mismatch.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -149,6 +149,10 @@ class InProcessServer(PredictionBackend):
         self._inflight_lock = threading.Lock()
         self._requests = 0
         self._stats_lock = threading.Lock()
+        #: Version tag of the most recent batch served to a caller —
+        #: how explorers notice a hot-swap boundary (``None`` until the
+        #: first prediction).
+        self.observed_version: Optional[str] = None
 
     # -- telemetry plumbing --------------------------------------------------
 
@@ -279,12 +283,50 @@ class InProcessServer(PredictionBackend):
             return self._version
 
     def predict_proba_batch(self, graphs: Sequence[object]) -> List[np.ndarray]:
+        return self.predict_proba_batch_versioned(graphs)[1]
+
+    def predict_proba_batch_versioned(
+        self, graphs: Sequence[object]
+    ) -> Tuple[str, List[np.ndarray]]:
+        """One batch plus the single model version that produced it.
+
+        A batch is never mixed-version: if a concurrent
+        :meth:`swap_model` lands between this request reading the
+        version and the batcher running its forward pass, the partial
+        gather (old-version cache hits plus new-version computes) is
+        discarded and retried; under sustained swap churn the batch is
+        finally scored in one piece under the model lock, which no swap
+        can interleave with.
+        """
         graphs = list(graphs)
         if not graphs:
-            return []
+            with self._model_lock:
+                return self._version, []
         with self._stats_lock:
             self._requests += 1
         registry = self._obs()
+        for _attempt in range(3):
+            version, results, raced = self._gather_batch(graphs, registry)
+            if not raced:
+                self.observed_version = version
+                return version, results
+        # Swap churn outran the optimistic path: score the whole batch
+        # in one forward pass under the model lock, where the version
+        # and the weights cannot diverge.
+        with self._model_lock:
+            version = self._version
+            probas = self._forward(self._model, graphs)
+        for graph, proba in zip(graphs, probas):
+            self.cache.put(prediction_key(version, graph), proba)
+        self.observed_version = version
+        return version, probas
+
+    def _gather_batch(
+        self, graphs: List[object], registry
+    ) -> Tuple[str, List[np.ndarray], bool]:
+        """One optimistic cache+batcher pass; ``raced`` flags a batch
+        whose computed results came from a different version than the
+        one this request (and its cache hits) pinned at entry."""
         if registry is not None:
             registry.counter("serve.requests").add(1)
             # Anchor pair: same instant in the registry's timeline and
@@ -322,9 +364,12 @@ class InProcessServer(PredictionBackend):
 
         waited = list(pending_by_key.values())
         filled = dict(submitted)
+        raced = False
         try:
             for key, pending in pending_by_key.items():
                 computed_version, proba = pending.result()
+                if computed_version != version:
+                    raced = True
                 if key in submitted:
                     if computed_version == version:
                         self.cache.put(key, proba)
@@ -346,10 +391,14 @@ class InProcessServer(PredictionBackend):
             self._emit_batch_spans(
                 registry, waited, anchor_registry, anchor_batcher
             )
-        return [
-            cached if cached is not None else pending_by_key[key]
-            for key, cached in zip(keys, results)
-        ]
+        return (
+            version,
+            [
+                cached if cached is not None else pending_by_key[key]
+                for key, cached in zip(keys, results)
+            ],
+            raced,
+        )
 
     # -- administration ------------------------------------------------------
 

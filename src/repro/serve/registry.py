@@ -129,6 +129,21 @@ class ModelRegistry:
             self.manifest_path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
 
+    def refresh(self) -> None:
+        """Re-read the manifest from disk.
+
+        A registry object reads the manifest once at construction;
+        publishes by *other processes* (the learn worker promoting a
+        candidate under a running serve daemon) are invisible to the
+        in-memory copy until refreshed. The manifest is written
+        atomically, so a refresh sees either the old or the new state —
+        never a torn one.
+        """
+        self._active = None
+        self._previous = None
+        self._records = {}
+        self._load_manifest()
+
     # -- publishing ----------------------------------------------------------
 
     def publish(self, model, version: Optional[str] = None, activate: bool = True) -> ModelRecord:

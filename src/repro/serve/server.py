@@ -304,6 +304,8 @@ class PredictionServer:
         version: str = "v0",
         backend: Optional[InProcessServer] = None,
         registry=None,
+        model_registry=None,
+        model_seed: int = 0,
     ) -> None:
         self.config = config
         #: Explicit registry for the server's own spans; ``None`` uses
@@ -311,6 +313,13 @@ class PredictionServer:
         #: that host client and server in one process inject distinct
         #: registries to get distinct trace files.
         self._registry = registry
+        #: The :class:`~repro.serve.registry.ModelRegistry` the server
+        #: was started from, if any — what the ``swap`` op loads new
+        #: versions out of. ``model_seed`` is threaded through every
+        #: registry load so a swapped-in model is byte-identical to the
+        #: published one regardless of the registry's default seed.
+        self._model_registry = model_registry
+        self._model_seed = int(model_seed)
         self._started_monotonic = time.monotonic()
         if (
             backend is None
@@ -392,11 +401,18 @@ class PredictionServer:
                 recorder is not None and slow_ms is not None
             )
             started = time.monotonic() if timing else 0.0
+            # The versioned call pins the version that actually scored
+            # this batch — reading backend.version afterwards could tag
+            # old predictions with a concurrently swapped-in version.
             if registry is not None:
                 with registry.span("serve.request", op=op, graphs=len(graphs)):
-                    probas = self.backend.predict_proba_batch(graphs)
+                    batch_version, probas = (
+                        self.backend.predict_proba_batch_versioned(graphs)
+                    )
             else:
-                probas = self.backend.predict_proba_batch(graphs)
+                batch_version, probas = (
+                    self.backend.predict_proba_batch_versioned(graphs)
+                )
             if timing:
                 elapsed = time.monotonic() - started
                 if registry is not None:
@@ -409,7 +425,7 @@ class PredictionServer:
                     recorder.note_slow(op, elapsed, graphs=len(graphs))
             return {
                 "ok": True,
-                "version": self.backend.version,
+                "version": batch_version,
                 "probas": [proba.tolist() for proba in probas],
             }
         if op == "status":
@@ -434,6 +450,45 @@ class PredictionServer:
                 "ok": True,
                 "snapshot": snapshot,
                 "exposition": render_prometheus(snapshot),
+            }
+        if op == "swap":
+            # Hot-swap the served model to a registry version (the
+            # continuous-learning promotion path). The manifest is
+            # re-read first: the promoting process publishes out-of-band
+            # and this server's in-memory registry view is stale.
+            if self._model_registry is None:
+                raise ServeError(
+                    "server was not started from a model registry; "
+                    "cannot hot-swap"
+                )
+            self._model_registry.refresh()
+            version = request.get("version")
+            if version is None:
+                version = self._model_registry.active_version
+            if version is None:
+                raise ServeError(
+                    "registry has no active model version to swap to"
+                )
+            version = str(version)
+            previous = self.backend.version
+            if version == previous:
+                return {
+                    "ok": True,
+                    "version": version,
+                    "previous": previous,
+                    "swapped": False,
+                }
+            model = self._model_registry.load(version, seed=self._model_seed)
+            if self.config.infer_dtype != "float64" and hasattr(
+                model, "set_inference_mode"
+            ):
+                model.set_inference_mode(self.config.infer_dtype)
+            self.backend.swap_model(model, version)
+            return {
+                "ok": True,
+                "version": version,
+                "previous": previous,
+                "swapped": True,
             }
         if op == "ping":
             return {"ok": True}
@@ -494,9 +549,21 @@ class PredictionServer:
             pass
 
 
-def serve_forever(model, config: ServerConfig, version: str = "v0") -> None:
+def serve_forever(
+    model,
+    config: ServerConfig,
+    version: str = "v0",
+    model_registry=None,
+    model_seed: int = 0,
+) -> None:
     """Host ``model`` on ``config.socket_path`` until interrupted."""
-    server = PredictionServer(model, config, version=version)
+    server = PredictionServer(
+        model,
+        config,
+        version=version,
+        model_registry=model_registry,
+        model_seed=model_seed,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -556,6 +623,10 @@ class SocketBackend(PredictionBackend):
         self.reconnects = 0
         #: Circuit-breaker openings (mirrored to ``serve.circuit_open``).
         self.circuit_opens = 0
+        #: Version tag the server attached to the most recent
+        #: ``predict_batch`` response — how explorers notice a hot-swap
+        #: boundary (``None`` until the first prediction).
+        self.observed_version: Optional[str] = None
 
     # -- connection management ----------------------------------------------
 
@@ -685,6 +756,9 @@ class SocketBackend(PredictionBackend):
             raise ProtocolError(
                 f"server returned {len(probas)} predictions for {len(graphs)} graphs"
             )
+        served = response.get("version")
+        if served is not None:
+            self.observed_version = str(served)
         return [np.asarray(proba, dtype=np.float64) for proba in probas]
 
     # -- service management --------------------------------------------------
@@ -700,6 +774,27 @@ class SocketBackend(PredictionBackend):
         status = self._request({"op": "status"})["status"]
         self._identity = status
         return status
+
+    def swap(self, version: Optional[str] = None) -> dict:
+        """Ask the server to hot-swap to a registry version.
+
+        ``None`` swaps to whatever the registry manifest currently
+        names as active (the promotion path: publish first, then tell
+        every server to catch up). Returns the server's
+        ``{version, previous, swapped}`` response; the cached identity
+        is invalidated so the next ``threshold``/``version`` read
+        reflects the new model.
+        """
+        payload: Dict[str, object] = {"op": "swap"}
+        if version is not None:
+            payload["version"] = version
+        response = self._request(payload)
+        self._identity = None
+        return {
+            "version": str(response["version"]),
+            "previous": str(response["previous"]),
+            "swapped": bool(response["swapped"]),
+        }
 
     def metrics(self) -> dict:
         """The server's metrics snapshot + Prometheus exposition text."""

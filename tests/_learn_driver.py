@@ -1,0 +1,159 @@
+"""Subprocess driver for the continuous-learning SIGKILL drills.
+
+Run as ``python tests/_learn_driver.py ROOT [--kill-at STAGE]``: builds a
+small deterministic deployment under ``ROOT`` (kernel + corpus + trained
+base model published as ``base`` + one label-capturing journaled campaign
++ tailed label store), then runs exactly one fine-tune worker cycle. With
+``--kill-at`` the worker's pause hook SIGKILLs the process right after
+that stage's journal record commits, so the parent test can re-run the
+driver and assert the resumed cycle lands on the identical candidate
+checkpoint, gate verdict, and registry state.
+
+Everything here is idempotent across invocations: the base model is
+trained only while the registry is empty, the campaign runs only while
+its journal is absent, and label ingestion is watermarked — so a second
+invocation against the same ``ROOT`` resumes rather than redoes.
+
+The tests also import :func:`build_environment` to reconstruct the exact
+same deployment in-process for the uninterrupted control run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+
+from repro.core.mlpct import ExplorationConfig, run_campaign
+from repro.core.snowcat import Snowcat, SnowcatConfig
+from repro.kernel import KernelConfig, build_kernel
+from repro.learn import FineTuneWorker, LabelStore, LabelTailer, LearnConfig
+from repro.resilience.journal import CampaignJournal
+from repro.serve.registry import ModelRegistry
+
+SEED = 5
+NUM_CTIS = 3
+
+KERNEL_CONFIG = KernelConfig(
+    num_subsystems=2,
+    functions_per_subsystem=3,
+    syscalls_per_subsystem=3,
+    vars_per_subsystem=6,
+    segments_per_function=(2, 3),
+    num_atomicity_bugs=1,
+    num_order_bugs=1,
+    num_data_races=1,
+    version="v5.12",
+)
+
+LEARN_CONFIG = LearnConfig(
+    min_labels=1,
+    window=64,
+    epochs=1,
+    holdout_every=4,
+    seed=SEED,
+    replay_ctis=1,
+)
+
+
+def build_snowcat() -> Snowcat:
+    """The canonical small test deployment (corpus ready, untrained)."""
+    kernel = build_kernel(KERNEL_CONFIG, seed=SEED)
+    snowcat = Snowcat(
+        kernel,
+        SnowcatConfig(
+            seed=SEED,
+            corpus_rounds=60,
+            dataset_ctis=6,
+            train_interleavings=3,
+            evaluation_interleavings=3,
+            pretrain_epochs=1,
+            epochs=1,
+            exploration=ExplorationConfig(execution_budget=3, proposal_pool=6),
+        ),
+    )
+    snowcat.prepare_corpus()
+    return snowcat
+
+
+def build_environment(root: str):
+    """Build (or reuse) the full lifecycle environment under ``root``.
+
+    Returns ``(snowcat, registry, store)`` with the base model published
+    and the campaign's labels ingested. Safe to call repeatedly: every
+    step is guarded by durable state, so a driver killed mid-cycle picks
+    the environment back up without retraining or re-running anything.
+    """
+    root = os.path.abspath(root)
+    os.makedirs(root, exist_ok=True)
+    snowcat = build_snowcat()
+    registry = ModelRegistry(os.path.join(root, "registry"))
+    if registry.active_version is None:
+        snowcat.train()
+        registry.publish(snowcat.model, version="base", activate=True)
+    journal_path = os.path.join(root, "campaign.journal")
+    if not os.path.exists(journal_path):
+        explorer = snowcat.pct_explorer()
+        explorer.capture_labels = True
+        journal = CampaignJournal(journal_path)
+        try:
+            run_campaign(
+                explorer,
+                snowcat.cti_stream(NUM_CTIS, "learn-driver"),
+                journal=journal,
+            )
+        finally:
+            journal.close()
+    store = LabelStore(os.path.join(root, "learn"))
+    LabelTailer(store, [journal_path]).poll()
+    return snowcat, registry, store
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("root")
+    parser.add_argument(
+        "--kill-at", choices=["cycle", "trained", "gate"], default=None
+    )
+    args = parser.parse_args(argv)
+    snowcat, registry, store = build_environment(args.root)
+
+    def pause(stage: str) -> None:
+        if stage == args.kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    worker = FineTuneWorker(
+        os.path.join(args.root, "learn"),
+        store,
+        registry,
+        snowcat,
+        config=LEARN_CONFIG,
+        pause=pause if args.kill_at else None,
+    )
+    try:
+        summary = worker.run_once()
+    finally:
+        worker.close()
+        store.close()
+    checksum = None
+    if summary is not None:
+        checksum = FineTuneWorker._embedded_checksum(
+            worker.candidate_path(str(summary["candidate"]))
+        )
+    print(
+        json.dumps(
+            {
+                "summary": summary,
+                "checksum": checksum,
+                "active": registry.active_version,
+            },
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

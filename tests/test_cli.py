@@ -30,6 +30,7 @@ class TestParser:
             "serve": ["status", "--socket", "/tmp/repro.sock"],
             "fleet": ["status", "--dir", "/tmp/fleet-heartbeats"],
             "top": ["heartbeat.json"],
+            "learn": ["status", "--dir", "/tmp/learn"],
         }
         parser = build_parser()
         for command in _COMMANDS:
@@ -156,3 +157,44 @@ class TestRobustness:
         # the campaign ran PCT-only: no MLPCT curve in the output
         assert "PCT" in captured.out
         assert "MLPCT" not in captured.out
+
+    def test_campaign_capture_labels_requires_journal(self, capsys):
+        assert main(["campaign", "--capture-labels"]) == 2
+        assert "--capture-labels needs a journal" in capsys.readouterr().err
+
+    def test_quality_model_requires_registry(self, capsys):
+        assert main(["quality", "--model", "v1"]) == 2
+        assert "--model and --registry" in capsys.readouterr().err
+
+    def test_quality_model_conflicts_with_write_baseline(self, capsys, tmp_path):
+        code = main(
+            [
+                "quality",
+                "--model",
+                "v1",
+                "--registry",
+                str(tmp_path),
+                "--write-baseline",
+                str(tmp_path / "baseline.json"),
+            ]
+        )
+        assert code == 2
+        assert "cannot be combined with --model" in capsys.readouterr().err
+
+    def test_learn_status_without_state(self, capsys, tmp_path):
+        assert main(["learn", "status", "--dir", str(tmp_path)]) == 0
+        assert "(no status)" in capsys.readouterr().out
+
+    def test_learn_publish_missing_checkpoint(self, capsys, tmp_path):
+        code = main(
+            [
+                "learn",
+                "publish",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--model",
+                str(tmp_path / "missing.npz"),
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

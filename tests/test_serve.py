@@ -548,6 +548,146 @@ class TestSocketServer:
         assert not server._thread.is_alive()
 
 
+# -- registry mutation racing live hot-swaps ---------------------------------
+
+
+class TestRegistryHotSwapRaces:
+    """The continuous-learning promotion path mutates the registry from
+    one process while another serves from it. Whatever interleaving the
+    OS picks: a manifest read is never torn, and a served batch is never
+    mixed-version — every prediction in one response comes from the one
+    model version the response names."""
+
+    def test_refresh_under_activation_churn_is_never_torn(
+        self, tmp_path, tiny_model
+    ):
+        writer = ModelRegistry(str(tmp_path))
+        writer.publish(tiny_model, version="v1", activate=True)
+        writer.publish(tiny_model, version="v2", activate=True)
+        reader = ModelRegistry(str(tmp_path))
+        stop = threading.Event()
+
+        def churn():
+            flip = True
+            while not stop.is_set():
+                writer.activate("v1" if flip else "v2")
+                flip = not flip
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(200):
+                reader.refresh()  # atomic manifest: old or new, never torn
+                active = reader.active_version
+                assert active in {"v1", "v2"}
+                assert reader.record(active).version == active
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_swap_mid_gather_retries_to_a_consistent_batch(
+        self, tiny_model, candidate_graphs
+    ):
+        # Deterministic injection of the worst interleaving: the swap
+        # lands right after the request pinned its version, so the
+        # optimistic gather would pair old-version cache keys with
+        # new-model computes. The backend must detect the race and
+        # retry to a batch that is all one version.
+        from repro.ml.pic import PICModel
+
+        other = PICModel(tiny_model.config, seed=99)
+        server = InProcessServer(
+            tiny_model,
+            version="v1",
+            batcher_config=BatcherConfig(max_batch=1, max_wait_ms=0.5),
+        )
+        real_cache = server.cache
+
+        class SwapOnFirstGet:
+            def __init__(self):
+                self.fired = False
+
+            def get(self, key):
+                if not self.fired:
+                    self.fired = True
+                    server.swap_model(other, "v2")
+                return real_cache.get(key)
+
+            def __getattr__(self, name):
+                return getattr(real_cache, name)
+
+        server.cache = SwapOnFirstGet()
+        try:
+            version, probas = server.predict_proba_batch_versioned(
+                candidate_graphs
+            )
+            assert version == "v2"
+            assert server.observed_version == "v2"
+            for graph, proba in zip(candidate_graphs, probas):
+                np.testing.assert_array_equal(
+                    proba, other.predict_proba(graph)
+                )
+        finally:
+            server.close()
+
+    def test_activation_churn_never_serves_a_mixed_version_batch(
+        self, tmp_path, tiny_model, candidate_graphs
+    ):
+        from repro.ml.pic import PICModel
+
+        other = PICModel(tiny_model.config, seed=99)
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        registry.publish(tiny_model, version="v1", activate=True)
+        registry.publish(other, version="v2", activate=True)
+        registry.activate("v1")
+        expected = {
+            "v1": [tiny_model.predict_proba(g) for g in candidate_graphs],
+            "v2": [other.predict_proba(g) for g in candidate_graphs],
+        }
+        server = PredictionServer(
+            tiny_model,
+            ServerConfig(
+                socket_path=str(tmp_path / "race.sock"),
+                max_batch=1,
+                max_wait_ms=0.5,
+            ),
+            version="v1",
+            model_registry=registry,
+        ).start()
+        # The "promoting process": a second registry handle on the same
+        # directory, flapping the active version as fast as it can.
+        mutator = ModelRegistry(str(tmp_path / "registry"))
+        stop = threading.Event()
+
+        def churn():
+            flip = True
+            while not stop.is_set():
+                mutator.activate("v2" if flip else "v1")
+                flip = not flip
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        client = SocketBackend(server.config.socket_path)
+        swapped = 0
+        try:
+            for _ in range(30):
+                response = client.swap()  # follow whatever is active now
+                assert response["version"] in {"v1", "v2"}
+                swapped += int(response["swapped"])
+                served = client.predict_proba_batch(candidate_graphs)
+                version = client.observed_version
+                assert version in {"v1", "v2"}
+                for proba, want in zip(served, expected[version]):
+                    np.testing.assert_array_equal(proba, want)
+        finally:
+            stop.set()
+            thread.join()
+            client.close()
+            server.stop()
+        # The drill only means something if swaps actually happened.
+        assert swapped > 0
+
+
 # -- GNN concurrency regression ----------------------------------------------
 
 
